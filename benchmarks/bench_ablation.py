@@ -1,0 +1,90 @@
+"""Ablation bench: the EMS design choices DESIGN.md calls out.
+
+Not a paper figure.  Three ablations isolate the ingredients of
+Definition 2 and Section 3.6:
+
+* **direction** — forward-only vs backward-only vs the combined
+  similarity (the paper: "by aggregating the forward and backward
+  similarities together ... we can successfully address the matching
+  with dislocations");
+* **edge weights** — the frequency-agreement factor ``C`` vs a plain
+  SimRank-style constant decay;
+* **decay c** — sensitivity to the similarity-decay constant.
+"""
+
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.experiments.harness import aggregate_runs, run_matcher_on_pair
+from repro.experiments.reporting import FigureResult
+from repro.matchers import EMSMatcher
+from repro.synthesis.corpus import build_real_like_corpus, singleton_testbeds
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    corpus = build_real_like_corpus(seed=2014, traces_per_log=100)
+    testbeds = singleton_testbeds(corpus)
+    return testbeds["DS-B"][:4] + testbeds["DS-FB"][:4]
+
+
+def _score(matcher: EMSMatcher, pairs) -> float:
+    runs = [run_matcher_on_pair(matcher, pair) for pair in pairs]
+    return aggregate_runs(runs)[matcher.name].mean_f_measure
+
+
+def test_ablation_direction(benchmark, pairs, show_figure):
+    def run():
+        rows = []
+        for direction in ("forward", "backward", "both"):
+            matcher = EMSMatcher(EMSConfig(direction=direction), name=direction)
+            rows.append([direction, _score(matcher, pairs)])
+        return FigureResult(
+            "Ablation", "similarity direction (DS-B + DS-FB pairs)",
+            ["direction", "f-measure"], rows,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show_figure(result)
+    scores = {row[0]: row[1] for row in result.rows}
+    # The combined similarity must not lose to either single direction by
+    # much — and on dislocated data it should win or tie.
+    assert scores["both"] >= max(scores["forward"], scores["backward"]) - 0.05
+
+
+def test_ablation_edge_weights(benchmark, pairs, show_figure):
+    def run():
+        rows = []
+        for use_weights in (True, False):
+            label = "with C factor" if use_weights else "constant decay"
+            matcher = EMSMatcher(
+                EMSConfig(use_edge_weights=use_weights), name=label
+            )
+            rows.append([label, _score(matcher, pairs)])
+        return FigureResult(
+            "Ablation", "edge-frequency agreement factor",
+            ["variant", "f-measure"], rows,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show_figure(result)
+    scores = {row[0]: row[1] for row in result.rows}
+    # Dropping the edge similarities loses information; it must not win.
+    assert scores["with C factor"] >= scores["constant decay"] - 0.02
+
+
+def test_ablation_decay_constant(benchmark, pairs, show_figure):
+    def run():
+        rows = []
+        for c in (0.6, 0.8, 0.95):
+            matcher = EMSMatcher(EMSConfig(c=c), name=f"c={c}")
+            rows.append([c, _score(matcher, pairs)])
+        return FigureResult(
+            "Ablation", "similarity decay constant c",
+            ["c", "f-measure"], rows,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    show_figure(result)
+    for row in result.rows:
+        assert 0.0 <= row[1] <= 1.0

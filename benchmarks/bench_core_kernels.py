@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Not a paper figure — these pin the cost of the individual building
+blocks (graph construction, one exact EMS run, the I = 0 estimation, the
+Hungarian assignment) so regressions in the hot paths are visible.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.matching.assignment import max_weight_assignment
+from repro.synthesis.corpus import build_scalability_pair
+
+
+@pytest.fixture(scope="module")
+def pair_20():
+    return build_scalability_pair(20, seed=7, traces_per_log=60)
+
+
+@pytest.fixture(scope="module")
+def graphs_20(pair_20):
+    return (
+        DependencyGraph.from_log(pair_20.log_first),
+        DependencyGraph.from_log(pair_20.log_second),
+    )
+
+
+def test_dependency_graph_construction(benchmark, pair_20):
+    graph = benchmark(DependencyGraph.from_log, pair_20.log_first)
+    assert len(graph.nodes) == 20
+
+
+def test_ems_exact_20_events(benchmark, graphs_20):
+    engine = EMSEngine(EMSConfig())
+    result = benchmark(engine.similarity, *graphs_20)
+    assert result.converged
+
+
+def test_ems_estimation_budget_zero(benchmark, graphs_20):
+    engine = EMSEngine(EMSConfig(estimation_iterations=0))
+    result = benchmark(engine.similarity, *graphs_20)
+    assert result.converged
+
+
+def test_ems_forward_only(benchmark, graphs_20):
+    engine = EMSEngine(EMSConfig(direction="forward"))
+    result = benchmark(engine.similarity, *graphs_20)
+    assert result.converged
+
+
+def test_hungarian_50x50(benchmark):
+    rng = np.random.default_rng(3)
+    weights = rng.random((50, 50))
+    assignment = benchmark(max_weight_assignment, weights)
+    assert len(assignment) == 50
+
+
+def test_playout_1000_traces(benchmark):
+    from repro.synthesis.generator import random_process_tree
+    from repro.synthesis.playout import play_out
+
+    tree = random_process_tree([f"a{i}" for i in range(15)], random.Random(1))
+    log = benchmark(play_out, tree, 1000, random.Random(2))
+    assert len(log) == 1000

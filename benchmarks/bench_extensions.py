@@ -1,0 +1,52 @@
+"""Benchmarks of the extension experiments (beyond the paper's figures).
+
+* noise robustness of EMS (`ext-noise`),
+* the extended baseline lineup with FPT (`ext-baselines`),
+* the empirical estimation error (`ext-estimation-error`).
+"""
+
+from repro.experiments.extensions import (
+    ext_baselines,
+    ext_estimation_error,
+    ext_noise,
+)
+
+
+def test_ext_noise_robustness(benchmark, show_figure):
+    result = benchmark.pedantic(
+        ext_noise,
+        kwargs={"levels": (0.0, 0.1, 0.2), "pair_count": 3},
+        rounds=1,
+        iterations=1,
+    )
+    show_figure(result)
+    clean = result.rows[0]
+    noisiest = result.rows[-1]
+    for kind_index in range(1, 4):
+        # Moderate noise must not collapse EMS (graceful degradation).
+        assert noisiest[kind_index] >= clean[kind_index] - 0.35
+
+
+def test_ext_baselines_lineup(benchmark, show_figure):
+    result = benchmark.pedantic(
+        ext_baselines, kwargs={"pairs_per_testbed": 3}, rounds=1, iterations=1
+    )
+    show_figure(result)
+    assert "f(FPT)" in result.headers
+    assert "f(SFL)" in result.headers
+    for row in result.rows:
+        for value in row[1:]:
+            assert 0.0 <= value <= 1.0
+
+
+def test_ext_estimation_error(benchmark, show_figure):
+    result = benchmark.pedantic(
+        ext_estimation_error,
+        kwargs={"budgets": (0, 3, 20), "pair_count": 2},
+        rounds=1,
+        iterations=1,
+    )
+    show_figure(result)
+    max_errors = result.column("max |error|")
+    # Error vanishes once the budget exceeds every finite level.
+    assert max_errors[-1] <= max_errors[0] + 1e-9

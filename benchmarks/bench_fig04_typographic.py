@@ -1,0 +1,19 @@
+"""Figure 4 — singleton matching with typographic similarity blended in.
+
+Paper's claims: every method improves over Figure 3 except OPQ (which
+cannot consume label similarity); EMS stays on top.
+"""
+
+from repro.experiments.figures import fig3, fig4
+
+
+def test_fig04_typographic_integration(benchmark, show_figure):
+    result = benchmark.pedantic(
+        fig4, kwargs={"pairs_per_testbed": 4}, rounds=1, iterations=1
+    )
+    show_figure(result)
+    structural = fig3(pairs_per_testbed=4)
+    for with_labels, without_labels in zip(result.rows, structural.rows):
+        assert with_labels[0] == without_labels[0]
+        # EMS with labels should not be worse than structural-only EMS.
+        assert with_labels[1] >= without_labels[1] - 0.05

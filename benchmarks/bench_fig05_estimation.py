@@ -1,0 +1,26 @@
+"""Figure 5 — accuracy/time trade-off of the estimation budget I.
+
+Paper's claims: I = 0 is about an order of magnitude cheaper than the
+exact computation with accuracy comparable to BHV; the exact measure
+(MAX) has the best f-measure.
+"""
+
+from repro.experiments.figures import fig5
+
+
+def test_fig05_estimation_tradeoff(benchmark, show_figure):
+    result = benchmark.pedantic(
+        fig5,
+        kwargs={"budgets": (0, 2, 5, None), "pair_count": 5},
+        rounds=1,
+        iterations=1,
+    )
+    show_figure(result)
+    f_values = result.column("f-measure")
+    seconds = result.column("seconds")
+    # The robust part of the paper's claim on small corpora is the cost
+    # side: I = 0 is the cheapest by a wide margin and cost grows with I.
+    assert seconds[0] <= min(seconds[1:])
+    assert seconds[0] * 2 < seconds[-1]
+    for value in f_values:
+        assert 0.0 < value <= 1.0

@@ -1,0 +1,18 @@
+"""Figure 6 — prune power of early convergence (Proposition 2).
+
+Paper's claims: the total number of formula-(1) evaluations drops
+substantially with pruning, and the time cost follows.
+"""
+
+from repro.experiments.figures import fig6
+
+
+def test_fig06_early_convergence_pruning(benchmark, show_figure):
+    result = benchmark.pedantic(fig6, kwargs={"pair_count": 5}, rounds=1, iterations=1)
+    show_figure(result)
+    for row in result.rows:
+        _, updates_noprune, updates_prune, _, _ = row
+        assert updates_prune <= updates_noprune
+    total_noprune = sum(row[1] for row in result.rows)
+    total_prune = sum(row[2] for row in result.rows)
+    assert total_prune < total_noprune

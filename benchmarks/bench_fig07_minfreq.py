@@ -1,0 +1,21 @@
+"""Figure 7 — minimum frequency control.
+
+Paper's claims: filtering low-frequency edges trades accuracy (drops as
+more statistical information disappears) for time (drops with the average
+degree).
+"""
+
+from repro.experiments.figures import fig7
+
+
+def test_fig07_minimum_frequency_control(benchmark, show_figure):
+    result = benchmark.pedantic(
+        fig7,
+        kwargs={"thresholds": (0.0, 0.10, 0.20), "pair_count": 5},
+        rounds=1,
+        iterations=1,
+    )
+    show_figure(result)
+    f_values = result.column("f-measure")
+    # The unfiltered graph carries the most information.
+    assert f_values[0] >= max(f_values[1:]) - 0.05

@@ -1,0 +1,27 @@
+"""Figure 8 — scalability on the number of events.
+
+Paper's claims: accuracy of all approaches decreases with event count,
+EMS degrading slowest; time grows steeply for GED and OPQ; OPQ cannot
+finish beyond 30 events (O(n!) search); EMS+es is always the cheapest.
+"""
+
+from repro.experiments.figures import fig8
+
+
+def test_fig08_scalability(benchmark, show_figure):
+    result = benchmark.pedantic(
+        fig8,
+        kwargs={"sizes": (10, 20, 30), "per_size": 1, "opq_max_events": 25},
+        rounds=1,
+        iterations=1,
+    )
+    show_figure(result)
+    # OPQ must DNF once the event count exceeds its cap.
+    opq_values = result.column("f(OPQ)")
+    assert opq_values[-1] == "DNF"
+    # EMS finishes everywhere.
+    assert all(value != "DNF" for value in result.column("f(EMS)"))
+    # EMS+es is cheaper than exact EMS at the largest size.
+    t_ems = result.column("t(EMS)")[-1]
+    t_es = result.column("t(EMS+es)")[-1]
+    assert t_es <= t_ems

@@ -1,0 +1,15 @@
+"""Figure 11 — composite event matching with typographic similarity.
+
+Paper's claims: same picture as Figure 10, with accuracies lifted by the
+label similarity for every method except OPQ.
+"""
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11_composite_with_labels(benchmark, show_figure):
+    result = benchmark.pedantic(fig11, kwargs={"pair_count": 3}, rounds=1, iterations=1)
+    show_figure(result)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["EMS"][1] != "DNF"
+    assert rows["EMS"][1] > 0.0

@@ -1,0 +1,20 @@
+"""Figure 12 — prune power of unchanged similarities (Uc) and bounds (Bd).
+
+Paper's claims: both prunings cut the number of formula-(1) evaluations
+and the time cost; their combination cuts the most — at identical
+matching results.
+"""
+
+from repro.experiments.figures import fig12
+
+
+def test_fig12_composite_prunings(benchmark, show_figure):
+    result = benchmark.pedantic(fig12, kwargs={"pair_count": 2}, rounds=1, iterations=1)
+    show_figure(result)
+    updates = {row[0]: row[1] for row in result.rows}
+    f_measures = {row[0]: row[3] for row in result.rows}
+    assert updates["Uc"] <= updates["none"]
+    assert updates["Bd"] <= updates["none"]
+    assert updates["Uc+Bd"] <= min(updates["Uc"], updates["Bd"]) * 1.05
+    # Pruning is lossless: the f-measure does not change.
+    assert max(f_measures.values()) - min(f_measures.values()) < 1e-9

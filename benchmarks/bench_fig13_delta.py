@@ -1,0 +1,21 @@
+"""Figure 13 — effect of the improvement threshold delta.
+
+Paper's claims: decreasing delta first raises the f-measure (true
+composites get accepted), then lowers it (false positives creep in);
+time grows as delta shrinks because more merges are explored.
+"""
+
+from repro.experiments.figures import fig13
+
+
+def test_fig13_delta_threshold(benchmark, show_figure):
+    result = benchmark.pedantic(
+        fig13,
+        kwargs={"deltas": (0.2, 0.02, 0.002), "pair_count": 2},
+        rounds=1,
+        iterations=1,
+    )
+    show_figure(result)
+    accepted = result.column("composites accepted")
+    # A lower delta accepts at least as many composites.
+    assert accepted == sorted(accepted)

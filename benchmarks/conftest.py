@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_figNN`` module regenerates one figure of the paper with
+laptop-quick corpus sizes, benchmarks the underlying computation with
+pytest-benchmark, and prints the figure's rows (the same series the paper
+plots) to the terminal.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Larger, closer-to-the-paper corpora: ``python -m repro.experiments --full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import FigureResult
+
+
+@pytest.fixture()
+def show_figure(capsys):
+    """Print a FigureResult table even under pytest's output capture."""
+
+    def _show(result: FigureResult) -> None:
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+    return _show

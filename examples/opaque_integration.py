@@ -1,0 +1,52 @@
+"""Integrating two subsidiaries' logs with and without usable labels.
+
+Builds a procurement log pair from the synthetic corpus in three label
+regimes and compares structural-only EMS, label-blended EMS, and a naive
+label-only matcher — demonstrating the paper's central point: typographic
+similarity collapses on opaque names, while EMS keeps working, and when
+labels *are* usable EMS benefits from blending them in (Figure 4).
+
+Run:  python examples/opaque_integration.py
+"""
+
+from repro import EMSConfig, EMSMatcher, QGramCosineSimilarity, evaluate
+from repro.synthesis.corpus import make_log_pair
+
+
+def label_only_matcher() -> EMSMatcher:
+    """alpha = 0: pure typographic matching, no structure at all."""
+    return EMSMatcher(EMSConfig(alpha=0.0), QGramCosineSimilarity(), name="labels-only")
+
+
+def blended_matcher() -> EMSMatcher:
+    return EMSMatcher(EMSConfig(alpha=0.5), QGramCosineSimilarity(), name="EMS+labels")
+
+
+def structural_matcher() -> EMSMatcher:
+    return EMSMatcher(EMSConfig(alpha=1.0), name="EMS")
+
+
+REGIMES = [
+    ("clean labels (surface variants only)", 0.0),
+    ("25% of names garbled", 0.25),
+    ("fully opaque names", 1.0),
+]
+
+print(f"{'regime':40s} {'EMS':>8s} {'EMS+labels':>11s} {'labels-only':>12s}")
+for description, opaque_fraction in REGIMES:
+    pair = make_log_pair(
+        "procurement",
+        size=9,
+        testbed="DS-B",
+        seed=42,
+        traces_per_log=120,
+        opaque_fraction=opaque_fraction,
+    )
+    scores = []
+    for matcher in (structural_matcher(), blended_matcher(), label_only_matcher()):
+        outcome = matcher.match(pair.log_first, pair.log_second)
+        scores.append(evaluate(pair.truth, outcome.correspondences).f_measure)
+    print(f"{description:40s} {scores[0]:8.3f} {scores[1]:11.3f} {scores[2]:12.3f}")
+
+print()
+print("Structure is immune to garbling; labels help only while readable.")

@@ -1,0 +1,65 @@
+"""The paper's running example (Figure 1): turbine order processing.
+
+Two subsidiaries of a bus manufacturer log the same ordering activity:
+
+* subsidiary 1 starts at payment (dislocated beginning), records
+  inventory checking and validation as two separate steps, and ships /
+  emails concurrently;
+* subsidiary 2 has an extra "Order Accepted" step, one combined
+  "Inventory Checking & Validation" step (a composite event), and a
+  garbled "?????" event whose original name was "Delivery".
+
+This script walks through the paper's pipeline: singleton similarities
+(Examples 4 and 6), the dislocated match A <-> Paid by Cash, and the
+composite matching that recovers {Check Inventory, Validate} <->
+Inventory Checking & Validation (Example 7).
+
+Run:  python examples/turbine_orders.py
+"""
+
+from repro import (
+    DependencyGraph,
+    EMSCompositeMatcher,
+    EMSConfig,
+    EMSEngine,
+    EMSMatcher,
+    evaluate,
+)
+from repro.synthesis.examples import turbine_order_logs
+
+log_1, log_2, truth = turbine_order_logs()
+
+print("=== the two logs ===")
+for log in (log_1, log_2):
+    print(f"{log.name}: {len(log)} traces over {sorted(log.activities())}")
+print()
+
+print("=== pairwise EMS similarities (forward, alpha = 1) ===")
+graph_1 = DependencyGraph.from_log(log_1)
+graph_2 = DependencyGraph.from_log(log_2)
+engine = EMSEngine(EMSConfig(direction="forward"))
+matrix = engine.similarity(graph_1, graph_2).matrix
+cash = "Paid by Cash"
+print(f"S({cash}, Order Accepted) = {matrix.get(cash, 'Order Accepted'):.3f}")
+print(f"S({cash}, {cash})         = {matrix.get(cash, cash):.3f}")
+print("-> the dislocated event matches its true counterpart, not the")
+print("   other log's trace start (the paper's Example 4).")
+print()
+
+print("=== singleton matching ===")
+singleton = EMSMatcher().match(log_1, log_2)
+print(evaluate(truth, singleton.correspondences))
+print()
+
+print("=== composite matching (Algorithm 2) ===")
+composite = EMSCompositeMatcher(
+    delta=0.005, min_confidence=0.9, max_run_length=2
+).match(log_1, log_2)
+for correspondence in sorted(composite.correspondences, key=lambda c: min(c.left)):
+    marker = "  [m:n]" if correspondence.is_composite() else ""
+    print(f"  {' + '.join(sorted(correspondence.left)):35s} <-> "
+          f"{' + '.join(sorted(correspondence.right))}{marker}")
+print(evaluate(truth, composite.correspondences))
+print(f"greedy rounds: {composite.diagnostics['rounds']:.0f}, "
+      f"candidates evaluated: {composite.diagnostics['candidates_evaluated']:.0f}, "
+      f"aborted by upper bound: {composite.diagnostics['evaluations_aborted']:.0f}")

@@ -1,0 +1,87 @@
+"""repro — a reproduction of "Matching Heterogeneous Event Data" (SIGMOD 2014).
+
+The library matches events across heterogeneous event logs — logs that
+record the same business process under different vocabularies — using the
+paper's EMS similarity: a SimRank-style iterative propagation over
+dependency graphs augmented with an artificial start/end event, robust to
+opaque names, dislocated traces and composite (m:n) events.
+
+Quickstart::
+
+    from repro import EMSMatcher, EventLog
+
+    log_a = EventLog([...], name="subsidiary-1")
+    log_b = EventLog([...], name="subsidiary-2")
+    outcome = EMSMatcher().match(log_a, log_b)
+    for correspondence in outcome.correspondences:
+        print(correspondence)
+
+See ``examples/`` for runnable scenarios and ``python -m
+repro.experiments`` for the paper's figures.
+"""
+
+from repro.baselines import (
+    BHVMatcher,
+    EventMatcher,
+    GEDMatcher,
+    GreedyCompositeWrapper,
+    MatchOutcome,
+    OPQMatcher,
+)
+from repro.core import (
+    CompositeMatcher,
+    CompositeMatchResult,
+    EMSConfig,
+    EMSEngine,
+    EMSResult,
+    SimilarityMatrix,
+)
+from repro.graph import ARTIFICIAL, DependencyGraph
+from repro.logs import Event, EventLog, Trace
+from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.reporting import match_and_report, render_match_report
+from repro.matching import Correspondence, MatchEvaluation, evaluate
+from repro.similarity import (
+    LevenshteinSimilarity,
+    OpaqueSimilarity,
+    QGramCosineSimilarity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # logs
+    "Event",
+    "Trace",
+    "EventLog",
+    # graphs
+    "DependencyGraph",
+    "ARTIFICIAL",
+    # core
+    "EMSConfig",
+    "EMSEngine",
+    "EMSResult",
+    "SimilarityMatrix",
+    "CompositeMatcher",
+    "CompositeMatchResult",
+    # matchers
+    "EMSMatcher",
+    "EMSCompositeMatcher",
+    "EventMatcher",
+    "MatchOutcome",
+    "BHVMatcher",
+    "GEDMatcher",
+    "OPQMatcher",
+    "GreedyCompositeWrapper",
+    # matching & evaluation
+    "Correspondence",
+    "MatchEvaluation",
+    "evaluate",
+    "render_match_report",
+    "match_and_report",
+    # label similarities
+    "OpaqueSimilarity",
+    "QGramCosineSimilarity",
+    "LevenshteinSimilarity",
+]

@@ -1,0 +1,23 @@
+"""Baseline matchers the paper compares against: GED, OPQ, BHV."""
+
+from repro.baselines.bhv import BHVMatcher
+from repro.baselines.common import Evaluation, EventMatcher, MatchOutcome
+from repro.baselines.composite_wrapper import GreedyCompositeWrapper
+from repro.baselines.flooding import FloodingMatcher
+from repro.baselines.ged import GEDMatcher
+from repro.baselines.opq import OPQMatcher, mapping_score, weight_matrix
+from repro.baselines.profiles import ProfileMatcher
+
+__all__ = [
+    "EventMatcher",
+    "Evaluation",
+    "MatchOutcome",
+    "BHVMatcher",
+    "FloodingMatcher",
+    "GEDMatcher",
+    "OPQMatcher",
+    "ProfileMatcher",
+    "GreedyCompositeWrapper",
+    "weight_matrix",
+    "mapping_score",
+]

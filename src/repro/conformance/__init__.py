@@ -1,0 +1,5 @@
+"""Conformance checking: replaying logs against workflow nets."""
+
+from repro.conformance.replay import ReplayResult, replay_log
+
+__all__ = ["ReplayResult", "replay_log"]

@@ -1,0 +1,35 @@
+"""The EMS core: iterative similarity, estimation, bounds, composites."""
+
+from repro.core.analysis import (
+    EstimationErrorReport,
+    convergence_curve,
+    estimation_error,
+)
+from repro.core.composite import (
+    CompositeMatcher,
+    CompositeMatchResult,
+    CompositeStats,
+    discover_candidates,
+)
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine, EMSResult, edge_agreement, iteration_trace
+from repro.core.matrix import SimilarityMatrix
+from repro.core.optimal import OptimalCompositeResult, optimal_composite_matching
+
+__all__ = [
+    "EMSConfig",
+    "EstimationErrorReport",
+    "convergence_curve",
+    "estimation_error",
+    "EMSEngine",
+    "EMSResult",
+    "SimilarityMatrix",
+    "edge_agreement",
+    "iteration_trace",
+    "CompositeMatcher",
+    "CompositeMatchResult",
+    "CompositeStats",
+    "discover_candidates",
+    "OptimalCompositeResult",
+    "optimal_composite_matching",
+]

@@ -1,0 +1,100 @@
+"""Empirical analysis of the EMS computation.
+
+Two analysis tools the paper motivates but does not ship:
+
+* :func:`estimation_error` — the paper's conclusion names the estimation
+  error bound an open problem ("thus far, we do not get any theoretical
+  bound of estimation").  This measures it empirically: for a range of
+  budgets ``I``, compare ``EMS+es`` values against the exact fixpoint.
+* :func:`convergence_curve` — the per-iteration maximum change of the
+  exact computation, which visualizes Theorem 1's geometric convergence
+  (Lemma 5 bounds it by ``(alpha*c)^n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+
+
+@dataclass(frozen=True, slots=True)
+class EstimationErrorReport:
+    """Estimation error of ``EMS+es`` at one budget ``I``."""
+
+    budget: int
+    max_abs_error: float
+    mean_abs_error: float
+    rmse: float
+
+    def __str__(self) -> str:
+        return (
+            f"I={self.budget}: max |err| = {self.max_abs_error:.4f}, "
+            f"mean |err| = {self.mean_abs_error:.4f}, rmse = {self.rmse:.4f}"
+        )
+
+
+def estimation_error(
+    graph_first: DependencyGraph,
+    graph_second: DependencyGraph,
+    config: EMSConfig | None = None,
+    budgets: Sequence[int] = (0, 1, 2, 3, 5, 10),
+) -> list[EstimationErrorReport]:
+    """Measure the estimation error against the exact fixpoint.
+
+    Runs the exact EMS once, then ``EMS+es`` for each budget, and reports
+    elementwise error statistics over the full similarity matrix.
+    """
+    base = config if config is not None else EMSConfig()
+    if base.estimation_iterations is not None:
+        base = base.with_(estimation_iterations=None)
+    exact = EMSEngine(base).similarity(graph_first, graph_second).matrix.values
+
+    reports: list[EstimationErrorReport] = []
+    for budget in budgets:
+        estimated = (
+            EMSEngine(base.with_(estimation_iterations=budget))
+            .similarity(graph_first, graph_second)
+            .matrix.values
+        )
+        errors = np.abs(estimated - exact)
+        reports.append(
+            EstimationErrorReport(
+                budget=budget,
+                max_abs_error=float(errors.max(initial=0.0)),
+                mean_abs_error=float(errors.mean()) if errors.size else 0.0,
+                rmse=float(np.sqrt((errors**2).mean())) if errors.size else 0.0,
+            )
+        )
+    return reports
+
+
+def convergence_curve(
+    graph_first: DependencyGraph,
+    graph_second: DependencyGraph,
+    config: EMSConfig | None = None,
+    iterations: int = 10,
+) -> list[float]:
+    """Maximum per-pair change at each exact iteration (forward direction).
+
+    Lemma 5 guarantees entry ``n`` is at most ``(alpha*c)^n``; the curve
+    shows how much tighter the real contraction is on a given pair.
+    """
+    from repro.core.ems import iteration_trace
+
+    base = config if config is not None else EMSConfig(direction="forward")
+    if base.direction != "forward":
+        base = base.with_(direction="forward")
+    snapshots = iteration_trace(graph_first, graph_second, base, iterations=iterations)
+    deltas: list[float] = []
+    previous = np.zeros_like(snapshots[0].values)
+    for snapshot in snapshots:
+        current = snapshot.values
+        deltas.append(float(np.abs(current - previous).max(initial=0.0)))
+        previous = current
+    return deltas

@@ -1,0 +1,356 @@
+"""Composite event matching (Section 4).
+
+One event in a log may correspond to several events in the other
+(*composite events*).  Finding the optimal sets of non-overlapping
+composites maximizing the average similarity is NP-hard (Theorem 3, by
+reduction from maximum set packing), so the paper — and this module —
+uses a greedy loop (Algorithm 2):
+
+1. compute the singleton similarity of the two dependency graphs;
+2. in each round, try every remaining candidate composite on either side:
+   merge it into its log, rebuild the dependency graph, recompute the
+   similarity, and remember the candidate with the highest average
+   similarity;
+3. accept the best candidate if it improves the average by more than the
+   threshold ``delta``; otherwise stop.
+
+Two accelerations from the paper are implemented:
+
+* **Uc** (Proposition 4): when merging ``U`` into one graph, every pair
+  whose row/column node has no real path from ``U`` keeps its similarity;
+  those pairs are seeded as fixed values so the engine never re-iterates
+  them.
+* **Bd** (Section 4.3): candidate evaluations run under an average-
+  similarity upper bound and abort as soon as they provably cannot beat
+  the incumbent.
+
+Candidate discovery follows the paper's convention: "grouping singleton
+events that always appear consecutively, following the convention of SEQ
+pattern in CEP" — with a relaxable adjacency confidence so the candidate
+pool can be grown for the Figure 14 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine, EMSResult
+from repro.core.matrix import SimilarityMatrix
+from repro.graph.dependency import DependencyGraph
+from repro.graph.merge import composite_name, merge_run_in_log
+from repro.graph.reachability import real_ancestors, real_descendants
+from repro.logs.log import EventLog
+from repro.logs.stats import activity_occurrence_counts, directly_follows_counts
+from repro.similarity.labels import CompositeAwareSimilarity, LabelSimilarity, OpaqueSimilarity
+
+
+# ----------------------------------------------------------------------
+# Candidate discovery
+# ----------------------------------------------------------------------
+def discover_candidates(
+    log: EventLog,
+    min_confidence: float = 1.0,
+    max_run_length: int = 4,
+    max_candidates: int | None = None,
+) -> list[tuple[str, ...]]:
+    """Candidate composite events of *log* as ordered activity runs.
+
+    A pair ``(a, b)`` is a *strong adjacency* when ``b`` follows ``a`` in
+    at least ``min_confidence`` of ``a``'s occurrences and ``a`` precedes
+    ``b`` in at least ``min_confidence`` of ``b``'s occurrences
+    (``min_confidence = 1.0`` is the paper's "always appear
+    consecutively").  Candidates are all runs of chained strong
+    adjacencies, up to *max_run_length*, strongest first, optionally
+    capped at *max_candidates*.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    if max_run_length < 2:
+        raise ValueError(f"max_run_length must be >= 2, got {max_run_length}")
+    occurrences = activity_occurrence_counts(log)
+    follows = directly_follows_counts(log)
+
+    strong_next: dict[str, list[tuple[str, float]]] = {}
+    for (first, second), count in follows.items():
+        if first == second:
+            continue
+        confidence = min(count / occurrences[first], count / occurrences[second])
+        if confidence >= min_confidence:
+            strong_next.setdefault(first, []).append((second, confidence))
+    for extensions in strong_next.values():
+        extensions.sort(key=lambda item: (-item[1], item[0]))
+
+    candidates: dict[tuple[str, ...], float] = {}
+
+    def extend(run: tuple[str, ...], strength: float) -> None:
+        if len(run) >= 2:
+            existing = candidates.get(run)
+            if existing is None or strength > existing:
+                candidates[run] = strength
+        if len(run) >= max_run_length:
+            return
+        for successor, confidence in strong_next.get(run[-1], ()):
+            if successor in run:
+                continue  # no cyclic composites
+            extend(run + (successor,), min(strength, confidence))
+
+    for first, extensions in strong_next.items():
+        for second, confidence in extensions:
+            extend((first, second), confidence)
+
+    ordered = sorted(candidates, key=lambda run: (-candidates[run], len(run), run))
+    if max_candidates is not None:
+        ordered = ordered[:max_candidates]
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# Greedy matcher
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class CompositeStats:
+    """Instrumentation of one greedy matching run (Figures 12-14)."""
+
+    rounds: int = 0
+    candidates_evaluated: int = 0
+    evaluations_aborted: int = 0
+    pair_updates: int = 0
+    pairs_fixed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeMatchResult:
+    """Outcome of composite event matching.
+
+    The matrix is over the *merged* node vocabularies; use the member maps
+    to expand node names back to original activity sets.
+    """
+
+    matrix: SimilarityMatrix
+    log_first: EventLog
+    log_second: EventLog
+    members_first: dict[str, frozenset[str]]
+    members_second: dict[str, frozenset[str]]
+    accepted_first: tuple[tuple[str, ...], ...]
+    accepted_second: tuple[tuple[str, ...], ...]
+    stats: CompositeStats = field(compare=False, default_factory=CompositeStats)
+
+    @property
+    def average(self) -> float:
+        return self.matrix.average()
+
+
+@dataclass(slots=True)
+class _SideState:
+    """One log's evolving merged state during the greedy loop."""
+
+    log: EventLog
+    members: dict[str, frozenset[str]]
+    graph: DependencyGraph
+    accepted: list[tuple[str, ...]]
+
+
+class CompositeMatcher:
+    """Greedy composite event matching (Algorithm 2).
+
+    Parameters
+    ----------
+    config:
+        EMS similarity configuration.
+    label_similarity:
+        Base label similarity; automatically wrapped so that composite
+        nodes are scored through their member activities.
+    delta:
+        Minimum average-similarity improvement to accept a merge; the
+        paper's Figure 13 sweeps this knob (moderate values work best).
+    min_confidence, max_run_length, max_candidates:
+        Candidate discovery knobs (see :func:`discover_candidates`).
+    use_unchanged:
+        Enable the Uc pruning (Proposition 4).
+    use_bounds:
+        Enable the Bd pruning (upper-bound abort, Section 4.3).
+    min_edge_frequency:
+        Minimum frequency control applied when (re)building graphs.
+    """
+
+    def __init__(
+        self,
+        config: EMSConfig | None = None,
+        label_similarity: LabelSimilarity | None = None,
+        delta: float = 0.01,
+        min_confidence: float = 1.0,
+        max_run_length: int = 4,
+        max_candidates: int | None = None,
+        use_unchanged: bool = True,
+        use_bounds: bool = True,
+        min_edge_frequency: float = 0.0,
+    ):
+        if delta < 0.0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self.config = config if config is not None else EMSConfig()
+        self.base_label = (
+            label_similarity if label_similarity is not None else OpaqueSimilarity()
+        )
+        self.delta = delta
+        self.min_confidence = min_confidence
+        self.max_run_length = max_run_length
+        self.max_candidates = max_candidates
+        self.use_unchanged = use_unchanged
+        self.use_bounds = use_bounds
+        self.min_edge_frequency = min_edge_frequency
+
+    # ------------------------------------------------------------------
+    def _engine(self, state_first: _SideState, state_second: _SideState) -> EMSEngine:
+        if isinstance(self.base_label, OpaqueSimilarity) or self.config.alpha == 1.0:
+            label: LabelSimilarity = self.base_label
+        else:
+            label = CompositeAwareSimilarity(
+                self.base_label, state_first.members, state_second.members
+            )
+        return EMSEngine(self.config, label)
+
+    def _graph(self, log: EventLog, members: dict[str, frozenset[str]]) -> DependencyGraph:
+        return DependencyGraph.from_log(
+            log, min_frequency=self.min_edge_frequency, members=members
+        )
+
+    def _fixed_pairs(
+        self,
+        merged_side: int,
+        run: tuple[str, ...],
+        states: tuple[_SideState, _SideState],
+        current: EMSResult,
+        stats: CompositeStats,
+    ) -> tuple[dict[tuple[str, str], float] | None, dict[tuple[str, str], float] | None]:
+        """Uc: converged values for pairs the merge provably cannot change."""
+        if not self.use_unchanged or current.directional is None:
+            return None, None
+        state = states[merged_side]
+        other = states[1 - merged_side]
+        new_name = composite_name(run)
+
+        fixed: dict[str, dict[tuple[str, str], float]] = {}
+        for direction, matrix in current.directional.items():
+            if direction == "forward":
+                affected = set(run) | real_descendants(state.graph, run)
+            else:
+                affected = set(run) | real_ancestors(state.graph, run)
+            affected.add(new_name)
+            unchanged = [node for node in state.graph.nodes if node not in affected]
+            pairs: dict[tuple[str, str], float] = {}
+            for node in unchanged:
+                for other_node in other.graph.nodes:
+                    if merged_side == 0:
+                        pairs[(node, other_node)] = matrix.get(node, other_node)
+                    else:
+                        pairs[(other_node, node)] = matrix.get(other_node, node)
+            fixed[direction] = pairs
+            stats.pairs_fixed += len(pairs)
+        return fixed.get("forward"), fixed.get("backward")
+
+    # ------------------------------------------------------------------
+    def match(self, log_first: EventLog, log_second: EventLog) -> CompositeMatchResult:
+        """Run Algorithm 2 on the two logs."""
+        states = (
+            _SideState(
+                log_first,
+                {a: frozenset({a}) for a in log_first.activities()},
+                self._graph(log_first, {}),
+                [],
+            ),
+            _SideState(
+                log_second,
+                {a: frozenset({a}) for a in log_second.activities()},
+                self._graph(log_second, {}),
+                [],
+            ),
+        )
+        stats = CompositeStats()
+        current = self._engine(states[0], states[1]).similarity(
+            states[0].graph, states[1].graph
+        )
+        stats.pair_updates += current.pair_updates
+
+        while True:
+            stats.rounds += 1
+            current_average = current.matrix.average()
+            target = current_average + self.delta
+            best: tuple[int, tuple[str, ...], EMSResult] | None = None
+            best_average = current_average
+
+            for side_index in (0, 1):
+                state = states[side_index]
+                candidates = discover_candidates(
+                    state.log,
+                    min_confidence=self.min_confidence,
+                    max_run_length=self.max_run_length,
+                    max_candidates=self.max_candidates,
+                )
+                for run in candidates:
+                    outcome = self._evaluate(
+                        side_index, run, states, current, stats,
+                        abort_below=max(best_average, target),
+                    )
+                    if outcome is None:
+                        continue
+                    if outcome.matrix.average() > best_average:
+                        best_average = outcome.matrix.average()
+                        best = (side_index, run, outcome)
+
+            if best is None or best_average - current_average <= self.delta:
+                break
+
+            side_index, run, outcome = best
+            state = states[side_index]
+            merged_log, merged_members = merge_run_in_log(state.log, run, state.members)
+            state.log = merged_log
+            state.members = merged_members
+            state.graph = self._graph(merged_log, merged_members)
+            state.accepted.append(run)
+            current = outcome
+
+        return CompositeMatchResult(
+            matrix=current.matrix,
+            log_first=states[0].log,
+            log_second=states[1].log,
+            members_first=dict(states[0].members),
+            members_second=dict(states[1].members),
+            accepted_first=tuple(states[0].accepted),
+            accepted_second=tuple(states[1].accepted),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        side_index: int,
+        run: tuple[str, ...],
+        states: tuple[_SideState, _SideState],
+        current: EMSResult,
+        stats: CompositeStats,
+        abort_below: float,
+    ) -> EMSResult | None:
+        """Similarity of the graphs after merging *run* on one side."""
+        state = states[side_index]
+        merged_log, merged_members = merge_run_in_log(state.log, run, state.members)
+        merged_graph = self._graph(merged_log, merged_members)
+        trial = _SideState(merged_log, merged_members, merged_graph, [])
+        pair = (trial, states[1]) if side_index == 0 else (states[0], trial)
+        engine = self._engine(*pair)
+        fixed_forward, fixed_backward = self._fixed_pairs(
+            side_index, run, states, current, stats
+        )
+        stats.candidates_evaluated += 1
+        graphs = (pair[0].graph, pair[1].graph)
+        if self.use_bounds:
+            outcome = engine.similarity_with_abort(
+                graphs[0], graphs[1], abort_below, fixed_forward, fixed_backward
+            )
+            if outcome is None:
+                stats.evaluations_aborted += 1
+                return None
+        else:
+            outcome = engine.similarity(graphs[0], graphs[1], fixed_forward, fixed_backward)
+        stats.pair_updates += outcome.pair_updates
+        return outcome

@@ -1,0 +1,122 @@
+"""Closed-form similarity estimation (Section 3.5, formula (2)).
+
+Running the exact iteration to convergence costs
+``O(k |V1| |V2| d_avg)``.  The estimation replaces all iterations beyond a
+budget ``I`` by assuming every edge-agreement factor ``C`` attains its
+maximum ``c`` and every ancestor-pair similarity equals the pair's own,
+which collapses the recurrence into a linear one::
+
+    S_es^n = q * S_es^{n-1} + a
+
+with, writing ``A = |pre(v1)|``, ``B = |pre(v2)|``::
+
+    q = alpha * c * (2AB - A - B) / (2AB)
+    a = alpha * (A + B) / (2AB) * C_art + (1 - alpha) * S^L(v1, v2)
+
+where ``C_art = C(v1^X, v1, v2^X, v2)`` is the agreement of the two
+artificial in-edges (times ``S(v1^X, v2^X) = 1``).  Summing the geometric
+series up to the pair's convergence level ``h`` gives formula (2)::
+
+    S_es^h = q^(h-I) * S^I + a * (1 - q^(h-I)) / (1 - q)
+
+For ``h = inf`` (pairs downstream of a loop) the limit is ``a / (1 - q)``.
+
+Note on Example 6: the paper states ``S_es^1(A,1) = C(v1X,A,v2X,1) * c =
+0.6``, "equal to the exact value of S(A,1)", but with the paper's own
+numbers the exact value is 0.457 and formula (2) also yields 0.457 (with
+``A = B = 1`` we get ``q = 0`` and ``S_es = a = C_art``).  We implement
+formula (2) verbatim and treat the 0.6 as a typo.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def estimation_coefficients(
+    pre_count_first: np.ndarray,
+    pre_count_second: np.ndarray,
+    artificial_agreement: np.ndarray,
+    label: np.ndarray,
+    alpha: float,
+    c: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``(q, a)`` for every pair.
+
+    Parameters
+    ----------
+    pre_count_first:
+        ``A = |pre(v1)|`` for each row node, shape ``(n1,)``.
+    pre_count_second:
+        ``B = |pre(v2)|`` for each column node, shape ``(n2,)``.
+    artificial_agreement:
+        ``C_art`` per pair, shape ``(n1, n2)``.
+    label:
+        ``S^L`` per pair, shape ``(n1, n2)``.
+    """
+    a_count = pre_count_first[:, None].astype(float)
+    b_count = pre_count_second[None, :].astype(float)
+    product = a_count * b_count
+    q = alpha * c * (2.0 * product - a_count - b_count) / (2.0 * product)
+    a = alpha * (a_count + b_count) / (2.0 * product) * artificial_agreement
+    a = a + (1.0 - alpha) * label
+    return q, a
+
+
+def estimate_matrix(
+    exact: np.ndarray,
+    q: np.ndarray,
+    a: np.ndarray,
+    pair_levels: np.ndarray,
+    exact_iterations: int,
+) -> np.ndarray:
+    """Apply formula (2) to every pair that has not converged exactly.
+
+    Parameters
+    ----------
+    exact:
+        ``S^I``: the values after *exact_iterations* exact iterations.
+    q, a:
+        Coefficients from :func:`estimation_coefficients`.
+    pair_levels:
+        ``h`` per pair (``inf`` allowed).
+    exact_iterations:
+        ``I``, the number of exact iterations already performed.
+    """
+    if exact_iterations < 0:
+        raise ValueError(f"exact_iterations must be >= 0, got {exact_iterations}")
+    result = exact.copy()
+    needs_estimate = pair_levels > exact_iterations
+    if not needs_estimate.any():
+        return result
+
+    finite = needs_estimate & np.isfinite(pair_levels)
+    infinite = needs_estimate & ~np.isfinite(pair_levels)
+
+    one_minus_q = 1.0 - q
+    if finite.any():
+        steps = pair_levels[finite] - exact_iterations
+        q_pow = np.power(q[finite], steps)
+        result[finite] = q_pow * exact[finite] + a[finite] * (1.0 - q_pow) / one_minus_q[finite]
+    if infinite.any():
+        # q < alpha*c < 1, so q^(n-I) -> 0 and the series sums to a/(1-q).
+        result[infinite] = a[infinite] / one_minus_q[infinite]
+    return np.clip(result, 0.0, 1.0)
+
+
+def estimate_pair(
+    exact_value: float,
+    q: float,
+    a: float,
+    level: float,
+    exact_iterations: int,
+) -> float:
+    """Scalar formula (2), convenient for tests and worked examples."""
+    if level <= exact_iterations:
+        return exact_value
+    if math.isinf(level):
+        return min(1.0, a / (1.0 - q))
+    q_pow = q ** (level - exact_iterations)
+    return min(1.0, q_pow * exact_value + a * (1.0 - q_pow) / (1.0 - q))

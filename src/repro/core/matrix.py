@@ -1,0 +1,101 @@
+"""Dense pairwise similarity matrices over two node vocabularies.
+
+The matching layer exchanges similarities as a :class:`SimilarityMatrix`:
+row labels come from the first graph's real nodes, column labels from the
+second's.  Artificial events are excluded — Section 2 notes that pairs
+containing ``v^X`` "should be omitted since these two events are introduced
+artificially and do not actually exist in event logs".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+class SimilarityMatrix:
+    """A labeled dense matrix of pairwise similarities in [0, 1]."""
+
+    __slots__ = ("_rows", "_cols", "_row_index", "_col_index", "_values")
+
+    def __init__(
+        self,
+        rows: Sequence[str],
+        cols: Sequence[str],
+        values: np.ndarray,
+    ):
+        rows = tuple(rows)
+        cols = tuple(cols)
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(rows), len(cols)):
+            raise ValueError(
+                f"values shape {values.shape} does not match labels "
+                f"({len(rows)} x {len(cols)})"
+            )
+        if len(set(rows)) != len(rows) or len(set(cols)) != len(cols):
+            raise ValueError("row and column labels must be unique")
+        self._rows = rows
+        self._cols = cols
+        self._row_index = {label: i for i, label in enumerate(rows)}
+        self._col_index = {label: j for j, label in enumerate(cols)}
+        self._values = values
+
+    @classmethod
+    def zeros(cls, rows: Sequence[str], cols: Sequence[str]) -> "SimilarityMatrix":
+        return cls(rows, cols, np.zeros((len(rows), len(cols))))
+
+    @property
+    def rows(self) -> tuple[str, ...]:
+        return self._rows
+
+    @property
+    def cols(self) -> tuple[str, ...]:
+        return self._cols
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying array (a defensive copy)."""
+        return self._values.copy()
+
+    def get(self, row: str, col: str) -> float:
+        """The similarity of the pair ``(row, col)``."""
+        return float(self._values[self._row_index[row], self._col_index[col]])
+
+    def average(self) -> float:
+        """Mean similarity over all pairs — the ``avg(S)`` of Section 4."""
+        if self._values.size == 0:
+            return 0.0
+        return float(self._values.mean())
+
+    def pairs(self) -> Iterator[tuple[str, str, float]]:
+        """Yield ``(row, col, similarity)`` for every pair."""
+        for i, row in enumerate(self._rows):
+            for j, col in enumerate(self._cols):
+                yield row, col, float(self._values[i, j])
+
+    def best_column_for(self, row: str) -> tuple[str, float]:
+        """The highest-similarity column for *row*."""
+        i = self._row_index[row]
+        j = int(np.argmax(self._values[i]))
+        return self._cols[j], float(self._values[i, j])
+
+    def combine(self, other: "SimilarityMatrix", weight: float = 0.5) -> "SimilarityMatrix":
+        """Weighted average with *other* (labels must match)."""
+        if self._rows != other._rows or self._cols != other._cols:
+            raise ValueError("cannot combine matrices with different labels")
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        return SimilarityMatrix(
+            self._rows, self._cols, weight * self._values + (1 - weight) * other._values
+        )
+
+    def transposed(self) -> "SimilarityMatrix":
+        return SimilarityMatrix(self._cols, self._rows, self._values.T)
+
+    def to_dict(self) -> dict[tuple[str, str], float]:
+        """A plain ``{(row, col): similarity}`` dictionary."""
+        return {(row, col): value for row, col, value in self.pairs()}
+
+    def __repr__(self) -> str:
+        return f"SimilarityMatrix({len(self._rows)} x {len(self._cols)})"

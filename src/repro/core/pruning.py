@@ -1,0 +1,48 @@
+"""Early-convergence pruning schedule (Proposition 2).
+
+A pair ``(v1, v2)`` is guaranteed fixed after ``h = min(l(v1), l(v2))``
+iterations, where ``l(v)`` is the longest artificial-source distance
+(:mod:`repro.graph.levels`).  The schedule answers two questions for the
+engine: "may I skip updating this pair at iteration ``n``?" and "after
+which iteration is *everything* guaranteed fixed?" — the latter is
+``min(max_v1 l(v1), max_v2 l(v2))`` per Section 3.4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.dependency import DependencyGraph
+from repro.graph.levels import longest_distances, max_finite_level
+
+
+class ConvergenceSchedule:
+    """Pair-level convergence bounds for a pair of dependency graphs."""
+
+    __slots__ = ("levels_first", "levels_second", "pair_levels", "global_bound")
+
+    def __init__(self, first: DependencyGraph, second: DependencyGraph):
+        self.levels_first = longest_distances(first)
+        self.levels_second = longest_distances(second)
+        l1 = np.array([self.levels_first[node] for node in first.nodes])
+        l2 = np.array([self.levels_second[node] for node in second.nodes])
+        #: ``h`` for each real pair: min(l(v1), l(v2)), shape (|V1|, |V2|).
+        self.pair_levels = np.minimum(l1[:, None], l2[None, :])
+        #: every pair is fixed after this many iterations (may be inf).
+        self.global_bound = min(max_finite_level(self.levels_first),
+                                max_finite_level(self.levels_second))
+
+    def active_mask(self, iteration: int) -> np.ndarray:
+        """Boolean mask of pairs that may still change at *iteration*.
+
+        Iterations are 1-based; a pair with level ``h`` changes for the
+        last time at iteration ``h``, so it is active while
+        ``iteration <= h``.
+        """
+        return self.pair_levels >= iteration
+
+    def all_fixed_after(self, iteration: int) -> bool:
+        """True when no pair can change at iterations beyond *iteration*."""
+        return not math.isinf(self.global_bound) and iteration >= self.global_bound

@@ -1,0 +1,7 @@
+"""Process discovery: mining models from event logs."""
+
+from repro.discovery.alpha import alpha_miner
+from repro.discovery.heuristic import CausalGraph, heuristic_miner
+from repro.discovery.inductive import inductive_miner
+
+__all__ = ["alpha_miner", "heuristic_miner", "CausalGraph", "inductive_miner"]

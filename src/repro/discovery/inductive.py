@@ -1,0 +1,301 @@
+"""A basic inductive miner: discovering process *trees* from logs.
+
+Leemans et al.'s inductive-mining idea, in its directly-follows flavour:
+recursively partition the activities by finding a *cut* of the
+directly-follows graph —
+
+* **xor cut** — the undirected DFG is disconnected;
+* **sequence cut** — the condensation of the DFG admits a strict order;
+* **parallel cut** — every cross-part edge exists in both directions and
+  every part touches start and end activities;
+* **loop cut** — a body part containing all starts/ends, with redo parts
+  entered from ends and leaving into starts —
+
+then project the log onto each part and recurse.  When no cut exists,
+fall back to the *flower model* (a loop over the choice of all
+activities), which can replay anything.
+
+The output is a :class:`repro.synthesis.process_tree.ProcessTree`, so the
+mined model plugs into the whole substrate: playout, Petri conversion,
+conformance.  On logs played out from this library's own generator the
+miner is typically able to rediscover the block structure.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SynthesisError
+from repro.logs.log import EventLog
+from repro.synthesis.process_tree import (
+    Choice,
+    Leaf,
+    Loop,
+    Parallel,
+    ProcessTree,
+    Sequence,
+    Silent,
+)
+
+_Trace = tuple[str, ...]
+
+
+def inductive_miner(log: EventLog) -> ProcessTree:
+    """Discover a process tree for *log*."""
+    if len(log) == 0:
+        raise SynthesisError("cannot mine an empty log")
+    traces = [trace.activities for trace in log]
+    return _mine(traces)
+
+
+# ----------------------------------------------------------------------
+def _mine(traces: list[_Trace]) -> ProcessTree:
+    alphabet = sorted({activity for trace in traces for activity in trace})
+    has_empty = any(len(trace) == 0 for trace in traces)
+    nonempty = [trace for trace in traces if trace]
+
+    if not alphabet:
+        return Silent()
+    if len(alphabet) == 1:
+        activity = alphabet[0]
+        tree: ProcessTree = Leaf(activity)
+        if any(len(trace) > 1 for trace in nonempty):
+            tree = Loop(Leaf(activity), Silent(), redo_probability=0.5)
+        if has_empty:
+            tree = Choice([tree, Silent()])
+        return tree
+
+    graph, starts, ends = _dfg(nonempty)
+
+    partition = _xor_cut(alphabet, graph)
+    if partition is not None and not has_empty:
+        # Every trace lives entirely inside one part (the parts are
+        # disconnected), so split rather than project: projection would
+        # manufacture empty traces in every other part.
+        sublogs: list[list[_Trace]] = [[] for _ in partition]
+        membership = {
+            activity: index
+            for index, part in enumerate(partition)
+            for activity in part
+        }
+        for trace in nonempty:
+            sublogs[membership[trace[0]]].append(trace)
+        return Choice([_mine(sublog) for sublog in sublogs if sublog])
+
+    ordered = _sequence_cut(alphabet, graph)
+    if ordered is not None and not has_empty:
+        return Sequence([_mine(_split_sequence(nonempty, part)) for part in ordered])
+
+    partition = _parallel_cut(alphabet, graph, starts, ends)
+    if partition is not None and not has_empty:
+        return Parallel([_mine(_project(nonempty, part)) for part in partition])
+
+    loop = _loop_cut(alphabet, graph, starts, ends)
+    if loop is not None and not has_empty:
+        body, redo = loop
+        body_traces, redo_traces = _split_loop(nonempty, body)
+        return Loop(_mine(body_traces), _mine(redo_traces), redo_probability=0.3)
+
+    # Fallback: the flower model replays everything over this alphabet.
+    flower = Loop(
+        Choice([Leaf(activity) for activity in alphabet]),
+        Silent(),
+        redo_probability=0.5,
+        max_repeats=10,
+    )
+    if has_empty:
+        return Choice([flower, Silent()])
+    return flower
+
+
+# ----------------------------------------------------------------------
+def _dfg(traces: list[_Trace]) -> tuple[set[tuple[str, str]], set[str], set[str]]:
+    edges: set[tuple[str, str]] = set()
+    starts: set[str] = set()
+    ends: set[str] = set()
+    for trace in traces:
+        starts.add(trace[0])
+        ends.add(trace[-1])
+        for a, b in zip(trace, trace[1:]):
+            edges.add((a, b))
+    return edges, starts, ends
+
+
+def _components(alphabet: list[str], adjacency: dict[str, set[str]]) -> list[set[str]]:
+    seen: set[str] = set()
+    components: list[set[str]] = []
+    for activity in alphabet:
+        if activity in seen:
+            continue
+        component = {activity}
+        frontier = [activity]
+        while frontier:
+            node = frontier.pop()
+            for other in adjacency.get(node, ()):
+                if other not in component:
+                    component.add(other)
+                    frontier.append(other)
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def _xor_cut(alphabet: list[str], graph: set[tuple[str, str]]) -> list[set[str]] | None:
+    adjacency: dict[str, set[str]] = {a: set() for a in alphabet}
+    for a, b in graph:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    components = _components(alphabet, adjacency)
+    return components if len(components) > 1 else None
+
+
+def _sequence_cut(
+    alphabet: list[str], graph: set[tuple[str, str]]
+) -> list[set[str]] | None:
+    """Partition into strictly ordered groups via SCC condensation."""
+    # Tarjan-free approach: compute mutual reachability classes.
+    reach: dict[str, set[str]] = {a: {a} for a in alphabet}
+    changed = True
+    while changed:
+        changed = False
+        for a, b in graph:
+            before = len(reach[a])
+            reach[a] |= reach[b]
+            if len(reach[a]) != before:
+                changed = True
+    groups: dict[frozenset[str], set[str]] = {}
+    for a in alphabet:
+        klass = frozenset(x for x in alphabet if a in reach[x] and x in reach[a])
+        groups.setdefault(klass, set()).add(a)
+    parts = list(groups.values())
+    if len(parts) < 2:
+        return None
+
+    def part_reaches(first: set[str], second: set[str]) -> bool:
+        return any(b in reach[a] for a in first for b in second if a != b)
+
+    # Merge pairwise-incomparable classes (e.g. the two branches of an
+    # inner choice) into the same sequence part, transitively.
+    merged = True
+    while merged and len(parts) > 1:
+        merged = False
+        for i in range(len(parts)):
+            for j in range(i + 1, len(parts)):
+                forward = part_reaches(parts[i], parts[j])
+                backward = part_reaches(parts[j], parts[i])
+                if forward == backward:  # incomparable (or mutual: defensive)
+                    parts[i] = parts[i] | parts[j]
+                    del parts[j]
+                    merged = True
+                    break
+            if merged:
+                break
+    if len(parts) < 2:
+        return None
+
+    # Strict topological order of the remaining parts.
+    ordered: list[set[str]] = []
+    remaining = parts[:]
+    while remaining:
+        minimal = [
+            part
+            for part in remaining
+            if not any(
+                other is not part and part_reaches(other, part) for other in remaining
+            )
+        ]
+        if len(minimal) != 1:
+            return None
+        ordered.append(minimal[0])
+        remaining.remove(minimal[0])
+    return ordered
+
+
+def _parallel_cut(
+    alphabet: list[str],
+    graph: set[tuple[str, str]],
+    starts: set[str],
+    ends: set[str],
+) -> list[set[str]] | None:
+    # Two activities belong to the same part when some direction of edge
+    # is MISSING between them (parallel parts see all cross edges in both
+    # directions).
+    adjacency: dict[str, set[str]] = {a: set() for a in alphabet}
+    for a in alphabet:
+        for b in alphabet:
+            if a == b:
+                continue
+            if (a, b) not in graph or (b, a) not in graph:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    components = _components(alphabet, adjacency)
+    if len(components) < 2:
+        return None
+    # Every part must contain at least one start and one end activity.
+    for part in components:
+        if not (part & starts) or not (part & ends):
+            return None
+    return components
+
+
+def _loop_cut(
+    alphabet: list[str],
+    graph: set[tuple[str, str]],
+    starts: set[str],
+    ends: set[str],
+) -> tuple[set[str], set[str]] | None:
+    boundary = starts | ends
+    redo = set(alphabet) - boundary
+    if not redo:
+        return None
+    # Remove edges that stay within the body boundary; the candidate redo
+    # parts are components of the rest.  Redo parts may only connect to
+    # the body via end -> redo and redo -> start edges.
+    body = set(boundary)
+    for a, b in graph:
+        if a in redo or b in redo:
+            continue
+    # Validate the redo set as a whole.
+    for a, b in graph:
+        if a in body and b in redo and a not in ends:
+            return None
+        if a in redo and b in body and b not in starts:
+            return None
+    # A loop must actually recur: some end must feed some redo, and some
+    # redo must feed some start.
+    enters_redo = any(a in ends and b in redo for a, b in graph)
+    leaves_redo = any(a in redo and b in starts for a, b in graph)
+    if not (enters_redo and leaves_redo):
+        return None
+    return body, redo
+
+
+# ----------------------------------------------------------------------
+def _project(traces: list[_Trace], part: set[str]) -> list[_Trace]:
+    projected = [
+        tuple(activity for activity in trace if activity in part) for trace in traces
+    ]
+    return projected
+
+
+def _split_sequence(traces: list[_Trace], part: set[str]) -> list[_Trace]:
+    return _project(traces, part)
+
+
+def _split_loop(
+    traces: list[_Trace], body: set[str]
+) -> tuple[list[_Trace], list[_Trace]]:
+    body_traces: list[_Trace] = []
+    redo_traces: list[_Trace] = []
+    for trace in traces:
+        current: list[str] = []
+        in_body = True
+        for activity in trace:
+            if (activity in body) == in_body:
+                current.append(activity)
+            else:
+                (body_traces if in_body else redo_traces).append(tuple(current))
+                current = [activity]
+                in_body = not in_body
+        (body_traces if in_body else redo_traces).append(tuple(current))
+    if not redo_traces:
+        redo_traces = [()]
+    return body_traces, redo_traces

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError``, ``ValueError`` raised by
+argument validation) surface normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class EventLogError(ReproError):
+    """An event log is structurally invalid (empty traces, reserved names...)."""
+
+
+class LogFormatError(EventLogError):
+    """A serialized event log (XES/CSV) could not be parsed."""
+
+
+class GraphError(ReproError):
+    """A dependency-graph operation received inconsistent input."""
+
+
+class MatchingError(ReproError):
+    """A matching computation could not be carried out."""
+
+
+class SearchBudgetExceeded(MatchingError):
+    """A matcher exceeded its configured search budget.
+
+    Raised by the OPQ baseline when the number of events exceeds its hard
+    cap, mirroring the paper's observation that OPQ "cannot even finish the
+    matching of events more than 30" (Section 5.2, Figure 8).
+    """
+
+
+class SynthesisError(ReproError):
+    """A synthetic workload could not be generated as requested."""

@@ -1,0 +1,56 @@
+"""Experiment harness: figure drivers, timing, aggregation, reporting."""
+
+from repro.experiments.extensions import (
+    EXTENSION_FIGURES,
+    ext_ablation,
+    ext_baselines,
+    ext_estimation_error,
+    ext_noise,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+)
+from repro.experiments.harness import (
+    Aggregate,
+    MatcherRun,
+    aggregate_runs,
+    composite_matchers,
+    default_label_similarity,
+    run_matcher_on_pair,
+    run_matrix,
+    singleton_matchers,
+)
+from repro.experiments.reporting import FigureResult, format_table
+
+__all__ = [
+    "ALL_FIGURES",
+    "EXTENSION_FIGURES",
+    "ext_noise",
+    "ext_baselines",
+    "ext_ablation",
+    "ext_estimation_error",
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "fig14",
+    "MatcherRun",
+    "Aggregate",
+    "run_matcher_on_pair",
+    "run_matrix",
+    "aggregate_runs",
+    "singleton_matchers",
+    "composite_matchers",
+    "default_label_similarity",
+    "FigureResult",
+    "format_table",
+]

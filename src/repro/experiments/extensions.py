@@ -1,0 +1,180 @@
+"""Extension experiments beyond the paper's figures.
+
+Three studies the paper motivates but does not run; regenerate with
+``python -m repro.experiments ext-noise ext-baselines ext-ablation``.
+
+* **ext-noise** — robustness to log-quality noise (missing events,
+  duplicated events, clock-skew reorderings): real OA exports are dirty,
+  and a matcher for the paper's integration scenario has to tolerate it.
+* **ext-baselines** — the singleton lineup extended with the
+  behavioral-footprint matcher (FPT), a representative of the
+  behavioral-profile school the related work discusses (ICoP).
+* **ext-ablation** — which ingredient of EMS buys what: similarity
+  direction, the edge-agreement factor ``C``, and the decay constant.
+* **ext-estimation-error** — the conclusion's open problem: how large is
+  the estimation error empirically, per budget ``I``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.baselines.flooding import FloodingMatcher
+from repro.baselines.profiles import ProfileMatcher
+from repro.core.config import EMSConfig
+from repro.experiments.figures import DEFAULT_SEED, _testbed_subsets
+from repro.experiments.harness import (
+    aggregate_runs,
+    run_matcher_on_pair,
+    run_matrix,
+    singleton_matchers,
+)
+from repro.experiments.reporting import FigureResult
+from repro.graph.dependency import DependencyGraph
+from repro.matchers import EMSMatcher
+from repro.synthesis.corpus import LogPair
+from repro.synthesis.mutations import (
+    drop_random_events,
+    duplicate_random_events,
+    swap_adjacent_events,
+)
+
+NOISE_OPERATORS = {
+    "drop": drop_random_events,
+    "duplicate": duplicate_random_events,
+    "swap": swap_adjacent_events,
+}
+
+
+def _noisy_pair(pair: LogPair, kind: str, probability: float, seed: int) -> LogPair:
+    operator = NOISE_OPERATORS[kind]
+    rng = random.Random(seed)
+    noisy_second = operator(pair.log_second, rng, probability)
+    surviving = noisy_second.activities()
+    truth = tuple(c for c in pair.truth if c.right <= surviving)
+    return LogPair(
+        name=f"{pair.name}+{kind}{probability}",
+        area=pair.area,
+        testbed=pair.testbed,
+        log_first=pair.log_first,
+        log_second=noisy_second,
+        truth=truth,
+    )
+
+
+def ext_noise(
+    levels: Sequence[float] = (0.0, 0.05, 0.10, 0.20),
+    pair_count: int = 5,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """EMS f-measure under increasing log-quality noise, per noise kind."""
+    pairs = _testbed_subsets(pair_count, seed)["DS-B"]
+    matcher = EMSMatcher()
+    rows: list[list[object]] = []
+    for level in levels:
+        row: list[object] = [level]
+        for kind in NOISE_OPERATORS:
+            noisy = [
+                _noisy_pair(pair, kind, level, seed=seed + index)
+                for index, pair in enumerate(pairs)
+            ]
+            runs = [run_matcher_on_pair(matcher, pair) for pair in noisy]
+            row.append(aggregate_runs(runs)[matcher.name].mean_f_measure)
+        rows.append(row)
+    return FigureResult(
+        figure="Extension: noise",
+        title="EMS robustness to log-quality noise (DS-B pairs)",
+        headers=["probability"] + [f"f({kind})" for kind in NOISE_OPERATORS],
+        rows=rows,
+        notes=[f"{len(pairs)} pairs; noise injected into the second log only"],
+    )
+
+
+def ext_baselines(
+    pairs_per_testbed: int = 6, seed: int = DEFAULT_SEED
+) -> FigureResult:
+    """The Figure 3 lineup extended with the footprint-profile matcher."""
+    matchers = singleton_matchers() + [ProfileMatcher(), FloodingMatcher()]
+    names = [matcher.name for matcher in matchers]
+    rows: list[list[object]] = []
+    for testbed, pairs in _testbed_subsets(pairs_per_testbed, seed).items():
+        aggregates = aggregate_runs(run_matrix(matchers, pairs))
+        rows.append([testbed] + [aggregates[name].mean_f_measure for name in names])
+    return FigureResult(
+        figure="Extension: baselines",
+        title="Extended lineup: + footprints (FPT) and similarity flooding (SFL)",
+        headers=["testbed"] + [f"f({name})" for name in names],
+        rows=rows,
+        notes=[f"{pairs_per_testbed} pairs per testbed, structural only"],
+    )
+
+
+def ext_ablation(
+    pair_count: int = 6, seed: int = DEFAULT_SEED
+) -> FigureResult:
+    """Which EMS ingredient buys what (direction, C factor, decay c)."""
+    pairs = (
+        _testbed_subsets(pair_count, seed)["DS-B"]
+        + _testbed_subsets(pair_count, seed)["DS-FB"]
+    )
+    variants: list[tuple[str, EMSConfig]] = [
+        ("EMS (both + C, c=0.8)", EMSConfig()),
+        ("forward only", EMSConfig(direction="forward")),
+        ("backward only", EMSConfig(direction="backward")),
+        ("no C factor", EMSConfig(use_edge_weights=False)),
+        ("c = 0.6", EMSConfig(c=0.6)),
+        ("c = 0.95", EMSConfig(c=0.95)),
+    ]
+    rows: list[list[object]] = []
+    for label, config in variants:
+        matcher = EMSMatcher(config, name=label)
+        runs = [run_matcher_on_pair(matcher, pair) for pair in pairs]
+        aggregate = aggregate_runs(runs)[label]
+        rows.append([label, aggregate.mean_f_measure, aggregate.total_seconds])
+    return FigureResult(
+        figure="Extension: ablation",
+        title="EMS design-choice ablation (DS-B + DS-FB pairs)",
+        headers=["variant", "f-measure", "seconds"],
+        rows=rows,
+        notes=[f"{2 * pair_count} pairs, structural only"],
+    )
+
+
+def ext_estimation_error(
+    budgets: Sequence[int] = (0, 1, 2, 3, 5, 10),
+    pair_count: int = 4,
+    seed: int = DEFAULT_SEED,
+) -> FigureResult:
+    """Empirical estimation error per budget (the paper's open problem)."""
+    from repro.core.analysis import estimation_error
+
+    pairs = _testbed_subsets(pair_count, seed)["DS-FB"]
+    totals = {budget: [0.0, 0.0] for budget in budgets}  # [max, mean]
+    for pair in pairs:
+        graph_first = DependencyGraph.from_log(pair.log_first)
+        graph_second = DependencyGraph.from_log(pair.log_second)
+        for report in estimation_error(graph_first, graph_second, budgets=budgets):
+            totals[report.budget][0] = max(totals[report.budget][0], report.max_abs_error)
+            totals[report.budget][1] += report.mean_abs_error / len(pairs)
+    rows = [
+        [budget, totals[budget][0], totals[budget][1]] for budget in budgets
+    ]
+    return FigureResult(
+        figure="Extension: estimation error",
+        title="Empirical estimation error of EMS+es vs the exact fixpoint",
+        headers=["I", "max |error|", "mean |error|"],
+        rows=rows,
+        notes=[
+            f"{len(pairs)} DS-FB pairs; the paper leaves the error bound open",
+            "max is over all pairs and matrix entries; mean is per-entry",
+        ],
+    )
+
+
+EXTENSION_FIGURES = {
+    "ext-noise": ext_noise,
+    "ext-baselines": ext_baselines,
+    "ext-ablation": ext_ablation,
+    "ext-estimation-error": ext_estimation_error,
+}

@@ -1,0 +1,179 @@
+"""Running matchers over corpora, with timing and DNF handling.
+
+The harness runs each :class:`~repro.baselines.common.EventMatcher` over
+each :class:`~repro.synthesis.corpus.LogPair`, measures wall-clock time,
+evaluates the found correspondences against ground truth, and aggregates
+macro averages per matcher — the quantities the paper's figures report.
+
+A matcher that exceeds its search budget (OPQ beyond its event cap) is
+recorded as *did-not-finish*, mirroring how the paper plots OPQ in
+Figure 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.baselines.bhv import BHVMatcher
+from repro.baselines.common import EventMatcher
+from repro.baselines.composite_wrapper import GreedyCompositeWrapper
+from repro.baselines.ged import GEDMatcher
+from repro.baselines.opq import OPQMatcher
+from repro.core.config import EMSConfig
+from repro.exceptions import SearchBudgetExceeded
+from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.matching.evaluation import MatchEvaluation, evaluate
+from repro.similarity.labels import LabelSimilarity, QGramCosineSimilarity
+from repro.synthesis.corpus import LogPair
+
+
+@dataclass(frozen=True, slots=True)
+class MatcherRun:
+    """One matcher applied to one log pair."""
+
+    matcher_name: str
+    pair_name: str
+    evaluation: MatchEvaluation | None
+    seconds: float
+    diagnostics: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.evaluation is not None
+
+    @property
+    def f_measure(self) -> float:
+        return self.evaluation.f_measure if self.evaluation else 0.0
+
+
+def run_matcher_on_pair(matcher: EventMatcher, pair: LogPair) -> MatcherRun:
+    """Time one matcher on one pair; budget blow-ups become DNF runs."""
+    start = time.perf_counter()
+    try:
+        outcome = matcher.match(pair.log_first, pair.log_second)
+    except SearchBudgetExceeded:
+        return MatcherRun(matcher.name, pair.name, None, time.perf_counter() - start)
+    seconds = time.perf_counter() - start
+    evaluation = evaluate(pair.truth, outcome.correspondences)
+    return MatcherRun(matcher.name, pair.name, evaluation, seconds, outcome.diagnostics)
+
+
+def run_matrix(
+    matchers: Sequence[EventMatcher], pairs: Sequence[LogPair]
+) -> list[MatcherRun]:
+    """Every matcher on every pair, in a deterministic order."""
+    return [run_matcher_on_pair(matcher, pair) for matcher in matchers for pair in pairs]
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """Macro-averaged accuracy and total time of a matcher over pairs."""
+
+    matcher_name: str
+    mean_f_measure: float
+    mean_precision: float
+    mean_recall: float
+    total_seconds: float
+    pair_count: int
+    dnf_count: int
+
+    @property
+    def finished_all(self) -> bool:
+        return self.dnf_count == 0
+
+
+def aggregate_runs(runs: Sequence[MatcherRun]) -> dict[str, Aggregate]:
+    """Group *runs* by matcher and macro-average the finished ones."""
+    grouped: dict[str, list[MatcherRun]] = {}
+    for run in runs:
+        grouped.setdefault(run.matcher_name, []).append(run)
+    result: dict[str, Aggregate] = {}
+    for name, matcher_runs in grouped.items():
+        finished = [run for run in matcher_runs if run.finished]
+        count = len(finished)
+        result[name] = Aggregate(
+            matcher_name=name,
+            mean_f_measure=(
+                sum(run.evaluation.f_measure for run in finished) / count if count else 0.0
+            ),
+            mean_precision=(
+                sum(run.evaluation.precision for run in finished) / count if count else 0.0
+            ),
+            mean_recall=(
+                sum(run.evaluation.recall for run in finished) / count if count else 0.0
+            ),
+            total_seconds=sum(run.seconds for run in matcher_runs),
+            pair_count=len(matcher_runs),
+            dnf_count=len(matcher_runs) - count,
+        )
+    return result
+
+
+def mean_diagnostic(runs: Sequence[MatcherRun], key: str) -> float:
+    """Average of a diagnostic value over the runs that report it."""
+    values = [run.diagnostics[key] for run in runs if key in run.diagnostics]
+    return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Standard matcher line-ups (the methods each figure compares)
+# ----------------------------------------------------------------------
+def singleton_matchers(
+    label_similarity: LabelSimilarity | None = None,
+    estimation_iterations: int = 5,
+    opq_max_events: int = 30,
+) -> list[EventMatcher]:
+    """EMS, EMS+es, GED, OPQ, BHV — the Figure 3/4/8 line-up.
+
+    With *label_similarity* set, the iterative methods blend it in with
+    ``alpha = 0.5`` and GED substitutes on labels; OPQ never uses labels
+    (it is the opaque-by-design baseline, matching the paper's Figure 4
+    note that "OPQ does not benefit from label similarity").
+    """
+    alpha = 1.0 if label_similarity is None else 0.5
+    base = EMSConfig(alpha=alpha)
+    return [
+        EMSMatcher(base, label_similarity),
+        EMSMatcher(
+            base.with_(estimation_iterations=estimation_iterations), label_similarity
+        ),
+        GEDMatcher(label_similarity=label_similarity),
+        OPQMatcher(max_events=opq_max_events),
+        BHVMatcher(alpha=alpha, label_similarity=label_similarity),
+    ]
+
+
+def composite_matchers(
+    label_similarity: LabelSimilarity | None = None,
+    estimation_iterations: int = 5,
+    delta: float = 0.01,
+    min_confidence: float = 0.9,
+    max_run_length: int = 3,
+    opq_max_events: int = 30,
+) -> list[EventMatcher]:
+    """The Figure 10/11 line-up: every method in the greedy composite loop."""
+    alpha = 1.0 if label_similarity is None else 0.5
+    base = EMSConfig(alpha=alpha)
+    shared = dict(
+        delta=delta, min_confidence=min_confidence, max_run_length=max_run_length
+    )
+    return [
+        EMSCompositeMatcher(base, label_similarity, **shared),
+        EMSCompositeMatcher(
+            base.with_(estimation_iterations=estimation_iterations),
+            label_similarity,
+            **shared,
+        ),
+        GreedyCompositeWrapper(GEDMatcher(label_similarity=label_similarity), **shared),
+        GreedyCompositeWrapper(OPQMatcher(max_events=opq_max_events), **shared),
+        GreedyCompositeWrapper(
+            BHVMatcher(alpha=alpha, label_similarity=label_similarity), **shared
+        ),
+    ]
+
+
+def default_label_similarity() -> LabelSimilarity:
+    """The paper's label similarity: cosine over q-grams."""
+    return QGramCosineSimilarity(q=3)

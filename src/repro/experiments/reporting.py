@@ -1,0 +1,66 @@
+"""Plain-text reporting of experiment results.
+
+Every figure driver returns a :class:`FigureResult` — a titled table of
+the same rows/series the paper plots — which renders as aligned ASCII for
+terminals, logs and ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0.0 and abs(value) < 0.01:
+            return f"{value:g}"  # keep small thresholds distinguishable
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table."""
+    rendered = [[format_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """The reproduced data behind one figure of the paper."""
+
+    figure: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"{self.figure}: {self.title}", ""]
+        parts.append(format_table(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, header: str) -> list[object]:
+        """All values of the column named *header*."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,23 @@
+"""Dependency-graph substrate: Definition 1 plus the artificial event."""
+
+from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+from repro.graph.levels import longest_distances, max_finite_level
+from repro.graph.merge import (
+    composite_name,
+    expand_members,
+    merge_run_in_log,
+    merge_runs_in_log,
+    merged_dependency_graph,
+)
+
+__all__ = [
+    "ARTIFICIAL",
+    "DependencyGraph",
+    "longest_distances",
+    "max_finite_level",
+    "composite_name",
+    "expand_members",
+    "merge_run_in_log",
+    "merge_runs_in_log",
+    "merged_dependency_graph",
+]

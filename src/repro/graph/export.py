@@ -1,0 +1,106 @@
+"""Dependency-graph export and descriptive metrics.
+
+:func:`to_dot` renders a dependency graph in Graphviz DOT for inspection
+(the artificial event and its edges are drawn dashed, like Figure 2 of
+the paper); :func:`graph_metrics` computes the shape statistics the
+experiment reports mention (density, degree distribution, reciprocity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    graph: DependencyGraph,
+    include_artificial: bool = True,
+    highlight: dict[str, str] | None = None,
+) -> str:
+    """Render *graph* as a Graphviz DOT digraph.
+
+    Parameters
+    ----------
+    include_artificial:
+        Draw the artificial event and its (dashed) edges.
+    highlight:
+        Optional node -> color mapping (e.g. to color a matching).
+    """
+    highlight = highlight or {}
+    lines = [f"digraph {_quote(graph.name)} {{", "  rankdir=LR;"]
+    for node in graph.nodes:
+        attributes = [f'label="{node}\\nf={graph.frequency(node):.2f}"']
+        color = highlight.get(node)
+        if color:
+            attributes.append(f'style=filled fillcolor="{color}"')
+        lines.append(f"  {_quote(node)} [{' '.join(attributes)}];")
+    if include_artificial:
+        lines.append(
+            f"  {_quote(ARTIFICIAL)} [label=\"vX\" shape=diamond style=dashed];"
+        )
+    for (source, target), frequency in sorted(graph.real_edges.items()):
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} "
+            f'[label="{frequency:.2f}"];'
+        )
+    if include_artificial:
+        for node in graph.nodes:
+            frequency = graph.frequency(node)
+            lines.append(
+                f"  {_quote(ARTIFICIAL)} -> {_quote(node)} "
+                f'[style=dashed label="{frequency:.2f}"];'
+            )
+            lines.append(
+                f"  {_quote(node)} -> {_quote(ARTIFICIAL)} [style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class GraphMetrics:
+    """Shape statistics of a dependency graph (real edges only)."""
+
+    node_count: int
+    edge_count: int
+    density: float
+    max_in_degree: int
+    max_out_degree: int
+    mean_degree: float
+    reciprocity: float
+    mean_edge_frequency: float
+
+
+def graph_metrics(graph: DependencyGraph) -> GraphMetrics:
+    """Compute :class:`GraphMetrics` for *graph*."""
+    nodes = graph.nodes
+    edges = graph.real_edges
+    node_count = len(nodes)
+    edge_count = len(edges)
+    possible = node_count * (node_count - 1)
+    in_degrees = {node: 0 for node in nodes}
+    out_degrees = {node: 0 for node in nodes}
+    reciprocal = 0
+    for source, target in edges:
+        out_degrees[source] += 1
+        in_degrees[target] += 1
+        if (target, source) in edges:
+            reciprocal += 1
+    return GraphMetrics(
+        node_count=node_count,
+        edge_count=edge_count,
+        density=edge_count / possible if possible else 0.0,
+        max_in_degree=max(in_degrees.values(), default=0),
+        max_out_degree=max(out_degrees.values(), default=0),
+        mean_degree=2.0 * edge_count / node_count if node_count else 0.0,
+        reciprocity=reciprocal / edge_count if edge_count else 0.0,
+        mean_edge_frequency=(
+            sum(edges.values()) / edge_count if edge_count else 0.0
+        ),
+    )

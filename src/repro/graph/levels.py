@@ -1,0 +1,159 @@
+"""Longest-distance levels ``l(v)`` from the artificial event.
+
+Proposition 2 of the paper: the similarity of a pair ``(v1, v2)`` is fixed
+after ``min(l(v1), l(v2))`` iterations, where ``l(v)`` is the longest
+distance from ``v^X`` to ``v`` — infinite when a loop lies between them.
+
+Because the artificial event has an edge *from* every real node as well,
+the naive graph is full of trivial cycles ``v -> v^X -> v``.  Following the
+intent of the proposition (a node converges one step after all of its real
+ancestors have), ``l(v)`` is computed on the graph consisting of the real
+edges plus the artificial *source* edges ``(v^X, v)`` only.  Nodes lying on
+a real cycle, or reachable from one, get ``l(v) = math.inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+
+
+def longest_distances(graph: DependencyGraph) -> dict[str, float]:
+    """Compute ``l(v)`` for every real node of *graph*.
+
+    Returns a mapping from node name to its level: a positive integer (as a
+    float) or ``math.inf``.  ``l(v^X)`` is 0 and included in the result.
+    """
+    nodes = graph.nodes
+    successors: dict[str, list[str]] = {ARTIFICIAL: list(nodes)}
+    for node in nodes:
+        successors[node] = [
+            target for target in graph.successors(node) if target != ARTIFICIAL
+        ]
+
+    components = _strongly_connected_components(successors)
+    cyclic_roots = set()
+    for component in components:
+        if len(component) > 1:
+            cyclic_roots.update(component)
+        else:
+            (only,) = component
+            if only in successors[only]:  # self-loop
+                cyclic_roots.add(only)
+
+    infinite = _reachable_from(cyclic_roots, successors)
+
+    # Longest path on the acyclic remainder, in topological order.
+    order = _topological_order(
+        {node: [t for t in targets if t not in infinite]
+         for node, targets in successors.items() if node not in infinite}
+    )
+    levels: dict[str, float] = {node: math.inf for node in infinite}
+    levels[ARTIFICIAL] = 0.0
+    for node in order:
+        if node == ARTIFICIAL:
+            continue
+        levels.setdefault(node, 1.0)
+    for node in order:
+        base = levels[node]
+        for target in successors[node]:
+            if target in infinite or target == ARTIFICIAL:
+                continue
+            if base + 1.0 > levels[target]:
+                levels[target] = base + 1.0
+    return levels
+
+
+def max_finite_level(levels: dict[str, float]) -> float:
+    """The largest level in *levels*; ``inf`` if any node is cyclic.
+
+    Per Section 3.4, the iterative computation is guaranteed to stop after
+    ``min(max_v1 l(v1), max_v2 l(v2))`` iterations; this computes one side.
+    """
+    return max((level for node, level in levels.items() if node != ARTIFICIAL), default=0.0)
+
+
+def _strongly_connected_components(successors: dict[str, list[str]]) -> list[list[str]]:
+    """Tarjan's algorithm, iterative (logs can be deep)."""
+    index_counter = 0
+    indices: dict[str, int] = {}
+    lowlinks: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+
+    for root in successors:
+        if root in indices:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                indices[node] = index_counter
+                lowlinks[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            targets = successors[node]
+            while child_index < len(targets):
+                target = targets[child_index]
+                child_index += 1
+                if target not in indices:
+                    work[-1] = (node, child_index)
+                    work.append((target, 0))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[target])
+            if advanced:
+                continue
+            work.pop()
+            if lowlinks[node] == indices[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+    return components
+
+
+def _reachable_from(sources: set[str], successors: dict[str, list[str]]) -> set[str]:
+    """All nodes reachable from *sources* (including the sources)."""
+    seen = set(sources)
+    queue = deque(sources)
+    while queue:
+        node = queue.popleft()
+        for target in successors[node]:
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return seen
+
+
+def _topological_order(successors: dict[str, list[str]]) -> list[str]:
+    """Kahn's algorithm over the given acyclic subgraph."""
+    indegree: dict[str, int] = {node: 0 for node in successors}
+    for targets in successors.values():
+        for target in targets:
+            if target in indegree:
+                indegree[target] += 1
+    queue = deque(sorted(node for node, degree in indegree.items() if degree == 0))
+    order: list[str] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for target in successors[node]:
+            if target in indegree:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    queue.append(target)
+    return order

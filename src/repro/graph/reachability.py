@@ -1,0 +1,48 @@
+"""Reachability over the real edges of a dependency graph.
+
+Proposition 4 (the *Uc* pruning) reasons about ancestors "w.r.t.
+prerequisites": paths through the artificial event do not count, because
+the artificial event's similarities are constant and cannot propagate
+change.  These helpers therefore walk real edges only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+
+
+def real_descendants(graph: DependencyGraph, sources: Iterable[str]) -> set[str]:
+    """All real nodes reachable from *sources* via real edges (sources excluded
+    unless they lie on a cycle back to themselves)."""
+    seen: set[str] = set()
+    queue = deque(sources)
+    initial = set(queue)
+    while queue:
+        node = queue.popleft()
+        for target in graph.successors(node):
+            if target == ARTIFICIAL:
+                continue
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    # A source is its own descendant only if reachable from the walk.
+    return seen | (initial & seen)
+
+
+def real_ancestors(graph: DependencyGraph, targets: Iterable[str]) -> set[str]:
+    """All real nodes with a real-edge path into *targets*."""
+    seen: set[str] = set()
+    queue = deque(targets)
+    initial = set(queue)
+    while queue:
+        node = queue.popleft()
+        for source in graph.predecessors(node):
+            if source == ARTIFICIAL:
+                continue
+            if source not in seen:
+                seen.add(source)
+                queue.append(source)
+    return seen | (initial & seen)

@@ -1,0 +1,104 @@
+"""CSV reader/writer for event logs.
+
+The flat format common in industry extracts: one row per event, columns
+``case_id, activity, timestamp`` (timestamp optional).  Rows are grouped by
+case id; within a case, rows are ordered by timestamp when present, by file
+order otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import IO, Iterable
+
+from repro.exceptions import LogFormatError
+from repro.logs.events import Event, Trace
+from repro.logs.log import EventLog
+
+CASE_COLUMN = "case_id"
+ACTIVITY_COLUMN = "activity"
+TIMESTAMP_COLUMN = "timestamp"
+
+
+def write_csv(log: EventLog, destination: str | os.PathLike[str] | IO[str]) -> None:
+    """Serialize *log* as CSV to *destination* (path or text file)."""
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", newline="", encoding="utf-8") as handle:
+            _write_rows(log, handle)
+    else:
+        _write_rows(log, destination)
+
+
+def _write_rows(log: EventLog, handle: IO[str]) -> None:
+    writer = csv.writer(handle)
+    writer.writerow([CASE_COLUMN, ACTIVITY_COLUMN, TIMESTAMP_COLUMN])
+    for index, trace in enumerate(log):
+        case_id = trace.case_id if trace.case_id is not None else f"case-{index}"
+        for event in trace:
+            timestamp = "" if event.timestamp is None else repr(event.timestamp)
+            writer.writerow([case_id, event.activity, timestamp])
+
+
+def read_csv(source: str | os.PathLike[str] | IO[str], name: str = "log") -> EventLog:
+    """Parse CSV event data at *source* into an :class:`EventLog`.
+
+    Case order in the output follows first appearance in the file.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, newline="", encoding="utf-8") as handle:
+            return _read_rows(handle, name)
+    return _read_rows(source, name)
+
+
+def _read_rows(handle: IO[str], name: str) -> EventLog:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise LogFormatError("empty CSV document") from None
+    try:
+        case_idx = header.index(CASE_COLUMN)
+        activity_idx = header.index(ACTIVITY_COLUMN)
+    except ValueError:
+        raise LogFormatError(
+            f"CSV header must contain {CASE_COLUMN!r} and {ACTIVITY_COLUMN!r}; got {header!r}"
+        ) from None
+    timestamp_idx = header.index(TIMESTAMP_COLUMN) if TIMESTAMP_COLUMN in header else None
+
+    cases: dict[str, list[tuple[float | None, int, Event]]] = {}
+    for row_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        try:
+            case_id = row[case_idx]
+            activity = row[activity_idx]
+        except IndexError:
+            raise LogFormatError(f"row {row_number} is missing required columns") from None
+        timestamp: float | None = None
+        if timestamp_idx is not None and timestamp_idx < len(row) and row[timestamp_idx]:
+            try:
+                timestamp = float(row[timestamp_idx])
+            except ValueError:
+                raise LogFormatError(
+                    f"row {row_number}: invalid timestamp {row[timestamp_idx]!r}"
+                ) from None
+        cases.setdefault(case_id, []).append((timestamp, row_number, Event(activity, timestamp)))
+
+    log = EventLog(name=name)
+    for case_id, entries in cases.items():
+        if all(timestamp is not None for timestamp, _, _ in entries):
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+        log.append(Trace((event for _, _, event in entries), case_id=case_id))
+    return log
+
+
+def traces_from_rows(rows: Iterable[tuple[str, str]], name: str = "log") -> EventLog:
+    """Build a log from in-memory ``(case_id, activity)`` rows, in order."""
+    cases: dict[str, list[Event]] = {}
+    for case_id, activity in rows:
+        cases.setdefault(case_id, []).append(Event(activity))
+    log = EventLog(name=name)
+    for case_id, events in cases.items():
+        log.append(Trace(events, case_id=case_id))
+    return log

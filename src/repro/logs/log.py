@@ -1,0 +1,149 @@
+"""The :class:`EventLog`: a multiset of traces.
+
+An event log is the paper's input object (Section 2): ``a multi-set of
+traces from V*``.  The class keeps traces in insertion order (duplicates
+allowed — the *multiset* part matters, because dependency-graph frequencies
+are fractions of traces) and offers the derived views the matching layer
+needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.exceptions import EventLogError
+from repro.logs.events import Event, Trace
+
+#: Reserved activity name used for the artificial event in dependency
+#: graphs.  Logs must not contain it; :class:`EventLog` enforces this.
+RESERVED_ACTIVITY = "⊥X"  # "⊥X"
+
+
+class EventLog:
+    """A multiset of :class:`Trace` objects with a name.
+
+    Parameters
+    ----------
+    traces:
+        The traces of the log.  Bare activity-string sequences are accepted
+        and wrapped.  Empty traces are rejected — an empty trace carries no
+        behavioural information and would corrupt frequency normalization.
+    name:
+        A human-readable identifier used in reports.
+    """
+
+    __slots__ = ("_traces", "name")
+
+    def __init__(
+        self,
+        traces: Iterable[Trace | Iterable[Event | str]] = (),
+        name: str = "log",
+    ):
+        self.name = name
+        self._traces: list[Trace] = []
+        for trace in traces:
+            self.append(trace if isinstance(trace, Trace) else Trace(trace))
+
+    def append(self, trace: Trace) -> None:
+        """Add *trace* to the log, validating it."""
+        if not isinstance(trace, Trace):
+            raise TypeError(f"expected Trace, got {type(trace).__name__}")
+        if len(trace) == 0:
+            raise EventLogError("empty traces are not allowed in an event log")
+        if RESERVED_ACTIVITY in trace.distinct_activities():
+            raise EventLogError(
+                f"activity name {RESERVED_ACTIVITY!r} is reserved for the artificial event"
+            )
+        self._traces.append(trace)
+
+    @property
+    def traces(self) -> tuple[Trace, ...]:
+        """The traces of the log, in insertion order (duplicates allowed)."""
+        return tuple(self._traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventLog):
+            return NotImplemented
+        return Counter(self._traces) == Counter(other._traces)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLog(name={self.name!r}, traces={len(self._traces)}, "
+            f"activities={len(self.activities())})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def activities(self) -> frozenset[str]:
+        """All distinct activities appearing in the log."""
+        names: set[str] = set()
+        for trace in self._traces:
+            names.update(trace.distinct_activities())
+        return frozenset(names)
+
+    def activity_trace_counts(self) -> Counter[str]:
+        """For each activity, the number of traces that contain it.
+
+        This is the numerator of the node frequency ``f(v)`` in
+        Definition 1 (``the fraction of traces in L that contain v``).
+        """
+        counts: Counter[str] = Counter()
+        for trace in self._traces:
+            counts.update(trace.distinct_activities())
+        return counts
+
+    def pair_trace_counts(self) -> Counter[tuple[str, str]]:
+        """For each ordered pair, the number of traces where it occurs
+        consecutively at least once (edge frequency numerator,
+        Definition 1)."""
+        counts: Counter[tuple[str, str]] = Counter()
+        for trace in self._traces:
+            counts.update(set(trace.pairs()))
+        return counts
+
+    def variant_counts(self) -> Counter[tuple[str, ...]]:
+        """Multiplicity of each distinct activity sequence (trace variant)."""
+        return Counter(trace.activities for trace in self._traces)
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new logs; logs are append-only otherwise)
+    # ------------------------------------------------------------------
+    def map_traces(
+        self, transform: Callable[[Trace], Trace | None], name: str | None = None
+    ) -> "EventLog":
+        """Apply *transform* to every trace; ``None`` or empty results are
+        dropped.  The workhorse behind the mutation operators."""
+        result = EventLog(name=name if name is not None else self.name)
+        for trace in self._traces:
+            new_trace = transform(trace)
+            if new_trace is not None and len(new_trace) > 0:
+                result.append(new_trace)
+        return result
+
+    def relabel(self, mapping: Mapping[str, str], name: str | None = None) -> "EventLog":
+        """Rename activities through *mapping* (used by opacification)."""
+        return self.map_traces(lambda trace: trace.relabel(mapping), name=name)
+
+    def merge_composite(
+        self, run: tuple[str, ...], replacement: str, name: str | None = None
+    ) -> "EventLog":
+        """Collapse consecutive occurrences of *run* into *replacement*."""
+        return self.map_traces(lambda trace: trace.replace_run(run, replacement), name=name)
+
+    def filter_traces(
+        self, predicate: Callable[[Trace], bool], name: str | None = None
+    ) -> "EventLog":
+        """Keep only the traces satisfying *predicate*."""
+        result = EventLog(name=name if name is not None else self.name)
+        for trace in self._traces:
+            if predicate(trace):
+                result.append(trace)
+        return result

@@ -1,0 +1,83 @@
+"""Online log statistics: dependency-graph inputs from a trace stream.
+
+The paper's motivating systems (OA/ERP) log continuously; a production
+integration recomputes matchings as data arrives.  This accumulator
+ingests traces one at a time in O(trace length) and can emit a
+:class:`~repro.logs.stats.LogStatistics` snapshot — identical to the
+batch computation — at any point, so dependency graphs (and matchings)
+can be refreshed incrementally without retaining the raw log.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.exceptions import EventLogError
+from repro.logs.events import Trace
+from repro.logs.log import RESERVED_ACTIVITY, EventLog
+from repro.logs.stats import LogStatistics
+
+
+class OnlineStatistics:
+    """Streaming accumulator of Definition 1's normalized frequencies."""
+
+    __slots__ = ("_trace_count", "_activity_counts", "_pair_counts")
+
+    def __init__(self):
+        self._trace_count = 0
+        self._activity_counts: Counter[str] = Counter()
+        self._pair_counts: Counter[tuple[str, str]] = Counter()
+
+    @property
+    def trace_count(self) -> int:
+        return self._trace_count
+
+    def add_trace(self, trace: Trace | Iterable[str]) -> None:
+        """Ingest one completed trace."""
+        if not isinstance(trace, Trace):
+            trace = Trace(trace)
+        if len(trace) == 0:
+            raise EventLogError("empty traces carry no information")
+        if RESERVED_ACTIVITY in trace.distinct_activities():
+            raise EventLogError(
+                f"activity name {RESERVED_ACTIVITY!r} is reserved"
+            )
+        self._trace_count += 1
+        self._activity_counts.update(trace.distinct_activities())
+        self._pair_counts.update(set(trace.pairs()))
+
+    def add_log(self, log: EventLog) -> None:
+        """Ingest every trace of *log*."""
+        for trace in log:
+            self.add_trace(trace)
+
+    def merge(self, other: "OnlineStatistics") -> "OnlineStatistics":
+        """Combine two accumulators (e.g. from parallel shards)."""
+        merged = OnlineStatistics()
+        merged._trace_count = self._trace_count + other._trace_count
+        merged._activity_counts = self._activity_counts + other._activity_counts
+        merged._pair_counts = self._pair_counts + other._pair_counts
+        return merged
+
+    def snapshot(self) -> LogStatistics:
+        """The statistics of everything ingested so far."""
+        if self._trace_count == 0:
+            raise EventLogError("no traces ingested yet")
+        return LogStatistics(
+            trace_count=self._trace_count,
+            activity_frequencies={
+                activity: count / self._trace_count
+                for activity, count in self._activity_counts.items()
+            },
+            pair_frequencies={
+                pair: count / self._trace_count
+                for pair, count in self._pair_counts.items()
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineStatistics(traces={self._trace_count}, "
+            f"activities={len(self._activity_counts)})"
+        )

@@ -1,0 +1,124 @@
+"""Minimal XES (eXtensible Event Stream, IEEE 1849) reader and writer.
+
+Only the subset of XES the matching pipeline needs is supported: traces
+with ``concept:name`` (case id), events with ``concept:name`` (activity),
+optional ``time:timestamp``, and flat string attributes.  This keeps the
+library dependency-free while staying interoperable with standard process
+mining tools — logs written here load in ProM/pm4py and vice versa for
+logs using only these elements.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from datetime import datetime, timezone
+from typing import IO
+
+from repro.exceptions import LogFormatError
+from repro.logs.events import Event, Trace
+from repro.logs.log import EventLog
+
+_CONCEPT_NAME = "concept:name"
+_TIMESTAMP = "time:timestamp"
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+
+def _format_timestamp(seconds: float) -> str:
+    moment = datetime.fromtimestamp(seconds, tz=timezone.utc)
+    return moment.strftime("%Y-%m-%dT%H:%M:%S.%f")[:-3] + "+00:00"
+
+
+def _parse_timestamp(text: str) -> float:
+    try:
+        moment = datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise LogFormatError(f"invalid XES timestamp {text!r}") from exc
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=timezone.utc)
+    return (moment - _EPOCH).total_seconds()
+
+
+def write_xes(log: EventLog, destination: str | os.PathLike[str] | IO[bytes]) -> None:
+    """Serialize *log* to XES at *destination* (path or binary file)."""
+    root = ET.Element("log", attrib={"xes.version": "1.0", "xes.features": ""})
+    name_attr = ET.SubElement(root, "string")
+    name_attr.set("key", _CONCEPT_NAME)
+    name_attr.set("value", log.name)
+    for index, trace in enumerate(log):
+        trace_el = ET.SubElement(root, "trace")
+        case_id = trace.case_id if trace.case_id is not None else f"case-{index}"
+        case_el = ET.SubElement(trace_el, "string")
+        case_el.set("key", _CONCEPT_NAME)
+        case_el.set("value", case_id)
+        for event in trace:
+            event_el = ET.SubElement(trace_el, "event")
+            activity_el = ET.SubElement(event_el, "string")
+            activity_el.set("key", _CONCEPT_NAME)
+            activity_el.set("value", event.activity)
+            if event.timestamp is not None:
+                ts_el = ET.SubElement(event_el, "date")
+                ts_el.set("key", _TIMESTAMP)
+                ts_el.set("value", _format_timestamp(event.timestamp))
+            for key, value in event.attributes.items():
+                attr_el = ET.SubElement(event_el, "string")
+                attr_el.set("key", key)
+                attr_el.set("value", value)
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    tree.write(destination, encoding="utf-8", xml_declaration=True)
+
+
+def read_xes(source: str | os.PathLike[str] | IO[bytes]) -> EventLog:
+    """Parse an XES document at *source* into an :class:`EventLog`."""
+    try:
+        tree = ET.parse(source)
+    except ET.ParseError as exc:
+        raise LogFormatError(f"malformed XES document: {exc}") from exc
+    root = tree.getroot()
+    tag = root.tag.rsplit("}", 1)[-1]  # tolerate a default namespace
+    if tag != "log":
+        raise LogFormatError(f"expected a <log> root element, found <{root.tag}>")
+
+    def local(tag_name: str) -> str:
+        return tag_name.rsplit("}", 1)[-1]
+
+    log_name = "log"
+    for child in root:
+        if local(child.tag) == "string" and child.get("key") == _CONCEPT_NAME:
+            log_name = child.get("value", "log")
+    log = EventLog(name=log_name)
+    for trace_el in root:
+        if local(trace_el.tag) != "trace":
+            continue
+        case_id: str | None = None
+        events: list[Event] = []
+        for child in trace_el:
+            child_tag = local(child.tag)
+            if child_tag == "string" and child.get("key") == _CONCEPT_NAME:
+                case_id = child.get("value")
+            elif child_tag == "event":
+                events.append(_parse_event(child, local))
+        if events:
+            log.append(Trace(events, case_id=case_id))
+    return log
+
+
+def _parse_event(event_el: ET.Element, local) -> Event:
+    activity: str | None = None
+    timestamp: float | None = None
+    attributes: dict[str, str] = {}
+    for attr in event_el:
+        key = attr.get("key")
+        value = attr.get("value")
+        if key is None or value is None:
+            continue
+        if key == _CONCEPT_NAME:
+            activity = value
+        elif key == _TIMESTAMP:
+            timestamp = _parse_timestamp(value)
+        elif local(attr.tag) == "string":
+            attributes[key] = value
+    if activity is None:
+        raise LogFormatError("event element without a concept:name attribute")
+    return Event(activity, timestamp, attributes)

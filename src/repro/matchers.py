@@ -1,0 +1,182 @@
+"""High-level matcher adapters: the library's main entry points.
+
+These classes tie the layers together — logs to dependency graphs to
+similarities to correspondences — behind the uniform
+:class:`repro.baselines.common.EventMatcher` interface shared with the
+baselines, so the experiment harness can treat every method identically.
+
+* :class:`EMSMatcher` — singleton (1:1) matching with the paper's EMS
+  similarity; set ``estimation_iterations`` for the ``EMS+es`` variant.
+* :class:`EMSCompositeMatcher` — m:n matching via the greedy composite
+  loop with the Uc/Bd prunings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.baselines.common import Evaluation, EventMatcher, MatchOutcome
+from repro.core.composite import CompositeMatcher
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+from repro.matching.assignment import max_weight_assignment
+from repro.matching.evaluation import Correspondence
+from repro.similarity.labels import (
+    CompositeAwareSimilarity,
+    LabelSimilarity,
+    OpaqueSimilarity,
+)
+
+
+class EMSMatcher(EventMatcher):
+    """1:1 event matching with the EMS similarity.
+
+    Parameters
+    ----------
+    config:
+        The :class:`EMSConfig`; pass ``estimation_iterations=I`` for the
+        estimated variant (``EMS+es``).
+    label_similarity:
+        The ``S^L`` blended in via ``1 - alpha``.
+    threshold:
+        Selected pairs must exceed this similarity to be reported.
+    min_edge_frequency:
+        Minimum-frequency edge filtering when building graphs (Figure 7).
+    """
+
+    name = "EMS"
+
+    def __init__(
+        self,
+        config: EMSConfig | None = None,
+        label_similarity: LabelSimilarity | None = None,
+        threshold: float = 0.0,
+        min_edge_frequency: float = 0.0,
+        name: str | None = None,
+    ):
+        self.config = config if config is not None else EMSConfig()
+        self.label_similarity = (
+            label_similarity if label_similarity is not None else OpaqueSimilarity()
+        )
+        self.threshold = threshold
+        self.min_edge_frequency = min_edge_frequency
+        if name is not None:
+            self.name = name
+        elif self.config.estimation_iterations is not None:
+            self.name = "EMS+es"
+
+    def evaluate(
+        self,
+        log_first: EventLog,
+        log_second: EventLog,
+        members_first: Mapping[str, frozenset[str]],
+        members_second: Mapping[str, frozenset[str]],
+    ) -> Evaluation:
+        graph_first = DependencyGraph.from_log(
+            log_first, min_frequency=self.min_edge_frequency, members=members_first
+        )
+        graph_second = DependencyGraph.from_log(
+            log_second, min_frequency=self.min_edge_frequency, members=members_second
+        )
+        label: LabelSimilarity = self.label_similarity
+        if not isinstance(label, OpaqueSimilarity) and self.config.alpha < 1.0:
+            label = CompositeAwareSimilarity(
+                self.label_similarity, dict(members_first), dict(members_second)
+            )
+        engine = EMSEngine(self.config, label)
+        result = engine.similarity(graph_first, graph_second)
+        matrix = result.matrix
+        values = matrix.values
+        assignment = max_weight_assignment(values)
+        pairs = tuple(
+            (matrix.rows[i], matrix.cols[j])
+            for i, j in assignment
+            if values[i, j] > self.threshold
+        )
+        return Evaluation(
+            objective=matrix.average(),
+            pairs=pairs,
+            diagnostics={
+                "iterations": float(result.iterations),
+                "pair_updates": float(result.pair_updates),
+            },
+        )
+
+
+class EMSCompositeMatcher(EventMatcher):
+    """m:n event matching: greedy composite merging plus EMS similarity."""
+
+    name = "EMS"
+
+    def __init__(
+        self,
+        config: EMSConfig | None = None,
+        label_similarity: LabelSimilarity | None = None,
+        threshold: float = 0.0,
+        delta: float = 0.01,
+        min_confidence: float = 1.0,
+        max_run_length: int = 4,
+        max_candidates: int | None = None,
+        use_unchanged: bool = True,
+        use_bounds: bool = True,
+        min_edge_frequency: float = 0.0,
+        name: str | None = None,
+    ):
+        self.matcher = CompositeMatcher(
+            config=config,
+            label_similarity=label_similarity,
+            delta=delta,
+            min_confidence=min_confidence,
+            max_run_length=max_run_length,
+            max_candidates=max_candidates,
+            use_unchanged=use_unchanged,
+            use_bounds=use_bounds,
+            min_edge_frequency=min_edge_frequency,
+        )
+        self.threshold = threshold
+        self._singleton = EMSMatcher(
+            config=config,
+            label_similarity=label_similarity,
+            threshold=threshold,
+            min_edge_frequency=min_edge_frequency,
+        )
+        if name is not None:
+            self.name = name
+        elif self.matcher.config.estimation_iterations is not None:
+            self.name = "EMS+es"
+
+    def evaluate(self, log_first, log_second, members_first, members_second) -> Evaluation:
+        return self._singleton.evaluate(
+            log_first, log_second, members_first, members_second
+        )
+
+    def match(self, log_first: EventLog, log_second: EventLog) -> MatchOutcome:
+        result = self.matcher.match(log_first, log_second)
+        matrix = result.matrix
+        values = matrix.values
+        assignment = max_weight_assignment(values)
+        correspondences = tuple(
+            Correspondence(
+                result.members_first[matrix.rows[i]],
+                result.members_second[matrix.cols[j]],
+            )
+            for i, j in assignment
+            if values[i, j] > self.threshold
+        )
+        stats = result.stats
+        return MatchOutcome(
+            correspondences,
+            objective=matrix.average(),
+            diagnostics={
+                "rounds": float(stats.rounds),
+                "candidates_evaluated": float(stats.candidates_evaluated),
+                "evaluations_aborted": float(stats.evaluations_aborted),
+                "pair_updates": float(stats.pair_updates),
+                "pairs_fixed": float(stats.pairs_fixed),
+                "composites_accepted": float(
+                    len(result.accepted_first) + len(result.accepted_second)
+                ),
+            },
+        )

@@ -1,0 +1,115 @@
+"""Maximum-weight bipartite assignment (Hungarian / Munkres algorithm).
+
+The paper selects event correspondences with "the maximum total similarity
+selection method" citing Munkres [17].  This is the O(n^3)
+potential-based Hungarian algorithm, written from scratch (no scipy on the
+hot path); the test suite property-checks it against
+``scipy.optimize.linear_sum_assignment``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_weight_assignment(weights: np.ndarray) -> list[tuple[int, int]]:
+    """Maximum-total-weight one-to-one assignment.
+
+    Parameters
+    ----------
+    weights:
+        A (possibly rectangular) matrix; entry ``[i, j]`` is the benefit of
+        assigning row ``i`` to column ``j``.
+
+    Returns
+    -------
+    list of (row, column) pairs.  Every row (or column, whichever side is
+    smaller) is assigned; filtering out weak pairs is the caller's job.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be a 2-D matrix, got shape {weights.shape}")
+    if weights.size == 0:
+        return []
+    transposed = weights.shape[0] > weights.shape[1]
+    if transposed:
+        weights = weights.T
+    # Convert maximization to minimization with non-negative costs.
+    cost = weights.max() - weights
+    rows_to_cols = _hungarian_min(cost)
+    if transposed:
+        return sorted((col, row) for row, col in rows_to_cols)
+    return sorted(rows_to_cols)
+
+
+def min_cost_assignment(cost: np.ndarray) -> list[tuple[int, int]]:
+    """Minimum-total-cost one-to-one assignment (rectangular allowed)."""
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be a 2-D matrix, got shape {cost.shape}")
+    if cost.size == 0:
+        return []
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+    rows_to_cols = _hungarian_min(cost)
+    if transposed:
+        return sorted((col, row) for row, col in rows_to_cols)
+    return sorted(rows_to_cols)
+
+
+def _hungarian_min(cost: np.ndarray) -> list[tuple[int, int]]:
+    """Potential-based Hungarian algorithm for ``n <= m`` cost matrices.
+
+    Classic O(n^2 m) formulation with dual potentials ``u`` (rows) and
+    ``v`` (columns); ``p[j]`` is the row matched to column ``j`` (1-based,
+    0 = free), ``way[j]`` remembers the augmenting path.
+    """
+    n, m = cost.shape
+    if n > m:
+        raise ValueError("internal: _hungarian_min requires n <= m")
+    infinity = float("inf")
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    p = [0] * (m + 1)
+    way = [0] * (m + 1)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [infinity] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = infinity
+            j1 = -1
+            row = cost[i0 - 1]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                current = row[j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+    return [(p[j] - 1, j - 1) for j in range(1, m + 1) if p[j] != 0]
+
+
+def assignment_weight(weights: np.ndarray, assignment: list[tuple[int, int]]) -> float:
+    """Total weight of an assignment under *weights*."""
+    return float(sum(weights[i, j] for i, j in assignment))

@@ -1,0 +1,78 @@
+"""Calibrating the selection threshold on labeled pairs.
+
+The maximum-total-similarity selection maps every node of the smaller
+log; a similarity threshold decides which of those pairs to *report*.
+The right value depends on the similarity distribution of the corpus, so
+this module fits it on pairs with known ground truth: sweep candidate
+thresholds, score each with the f-measure, return the best.
+
+This is the standard supervised knob-fitting step of schema-matching
+pipelines; the paper fixes the threshold implicitly, but a deployment
+(49 integrators labeling a seed set, as in the paper's project) would
+calibrate exactly like this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.matrix import SimilarityMatrix
+from repro.matching.evaluation import Correspondence, evaluate, mean_evaluation
+from repro.matching.selection import select_correspondences
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdCalibration:
+    """Result of a threshold sweep."""
+
+    best_threshold: float
+    best_f_measure: float
+    curve: tuple[tuple[float, float], ...]  # (threshold, mean f-measure)
+
+    def __str__(self) -> str:
+        return (
+            f"threshold {self.best_threshold:.2f} "
+            f"(f-measure {self.best_f_measure:.3f} on the calibration set)"
+        )
+
+
+def calibrate_threshold(
+    labeled: Sequence[tuple[SimilarityMatrix, Sequence[Correspondence]]],
+    thresholds: Sequence[float] = tuple(round(0.05 * i, 2) for i in range(19)),
+    members: Callable[[SimilarityMatrix], tuple[dict, dict]] | None = None,
+) -> ThresholdCalibration:
+    """Pick the selection threshold maximizing mean f-measure.
+
+    Parameters
+    ----------
+    labeled:
+        ``(similarity matrix, ground truth)`` pairs — typically obtained
+        by running a matcher's engine on a seed set with expert labels.
+    thresholds:
+        The candidate grid (default 0.00 .. 0.90).
+    members:
+        Optional callable producing (members_left, members_right) maps
+        for matrices over merged vocabularies.
+    """
+    if not labeled:
+        raise ValueError("need at least one labeled pair to calibrate")
+    curve: list[tuple[float, float]] = []
+    best_threshold = thresholds[0]
+    best_f = -1.0
+    for threshold in thresholds:
+        evaluations = []
+        for matrix, truth in labeled:
+            members_left, members_right = (
+                members(matrix) if members is not None else (None, None)
+            )
+            found = select_correspondences(
+                matrix, threshold, members_left, members_right
+            )
+            evaluations.append(evaluate(truth, found))
+        mean_f = mean_evaluation(evaluations).f_measure
+        curve.append((threshold, mean_f))
+        if mean_f > best_f:
+            best_f = mean_f
+            best_threshold = threshold
+    return ThresholdCalibration(best_threshold, best_f, tuple(curve))

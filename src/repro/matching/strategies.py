@@ -1,0 +1,101 @@
+"""Alternative correspondence-selection strategies.
+
+The paper uses maximum-total-similarity selection [17] (see
+:mod:`repro.matching.selection`), but Section 6 notes there are "various
+existing approaches to capture the corresponding events" from a pairwise
+similarity matrix.  This module provides the standard alternatives so the
+selection step can be ablated:
+
+* **greedy** — repeatedly take the highest remaining pair (the classic
+  similarity-flooding-style filter);
+* **stable marriage** — a pairing with no blocking pair, preferring
+  mutual best matches;
+* **mutual best** — keep only pairs that are each other's argmax (high
+  precision, lower recall).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrix import SimilarityMatrix
+from repro.matching.selection import SelectedPair
+
+
+def greedy_selection(matrix: SimilarityMatrix, threshold: float = 0.0) -> list[SelectedPair]:
+    """Pick the globally best remaining pair until rows or columns run out."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    values = matrix.values
+    available_rows = set(range(len(matrix.rows)))
+    available_cols = set(range(len(matrix.cols)))
+    order = np.argsort(values, axis=None)[::-1]
+    selected: list[SelectedPair] = []
+    for flat_index in order:
+        i, j = divmod(int(flat_index), values.shape[1])
+        if i not in available_rows or j not in available_cols:
+            continue
+        similarity = float(values[i, j])
+        if similarity <= threshold:
+            break
+        selected.append(SelectedPair(matrix.rows[i], matrix.cols[j], similarity))
+        available_rows.discard(i)
+        available_cols.discard(j)
+        if not available_rows or not available_cols:
+            break
+    return sorted(selected, key=lambda pair: (pair.left, pair.right))
+
+
+def stable_marriage_selection(
+    matrix: SimilarityMatrix, threshold: float = 0.0
+) -> list[SelectedPair]:
+    """Gale-Shapley pairing: rows propose in decreasing similarity order."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    values = matrix.values
+    n_rows, n_cols = values.shape
+    if n_rows == 0 or n_cols == 0:
+        return []
+    preferences = [list(np.argsort(values[i])[::-1]) for i in range(n_rows)]
+    next_choice = [0] * n_rows
+    engaged_to: dict[int, int] = {}  # column -> row
+    free_rows = list(range(n_rows))
+    while free_rows:
+        row = free_rows.pop()
+        while next_choice[row] < n_cols:
+            col = int(preferences[row][next_choice[row]])
+            next_choice[row] += 1
+            incumbent = engaged_to.get(col)
+            if incumbent is None:
+                engaged_to[col] = row
+                break
+            if values[row, col] > values[incumbent, col]:
+                engaged_to[col] = row
+                free_rows.append(incumbent)
+                break
+    selected = [
+        SelectedPair(matrix.rows[row], matrix.cols[col], float(values[row, col]))
+        for col, row in engaged_to.items()
+        if values[row, col] > threshold
+    ]
+    return sorted(selected, key=lambda pair: (pair.left, pair.right))
+
+
+def mutual_best_selection(
+    matrix: SimilarityMatrix, threshold: float = 0.0
+) -> list[SelectedPair]:
+    """Keep only pairs where each side is the other's best match."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    values = matrix.values
+    if values.size == 0:
+        return []
+    best_col_for_row = values.argmax(axis=1)
+    best_row_for_col = values.argmax(axis=0)
+    selected = []
+    for i, j in enumerate(best_col_for_row):
+        if best_row_for_col[j] == i and values[i, j] > threshold:
+            selected.append(
+                SelectedPair(matrix.rows[i], matrix.cols[int(j)], float(values[i, j]))
+            )
+    return sorted(selected, key=lambda pair: (pair.left, pair.right))

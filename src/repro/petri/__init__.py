@@ -1,0 +1,17 @@
+"""Petri-net substrate: the BeehiveZ-style workflow-model class."""
+
+from repro.petri.from_tree import tree_to_petri
+from repro.petri.net import Marking, PetriNet, Transition
+from repro.petri.playout import play_out_net, sample_trace
+from repro.petri.pnml import read_pnml, write_pnml
+
+__all__ = [
+    "PetriNet",
+    "Transition",
+    "Marking",
+    "tree_to_petri",
+    "sample_trace",
+    "play_out_net",
+    "read_pnml",
+    "write_pnml",
+]

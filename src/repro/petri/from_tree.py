@@ -1,0 +1,100 @@
+"""Converting process trees to workflow nets.
+
+The standard compositional construction: every tree node becomes a net
+fragment with one entry and one exit place; operators wire their
+children's fragments together with silent transitions where control flow
+requires them.  The result is a workflow net whose trace language equals
+the tree's (loops bounded by the tree's ``max_repeats`` are approximated
+by an unbounded loop — the net can repeat more often than the tree).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.exceptions import SynthesisError
+from repro.petri.net import PetriNet
+from repro.synthesis.process_tree import (
+    Choice,
+    Leaf,
+    Loop,
+    Parallel,
+    ProcessTree,
+    Sequence,
+    Silent,
+)
+
+
+class _Builder:
+    def __init__(self, net: PetriNet):
+        self.net = net
+        self._place_counter = count()
+        self._silent_counter = count()
+
+    def new_place(self) -> str:
+        name = f"p{next(self._place_counter)}"
+        self.net.add_place(name)
+        return name
+
+    def silent(self, entry: str, exit_: str) -> None:
+        name = f"tau{next(self._silent_counter)}"
+        self.net.add_transition(name, label=None)
+        self.net.add_arc(entry, name)
+        self.net.add_arc(name, exit_)
+
+    # ------------------------------------------------------------------
+    def build(self, tree: ProcessTree, entry: str, exit_: str) -> None:
+        if isinstance(tree, Leaf):
+            name = f"t_{tree.activity}"
+            if name in self.net.transitions:
+                name = f"{name}#{next(self._silent_counter)}"
+            self.net.add_transition(name, label=tree.activity)
+            self.net.add_arc(entry, name)
+            self.net.add_arc(name, exit_)
+        elif isinstance(tree, Silent):
+            self.silent(entry, exit_)
+        elif isinstance(tree, Sequence):
+            current = entry
+            for index, child in enumerate(tree.children):
+                is_last = index == len(tree.children) - 1
+                nxt = exit_ if is_last else self.new_place()
+                self.build(child, current, nxt)
+                current = nxt
+        elif isinstance(tree, Choice):
+            for child in tree.children:
+                self.build(child, entry, exit_)
+        elif isinstance(tree, Parallel):
+            split = f"and_split{next(self._silent_counter)}"
+            join = f"and_join{next(self._silent_counter)}"
+            self.net.add_transition(split, label=None)
+            self.net.add_transition(join, label=None)
+            self.net.add_arc(entry, split)
+            self.net.add_arc(join, exit_)
+            for child in tree.children:
+                child_entry = self.new_place()
+                child_exit = self.new_place()
+                self.net.add_arc(split, child_entry)
+                self.net.add_arc(child_exit, join)
+                self.build(child, child_entry, child_exit)
+        elif isinstance(tree, Loop):
+            # A dedicated loop-entry place keeps the fragment's entry free
+            # of back-arcs (so a root-level loop still yields a workflow
+            # net with a unique source place).
+            loop_entry = self.new_place()
+            body_exit = self.new_place()
+            self.silent(entry, loop_entry)
+            self.build(tree.body, loop_entry, body_exit)
+            self.silent(body_exit, exit_)  # leave the loop
+            self.build(tree.redo, body_exit, loop_entry)  # redo then body again
+        else:
+            raise SynthesisError(f"unknown tree node type {type(tree).__name__}")
+
+
+def tree_to_petri(tree: ProcessTree, name: str = "workflow") -> PetriNet:
+    """Convert *tree* into a workflow net with unique source/sink places."""
+    net = PetriNet(name=name)
+    builder = _Builder(net)
+    source = builder.new_place()
+    sink = builder.new_place()
+    builder.build(tree, source, sink)
+    return net

@@ -1,0 +1,208 @@
+"""Petri nets: places, transitions, markings, firing.
+
+The paper's synthetic models come from BeehiveZ, a Petri-net-based
+workbench; this module supplies that substrate from scratch — a classic
+place/transition net with labeled (or silent) transitions, the token
+game, and workflow-net structure checks.  Process trees convert to
+workflow nets via :mod:`repro.petri.from_tree`, and
+:mod:`repro.petri.playout` samples event logs from them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import SynthesisError
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """A transition; ``label`` is the logged activity, ``None`` = silent."""
+
+    name: str
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SynthesisError("a transition needs a non-empty name")
+
+    @property
+    def is_silent(self) -> bool:
+        return self.label is None
+
+
+class Marking(Mapping[str, int]):
+    """An immutable multiset of tokens over place names."""
+
+    __slots__ = ("_tokens", "_hash")
+
+    def __init__(self, tokens: Mapping[str, int] | Iterable[str] = ()):
+        if isinstance(tokens, Mapping):
+            counted = {place: count for place, count in tokens.items() if count > 0}
+            if any(count < 0 for count in tokens.values()):
+                raise SynthesisError("token counts must be non-negative")
+        else:
+            counted = dict(Counter(tokens))
+        self._tokens: dict[str, int] = counted
+        self._hash = hash(frozenset(counted.items()))
+
+    def __getitem__(self, place: str) -> int:
+        return self._tokens.get(place, 0)
+
+    def __iter__(self):
+        return iter(self._tokens)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Marking):
+            return NotImplemented
+        return self._tokens == other._tokens
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{place}:{count}" for place, count in sorted(self._tokens.items()))
+        return f"Marking({{{inside}}})"
+
+    def add(self, places: Iterable[str]) -> "Marking":
+        tokens = Counter(self._tokens)
+        tokens.update(places)
+        return Marking(tokens)
+
+    def remove(self, places: Iterable[str]) -> "Marking":
+        tokens = Counter(self._tokens)
+        for place in places:
+            if tokens[place] <= 0:
+                raise SynthesisError(f"no token to remove from place {place!r}")
+            tokens[place] -= 1
+        return Marking(tokens)
+
+    def total(self) -> int:
+        return sum(self._tokens.values())
+
+
+@dataclass(slots=True)
+class PetriNet:
+    """A place/transition net with unweighted arcs."""
+
+    name: str = "net"
+    places: set[str] = field(default_factory=set)
+    transitions: dict[str, Transition] = field(default_factory=dict)
+    #: arcs place -> set of transition names it feeds
+    _place_to_transition: dict[str, set[str]] = field(default_factory=dict)
+    #: arcs transition -> set of places it feeds
+    _transition_to_place: dict[str, set[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_place(self, place: str) -> None:
+        if not place:
+            raise SynthesisError("a place needs a non-empty name")
+        self.places.add(place)
+
+    def add_transition(self, name: str, label: str | None = None) -> Transition:
+        if name in self.transitions:
+            raise SynthesisError(f"duplicate transition {name!r}")
+        transition = Transition(name, label)
+        self.transitions[name] = transition
+        return transition
+
+    def add_arc(self, source: str, target: str) -> None:
+        """Add an arc; one endpoint must be a place, the other a transition."""
+        source_is_place = source in self.places
+        target_is_place = target in self.places
+        if source_is_place and target in self.transitions:
+            self._place_to_transition.setdefault(source, set()).add(target)
+        elif target_is_place and source in self.transitions:
+            self._transition_to_place.setdefault(source, set()).add(target)
+        else:
+            raise SynthesisError(
+                f"arc ({source!r} -> {target!r}) must connect a place and a transition"
+            )
+
+    # ------------------------------------------------------------------
+    def preset(self, transition: str) -> frozenset[str]:
+        """Input places of *transition*."""
+        self._require_transition(transition)
+        return frozenset(
+            place
+            for place, targets in self._place_to_transition.items()
+            if transition in targets
+        )
+
+    def postset(self, transition: str) -> frozenset[str]:
+        """Output places of *transition*."""
+        self._require_transition(transition)
+        return frozenset(self._transition_to_place.get(transition, frozenset()))
+
+    def place_postset(self, place: str) -> frozenset[str]:
+        """Transitions consuming from *place*."""
+        if place not in self.places:
+            raise SynthesisError(f"unknown place {place!r}")
+        return frozenset(self._place_to_transition.get(place, frozenset()))
+
+    def _require_transition(self, transition: str) -> None:
+        if transition not in self.transitions:
+            raise SynthesisError(f"unknown transition {transition!r}")
+
+    # ------------------------------------------------------------------
+    def enabled(self, marking: Marking) -> list[str]:
+        """Transitions whose every input place holds a token."""
+        result = []
+        for name in sorted(self.transitions):
+            preset = self.preset(name)
+            if preset and all(marking[place] >= 1 for place in preset):
+                result.append(name)
+        return result
+
+    def fire(self, marking: Marking, transition: str) -> Marking:
+        """Fire *transition*: consume one token per input place, produce
+        one per output place."""
+        preset = self.preset(transition)
+        if not preset:
+            raise SynthesisError(f"transition {transition!r} has no input places")
+        if any(marking[place] < 1 for place in preset):
+            raise SynthesisError(f"transition {transition!r} is not enabled")
+        return marking.remove(preset).add(self.postset(transition))
+
+    # ------------------------------------------------------------------
+    def source_places(self) -> set[str]:
+        """Places with no incoming arcs."""
+        fed = {place for places in self._transition_to_place.values() for place in places}
+        return self.places - fed
+
+    def sink_places(self) -> set[str]:
+        """Places with no outgoing arcs."""
+        return {place for place in self.places if not self._place_to_transition.get(place)}
+
+    def is_workflow_net(self) -> bool:
+        """Single source place, single sink place, every node on a path
+        between them (weak connectivity approximation)."""
+        sources = self.source_places()
+        sinks = self.sink_places()
+        if len(sources) != 1 or len(sinks) != 1:
+            return False
+        # Every transition must have both a preset and a postset.
+        return all(
+            self.preset(name) and self.postset(name) for name in self.transitions
+        )
+
+    def initial_marking(self) -> Marking:
+        """One token on the (unique) source place."""
+        sources = self.source_places()
+        if len(sources) != 1:
+            raise SynthesisError(
+                f"net has {len(sources)} source places; expected exactly 1"
+            )
+        return Marking(sources)
+
+    def final_marking(self) -> Marking:
+        """One token on the (unique) sink place."""
+        sinks = self.sink_places()
+        if len(sinks) != 1:
+            raise SynthesisError(f"net has {len(sinks)} sink places; expected exactly 1")
+        return Marking(sinks)

@@ -1,0 +1,75 @@
+"""Sampling event logs from Petri nets (the BeehiveZ-style generator).
+
+A trace is sampled by playing the token game from the initial marking:
+pick an enabled transition uniformly at random, fire it, log its label
+(silent transitions log nothing), stop when the final marking is reached
+or nothing is enabled.  A step bound guards against unbounded loops.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import SynthesisError
+from repro.logs.events import Trace
+from repro.logs.log import EventLog
+from repro.petri.net import Marking, PetriNet
+
+
+def sample_trace(
+    net: PetriNet,
+    rng: random.Random,
+    initial: Marking | None = None,
+    final: Marking | None = None,
+    max_steps: int = 1_000,
+) -> list[str]:
+    """One run of the token game; returns the visible activity sequence.
+
+    Raises :class:`SynthesisError` on deadlock before the final marking
+    or when *max_steps* fire without completing (a livelock guard).
+    """
+    marking = initial if initial is not None else net.initial_marking()
+    target = final if final is not None else net.final_marking()
+    activities: list[str] = []
+    for _ in range(max_steps):
+        if marking == target:
+            return activities
+        enabled = net.enabled(marking)
+        if not enabled:
+            raise SynthesisError(
+                f"deadlock at {marking!r} before reaching the final marking"
+            )
+        transition = rng.choice(enabled)
+        marking = net.fire(marking, transition)
+        label = net.transitions[transition].label
+        if label is not None:
+            activities.append(label)
+    raise SynthesisError(f"no completion within {max_steps} steps (livelock?)")
+
+
+def play_out_net(
+    net: PetriNet,
+    num_traces: int,
+    rng: random.Random,
+    name: str | None = None,
+    case_prefix: str = "case",
+    max_steps: int = 1_000,
+) -> EventLog:
+    """Sample *num_traces* traces from *net* into an event log.
+
+    Empty visible runs (all-silent paths) are redrawn a bounded number of
+    times, mirroring :func:`repro.synthesis.playout.play_out`.
+    """
+    if num_traces < 1:
+        raise SynthesisError(f"num_traces must be >= 1, got {num_traces}")
+    log = EventLog(name=name if name is not None else net.name)
+    for index in range(num_traces):
+        activities = sample_trace(net, rng, max_steps=max_steps)
+        redraws = 0
+        while not activities:
+            redraws += 1
+            if redraws > 100:
+                raise SynthesisError("net produces only silent runs")
+            activities = sample_trace(net, rng, max_steps=max_steps)
+        log.append(Trace(activities, case_id=f"{case_prefix}-{index}"))
+    return log

@@ -1,0 +1,123 @@
+"""PNML (Petri Net Markup Language, ISO/IEC 15909-2) reader and writer.
+
+The standard interchange format for workflow models — what BeehiveZ and
+ProM exchange.  Only the place/transition-net subset is supported:
+places, transitions with names (silent transitions carry no name or the
+conventional ``$invisible$`` tool hint), and arcs.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from typing import IO
+
+from repro.exceptions import LogFormatError
+from repro.petri.net import PetriNet
+
+_SILENT_MARKER = "$invisible$"
+
+
+def write_pnml(net: PetriNet, destination: str | os.PathLike[str] | IO[bytes]) -> None:
+    """Serialize *net* as PNML to *destination* (path or binary file)."""
+    root = ET.Element("pnml")
+    net_element = ET.SubElement(
+        root, "net", attrib={"id": net.name, "type": "http://www.pnml.org/version-2009/grammar/ptnet"}
+    )
+    page = ET.SubElement(net_element, "page", attrib={"id": "page0"})
+    for place in sorted(net.places):
+        place_element = ET.SubElement(page, "place", attrib={"id": place})
+        _set_name(place_element, place)
+    for name in sorted(net.transitions):
+        transition = net.transitions[name]
+        transition_element = ET.SubElement(page, "transition", attrib={"id": name})
+        _set_name(
+            transition_element,
+            transition.label if transition.label is not None else _SILENT_MARKER,
+        )
+    arc_id = 0
+    for name in sorted(net.transitions):
+        for place in sorted(net.preset(name)):
+            ET.SubElement(
+                page, "arc",
+                attrib={"id": f"arc{arc_id}", "source": place, "target": name},
+            )
+            arc_id += 1
+        for place in sorted(net.postset(name)):
+            ET.SubElement(
+                page, "arc",
+                attrib={"id": f"arc{arc_id}", "source": name, "target": place},
+            )
+            arc_id += 1
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    tree.write(destination, encoding="utf-8", xml_declaration=True)
+
+
+def _set_name(element: ET.Element, text: str) -> None:
+    name = ET.SubElement(element, "name")
+    value = ET.SubElement(name, "text")
+    value.text = text
+
+
+def read_pnml(source: str | os.PathLike[str] | IO[bytes]) -> PetriNet:
+    """Parse a PNML document at *source* into a :class:`PetriNet`."""
+    try:
+        tree = ET.parse(source)
+    except ET.ParseError as exc:
+        raise LogFormatError(f"malformed PNML document: {exc}") from exc
+    root = tree.getroot()
+
+    def local(tag: str) -> str:
+        return tag.rsplit("}", 1)[-1]
+
+    if local(root.tag) != "pnml":
+        raise LogFormatError(f"expected a <pnml> root element, found <{root.tag}>")
+    net_element = next(
+        (child for child in root if local(child.tag) == "net"), None
+    )
+    if net_element is None:
+        raise LogFormatError("PNML document contains no <net> element")
+
+    net = PetriNet(name=net_element.get("id", "net"))
+    arcs: list[tuple[str, str]] = []
+
+    def walk(element: ET.Element) -> None:
+        for child in element:
+            tag = local(child.tag)
+            if tag == "place":
+                identifier = child.get("id")
+                if identifier is None:
+                    raise LogFormatError("place without an id")
+                net.add_place(identifier)
+            elif tag == "transition":
+                identifier = child.get("id")
+                if identifier is None:
+                    raise LogFormatError("transition without an id")
+                label = _read_name(child, local)
+                if label is None or label == _SILENT_MARKER:
+                    net.add_transition(identifier, label=None)
+                else:
+                    net.add_transition(identifier, label=label)
+            elif tag == "arc":
+                source_id = child.get("source")
+                target_id = child.get("target")
+                if source_id is None or target_id is None:
+                    raise LogFormatError("arc without source/target")
+                arcs.append((source_id, target_id))
+            elif tag == "page":
+                walk(child)
+
+    walk(net_element)
+    for source_id, target_id in arcs:
+        net.add_arc(source_id, target_id)
+    return net
+
+
+def _read_name(element: ET.Element, local) -> str | None:
+    for child in element:
+        if local(child.tag) == "name":
+            for grandchild in child:
+                if local(grandchild.tag) == "text":
+                    return grandchild.text
+    return None

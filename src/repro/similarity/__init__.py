@@ -1,0 +1,43 @@
+"""Label (typographic) similarity functions."""
+
+from repro.similarity.labels import (
+    CompositeAwareSimilarity,
+    ExactSimilarity,
+    JaccardTokenSimilarity,
+    LabelSimilarity,
+    LevenshteinSimilarity,
+    OpaqueSimilarity,
+    QGramCosineSimilarity,
+)
+from repro.similarity.jaro import (
+    JaroWinklerSimilarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+)
+from repro.similarity.levenshtein import levenshtein_distance, levenshtein_similarity
+from repro.similarity.monge_elkan import (
+    MongeElkanSimilarity,
+    monge_elkan,
+    symmetric_monge_elkan,
+)
+from repro.similarity.qgrams import qgram_cosine, qgrams
+
+__all__ = [
+    "LabelSimilarity",
+    "OpaqueSimilarity",
+    "ExactSimilarity",
+    "QGramCosineSimilarity",
+    "LevenshteinSimilarity",
+    "JaccardTokenSimilarity",
+    "CompositeAwareSimilarity",
+    "JaroWinklerSimilarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "MongeElkanSimilarity",
+    "monge_elkan",
+    "symmetric_monge_elkan",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "qgram_cosine",
+    "qgrams",
+]

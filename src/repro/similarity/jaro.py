@@ -1,0 +1,81 @@
+"""Jaro and Jaro-Winkler string similarities.
+
+A classic typographic similarity family well-suited to short labels with
+transpositions ("Check Inventory" vs "Inventory Check" style noise at the
+token level is better served by q-grams, but character-level swaps and
+prefixes favour Jaro-Winkler).  Provided as an alternative ``S^L``.
+"""
+
+from __future__ import annotations
+
+
+def jaro_similarity(first: str, second: str) -> float:
+    """The Jaro similarity of two strings, in [0, 1]."""
+    if first == second:
+        return 1.0
+    if not first or not second:
+        return 0.0
+    window = max(len(first), len(second)) // 2 - 1
+    window = max(window, 0)
+
+    matched_first = [False] * len(first)
+    matched_second = [False] * len(second)
+    matches = 0
+    for i, char in enumerate(first):
+        start = max(0, i - window)
+        stop = min(i + window + 1, len(second))
+        for j in range(start, stop):
+            if matched_second[j] or second[j] != char:
+                continue
+            matched_first[i] = True
+            matched_second[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, was_matched in enumerate(matched_first):
+        if not was_matched:
+            continue
+        while not matched_second[j]:
+            j += 1
+        if first[i] != second[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(first)
+        + matches / len(second)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(first: str, second: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by the common prefix (up to 4 chars)."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
+    jaro = jaro_similarity(first, second)
+    prefix = 0
+    for char_first, char_second in zip(first[:4], second[:4]):
+        if char_first != char_second:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+class JaroWinklerSimilarity:
+    """A :class:`repro.similarity.labels.LabelSimilarity` using Jaro-Winkler."""
+
+    def __init__(self, prefix_scale: float = 0.1):
+        if not 0.0 <= prefix_scale <= 0.25:
+            raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
+        self.prefix_scale = prefix_scale
+
+    def __call__(self, first: str, second: str) -> float:
+        return jaro_winkler_similarity(first.lower(), second.lower(), self.prefix_scale)
+
+    def __repr__(self) -> str:
+        return f"JaroWinklerSimilarity(prefix_scale={self.prefix_scale})"

@@ -1,0 +1,139 @@
+"""Label (typographic) similarity functions ``S^L``.
+
+Definition 2 blends the structural similarity with a label similarity via
+``alpha``; the concrete ``S^L`` is pluggable.  All implementations here
+are symmetric, return values in [0, 1], and score identical strings 1.0
+(except :class:`OpaqueSimilarity`, which models the no-label-information
+setting by always returning 0).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.similarity.levenshtein import levenshtein_similarity
+from repro.similarity.qgrams import qgram_cosine
+
+
+@runtime_checkable
+class LabelSimilarity(Protocol):
+    """A symmetric string similarity in [0, 1]."""
+
+    def __call__(self, first: str, second: str) -> float: ...
+
+
+class OpaqueSimilarity:
+    """Always 0: the setting where labels carry no usable information.
+
+    Used for the structural-only experiments (Figures 3, 10) and as the
+    default — the paper's headline scenario is opaque names.
+    """
+
+    def __call__(self, first: str, second: str) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "OpaqueSimilarity()"
+
+
+class ExactSimilarity:
+    """1.0 iff the labels are equal (case-insensitive), else 0."""
+
+    def __call__(self, first: str, second: str) -> float:
+        return 1.0 if first.lower() == second.lower() else 0.0
+
+    def __repr__(self) -> str:
+        return "ExactSimilarity()"
+
+
+class QGramCosineSimilarity:
+    """Cosine similarity of padded q-gram vectors (the paper's choice)."""
+
+    def __init__(self, q: int = 3):
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def __call__(self, first: str, second: str) -> float:
+        key = (first, second) if first <= second else (second, first)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = qgram_cosine(first, second, self.q)
+            self._cache[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"QGramCosineSimilarity(q={self.q})"
+
+
+class LevenshteinSimilarity:
+    """Normalized string edit similarity."""
+
+    def __init__(self):
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def __call__(self, first: str, second: str) -> float:
+        key = (first, second) if first <= second else (second, first)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = levenshtein_similarity(first, second)
+            self._cache[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return "LevenshteinSimilarity()"
+
+
+class JaccardTokenSimilarity:
+    """Jaccard index over lower-cased whitespace tokens.
+
+    A cheap word-level similarity useful for long descriptive labels
+    ("Check Inventory" vs "Inventory Checking & Validation").
+    """
+
+    def __call__(self, first: str, second: str) -> float:
+        tokens_first = set(first.lower().split())
+        tokens_second = set(second.lower().split())
+        if not tokens_first and not tokens_second:
+            return 1.0
+        if not tokens_first or not tokens_second:
+            return 0.0
+        intersection = len(tokens_first & tokens_second)
+        union = len(tokens_first | tokens_second)
+        return intersection / union
+
+
+class CompositeAwareSimilarity:
+    """Adapter scoring composite nodes by their member sets.
+
+    A merged node ``⟨C+D⟩`` should be compared to a label like
+    "Inventory Checking & Validation" through its members, not through the
+    synthetic bracket syntax.  Given the member maps of both graphs, this
+    wrapper scores a node pair symmetrically: every member on each side
+    finds its best match on the other side, and the two per-side averages
+    are averaged.  The symmetric form matters for the greedy composite
+    loop — a one-sided best-match average only ever grows under merging,
+    which would let label similarity push the loop into runaway merges.
+    """
+
+    def __init__(
+        self,
+        base: LabelSimilarity,
+        members_first: dict[str, frozenset[str]],
+        members_second: dict[str, frozenset[str]],
+    ):
+        self.base = base
+        self.members_first = members_first
+        self.members_second = members_second
+
+    def __call__(self, first: str, second: str) -> float:
+        left = sorted(self.members_first.get(first, frozenset({first})))
+        right = sorted(self.members_second.get(second, frozenset({second})))
+        left_coverage = sum(
+            max(self.base(member, other) for other in right) for member in left
+        ) / len(left)
+        right_coverage = sum(
+            max(self.base(member, other) for other in left) for member in right
+        ) / len(right)
+        return (left_coverage + right_coverage) / 2.0

@@ -1,0 +1,37 @@
+"""Levenshtein edit distance and the normalized similarity derived from it.
+
+String edit distance [Levenshtein 1966] is the classic syntactic label
+similarity the paper cites as the straightforward (and, on opaque names,
+ineffective) approach.  Implemented with the standard two-row dynamic
+program, O(len(a) * len(b)) time and O(min) space.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(first: str, second: str) -> int:
+    """The minimum number of single-character edits between two strings."""
+    if first == second:
+        return 0
+    if len(first) < len(second):
+        first, second = second, first
+    if not second:
+        return len(first)
+    previous = list(range(len(second) + 1))
+    for row, char_a in enumerate(first, start=1):
+        current = [row]
+        for column, char_b in enumerate(second, start=1):
+            insertion = current[column - 1] + 1
+            deletion = previous[column] + 1
+            substitution = previous[column - 1] + (char_a != char_b)
+            current.append(min(insertion, deletion, substitution))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(first: str, second: str) -> float:
+    """``1 - distance / max_length``, in [0, 1]; 1.0 for two empty strings."""
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(first.lower(), second.lower()) / longest

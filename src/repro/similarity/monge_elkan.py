@@ -1,0 +1,61 @@
+"""Monge-Elkan similarity: token-level best-match averaging.
+
+The standard hybrid string measure for multi-word labels ("Check
+Inventory" vs "Inventory Check & Validation"): split both labels into
+tokens, score every token of the first against its best match in the
+second with an inner character-level similarity, and average.  The
+symmetric variant averages both directions — the same construction the
+composite-aware adapter uses for member sets.
+"""
+
+from __future__ import annotations
+
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.labels import LabelSimilarity
+
+
+def monge_elkan(
+    first: str,
+    second: str,
+    inner: LabelSimilarity | None = None,
+) -> float:
+    """One-directional Monge-Elkan score of *first* against *second*."""
+    scorer = inner if inner is not None else jaro_winkler_similarity
+    tokens_first = first.lower().split()
+    tokens_second = second.lower().split()
+    if not tokens_first and not tokens_second:
+        return 1.0
+    if not tokens_first or not tokens_second:
+        return 0.0
+    return sum(
+        max(scorer(token, other) for other in tokens_second)
+        for token in tokens_first
+    ) / len(tokens_first)
+
+
+def symmetric_monge_elkan(
+    first: str,
+    second: str,
+    inner: LabelSimilarity | None = None,
+) -> float:
+    """Average of both Monge-Elkan directions (a symmetric measure)."""
+    return (monge_elkan(first, second, inner) + monge_elkan(second, first, inner)) / 2.0
+
+
+class MongeElkanSimilarity:
+    """A :class:`LabelSimilarity` using symmetric Monge-Elkan."""
+
+    def __init__(self, inner: LabelSimilarity | None = None):
+        self.inner = inner
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def __call__(self, first: str, second: str) -> float:
+        key = (first, second) if first <= second else (second, first)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = symmetric_monge_elkan(first, second, self.inner)
+            self._cache[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"MongeElkanSimilarity(inner={self.inner!r})"

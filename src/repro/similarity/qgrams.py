@@ -1,0 +1,48 @@
+"""q-gram tokenization and cosine similarity over q-gram vectors.
+
+The paper's experiments use "a state-of-the-art string similarity measure,
+cosine similarity with q-grams" (Gravano et al., WWW 2003) as the label
+similarity ``S^L``.  Strings are padded with ``q - 1`` boundary markers on
+each side, as is standard, so that prefixes and suffixes contribute
+distinguishable grams.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+_PAD = ""  # non-printable boundary marker; cannot occur in labels
+
+
+def qgrams(text: str, q: int = 3) -> Counter[str]:
+    """The multiset of padded q-grams of *text*.
+
+    An empty string yields an empty multiset.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if not text:
+        return Counter()
+    padded = _PAD * (q - 1) + text.lower() + _PAD * (q - 1)
+    return Counter(padded[i : i + q] for i in range(len(padded) - q + 1))
+
+
+def cosine(left: Counter[str], right: Counter[str]) -> float:
+    """Cosine similarity of two sparse count vectors, in [0, 1]."""
+    if not left or not right:
+        return 0.0
+    # Iterate over the smaller vector for the dot product.
+    if len(left) > len(right):
+        left, right = right, left
+    dot = sum(count * right[gram] for gram, count in left.items())
+    if dot == 0:
+        return 0.0
+    norm_left = math.sqrt(sum(count * count for count in left.values()))
+    norm_right = math.sqrt(sum(count * count for count in right.values()))
+    return dot / (norm_left * norm_right)
+
+
+def qgram_cosine(first: str, second: str, q: int = 3) -> float:
+    """Cosine similarity of the padded q-gram vectors of two strings."""
+    return cosine(qgrams(first, q), qgrams(second, q))

@@ -1,0 +1,56 @@
+"""Synthetic workload generation: models, playout, mutations, corpora."""
+
+from repro.synthesis.corpus import (
+    LogPair,
+    build_dislocation_pair,
+    build_real_like_corpus,
+    build_scalability_pair,
+    build_scalability_pairs,
+    composite_pairs,
+    make_log_pair,
+    singleton_testbeds,
+)
+from repro.synthesis.examples import figure1_logs, turbine_order_logs
+from repro.synthesis.generator import (
+    ACYCLIC_PROFILE,
+    GeneratorProfile,
+    random_process_tree,
+)
+from repro.synthesis.mutations import dislocate, opacify, split_activities
+from repro.synthesis.playout import play_out
+from repro.synthesis.process_tree import (
+    Choice,
+    Leaf,
+    Loop,
+    Parallel,
+    ProcessTree,
+    Sequence,
+    Silent,
+)
+
+__all__ = [
+    "LogPair",
+    "make_log_pair",
+    "build_real_like_corpus",
+    "build_scalability_pair",
+    "build_scalability_pairs",
+    "build_dislocation_pair",
+    "singleton_testbeds",
+    "composite_pairs",
+    "figure1_logs",
+    "turbine_order_logs",
+    "GeneratorProfile",
+    "ACYCLIC_PROFILE",
+    "random_process_tree",
+    "play_out",
+    "dislocate",
+    "opacify",
+    "split_activities",
+    "ProcessTree",
+    "Leaf",
+    "Silent",
+    "Sequence",
+    "Choice",
+    "Parallel",
+    "Loop",
+]

@@ -1,0 +1,401 @@
+"""Benchmark corpora: the proprietary-dataset substitutes.
+
+The paper evaluates on 149 real event-log pairs from a bus manufacturer
+(ground truth by 49 subject-matter experts) plus BeehiveZ-generated
+synthetic logs.  Neither is available, so this module builds deterministic
+synthetic equivalents that exercise the same phenomena:
+
+* :func:`build_real_like_corpus` — 149 log pairs over 10 functional
+  areas; the first group of 103 pairs has no composite events and is
+  split into the paper's dislocation testbeds DS-F (23 pairs, dislocated
+  at trace ends), DS-B (22, at trace beginnings) and DS-FB (58, both);
+  the remaining 46 pairs contain composite events.
+* :func:`build_scalability_pairs` — the Figure 8 corpus: random models of
+  10..100 activities, two logs played out per model under disjoint
+  vocabularies (truth links ``Activity i`` to ``Task i``).
+* :func:`build_dislocation_pair` — the Figure 9 setup: one model, two
+  logs, the first ``m`` events of every trace removed from the second.
+
+Every builder takes a seed and is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import SynthesisError
+from repro.logs.log import EventLog
+from repro.matching.evaluation import Correspondence
+from repro.synthesis.generator import (
+    ACYCLIC_PROFILE,
+    GeneratorProfile,
+    perturbed,
+    random_process_tree,
+    reweighted,
+)
+from repro.synthesis.mutations import dislocate, opacify, split_activities
+from repro.synthesis.names import FUNCTIONAL_AREAS, area_pool
+from repro.synthesis.process_tree import Sequence as SequenceNode
+from repro.synthesis.playout import play_out
+
+TESTBED_DSF = "DS-F"
+TESTBED_DSB = "DS-B"
+TESTBED_DSFB = "DS-FB"
+TESTBED_COMPOSITE = "COMPOSITE"
+
+#: Group sizes of the paper's real dataset (Section 5.1).
+REAL_CORPUS_PLAN: tuple[tuple[str, int], ...] = (
+    (TESTBED_DSF, 23),
+    (TESTBED_DSB, 22),
+    (TESTBED_DSFB, 58),
+    (TESTBED_COMPOSITE, 46),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LogPair:
+    """Two heterogeneous logs of the same process, with ground truth."""
+
+    name: str
+    area: str
+    testbed: str
+    log_first: EventLog
+    log_second: EventLog
+    truth: tuple[Correspondence, ...]
+    diagnostics: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def activity_count(self) -> int:
+        return max(len(self.log_first.activities()), len(self.log_second.activities()))
+
+
+def _truth_from_mapping(
+    log_first: EventLog,
+    log_second: EventLog,
+    rename: dict[str, str],
+    composite_parts: dict[str, tuple[str, ...]] | None = None,
+) -> tuple[Correspondence, ...]:
+    """Ground truth for activities surviving in both logs.
+
+    ``rename`` maps subsidiary-1 activity names to their subsidiary-2
+    surface forms; ``composite_parts`` maps a subsidiary-1 activity to
+    the run of sub-steps it was split into in ``log_first``.
+    """
+    activities_first = log_first.activities()
+    activities_second = log_second.activities()
+    truth: list[Correspondence] = []
+    composite_parts = composite_parts or {}
+    for original, renamed in sorted(rename.items()):
+        if renamed not in activities_second:
+            continue  # dislocated away entirely
+        parts = composite_parts.get(original)
+        if parts is not None:
+            present = frozenset(part for part in parts if part in activities_first)
+            if present:
+                truth.append(Correspondence(present, frozenset({renamed})))
+        elif original in activities_first:
+            truth.append(Correspondence.one_to_one(original, renamed))
+    return tuple(truth)
+
+
+def _dislocate_clamped(log: EventLog, count: int, where: str) -> EventLog:
+    """Dislocate by *count*, backing off so most traces (and some
+    structure) survive — short traces in heavily branching models would
+    otherwise vanish entirely."""
+    for attempt in range(count, 0, -1):
+        try:
+            result = dislocate(log, attempt, where)  # type: ignore[arg-type]
+        except SynthesisError:
+            continue
+        if len(result) >= max(1, len(log) // 2) and len(result.activities()) >= 3:
+            return result
+    return log
+
+
+def make_log_pair(
+    area: str,
+    size: int,
+    testbed: str,
+    seed: int,
+    traces_per_log: int = 60,
+    dislocation: int = 1,
+    opaque_fraction: float = 0.25,
+    composite_splits: int = 0,
+    structural_swaps: int = 1,
+    profile: GeneratorProfile | None = None,
+    name: str | None = None,
+) -> LogPair:
+    """Build one heterogeneous log pair for *area* (see module docstring).
+
+    Dislocation follows the paper's Challenge 2 literally: the first
+    subsidiary's process contains *extra* activities at the trace
+    boundaries (``dislocation`` of them per affected end) that the second
+    subsidiary's process lacks — like ``Order Accepted(1)`` in Example 1 —
+    so the shared part starts/ends at different positions in the two logs.
+    ``log_first`` uses subsidiary-1 labels (with *composite_splits* of its
+    activities split into sub-step runs); ``log_second`` uses subsidiary-2
+    labels, a fraction of them garbled.
+    """
+    if testbed not in (TESTBED_DSF, TESTBED_DSB, TESTBED_DSFB, TESTBED_COMPOSITE):
+        raise SynthesisError(f"unknown testbed {testbed!r}")
+    rng = random.Random(seed)
+    extra_head = dislocation if testbed in (TESTBED_DSB, TESTBED_DSFB) else 0
+    extra_tail = dislocation if testbed in (TESTBED_DSF, TESTBED_DSFB) else 0
+    # Dislocation may be one-sided (only one subsidiary records the extra
+    # steps — the Example 1 situation, where event A then has no
+    # predecessor at all) or two-sided (each subsidiary has its own
+    # boundary steps).  Real integrations contain both; mix them.
+    head_mode = rng.choice(("first", "second", "both"))
+    tail_mode = rng.choice(("first", "second", "both"))
+
+    pool = area_pool(area)
+    if size > len(pool):
+        raise SynthesisError(
+            f"area {area!r} has only {len(pool)} activities, requested {size}"
+        )
+    # Each subsidiary gets its *own* exclusive boundary activities (like
+    # Order Accepted(1) in Example 1, which only the second log records).
+    # Back the extras off to what the name pool can supply (two-sided
+    # ends consume two pool entries per dislocated event).
+    def _pool_demand() -> int:
+        head_sides = 2 if head_mode == "both" else 1
+        tail_sides = 2 if tail_mode == "both" else 1
+        return size + extra_head * head_sides + extra_tail * tail_sides
+
+    while _pool_demand() > len(pool):
+        if extra_tail >= extra_head and extra_tail > 0:
+            extra_tail -= 1
+        elif extra_head > 0:
+            extra_head -= 1
+        else:
+            break
+    head_first_count = extra_head if head_mode in ("first", "both") else 0
+    head_second_count = extra_head if head_mode in ("second", "both") else 0
+    tail_first_count = extra_tail if tail_mode in ("first", "both") else 0
+    tail_second_count = extra_tail if tail_mode in ("second", "both") else 0
+    total_extras = (
+        head_first_count + head_second_count + tail_first_count + tail_second_count
+    )
+    chosen = rng.sample(pool, size + total_extras)
+    cursor = size
+    core = chosen[:cursor]
+    head_first = chosen[cursor : cursor + head_first_count]
+    cursor += head_first_count
+    head_second = chosen[cursor : cursor + head_second_count]
+    cursor += head_second_count
+    tail_first = chosen[cursor : cursor + tail_first_count]
+    cursor += tail_first_count
+    tail_second = chosen[cursor:]
+    core_labels = [first for first, _ in core]
+    rename = {first: second for first, second in core}
+
+    core_tree = random_process_tree(core_labels, rng, profile)
+
+    def assemble(head: list[tuple[str, str]], middle, tail: list[tuple[str, str]],
+                 label_index: int):
+        blocks: list = []
+        if head:
+            blocks.append(
+                random_process_tree([entry[label_index] for entry in head], rng, profile)
+            )
+        blocks.append(middle)
+        if tail:
+            blocks.append(
+                random_process_tree([entry[label_index] for entry in tail], rng, profile)
+            )
+        return SequenceNode(blocks) if len(blocks) > 1 else middle
+
+    tree_first = assemble(head_first, core_tree, tail_first, 0)
+    log_first = play_out(
+        tree_first, traces_per_log, rng, name=f"{area}-s1", case_prefix="s1"
+    )
+
+    # The second subsidiary runs a different implementation of the shared
+    # core — same steps, slightly different step order, different branch
+    # probabilities — plus its own boundary extras.
+    core_second = reweighted(perturbed(core_tree, rng, swaps=structural_swaps), rng)
+    tree_second = assemble(head_second, core_second, tail_second, 1)
+    log_second = play_out(
+        tree_second, traces_per_log, rng, name=f"{area}-s2", case_prefix="s2"
+    ).relabel(rename)
+
+    if opaque_fraction > 0.0:
+        log_second, garbled = opacify(log_second, rng, opaque_fraction)
+        rename = {
+            original: garbled.get(renamed, renamed)
+            for original, renamed in rename.items()
+        }
+
+    composite_parts: dict[str, tuple[str, ...]] | None = None
+    if composite_splits > 0:
+        split_targets = rng.sample(sorted(log_first.activities()), composite_splits)
+        log_first, composite_parts = split_activities(
+            log_first, split_targets, parts=rng.choice((2, 2, 3))
+        )
+
+    truth = _truth_from_mapping(log_first, log_second, rename, composite_parts)
+    return LogPair(
+        name=name if name is not None else f"{area}-{testbed}-{seed}",
+        area=area,
+        testbed=testbed,
+        log_first=log_first,
+        log_second=log_second,
+        truth=truth,
+        diagnostics={"size": float(size), "seed": float(seed)},
+    )
+
+
+def build_real_like_corpus(
+    seed: int = 2014,
+    traces_per_log: int = 100,
+    plan: Sequence[tuple[str, int]] = REAL_CORPUS_PLAN,
+) -> list[LogPair]:
+    """The 149-pair substitute for the bus manufacturer's dataset."""
+    rng = random.Random(seed)
+    pairs: list[LogPair] = []
+    index = 0
+    for testbed, count in plan:
+        for _ in range(count):
+            area = FUNCTIONAL_AREAS[index % len(FUNCTIONAL_AREAS)]
+            pool_size = len(area_pool(area))
+            dislocation = rng.choice((1, 2, 2, 3))
+            extras = dislocation * (2 if testbed == TESTBED_DSFB else 1)
+            size = rng.randint(6, max(6, min(11, pool_size - extras)))
+            composite_splits = rng.randint(1, 2) if testbed == TESTBED_COMPOSITE else 0
+            swaps = 1 if rng.random() < 0.5 else 0
+            pairs.append(
+                make_log_pair(
+                    area=area,
+                    size=size,
+                    testbed=testbed,
+                    seed=rng.randrange(2**31),
+                    traces_per_log=traces_per_log,
+                    dislocation=dislocation,
+                    composite_splits=composite_splits,
+                    structural_swaps=swaps,
+                    name=f"pair-{index:03d}-{area}-{testbed}",
+                )
+            )
+            index += 1
+    return pairs
+
+
+def singleton_testbeds(corpus: list[LogPair]) -> dict[str, list[LogPair]]:
+    """Group the non-composite pairs of *corpus* by dislocation testbed."""
+    testbeds: dict[str, list[LogPair]] = {
+        TESTBED_DSF: [],
+        TESTBED_DSB: [],
+        TESTBED_DSFB: [],
+    }
+    for pair in corpus:
+        if pair.testbed in testbeds:
+            testbeds[pair.testbed].append(pair)
+    return testbeds
+
+
+def composite_pairs(corpus: list[LogPair]) -> list[LogPair]:
+    """The composite-event pairs of *corpus*."""
+    return [pair for pair in corpus if pair.testbed == TESTBED_COMPOSITE]
+
+
+# ----------------------------------------------------------------------
+# Scalability corpus (Figure 8)
+# ----------------------------------------------------------------------
+def _generic_names(count: int, prefix: str = "Activity") -> list[str]:
+    return [f"{prefix} {index:03d}" for index in range(count)]
+
+
+def build_scalability_pair(
+    size: int,
+    seed: int,
+    traces_per_log: int = 80,
+    name: str | None = None,
+) -> LogPair:
+    """One synthetic pair of *size* activities; truth links ``Activity i``
+    to ``Task i``.
+
+    The paper generates both logs from the same specification, so "events
+    in two logs with the same name correspond to each other" — that is a
+    ground-truth statement, not a hint available to the (structural-only)
+    matchers.  We relabel the second log to a disjoint vocabulary so that
+    no matcher can accidentally benefit from name equality (e.g. through
+    deterministic tie-breaking over sorted node names).
+    """
+    rng = random.Random(seed)
+    names = _generic_names(size)
+    # Shuffled task indices: otherwise both vocabularies sort in truth
+    # order and any matcher breaking ties lexicographically would recover
+    # the mapping by accident.
+    task_names = _generic_names(size, prefix="Task")
+    rng.shuffle(task_names)
+    rename = dict(zip(names, task_names))
+    tree = random_process_tree(names, rng, ACYCLIC_PROFILE)
+    log_first = play_out(tree, traces_per_log, rng, name=f"synthetic-{size}-a")
+    log_second = play_out(
+        reweighted(tree, rng), traces_per_log, rng, name=f"synthetic-{size}-b"
+    ).relabel(rename)
+    activities_second = log_second.activities()
+    truth = tuple(
+        Correspondence.one_to_one(activity, rename[activity])
+        for activity in sorted(log_first.activities())
+        if rename[activity] in activities_second
+    )
+    return LogPair(
+        name=name if name is not None else f"synthetic-{size}-{seed}",
+        area="synthetic",
+        testbed="SCALE",
+        log_first=log_first,
+        log_second=log_second,
+        truth=truth,
+        diagnostics={"size": float(size), "seed": float(seed)},
+    )
+
+
+def build_scalability_pairs(
+    sizes: Sequence[int] = tuple(range(10, 101, 10)),
+    per_size: int = 20,
+    seed: int = 2014,
+    traces_per_log: int = 80,
+) -> dict[int, list[LogPair]]:
+    """The Figure 8 corpus: *per_size* pairs for each event count."""
+    rng = random.Random(seed)
+    corpus: dict[int, list[LogPair]] = {}
+    for size in sizes:
+        corpus[size] = [
+            build_scalability_pair(
+                size, rng.randrange(2**31), traces_per_log,
+                name=f"synthetic-{size}-{index}",
+            )
+            for index in range(per_size)
+        ]
+    return corpus
+
+
+def build_dislocation_pair(
+    size: int,
+    removed: int,
+    seed: int,
+    traces_per_log: int = 80,
+) -> LogPair:
+    """The Figure 9 setup: remove the first *removed* events per trace."""
+    base = build_scalability_pair(size, seed, traces_per_log)
+    log_second = (
+        dislocate(base.log_second, removed, "begin") if removed else base.log_second
+    )
+    activities_second = log_second.activities()
+    truth = tuple(
+        correspondence
+        for correspondence in base.truth
+        if correspondence.right <= activities_second
+    )
+    return LogPair(
+        name=f"dislocated-{size}-m{removed}-{seed}",
+        area="synthetic",
+        testbed="DISLOC",
+        log_first=base.log_first,
+        log_second=log_second,
+        truth=truth,
+        diagnostics={"size": float(size), "removed": float(removed)},
+    )

@@ -1,0 +1,77 @@
+"""The paper's running example (Figure 1) as ready-made fixtures.
+
+Two reconstructions of the turbine-order-processing fragment are
+provided: :func:`figure1_logs` with the paper's single-letter shorthand
+(A-F vs 1-6) and :func:`turbine_order_logs` with the full activity names.
+The trace mix is chosen so the resulting dependency graphs carry exactly
+the frequencies of Figure 2 — the library reproduces the paper's worked
+numbers on this fixture (Examples 4, 6, 7):
+
+* ``S^1(A, 1) = 0.457``, ``S^1(A, 2) = 0.6`` (Example 4),
+* exact ``S(C, 4) = 0.587``; estimation with ``I = 0`` gives 0.409
+  (Example 6),
+* combined-direction ``avg(S) = 0.502``, ``avg(S^{C,D}) = 0.509``
+  (Example 7 reports 0.502 and 0.508).
+"""
+
+from __future__ import annotations
+
+from repro.logs.log import EventLog
+from repro.matching.evaluation import Correspondence
+
+
+def figure1_logs() -> tuple[EventLog, EventLog, tuple[Correspondence, ...]]:
+    """The letter-named Figure 1 logs and their ground truth."""
+    log_first = EventLog(
+        [list("ACDEF")] * 4 + [list("BCDFE")] * 6,
+        name="L1",
+    )
+    log_second = EventLog(
+        [list("12456")] * 4 + [list("13465")] * 6,
+        name="L2",
+    )
+    truth = (
+        Correspondence.one_to_one("A", "2"),
+        Correspondence.one_to_one("B", "3"),
+        Correspondence(frozenset({"C", "D"}), frozenset({"4"})),
+        Correspondence.one_to_one("E", "5"),
+        Correspondence.one_to_one("F", "6"),
+    )
+    return log_first, log_second, truth
+
+
+#: Letter -> full activity name, subsidiary 1 (Figure 1(a)).
+SUBSIDIARY_1_NAMES: dict[str, str] = {
+    "A": "Paid by Cash",
+    "B": "Paid by Credit Card",
+    "C": "Check Inventory",
+    "D": "Validate",
+    "E": "Ship Goods",
+    "F": "Email Customer",
+}
+
+#: Digit -> full activity name, subsidiary 2 (Figure 1(b)).  Event 5 is
+#: the garbled "?????" whose original name was "Delivery".
+SUBSIDIARY_2_NAMES: dict[str, str] = {
+    "1": "Order Accepted",
+    "2": "Paid by Cash",
+    "3": "Paid by Credit Card",
+    "4": "Inventory Checking & Validation",
+    "5": "?????",
+    "6": "Notify Client",
+}
+
+
+def turbine_order_logs() -> tuple[EventLog, EventLog, tuple[Correspondence, ...]]:
+    """The Figure 1 logs with full activity names (Example 1)."""
+    letters_first, letters_second, letter_truth = figure1_logs()
+    log_first = letters_first.relabel(SUBSIDIARY_1_NAMES, name="subsidiary-1")
+    log_second = letters_second.relabel(SUBSIDIARY_2_NAMES, name="subsidiary-2")
+    truth = tuple(
+        Correspondence(
+            frozenset(SUBSIDIARY_1_NAMES[letter] for letter in correspondence.left),
+            frozenset(SUBSIDIARY_2_NAMES[digit] for digit in correspondence.right),
+        )
+        for correspondence in letter_truth
+    )
+    return log_first, log_second, truth

@@ -1,0 +1,243 @@
+"""Random process-model generation (the BeehiveZ substitute).
+
+Given a list of activity names, :func:`random_process_tree` builds a
+random block-structured model containing each activity exactly once, by
+recursively partitioning the activity list and picking a control-flow
+operator per block.  The operator mix is configurable; the defaults are
+sequence-heavy, like real administrative processes (and like the models
+the paper's survey describes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence as SequenceType
+
+from repro.exceptions import SynthesisError
+from repro.synthesis.process_tree import (
+    Choice,
+    Leaf,
+    Loop,
+    Parallel,
+    ProcessTree,
+    Sequence,
+    Silent,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorProfile:
+    """Operator mix and shape knobs for random model generation.
+
+    Probabilities are relative weights for choosing the operator of an
+    inner block; ``max_branches`` bounds the fan-out of every operator.
+    """
+
+    weight_sequence: float = 5.0
+    weight_choice: float = 1.5
+    weight_parallel: float = 1.2
+    weight_loop: float = 0.3
+    max_branches: int = 3
+    optional_probability: float = 0.1
+    loop_redo_probability: float = 0.25
+    #: Real administrative processes are sequences at the top level: most
+    #: steps happen in (almost) every trace.  Forcing a sequence root keeps
+    #: node frequencies realistically flat instead of giving every
+    #: activity a distinctive branch-probability fingerprint.
+    root_sequence: bool = True
+
+    def __post_init__(self) -> None:
+        weights = (
+            self.weight_sequence,
+            self.weight_choice,
+            self.weight_parallel,
+            self.weight_loop,
+        )
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise SynthesisError("operator weights must be non-negative, not all zero")
+        if self.max_branches < 2:
+            raise SynthesisError(f"max_branches must be >= 2, got {self.max_branches}")
+
+
+#: A profile without loops or optional branches: every activity occurs in
+#: every trace region it guards, which keeps ground truth crisp.  Used by
+#: the scalability corpus.
+ACYCLIC_PROFILE = GeneratorProfile(weight_loop=0.0, optional_probability=0.0)
+
+
+def random_process_tree(
+    activity_names: SequenceType[str],
+    rng: random.Random,
+    profile: GeneratorProfile | None = None,
+) -> ProcessTree:
+    """A random block-structured model over exactly *activity_names*."""
+    names = list(activity_names)
+    if not names:
+        raise SynthesisError("need at least one activity name")
+    if len(set(names)) != len(names):
+        raise SynthesisError("activity names must be unique")
+    profile = profile if profile is not None else GeneratorProfile()
+    if profile.root_sequence and len(names) >= 4:
+        branch_count = rng.randint(3, min(profile.max_branches + 1, len(names)))
+        blocks = _partition(names, branch_count, rng)
+        return Sequence([_build(block, rng, profile, allow_loop=True) for block in blocks])
+    return _build(names, rng, profile, allow_loop=True)
+
+
+def _build(
+    names: list[str],
+    rng: random.Random,
+    profile: GeneratorProfile,
+    allow_loop: bool,
+) -> ProcessTree:
+    if len(names) == 1:
+        return Leaf(names[0])
+    operators = ["sequence", "choice", "parallel"]
+    weights = [profile.weight_sequence, profile.weight_choice, profile.weight_parallel]
+    if allow_loop and len(names) >= 3 and profile.weight_loop > 0:
+        operators.append("loop")
+        weights.append(profile.weight_loop)
+    operator = rng.choices(operators, weights=weights, k=1)[0]
+
+    if operator == "loop":
+        # Loops nest poorly in event logs; one level is plenty of realism.
+        redo_size = max(1, len(names) // 4)
+        redo_names = names[-redo_size:]
+        body_names = names[:-redo_size]
+        return Loop(
+            _build(body_names, rng, profile, allow_loop=False),
+            _build(redo_names, rng, profile, allow_loop=False),
+            redo_probability=profile.loop_redo_probability,
+        )
+
+    branch_count = rng.randint(2, min(profile.max_branches, len(names)))
+    blocks = _partition(names, branch_count, rng)
+    children = [_build(block, rng, profile, allow_loop) for block in blocks]
+    if operator == "sequence":
+        return Sequence(children)
+    if operator == "parallel":
+        return Parallel(children)
+    # Exclusive choice; occasionally make a branch optional via Silent.
+    weights_out = [rng.uniform(0.5, 2.0) for _ in children]
+    if rng.random() < profile.optional_probability:
+        children.append(Silent())
+        weights_out.append(0.5)
+    return Choice(children, weights=weights_out)
+
+
+def reweighted(
+    tree: ProcessTree, rng: random.Random, spread: float = 0.35
+) -> ProcessTree:
+    """A structurally identical copy of *tree* with jittered weights.
+
+    The two subsidiaries of the paper's dataset run *different
+    implementations* of the same business activities, so the two logs of
+    a pair must not share branch probabilities — otherwise raw frequency
+    profiles become an unrealistically strong fingerprint.  This clones
+    the model, multiplying every choice weight by a factor in
+    ``[1 - spread, 1 + spread]`` and jittering loop probabilities, while
+    keeping the control flow identical.
+    """
+    if isinstance(tree, Leaf) or isinstance(tree, Silent):
+        return tree
+    if isinstance(tree, Loop):
+        probability = min(0.9, max(0.05, tree.redo_probability * rng.uniform(1 - spread, 1 + spread)))
+        return Loop(
+            reweighted(tree.body, rng, spread),
+            reweighted(tree.redo, rng, spread),
+            redo_probability=probability,
+            max_repeats=tree.max_repeats,
+        )
+    if isinstance(tree, Sequence):
+        return Sequence([reweighted(child, rng, spread) for child in tree.children])
+    if isinstance(tree, Parallel):
+        return Parallel([reweighted(child, rng, spread) for child in tree.children])
+    if isinstance(tree, Choice):
+        children = [reweighted(child, rng, spread) for child in tree.children]
+        base = tree.weights if tree.weights is not None else [1.0] * len(children)
+        return Choice(
+            children,
+            weights=[weight * rng.uniform(1 - spread, 1 + spread) for weight in base],
+        )
+    raise SynthesisError(f"unknown tree node type {type(tree).__name__}")
+
+
+def perturbed(tree: ProcessTree, rng: random.Random, swaps: int = 1) -> ProcessTree:
+    """A copy of *tree* with up to *swaps* sequence blocks reordered.
+
+    Different implementations of the same business activity often perform
+    the same steps in a slightly different order (the paper's Example 1:
+    one subsidiary takes payment before checking inventory, the other
+    after accepting the order).  This operator injects that structural
+    heterogeneity: it picks random ``Sequence`` nodes and swaps two
+    adjacent children, changing the dependency-graph edges while keeping
+    the activity vocabulary and ground truth intact.
+    """
+    if swaps < 0:
+        raise SynthesisError(f"swaps must be non-negative, got {swaps}")
+    result = tree
+    for _ in range(swaps):
+        sequences = _sequence_nodes(result)
+        candidates = [node for node in sequences if len(node.children) >= 2]
+        if not candidates:
+            break
+        target = rng.choice(candidates)
+        index = rng.randrange(len(target.children) - 1)
+        result = _swap_in_copy(result, target, index)
+    return result
+
+
+def _sequence_nodes(tree: ProcessTree) -> list[Sequence]:
+    found: list[Sequence] = []
+    if isinstance(tree, Sequence):
+        found.append(tree)
+    if isinstance(tree, Loop):
+        found.extend(_sequence_nodes(tree.body))
+        found.extend(_sequence_nodes(tree.redo))
+    elif isinstance(tree, (Sequence, Choice, Parallel)):
+        for child in tree.children:
+            found.extend(_sequence_nodes(child))
+    return found
+
+
+def _swap_in_copy(tree: ProcessTree, target: Sequence, index: int) -> ProcessTree:
+    """Rebuild *tree*, swapping children *index*/*index+1* of *target*.
+
+    Identity comparison locates the target node, so equal-looking but
+    distinct subtrees are never confused.
+    """
+    if tree is target:
+        children = list(target.children)
+        children[index], children[index + 1] = children[index + 1], children[index]
+        return Sequence(children)
+    if isinstance(tree, Loop):
+        return Loop(
+            _swap_in_copy(tree.body, target, index),
+            _swap_in_copy(tree.redo, target, index),
+            redo_probability=tree.redo_probability,
+            max_repeats=tree.max_repeats,
+        )
+    if isinstance(tree, Sequence):
+        return Sequence([_swap_in_copy(child, target, index) for child in tree.children])
+    if isinstance(tree, Parallel):
+        return Parallel([_swap_in_copy(child, target, index) for child in tree.children])
+    if isinstance(tree, Choice):
+        return Choice(
+            [_swap_in_copy(child, target, index) for child in tree.children],
+            weights=tree.weights,
+        )
+    return tree
+
+
+def _partition(names: list[str], blocks: int, rng: random.Random) -> list[list[str]]:
+    """Split *names* into *blocks* contiguous non-empty groups."""
+    if blocks >= len(names):
+        return [[name] for name in names]
+    cut_points = sorted(rng.sample(range(1, len(names)), blocks - 1))
+    result: list[list[str]] = []
+    start = 0
+    for cut in cut_points + [len(names)]:
+        result.append(names[start:cut])
+        start = cut
+    return result

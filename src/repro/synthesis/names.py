@@ -1,0 +1,197 @@
+"""Activity name pools for the real-like corpus.
+
+The paper's real dataset spans "10 different functional areas in the OA
+systems of two subsidiaries"; the two subsidiaries label the *same*
+business step differently.  Each pool entry is therefore a pair of
+surface forms: the first subsidiary's label and the second's.  The two
+forms share vocabulary (so q-gram cosine similarity is informative but
+imperfect, as in Figure 4), while opacification (below) destroys it (the
+Figure 3 setting).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+#: area -> list of (subsidiary-1 label, subsidiary-2 label).
+AREA_ACTIVITIES: dict[str, list[tuple[str, str]]] = {
+    "order-processing": [
+        ("Receive Order", "Order Intake"),
+        ("Check Inventory", "Inventory Check"),
+        ("Validate Order", "Order Validation"),
+        ("Reserve Stock", "Stock Reservation"),
+        ("Confirm Order", "Order Confirmation"),
+        ("Paid by Cash", "Cash Payment"),
+        ("Paid by Credit Card", "Credit Card Payment"),
+        ("Schedule Production", "Production Scheduling"),
+        ("Assemble Product", "Product Assembly"),
+        ("Quality Inspection", "Inspect Quality"),
+        ("Pack Goods", "Goods Packing"),
+        ("Ship Goods", "Goods Shipment"),
+        ("Email Customer", "Customer Notification"),
+        ("Issue Invoice", "Invoice Issuing"),
+        ("Archive Order", "Order Archiving"),
+        ("Handle Return", "Return Handling"),
+    ],
+    "procurement": [
+        ("Create Purchase Request", "Purchase Request Entry"),
+        ("Approve Purchase Request", "Request Approval"),
+        ("Select Supplier", "Supplier Selection"),
+        ("Request Quotation", "Quotation Request"),
+        ("Compare Quotations", "Quotation Comparison"),
+        ("Negotiate Terms", "Terms Negotiation"),
+        ("Issue Purchase Order", "Purchase Order Issuing"),
+        ("Receive Goods", "Goods Receipt"),
+        ("Inspect Delivery", "Delivery Inspection"),
+        ("Book Invoice", "Invoice Booking"),
+        ("Approve Payment", "Payment Approval"),
+        ("Execute Payment", "Payment Execution"),
+        ("Update Supplier Rating", "Supplier Rating Update"),
+        ("Close Purchase Order", "Purchase Order Closing"),
+    ],
+    "hr-onboarding": [
+        ("Post Job Opening", "Job Posting"),
+        ("Screen Applications", "Application Screening"),
+        ("Schedule Interview", "Interview Scheduling"),
+        ("Conduct Interview", "Interview Session"),
+        ("Check References", "Reference Check"),
+        ("Make Offer", "Offer Preparation"),
+        ("Sign Contract", "Contract Signing"),
+        ("Create Employee Record", "Employee Record Creation"),
+        ("Provision Accounts", "Account Provisioning"),
+        ("Assign Workplace", "Workplace Assignment"),
+        ("Plan Training", "Training Plan"),
+        ("Conduct Orientation", "Orientation Session"),
+        ("Confirm Probation", "Probation Confirmation"),
+    ],
+    "expense-claims": [
+        ("Submit Expense Claim", "Expense Claim Entry"),
+        ("Attach Receipts", "Receipt Upload"),
+        ("Check Policy Compliance", "Policy Check"),
+        ("Manager Approval", "Approve by Manager"),
+        ("Finance Review", "Review by Finance"),
+        ("Request Clarification", "Clarification Request"),
+        ("Approve Claim", "Claim Approval"),
+        ("Reject Claim", "Claim Rejection"),
+        ("Reimburse Employee", "Employee Reimbursement"),
+        ("Book Expense", "Expense Booking"),
+        ("Archive Claim", "Claim Archiving"),
+    ],
+    "it-service": [
+        ("Open Ticket", "Ticket Creation"),
+        ("Categorize Ticket", "Ticket Categorization"),
+        ("Assign Technician", "Technician Assignment"),
+        ("Diagnose Issue", "Issue Diagnosis"),
+        ("Escalate Ticket", "Ticket Escalation"),
+        ("Apply Fix", "Fix Application"),
+        ("Test Resolution", "Resolution Testing"),
+        ("Update Knowledge Base", "Knowledge Base Update"),
+        ("Confirm with User", "User Confirmation"),
+        ("Close Ticket", "Ticket Closing"),
+        ("Survey Satisfaction", "Satisfaction Survey"),
+    ],
+    "loan-approval": [
+        ("Receive Application", "Application Receipt"),
+        ("Verify Identity", "Identity Verification"),
+        ("Check Credit History", "Credit History Check"),
+        ("Assess Collateral", "Collateral Assessment"),
+        ("Calculate Risk Score", "Risk Scoring"),
+        ("Underwriter Review", "Review by Underwriter"),
+        ("Request Documents", "Document Request"),
+        ("Approve Loan", "Loan Approval"),
+        ("Reject Application", "Application Rejection"),
+        ("Prepare Contract", "Contract Preparation"),
+        ("Disburse Funds", "Funds Disbursement"),
+        ("Register Mortgage", "Mortgage Registration"),
+    ],
+    "insurance-claims": [
+        ("Register Claim", "Claim Registration"),
+        ("Validate Policy", "Policy Validation"),
+        ("Assign Adjuster", "Adjuster Assignment"),
+        ("Inspect Damage", "Damage Inspection"),
+        ("Estimate Loss", "Loss Estimation"),
+        ("Detect Fraud", "Fraud Detection"),
+        ("Negotiate Settlement", "Settlement Negotiation"),
+        ("Approve Settlement", "Settlement Approval"),
+        ("Pay Claim", "Claim Payment"),
+        ("Recover from Third Party", "Third Party Recovery"),
+        ("Close Claim", "Claim Closing"),
+    ],
+    "manufacturing": [
+        ("Plan Production Run", "Production Run Planning"),
+        ("Issue Materials", "Material Issuing"),
+        ("Setup Machine", "Machine Setup"),
+        ("Run First Article", "First Article Run"),
+        ("Inspect First Article", "First Article Inspection"),
+        ("Start Batch", "Batch Start"),
+        ("Monitor Process", "Process Monitoring"),
+        ("Record Downtime", "Downtime Recording"),
+        ("Complete Batch", "Batch Completion"),
+        ("Final Inspection", "Inspect Final Product"),
+        ("Move to Warehouse", "Warehouse Transfer"),
+        ("Update Stock Ledger", "Stock Ledger Update"),
+    ],
+    "logistics": [
+        ("Create Shipment", "Shipment Creation"),
+        ("Plan Route", "Route Planning"),
+        ("Book Carrier", "Carrier Booking"),
+        ("Prepare Customs Papers", "Customs Paper Preparation"),
+        ("Load Truck", "Truck Loading"),
+        ("Depart Warehouse", "Warehouse Departure"),
+        ("Customs Clearance", "Clear Customs"),
+        ("Track Transit", "Transit Tracking"),
+        ("Deliver to Customer", "Customer Delivery"),
+        ("Collect Proof of Delivery", "Proof of Delivery Collection"),
+        ("Handle Exception", "Exception Handling"),
+        ("Settle Freight Invoice", "Freight Invoice Settlement"),
+    ],
+    "customer-support": [
+        ("Receive Complaint", "Complaint Receipt"),
+        ("Acknowledge Customer", "Customer Acknowledgement"),
+        ("Classify Complaint", "Complaint Classification"),
+        ("Investigate Root Cause", "Root Cause Investigation"),
+        ("Propose Remedy", "Remedy Proposal"),
+        ("Offer Compensation", "Compensation Offer"),
+        ("Customer Accepts", "Acceptance by Customer"),
+        ("Customer Rejects", "Rejection by Customer"),
+        ("Execute Remedy", "Remedy Execution"),
+        ("Verify Resolution", "Resolution Verification"),
+        ("Close Complaint", "Complaint Closing"),
+    ],
+}
+
+FUNCTIONAL_AREAS: tuple[str, ...] = tuple(AREA_ACTIVITIES)
+
+
+def area_pool(area: str) -> list[tuple[str, str]]:
+    """The (label-1, label-2) pool of *area*."""
+    try:
+        return list(AREA_ACTIVITIES[area])
+    except KeyError:
+        raise KeyError(
+            f"unknown functional area {area!r}; known: {sorted(AREA_ACTIVITIES)}"
+        ) from None
+
+
+def opaque_name(label: str, salt: str = "") -> str:
+    """A deterministic garbled surface form of *label*.
+
+    Mimics the paper's encoding-mangled names (the "?????" events): the
+    output shares no q-grams with the input, so typographic similarity is
+    driven to zero while remaining deterministic for reproducibility.
+    """
+    digest = hashlib.sha256((salt + label).encode("utf-8")).hexdigest()
+    return f"0x{digest[:8]}"
+
+
+def garble_mapping(
+    activities: list[str], rng: random.Random, fraction: float = 1.0
+) -> dict[str, str]:
+    """Opacify a random *fraction* of *activities* (deterministic in *rng*)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    count = round(len(activities) * fraction)
+    chosen = rng.sample(sorted(activities), count)
+    salt = str(rng.random())
+    return {activity: opaque_name(activity, salt) for activity in chosen}

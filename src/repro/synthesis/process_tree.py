@@ -1,0 +1,221 @@
+"""Block-structured process trees: the workload model generator.
+
+The paper's synthetic evaluation generates "random process specifications"
+with BeehiveZ and plays them out into event logs.  We reproduce that with
+the standard process-tree formalism: a block-structured workflow model
+whose inner nodes are the control-flow operators
+
+* ``Sequence`` — children execute in order;
+* ``Choice`` — exactly one child executes (XOR, optionally weighted);
+* ``Parallel`` — all children execute, arbitrarily interleaved (AND);
+* ``Loop`` — body, then repeatedly (redo, body) with a geometric stop.
+
+Leaves are activities; a ``Silent`` leaf produces nothing (used for
+optional behaviour).  Every tree can *sample* a trace, which is how
+:mod:`repro.synthesis.playout` builds logs.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence as SequenceType
+
+from repro.exceptions import SynthesisError
+
+
+class ProcessTree(ABC):
+    """A node of a block-structured process model."""
+
+    @abstractmethod
+    def activities(self) -> frozenset[str]:
+        """All activity labels under this node."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> list[str]:
+        """Sample one execution (a list of activity labels)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A compact textual rendering (for tests and debugging)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class Leaf(ProcessTree):
+    """A single activity."""
+
+    __slots__ = ("activity",)
+
+    def __init__(self, activity: str):
+        if not activity:
+            raise SynthesisError("a leaf needs a non-empty activity name")
+        self.activity = activity
+
+    def activities(self) -> frozenset[str]:
+        return frozenset({self.activity})
+
+    def sample(self, rng: random.Random) -> list[str]:
+        return [self.activity]
+
+    def describe(self) -> str:
+        return self.activity
+
+
+class Silent(ProcessTree):
+    """A silent step (tau): contributes nothing to traces."""
+
+    __slots__ = ()
+
+    def activities(self) -> frozenset[str]:
+        return frozenset()
+
+    def sample(self, rng: random.Random) -> list[str]:
+        return []
+
+    def describe(self) -> str:
+        return "tau"
+
+
+class _Operator(ProcessTree):
+    """Shared plumbing for inner nodes."""
+
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, children: SequenceType[ProcessTree]):
+        children = tuple(children)
+        if len(children) < 1:
+            raise SynthesisError(f"{type(self).__name__} needs at least one child")
+        labels: set[str] = set()
+        for child in children:
+            child_labels = child.activities()
+            if labels & child_labels:
+                raise SynthesisError(
+                    f"duplicate activities across children: {sorted(labels & child_labels)}"
+                )
+            labels.update(child_labels)
+        self.children = children
+
+    def activities(self) -> frozenset[str]:
+        result: set[str] = set()
+        for child in self.children:
+            result.update(child.activities())
+        return frozenset(result)
+
+    def describe(self) -> str:
+        inner = ", ".join(child.describe() for child in self.children)
+        return f"{self._symbol}({inner})"
+
+
+class Sequence(_Operator):
+    """Children execute one after another."""
+
+    __slots__ = ()
+    _symbol = "->"
+
+    def sample(self, rng: random.Random) -> list[str]:
+        trace: list[str] = []
+        for child in self.children:
+            trace.extend(child.sample(rng))
+        return trace
+
+
+class Choice(_Operator):
+    """Exactly one child executes (exclusive choice)."""
+
+    __slots__ = ("weights",)
+    _symbol = "X"
+
+    def __init__(
+        self,
+        children: SequenceType[ProcessTree],
+        weights: SequenceType[float] | None = None,
+    ):
+        super().__init__(children)
+        if weights is not None:
+            weights = tuple(weights)
+            if len(weights) != len(self.children):
+                raise SynthesisError("one weight per child required")
+            if any(weight <= 0 for weight in weights):
+                raise SynthesisError("choice weights must be positive")
+            self.weights: tuple[float, ...] | None = weights
+        else:
+            self.weights = None
+
+    def sample(self, rng: random.Random) -> list[str]:
+        if self.weights is None:
+            child = rng.choice(self.children)
+        else:
+            child = rng.choices(self.children, weights=self.weights, k=1)[0]
+        return child.sample(rng)
+
+
+class Parallel(_Operator):
+    """All children execute, interleaved arbitrarily (AND split/join)."""
+
+    __slots__ = ()
+    _symbol = "+"
+
+    def sample(self, rng: random.Random) -> list[str]:
+        branches = [child.sample(rng) for child in self.children]
+        return interleave(branches, rng)
+
+
+class Loop(ProcessTree):
+    """``body (redo body)*``: redo with probability *redo_probability*.
+
+    The repeat count is geometric, truncated at *max_repeats* extra rounds
+    so traces stay finite even with adversarial probabilities.
+    """
+
+    __slots__ = ("body", "redo", "redo_probability", "max_repeats")
+
+    def __init__(
+        self,
+        body: ProcessTree,
+        redo: ProcessTree,
+        redo_probability: float = 0.3,
+        max_repeats: int = 3,
+    ):
+        if not 0.0 <= redo_probability < 1.0:
+            raise SynthesisError(
+                f"redo_probability must be in [0, 1), got {redo_probability}"
+            )
+        if max_repeats < 0:
+            raise SynthesisError(f"max_repeats must be >= 0, got {max_repeats}")
+        if body.activities() & redo.activities():
+            raise SynthesisError("loop body and redo must not share activities")
+        self.body = body
+        self.redo = redo
+        self.redo_probability = redo_probability
+        self.max_repeats = max_repeats
+
+    def activities(self) -> frozenset[str]:
+        return self.body.activities() | self.redo.activities()
+
+    def sample(self, rng: random.Random) -> list[str]:
+        trace = self.body.sample(rng)
+        repeats = 0
+        while repeats < self.max_repeats and rng.random() < self.redo_probability:
+            trace.extend(self.redo.sample(rng))
+            trace.extend(self.body.sample(rng))
+            repeats += 1
+        return trace
+
+    def describe(self) -> str:
+        return f"*({self.body.describe()}, {self.redo.describe()})"
+
+
+def interleave(branches: list[list[str]], rng: random.Random) -> list[str]:
+    """A uniformly random interleaving preserving each branch's order."""
+    pending = [list(branch) for branch in branches if branch]
+    result: list[str] = []
+    while pending:
+        weights = [len(branch) for branch in pending]
+        index = rng.choices(range(len(pending)), weights=weights, k=1)[0]
+        result.append(pending[index].pop(0))
+        if not pending[index]:
+            pending.pop(index)
+    return result

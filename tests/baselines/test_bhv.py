@@ -1,0 +1,68 @@
+"""Tests for the BHV baseline."""
+
+import pytest
+
+from repro.baselines.bhv import BHVMatcher
+from repro.logs.log import EventLog
+from repro.similarity.labels import ExactSimilarity
+
+
+class TestSimilarity:
+    def test_sourceless_pairs_score_one(self, fig1_logs):
+        """Example 2: A and 1, both without predecessors, score 1 under BHV."""
+        matrix = BHVMatcher().similarity(*fig1_logs)
+        assert matrix.get("A", "1") == pytest.approx(1.0)
+
+    def test_dislocated_pair_scores_zero(self, fig1_logs):
+        """Example 2: BHV cannot match A to its true counterpart 2."""
+        matrix = BHVMatcher().similarity(*fig1_logs)
+        assert matrix.get("A", "2") == pytest.approx(0.0)
+        assert matrix.get("A", "1") > matrix.get("A", "2")
+
+    def test_values_bounded(self, fig1_logs):
+        matrix = BHVMatcher().similarity(*fig1_logs)
+        values = matrix.values
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    def test_identical_chains_match(self):
+        log_first = EventLog([list("abc")] * 5)
+        log_second = EventLog([list("xyz")] * 5)
+        outcome = BHVMatcher().match(log_first, log_second)
+        found = {(min(c.left), min(c.right)) for c in outcome.correspondences}
+        assert found == {("a", "x"), ("b", "y"), ("c", "z")}
+
+    def test_label_similarity_blended(self):
+        log_first = EventLog([["a", "b"]] * 3)
+        log_second = EventLog([["b", "a"]] * 3)
+        matcher = BHVMatcher(alpha=0.3, label_similarity=ExactSimilarity())
+        matrix = matcher.similarity(log_first, log_second)
+        assert matrix.get("a", "a") > matrix.get("a", "b")
+
+
+class TestValidation:
+    def test_alpha_range(self):
+        with pytest.raises(ValueError):
+            BHVMatcher(alpha=1.5)
+
+    def test_c_range(self):
+        with pytest.raises(ValueError):
+            BHVMatcher(c=1.0)
+
+
+class TestEvaluate:
+    def test_objective_is_average(self, fig1_logs):
+        matcher = BHVMatcher()
+        evaluation = matcher.evaluate(
+            fig1_logs[0], fig1_logs[1], {}, {}
+        )
+        matrix = matcher.similarity(*fig1_logs)
+        assert evaluation.objective == pytest.approx(matrix.average())
+
+    def test_threshold_drops_pairs(self, fig1_logs):
+        strict = BHVMatcher(threshold=0.99)
+        evaluation = strict.evaluate(fig1_logs[0], fig1_logs[1], {}, {})
+        loose = BHVMatcher(threshold=0.0)
+        assert len(evaluation.pairs) <= len(
+            loose.evaluate(fig1_logs[0], fig1_logs[1], {}, {}).pairs
+        )

@@ -1,0 +1,63 @@
+"""Tests for the shared matcher interface plumbing."""
+
+import pytest
+
+from repro.baselines.common import (
+    Evaluation,
+    EventMatcher,
+    identity_members,
+    pairs_to_outcome,
+)
+from repro.logs.log import EventLog
+
+
+class _StubMatcher(EventMatcher):
+    name = "stub"
+
+    def evaluate(self, log_first, log_second, members_first, members_second):
+        return Evaluation(
+            objective=0.5,
+            pairs=(("a", "x"),),
+            diagnostics={"k": 1.0},
+        )
+
+
+class TestIdentityMembers:
+    def test_every_activity_maps_to_itself(self):
+        log = EventLog([["a", "b"]])
+        members = identity_members(log)
+        assert members == {"a": frozenset({"a"}), "b": frozenset({"b"})}
+
+
+class TestPairsToOutcome:
+    def test_member_expansion(self):
+        evaluation = Evaluation(0.7, (("m", "x"),))
+        outcome = pairs_to_outcome(
+            evaluation, {"m": frozenset({"p", "q"})}, {}
+        )
+        (correspondence,) = outcome.correspondences
+        assert correspondence.left == frozenset({"p", "q"})
+        assert correspondence.right == frozenset({"x"})
+        assert outcome.objective == 0.7
+
+    def test_unknown_nodes_fall_back_to_singletons(self):
+        evaluation = Evaluation(0.1, (("a", "x"),))
+        outcome = pairs_to_outcome(evaluation, {}, {})
+        (correspondence,) = outcome.correspondences
+        assert correspondence.left == frozenset({"a"})
+
+
+class TestDefaultMatch:
+    def test_match_uses_identity_members(self):
+        matcher = _StubMatcher()
+        outcome = matcher.match(EventLog([["a"]]), EventLog([["x"]]))
+        (correspondence,) = outcome.correspondences
+        assert correspondence.left == frozenset({"a"})
+        assert outcome.diagnostics["k"] == 1.0
+
+    def test_repr(self):
+        assert "stub" in repr(_StubMatcher())
+
+    def test_abstract_base_unusable(self):
+        with pytest.raises(TypeError):
+            EventMatcher()  # type: ignore[abstract]

@@ -1,0 +1,82 @@
+"""Tests for the GED baseline."""
+
+import pytest
+
+from repro.baselines.ged import GEDMatcher
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+from repro.similarity.labels import ExactSimilarity
+
+
+@pytest.fixture()
+def chain_graphs():
+    return (
+        DependencyGraph.from_log(EventLog([list("abc")] * 5)),
+        DependencyGraph.from_log(EventLog([list("xyz")] * 5)),
+    )
+
+
+class TestDistance:
+    def test_empty_mapping_distance(self, chain_graphs):
+        matcher = GEDMatcher()
+        distance = matcher.distance(*chain_graphs, mapping={})
+        # All nodes and edges skipped, no substitutions.
+        assert distance == pytest.approx(
+            matcher.weight_skip_nodes + matcher.weight_skip_edges
+        )
+
+    def test_perfect_mapping_distance_zero_when_identical(self):
+        graph = DependencyGraph.from_log(EventLog([list("abc")] * 5))
+        matcher = GEDMatcher()
+        mapping = {node: node for node in graph.nodes}
+        assert matcher.distance(graph, graph, mapping) == pytest.approx(0.0)
+
+    def test_distance_in_unit_interval(self, chain_graphs):
+        matcher = GEDMatcher()
+        for mapping in ({}, {"a": "x"}, {"a": "x", "b": "y", "c": "z"}):
+            assert 0.0 <= matcher.distance(*chain_graphs, mapping=mapping) <= 1.0
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            GEDMatcher(weight_skip_nodes=0.5, weight_skip_edges=0.5, weight_substitution=0.5)
+
+
+class TestGreedyMatching:
+    def test_identical_chains_fully_mapped(self, chain_graphs):
+        log_first = EventLog([list("abc")] * 5)
+        log_second = EventLog([list("xyz")] * 5)
+        outcome = GEDMatcher().match(log_first, log_second)
+        found = {(min(c.left), min(c.right)) for c in outcome.correspondences}
+        assert found == {("a", "x"), ("b", "y"), ("c", "z")}
+
+    def test_objective_is_one_minus_distance(self, fig1_logs):
+        outcome = GEDMatcher().match(*fig1_logs)
+        assert outcome.objective == pytest.approx(
+            1.0 - outcome.diagnostics["distance"]
+        )
+
+    def test_label_similarity_guides_mapping(self):
+        log_first = EventLog([["pay", "ship"]] * 4)
+        log_second = EventLog([["ship", "pay"]] * 4)
+        outcome = GEDMatcher(label_similarity=ExactSimilarity()).match(
+            log_first, log_second
+        )
+        found = {(min(c.left), min(c.right)) for c in outcome.correspondences}
+        assert ("pay", "pay") in found
+        assert ("ship", "ship") in found
+
+    def test_cutoff_blocks_weak_pairs(self, fig1_logs):
+        # An absurd cutoff prevents any mapping at all.
+        outcome = GEDMatcher(label_similarity=ExactSimilarity(), cutoff=0.99).match(
+            *fig1_logs
+        )
+        assert outcome.correspondences == ()
+
+    def test_example2_failure_mode(self, fig1_logs, fig1_truth):
+        """GED's local evaluation cannot recover the full Figure 1 mapping
+        (Example 2 shows it prefers a locally-plausible but wrong map)."""
+        from repro.matching.evaluation import evaluate
+
+        outcome = GEDMatcher().match(*fig1_logs)
+        result = evaluate(fig1_truth, outcome.correspondences)
+        assert result.f_measure < 1.0

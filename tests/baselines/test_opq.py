@@ -1,0 +1,90 @@
+"""Tests for the OPQ baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.opq import OPQMatcher, mapping_score, weight_matrix
+from repro.exceptions import SearchBudgetExceeded
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+
+
+class TestWeightMatrix:
+    def test_diagonal_and_edges(self, fig1_graphs):
+        graph = fig1_graphs[0]
+        matrix = weight_matrix(graph)
+        index = {node: i for i, node in enumerate(graph.nodes)}
+        assert matrix[index["A"], index["A"]] == pytest.approx(0.4)
+        assert matrix[index["C"], index["D"]] == pytest.approx(1.0)
+        assert matrix[index["A"], index["F"]] == 0.0
+
+    def test_artificial_event_absent(self, fig1_graphs):
+        matrix = weight_matrix(fig1_graphs[0])
+        assert matrix.shape == (6, 6)
+
+
+class TestMappingScore:
+    def test_identical_matrices_identity_mapping(self):
+        w = np.array([[1.0, 0.5], [0.0, 0.8]])
+        score = mapping_score(w, w, np.array([0, 1]))
+        assert score == pytest.approx(3.0)  # three nonzero cells, agreement 1 each
+
+    def test_disagreement_scores_lower(self):
+        w1 = np.array([[1.0]])
+        w2 = np.array([[0.5]])
+        assert mapping_score(w1, w2, np.array([0])) == pytest.approx(1 - 0.5 / 1.5)
+
+    def test_all_zero(self):
+        w = np.zeros((2, 2))
+        assert mapping_score(w, w, np.array([0, 1])) == 0.0
+
+
+class TestSearch:
+    def test_exhaustive_finds_identity_on_identical_graphs(self):
+        graph = DependencyGraph.from_log(EventLog([list("abcd")] * 5))
+        mapping, _ = OPQMatcher().best_mapping(graph, graph)
+        assert mapping == {node: node for node in graph.nodes}
+
+    def test_hill_climb_beyond_exhaustive_limit(self):
+        log = EventLog([list("abcdefghij")] * 5 + [list("abcdefghji")] * 5)
+        graph = DependencyGraph.from_log(log)
+        matcher = OPQMatcher(exhaustive_limit=4)
+        mapping, score = matcher.best_mapping(graph, graph)
+        assert len(mapping) == 10
+        assert score > 0
+
+    def test_budget_cap_raises(self):
+        names = [f"a{i}" for i in range(31)]
+        log = EventLog([names] * 3)
+        graph = DependencyGraph.from_log(log)
+        with pytest.raises(SearchBudgetExceeded):
+            OPQMatcher(max_events=30).best_mapping(graph, graph)
+
+    def test_rectangular_mapping_injective(self, fig1_logs):
+        log_small = EventLog([list("abc")] * 5)
+        outcome = OPQMatcher().match(log_small, fig1_logs[1])
+        lefts = [min(c.left) for c in outcome.correspondences]
+        rights = [min(c.right) for c in outcome.correspondences]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+        assert len(outcome.correspondences) == 3  # the smaller side
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OPQMatcher(exhaustive_limit=0)
+        with pytest.raises(ValueError):
+            OPQMatcher(exhaustive_limit=10, max_events=5)
+
+    def test_example2_cannot_recover_full_mapping(self, fig1_logs, fig1_truth):
+        """OPQ's normal-score optimum misaligns part of the dislocated
+        Figure 1 mapping (Example 2: it prefers a wrong map over truth)."""
+        from repro.matching.evaluation import evaluate
+
+        outcome = OPQMatcher().match(*fig1_logs)
+        result = evaluate(fig1_truth, outcome.correspondences)
+        assert result.f_measure < 1.0
+
+    def test_deterministic(self, fig1_logs):
+        first = OPQMatcher().match(*fig1_logs)
+        second = OPQMatcher().match(*fig1_logs)
+        assert first.correspondences == second.correspondences

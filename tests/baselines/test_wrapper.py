@@ -1,0 +1,68 @@
+"""Tests for the generic greedy composite wrapper."""
+
+import pytest
+
+from repro.baselines.bhv import BHVMatcher
+from repro.baselines.common import Evaluation, EventMatcher
+from repro.baselines.composite_wrapper import GreedyCompositeWrapper
+from repro.baselines.ged import GEDMatcher
+from repro.matching.evaluation import evaluate
+
+
+class _CountingMatcher(EventMatcher):
+    """Prefers fewer nodes: merging always improves its objective."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def evaluate(self, log_first, log_second, members_first, members_second):
+        self.calls += 1
+        activities = sorted(log_first.activities())
+        return Evaluation(
+            objective=1.0 / (len(activities) + len(log_second.activities())),
+            pairs=(),
+        )
+
+
+class TestWrapper:
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            GreedyCompositeWrapper(BHVMatcher(), delta=-1)
+
+    def test_name_inherited(self):
+        assert GreedyCompositeWrapper(GEDMatcher()).name == "GED"
+
+    def test_merges_when_objective_improves(self, fig1_logs):
+        base = _CountingMatcher()
+        wrapper = GreedyCompositeWrapper(
+            base, delta=0.0, min_confidence=0.9, max_run_length=2, max_rounds=3
+        )
+        outcome = wrapper.match(*fig1_logs)
+        assert outcome.diagnostics["composite_evaluations"] > 1
+
+    def test_high_delta_keeps_singletons(self, fig1_logs):
+        wrapper = GreedyCompositeWrapper(
+            BHVMatcher(), delta=0.9, min_confidence=0.9, max_run_length=2
+        )
+        outcome = wrapper.match(*fig1_logs)
+        assert all(not c.is_composite() for c in outcome.correspondences)
+
+    def test_ged_finds_cd_composite(self, fig1_logs, fig1_truth):
+        wrapper = GreedyCompositeWrapper(
+            GEDMatcher(), delta=0.005, min_confidence=0.9, max_run_length=2
+        )
+        outcome = wrapper.match(*fig1_logs)
+        result = evaluate(fig1_truth, outcome.correspondences)
+        # The merged graphs become near-isomorphic; GED recovers everything.
+        assert result.f_measure == pytest.approx(1.0)
+
+    def test_rounds_bounded(self, fig1_logs):
+        base = _CountingMatcher()
+        wrapper = GreedyCompositeWrapper(
+            base, delta=0.0, min_confidence=0.5, max_run_length=2, max_rounds=1
+        )
+        wrapper.match(*fig1_logs)
+        # one initial + at most one round of candidate evaluations
+        assert base.calls <= 30

@@ -1,0 +1,91 @@
+"""Tests for token-based replay conformance."""
+
+import random
+
+import pytest
+
+from repro.conformance.replay import replay_log
+from repro.exceptions import SynthesisError
+from repro.logs.log import EventLog
+from repro.petri.from_tree import tree_to_petri
+from repro.petri.net import PetriNet
+from repro.synthesis.process_tree import Choice, Leaf, Parallel, Sequence
+
+
+@pytest.fixture()
+def chain_net() -> PetriNet:
+    return tree_to_petri(Sequence([Leaf("a"), Leaf("b"), Leaf("c")]))
+
+
+class TestPerfectFit:
+    def test_exact_log_fits(self, chain_net):
+        log = EventLog([["a", "b", "c"]] * 5)
+        result = replay_log(chain_net, log)
+        assert result.fitness == pytest.approx(1.0)
+        assert result.trace_fitness == 1.0
+        assert result.missing == 0
+        assert result.remaining == 0
+
+    def test_parallel_interleavings_fit(self):
+        net = tree_to_petri(Sequence([Leaf("a"), Parallel([Leaf("b"), Leaf("c")])]))
+        log = EventLog([["a", "b", "c"], ["a", "c", "b"]] * 3)
+        result = replay_log(net, log)
+        assert result.fitness == pytest.approx(1.0)
+
+    def test_choice_branches_fit(self):
+        net = tree_to_petri(Choice([Leaf("a"), Leaf("b")]))
+        log = EventLog([["a"], ["b"]] * 4)
+        assert replay_log(net, log).fitness == pytest.approx(1.0)
+
+    def test_playout_always_fits_its_net(self):
+        from repro.petri.playout import play_out_net
+        from repro.synthesis.generator import ACYCLIC_PROFILE, random_process_tree
+
+        rng = random.Random(5)
+        tree = random_process_tree([f"a{i}" for i in range(8)], rng, ACYCLIC_PROFILE)
+        net = tree_to_petri(tree)
+        log = play_out_net(net, 60, rng)
+        result = replay_log(net, log)
+        assert result.fitness == pytest.approx(1.0)
+        assert result.trace_fitness == 1.0
+
+
+class TestMisfit:
+    def test_wrong_order_penalized(self, chain_net):
+        result = replay_log(chain_net, EventLog([["b", "a", "c"]] * 3))
+        assert result.missing > 0
+        assert result.fitness < 1.0
+
+    def test_skipped_event_penalized(self, chain_net):
+        result = replay_log(chain_net, EventLog([["a", "c"]] * 3))
+        assert result.fitness < 1.0
+
+    def test_unknown_activity_penalized(self, chain_net):
+        result = replay_log(chain_net, EventLog([["a", "zzz", "b", "c"]] * 3))
+        assert result.missing > 0
+
+    def test_mixed_log_trace_fitness(self, chain_net):
+        log = EventLog([["a", "b", "c"]] * 3 + [["c", "b", "a"]])
+        result = replay_log(chain_net, log)
+        assert result.fitting_traces == 3
+        assert result.trace_fitness == pytest.approx(0.75)
+
+    def test_fitness_monotone_in_noise(self, chain_net):
+        clean = replay_log(chain_net, EventLog([["a", "b", "c"]] * 10))
+        noisy = replay_log(
+            chain_net, EventLog([["a", "b", "c"]] * 5 + [["c", "a"]] * 5)
+        )
+        assert clean.fitness > noisy.fitness
+
+
+class TestValidation:
+    def test_requires_workflow_net(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        net.add_transition("t", label="T")
+        net.add_arc("p", "t")
+        net.add_arc("t", "q")
+        net.add_place("floating")  # second source place
+        with pytest.raises(SynthesisError):
+            replay_log(net, EventLog([["T"]]))

@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's running example and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+from repro.synthesis.examples import figure1_logs
+
+
+@pytest.fixture()
+def fig1_logs() -> tuple[EventLog, EventLog]:
+    """The Figure 1 logs (letter names): L1 = A..F, L2 = 1..6."""
+    log_first, log_second, _ = figure1_logs()
+    return log_first, log_second
+
+
+@pytest.fixture()
+def fig1_truth():
+    return figure1_logs()[2]
+
+
+@pytest.fixture()
+def fig1_graphs(fig1_logs) -> tuple[DependencyGraph, DependencyGraph]:
+    log_first, log_second = fig1_logs
+    return DependencyGraph.from_log(log_first), DependencyGraph.from_log(log_second)
+
+
+@pytest.fixture()
+def chain_logs() -> tuple[EventLog, EventLog]:
+    """Two identical simple chains: the easiest possible matching task."""
+    return (
+        EventLog([list("abcd")] * 10, name="chain-1"),
+        EventLog([list("wxyz")] * 10, name="chain-2"),
+    )

@@ -1,0 +1,52 @@
+"""Tests for the empirical analysis tools."""
+
+import pytest
+
+from repro.core.analysis import convergence_curve, estimation_error
+from repro.core.config import EMSConfig
+
+
+class TestEstimationError:
+    def test_errors_vanish_beyond_convergence(self, fig1_graphs):
+        reports = estimation_error(*fig1_graphs, budgets=(0, 50))
+        assert reports[-1].max_abs_error == pytest.approx(0.0, abs=1e-6)
+
+    def test_error_statistics_ordered(self, fig1_graphs):
+        for report in estimation_error(*fig1_graphs, budgets=(0, 2)):
+            assert report.mean_abs_error <= report.max_abs_error + 1e-12
+            assert report.mean_abs_error <= report.rmse + 1e-12
+            assert report.rmse <= report.max_abs_error + 1e-12
+
+    def test_budget_zero_has_real_error(self, fig1_graphs):
+        # Example 6: S_es(C, 4) = 0.409 vs exact 0.587 -> error >= 0.17.
+        (report,) = estimation_error(*fig1_graphs, budgets=(0,))
+        assert report.max_abs_error > 0.1
+
+    def test_estimating_config_normalized(self, fig1_graphs):
+        # Passing a config that already estimates must not skew the exact
+        # reference.
+        reports = estimation_error(
+            *fig1_graphs, config=EMSConfig(estimation_iterations=0), budgets=(50,)
+        )
+        assert reports[0].max_abs_error == pytest.approx(0.0, abs=1e-6)
+
+    def test_str_renders(self, fig1_graphs):
+        (report,) = estimation_error(*fig1_graphs, budgets=(1,))
+        assert "I=1" in str(report)
+
+
+class TestConvergenceCurve:
+    def test_bounded_by_lemma5(self, fig1_graphs):
+        config = EMSConfig(direction="forward")
+        curve = convergence_curve(*fig1_graphs, config=config, iterations=6)
+        for n, delta in enumerate(curve, start=1):
+            assert delta <= config.decay**n + 1e-9
+
+    def test_curve_decreasing_after_first(self, fig1_graphs):
+        curve = convergence_curve(*fig1_graphs, iterations=6)
+        assert curve[1:] == sorted(curve[1:], reverse=True)
+
+    def test_direction_normalized(self, fig1_graphs):
+        both = convergence_curve(*fig1_graphs, config=EMSConfig(direction="both"))
+        forward = convergence_curve(*fig1_graphs, config=EMSConfig(direction="forward"))
+        assert both == forward

@@ -1,0 +1,78 @@
+"""Tests for similarity upper bounds (Lemma 5 / Proposition 6 / Corollary 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import average_upper_bound, matrix_upper_bound, pair_upper_bound
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine, iteration_trace
+from repro.core.pruning import ConvergenceSchedule
+
+FORWARD = EMSConfig(alpha=1.0, c=0.8, direction="forward")
+
+
+class TestPairUpperBound:
+    def test_general_bound_formula(self):
+        # S^k + decay^k / (1 - decay)
+        assert pair_upper_bound(0.1, k=2, decay=0.5) == pytest.approx(0.1 + 0.25 / 0.5)
+
+    def test_converged_pair_bound_is_value(self):
+        assert pair_upper_bound(0.37, k=5, decay=0.8, h=3) == 0.37
+
+    def test_level_bound_tighter_than_general(self):
+        general = pair_upper_bound(0.1, k=1, decay=0.5)
+        level = pair_upper_bound(0.1, k=1, decay=0.5, h=3)
+        assert level < general
+
+    def test_clipped_at_one(self):
+        assert pair_upper_bound(0.9, k=0, decay=0.8) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pair_upper_bound(0.1, k=-1, decay=0.5)
+        with pytest.raises(ValueError):
+            pair_upper_bound(0.1, k=1, decay=1.0)
+
+
+class TestSoundness:
+    """The bounds must dominate the true converged similarity."""
+
+    def test_bound_dominates_limit_at_every_iteration(self, fig1_graphs):
+        exact = EMSEngine(FORWARD).similarity(*fig1_graphs).matrix.values
+        schedule = ConvergenceSchedule(*fig1_graphs)
+        snapshots = iteration_trace(*fig1_graphs, FORWARD, iterations=5)
+        for k, snapshot in enumerate(snapshots, start=1):
+            bound = matrix_upper_bound(
+                snapshot.values, k, FORWARD.decay, schedule.pair_levels
+            )
+            assert (bound >= exact - 1e-9).all()
+
+    def test_general_bound_also_sound(self, fig1_graphs):
+        exact = EMSEngine(FORWARD).similarity(*fig1_graphs).matrix.values
+        snapshots = iteration_trace(*fig1_graphs, FORWARD, iterations=3)
+        for k, snapshot in enumerate(snapshots, start=1):
+            bound = matrix_upper_bound(snapshot.values, k, FORWARD.decay)
+            assert (bound >= exact - 1e-9).all()
+
+    def test_bound_tightens_with_iterations(self, fig1_graphs):
+        schedule = ConvergenceSchedule(*fig1_graphs)
+        snapshots = iteration_trace(*fig1_graphs, FORWARD, iterations=5)
+        averages = [
+            average_upper_bound(s.values, k, FORWARD.decay, schedule.pair_levels)
+            for k, s in enumerate(snapshots, start=1)
+        ]
+        assert averages == sorted(averages, reverse=True)
+
+
+class TestAverageUpperBound:
+    def test_empty_matrix(self):
+        assert average_upper_bound(np.zeros((0, 0)), 1, 0.5) == 0.0
+
+    def test_infinite_levels_fall_back_to_general(self):
+        values = np.array([[0.2]])
+        levels = np.array([[math.inf]])
+        with_levels = average_upper_bound(values, 1, 0.5, levels)
+        general = average_upper_bound(values, 1, 0.5)
+        assert with_levels == pytest.approx(general)

@@ -1,0 +1,97 @@
+"""Edge-case and failure-injection tests for the EMS engine.
+
+Degenerate graphs (single node, self loops, disconnected parts, wildly
+different sizes) must neither crash nor produce out-of-range values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+
+
+def graph_of(*traces) -> DependencyGraph:
+    return DependencyGraph.from_log(EventLog([list(t) for t in traces]))
+
+
+class TestDegenerateGraphs:
+    def test_single_node_each(self):
+        result = EMSEngine(EMSConfig()).similarity(graph_of("a"), graph_of("x"))
+        assert result.matrix.get("a", "x") > 0.0
+        assert result.converged
+
+    def test_single_node_vs_chain(self):
+        result = EMSEngine(EMSConfig()).similarity(graph_of("a"), graph_of("xyz"))
+        values = result.matrix.values
+        assert values.shape == (1, 3)
+        assert (values >= 0.0).all() and (values <= 1.0).all()
+
+    def test_self_loop(self):
+        result = EMSEngine(EMSConfig()).similarity(graph_of("aab"), graph_of("xxy"))
+        assert result.converged
+        assert result.matrix.get("a", "x") > result.matrix.get("a", "y")
+
+    def test_pure_cycle_converges_by_epsilon(self):
+        result = EMSEngine(EMSConfig()).similarity(
+            graph_of("ababab"), graph_of("xyxyxy")
+        )
+        assert result.converged
+
+    def test_disconnected_variants(self):
+        # Two variants sharing no activities: the graph has two components.
+        graph = graph_of("ab", "cd")
+        result = EMSEngine(EMSConfig()).similarity(graph, graph)
+        assert result.matrix.get("a", "a") >= result.matrix.get("a", "c")
+
+    def test_wildly_asymmetric_sizes(self):
+        small = graph_of("ab")
+        large = graph_of("abcdefghij")
+        result = EMSEngine(EMSConfig()).similarity(small, large)
+        assert result.matrix.values.shape == (2, 10)
+        assert result.converged
+
+
+class TestIterationLimits:
+    def test_max_iterations_reached_flags_not_converged(self):
+        config = EMSConfig(max_iterations=1, epsilon=1e-12, use_pruning=False)
+        result = EMSEngine(config).similarity(graph_of("abcde"), graph_of("vwxyz"))
+        assert result.iterations <= 2  # one per direction
+        assert not result.converged
+
+    def test_tiny_epsilon_still_terminates(self):
+        config = EMSConfig(epsilon=1e-12, max_iterations=200)
+        result = EMSEngine(config).similarity(graph_of("abc"), graph_of("xyz"))
+        assert result.converged
+
+
+class TestMatrixShapes:
+    def test_row_and_column_labels_are_sorted_nodes(self):
+        graph_first = graph_of("ba")
+        graph_second = graph_of("zyx")
+        result = EMSEngine(EMSConfig()).similarity(graph_first, graph_second)
+        assert result.matrix.rows == ("a", "b")
+        assert result.matrix.cols == ("x", "y", "z")
+
+    def test_pair_updates_zero_only_if_trivial(self):
+        result = EMSEngine(EMSConfig()).similarity(graph_of("a"), graph_of("x"))
+        assert result.pair_updates >= 1
+
+
+class TestNumericalStability:
+    def test_extreme_frequency_imbalance(self):
+        # One activity in 1/500 traces, the other in all.
+        traces = [["common", "rare"]] + [["common"]] * 499
+        graph = DependencyGraph.from_log(EventLog(traces))
+        result = EMSEngine(EMSConfig()).similarity(graph, graph)
+        values = result.matrix.values
+        assert np.isfinite(values).all()
+        assert (values >= 0.0).all() and (values <= 1.0).all()
+
+    def test_near_one_decay(self):
+        config = EMSConfig(c=0.999, max_iterations=500, epsilon=1e-6)
+        result = EMSEngine(config).similarity(graph_of("abab"), graph_of("xyxy"))
+        assert result.converged
+        assert (result.matrix.values <= 1.0 + 1e-9).all()

@@ -1,0 +1,110 @@
+"""Tests for the closed-form estimation (Section 3.5, formula (2))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.core.estimation import (
+    estimate_matrix,
+    estimate_pair,
+    estimation_coefficients,
+)
+
+FORWARD = EMSConfig(alpha=1.0, c=0.8, direction="forward")
+
+
+class TestCoefficients:
+    def test_q_zero_for_single_predecessors(self):
+        q, a = estimation_coefficients(
+            np.array([1]), np.array([1]), np.array([[0.457]]), np.zeros((1, 1)), 1.0, 0.8
+        )
+        assert q[0, 0] == pytest.approx(0.0)
+        assert a[0, 0] == pytest.approx(0.457)
+
+    def test_q_below_decay(self):
+        q, _ = estimation_coefficients(
+            np.array([2, 3]), np.array([2, 5]), np.full((2, 2), 0.8),
+            np.zeros((2, 2)), 1.0, 0.8,
+        )
+        assert (q < 0.8).all()
+        assert (q >= 0.0).all()
+
+    def test_label_term(self):
+        _, a = estimation_coefficients(
+            np.array([1]), np.array([1]), np.array([[0.8]]), np.array([[1.0]]), 0.5, 0.8
+        )
+        assert a[0, 0] == pytest.approx(0.5 * 0.8 + 0.5 * 1.0)
+
+
+class TestEstimatePair:
+    def test_converged_pairs_keep_exact_value(self):
+        assert estimate_pair(0.42, q=0.5, a=0.1, level=3, exact_iterations=5) == 0.42
+
+    def test_infinite_level_geometric_limit(self):
+        value = estimate_pair(0.0, q=0.5, a=0.2, level=math.inf, exact_iterations=0)
+        assert value == pytest.approx(0.2 / 0.5)
+
+    def test_clipped_at_one(self):
+        assert estimate_pair(0.0, q=0.9, a=0.5, level=math.inf, exact_iterations=0) == 1.0
+
+    def test_finite_level_formula(self):
+        # S_es^2 = q^2 * S^0 + a(1 + q)
+        value = estimate_pair(0.3, q=0.5, a=0.1, level=2, exact_iterations=0)
+        assert value == pytest.approx(0.25 * 0.3 + 0.1 * 1.5)
+
+
+class TestPaperExample6:
+    def test_single_pred_estimate_is_exact(self, fig1_graphs):
+        """(A, 1) has A = B = 1, so q = 0 and the estimate equals the
+        exact 0.457 — the paper prints 0.6 but its own formula gives 0.457
+        (documented typo, see DESIGN.md)."""
+        engine = EMSEngine(FORWARD.with_(estimation_iterations=0))
+        result = engine.similarity(*fig1_graphs)
+        assert result.matrix.get("A", "1") == pytest.approx(0.457, abs=1e-3)
+
+    def test_c4_estimate_matches_paper(self, fig1_graphs):
+        # Example 6: I = 0 estimates S(C, 4) at 0.409 (exact: 0.587).
+        engine = EMSEngine(FORWARD.with_(estimation_iterations=0))
+        result = engine.similarity(*fig1_graphs)
+        assert result.matrix.get("C", "4") == pytest.approx(0.409, abs=1e-3)
+        assert result.estimated
+
+    def test_larger_budget_reaches_exact(self, fig1_graphs):
+        exact = EMSEngine(FORWARD).similarity(*fig1_graphs)
+        estimated = EMSEngine(FORWARD.with_(estimation_iterations=50)).similarity(
+            *fig1_graphs
+        )
+        np.testing.assert_allclose(
+            estimated.matrix.values, exact.matrix.values, atol=1e-3
+        )
+
+
+class TestEstimateMatrix:
+    def test_only_unconverged_pairs_touched(self):
+        exact = np.array([[0.3, 0.6]])
+        q = np.array([[0.5, 0.5]])
+        a = np.array([[0.1, 0.1]])
+        levels = np.array([[1.0, 5.0]])
+        result = estimate_matrix(exact, q, a, levels, exact_iterations=2)
+        assert result[0, 0] == pytest.approx(0.3)  # level 1 <= I: untouched
+        assert result[0, 1] != pytest.approx(0.6)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_matrix(
+                np.zeros((1, 1)), np.zeros((1, 1)), np.zeros((1, 1)),
+                np.ones((1, 1)), -1,
+            )
+
+    def test_values_clipped(self):
+        result = estimate_matrix(
+            np.zeros((1, 1)),
+            np.array([[0.95]]),
+            np.array([[0.9]]),
+            np.array([[math.inf]]),
+            0,
+        )
+        assert result[0, 0] == 1.0

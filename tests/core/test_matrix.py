@@ -1,0 +1,70 @@
+"""Tests for SimilarityMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import SimilarityMatrix
+
+
+@pytest.fixture()
+def matrix() -> SimilarityMatrix:
+    return SimilarityMatrix(
+        ["a", "b"], ["x", "y", "z"], np.array([[0.1, 0.5, 0.3], [0.9, 0.2, 0.4]])
+    )
+
+
+class TestConstruction:
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            SimilarityMatrix(["a"], ["x"], np.zeros((2, 1)))
+
+    def test_unique_labels(self):
+        with pytest.raises(ValueError):
+            SimilarityMatrix(["a", "a"], ["x", "y"], np.zeros((2, 2)))
+
+    def test_zeros(self):
+        matrix = SimilarityMatrix.zeros(["a"], ["x", "y"])
+        assert matrix.average() == 0.0
+
+
+class TestAccess:
+    def test_get(self, matrix):
+        assert matrix.get("b", "x") == pytest.approx(0.9)
+
+    def test_average(self, matrix):
+        assert matrix.average() == pytest.approx(np.mean([0.1, 0.5, 0.3, 0.9, 0.2, 0.4]))
+
+    def test_values_are_copies(self, matrix):
+        values = matrix.values
+        values[0, 0] = 99.0
+        assert matrix.get("a", "x") == pytest.approx(0.1)
+
+    def test_pairs_enumeration(self, matrix):
+        pairs = list(matrix.pairs())
+        assert len(pairs) == 6
+        assert ("a", "y", 0.5) in [(r, c, round(v, 6)) for r, c, v in pairs]
+
+    def test_best_column(self, matrix):
+        assert matrix.best_column_for("a") == ("y", 0.5)
+
+    def test_to_dict(self, matrix):
+        assert matrix.to_dict()[("b", "z")] == pytest.approx(0.4)
+
+
+class TestCombination:
+    def test_combine_average(self, matrix):
+        combined = matrix.combine(matrix)
+        assert combined.get("a", "x") == pytest.approx(0.1)
+
+    def test_combine_weighted(self, matrix):
+        other = SimilarityMatrix(matrix.rows, matrix.cols, np.ones((2, 3)))
+        combined = matrix.combine(other, weight=0.25)
+        assert combined.get("a", "x") == pytest.approx(0.25 * 0.1 + 0.75 * 1.0)
+
+    def test_combine_label_mismatch(self, matrix):
+        other = SimilarityMatrix(["p", "q"], matrix.cols, np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            matrix.combine(other)
+
+    def test_transposed(self, matrix):
+        assert matrix.transposed().get("x", "b") == pytest.approx(0.9)

@@ -1,0 +1,71 @@
+"""Tests for the exhaustive optimal composite matching (Problem 1)."""
+
+import pytest
+
+from repro.core.composite import CompositeMatcher
+from repro.core.config import EMSConfig
+from repro.core.optimal import non_overlapping_subsets, optimal_composite_matching
+from repro.exceptions import MatchingError
+
+
+class TestNonOverlappingSubsets:
+    def test_includes_empty_packing(self):
+        assert () in non_overlapping_subsets([("a", "b")])
+
+    def test_overlapping_pairs_excluded(self):
+        packings = non_overlapping_subsets([("a", "b"), ("b", "c")])
+        assert (("a", "b"),) in packings
+        assert (("b", "c"),) in packings
+        assert (("a", "b"), ("b", "c")) not in packings
+
+    def test_disjoint_pairs_combine(self):
+        packings = non_overlapping_subsets([("a", "b"), ("c", "d")])
+        assert (("a", "b"), ("c", "d")) in packings
+
+    def test_count_for_disjoint_candidates(self):
+        # 3 disjoint candidates -> 2^3 packings.
+        candidates = [("a", "b"), ("c", "d"), ("e", "f")]
+        assert len(non_overlapping_subsets(candidates)) == 8
+
+
+class TestOptimalSearch:
+    def test_candidate_guard_refuses_before_enumerating(self, fig1_logs):
+        candidates = [(str(i), str(i + 100)) for i in range(50)]
+        with pytest.raises(MatchingError):
+            optimal_composite_matching(*fig1_logs, candidates, candidates)
+
+    def test_evaluation_budget_guard(self, fig1_logs):
+        # 12 pairwise-disjoint candidates -> 2^12 packings per side, well
+        # past MAX_EVALUATIONS while staying enumerable.
+        candidates = [(f"l{i}", f"r{i}") for i in range(12)]
+        with pytest.raises(MatchingError):
+            optimal_composite_matching(*fig1_logs, candidates, candidates)
+
+    def test_figure1_optimum_is_cd(self, fig1_logs):
+        result = optimal_composite_matching(
+            *fig1_logs,
+            candidates_first=[("C", "D"), ("E", "F")],
+            candidates_second=[],
+            config=EMSConfig(),
+        )
+        assert result.runs_first == (("C", "D"),)
+        assert result.average == pytest.approx(0.509, abs=2e-3)
+
+    def test_greedy_matches_optimum_on_figure1(self, fig1_logs):
+        """The greedy heuristic attains the optimal objective here."""
+        optimal = optimal_composite_matching(
+            *fig1_logs,
+            candidates_first=[("C", "D"), ("E", "F")],
+            candidates_second=[],
+            config=EMSConfig(),
+        )
+        greedy = CompositeMatcher(
+            EMSConfig(), delta=0.005, min_confidence=0.9, max_run_length=2
+        ).match(*fig1_logs)
+        assert greedy.average == pytest.approx(optimal.average, abs=1e-4)
+
+    def test_empty_candidates_returns_baseline(self, fig1_logs):
+        result = optimal_composite_matching(*fig1_logs, [], [], config=EMSConfig())
+        assert result.runs_first == ()
+        assert result.runs_second == ()
+        assert result.evaluations == 1

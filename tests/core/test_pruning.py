@@ -1,0 +1,59 @@
+"""Tests for the early-convergence schedule (Proposition 2)."""
+
+import math
+
+import numpy as np
+
+from repro.core.pruning import ConvergenceSchedule
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+
+
+def graph_of(*traces: str) -> DependencyGraph:
+    return DependencyGraph.from_log(EventLog([list(t) for t in traces]))
+
+
+class TestPairLevels:
+    def test_min_of_node_levels(self):
+        schedule = ConvergenceSchedule(graph_of("abc"), graph_of("xy"))
+        # rows a,b,c (levels 1,2,3); cols x,y (levels 1,2)
+        expected = np.array([[1, 1], [1, 2], [1, 2]])
+        np.testing.assert_array_equal(schedule.pair_levels, expected)
+
+    def test_infinite_side_defers_to_other(self):
+        schedule = ConvergenceSchedule(graph_of("abab"), graph_of("xy"))
+        assert schedule.pair_levels.max() == 2  # min(inf, 2)
+
+
+class TestActiveMask:
+    def test_mask_shrinks_over_iterations(self):
+        schedule = ConvergenceSchedule(graph_of("abc"), graph_of("xyz"))
+        active_counts = [int(schedule.active_mask(i).sum()) for i in (1, 2, 3, 4)]
+        assert active_counts[0] == 9
+        assert active_counts == sorted(active_counts, reverse=True)
+        assert active_counts[-1] == 0
+
+    def test_figure1_example5(self, fig1_graphs):
+        """Example 5: (A, 1) converges after iteration 1, (C, 2) after 2."""
+        schedule = ConvergenceSchedule(*fig1_graphs)
+        rows = fig1_graphs[0].nodes
+        cols = fig1_graphs[1].nodes
+        assert schedule.pair_levels[rows.index("A"), cols.index("1")] == 1
+        assert schedule.pair_levels[rows.index("C"), cols.index("2")] == 2
+
+
+class TestGlobalBound:
+    def test_acyclic_bound(self):
+        schedule = ConvergenceSchedule(graph_of("abc"), graph_of("vwxyz"))
+        assert schedule.global_bound == 3
+        assert schedule.all_fixed_after(3)
+        assert not schedule.all_fixed_after(2)
+
+    def test_cyclic_both_sides_never_fixed(self):
+        schedule = ConvergenceSchedule(graph_of("abab"), graph_of("xyxy"))
+        assert math.isinf(schedule.global_bound)
+        assert not schedule.all_fixed_after(10_000)
+
+    def test_one_cyclic_side_bounded_by_other(self):
+        schedule = ConvergenceSchedule(graph_of("abab"), graph_of("xyz"))
+        assert schedule.global_bound == 3

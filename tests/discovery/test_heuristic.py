@@ -1,0 +1,78 @@
+"""Tests for the heuristics miner."""
+
+import pytest
+
+from repro.discovery.heuristic import heuristic_miner
+from repro.exceptions import SynthesisError
+from repro.logs.log import EventLog
+
+
+class TestDependencyMeasure:
+    def test_clean_sequence_mined(self):
+        log = EventLog([["a", "b", "c"]] * 20)
+        graph = heuristic_miner(log, dependency_threshold=0.9)
+        assert ("a", "b") in graph.edges
+        assert ("b", "c") in graph.edges
+        assert ("a", "c") not in graph.edges
+
+    def test_measure_value(self):
+        # 20 a>b, 0 b>a: dep = 20/21.
+        log = EventLog([["a", "b"]] * 20)
+        graph = heuristic_miner(log, dependency_threshold=0.5)
+        assert graph.edges[("a", "b")] == pytest.approx(20 / 21)
+
+    def test_concurrency_filtered(self):
+        # a>b and b>a in equal measure: dep ~ 0, edge dropped.
+        log = EventLog([["a", "b"]] * 10 + [["b", "a"]] * 10)
+        graph = heuristic_miner(log, dependency_threshold=0.5)
+        assert ("a", "b") not in graph.edges
+        assert ("b", "a") not in graph.edges
+
+    def test_noise_robustness(self):
+        # One noisy b>a among 30 a>b keeps the causal edge.
+        log = EventLog([["a", "b"]] * 30 + [["b", "a"]])
+        graph = heuristic_miner(log, dependency_threshold=0.8)
+        assert ("a", "b") in graph.edges
+        assert ("b", "a") not in graph.edges
+
+    def test_threshold_validated(self):
+        with pytest.raises(SynthesisError):
+            heuristic_miner(EventLog([["a"]]), dependency_threshold=2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            heuristic_miner(EventLog())
+
+
+class TestLoops:
+    def test_one_loop_detected(self):
+        log = EventLog([["a", "a", "a", "b"]] * 10)
+        graph = heuristic_miner(log, loop_threshold=0.5)
+        assert "a" in graph.loops
+        assert graph.loops["a"] > 0.9
+
+    def test_loop_threshold_filters(self):
+        log = EventLog([["a", "a", "b"]] + [["a", "b"]] * 20)
+        graph = heuristic_miner(log, loop_threshold=0.9)
+        assert "a" not in graph.loops  # one self-follow: measure 0.5
+
+
+class TestGraphViews:
+    def test_start_end_activities(self):
+        log = EventLog([["s", "m", "e"]] * 5 + [["s", "e"]] * 5)
+        graph = heuristic_miner(log)
+        assert graph.start_activities == frozenset({"s"})
+        assert graph.end_activities == frozenset({"e"})
+
+    def test_successors_predecessors(self):
+        log = EventLog([["a", "b"], ["a", "c"]] * 10)
+        graph = heuristic_miner(log, dependency_threshold=0.5)
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("b") == ["a"]
+
+    def test_to_dot(self):
+        # 20 repetitions push dep(a, b) = 20/21 above the 0.9 default.
+        log = EventLog([["a", "b"]] * 20)
+        dot = heuristic_miner(log).to_dot()
+        assert '"a" -> "b"' in dot
+        assert dot.startswith("digraph")

@@ -1,0 +1,102 @@
+"""Tests for the inductive miner."""
+
+import random
+
+import pytest
+
+from repro.discovery.inductive import inductive_miner
+from repro.exceptions import SynthesisError
+from repro.logs.log import EventLog
+from repro.synthesis.process_tree import Choice, Leaf, Loop, Parallel, Sequence
+
+
+def language(tree, samples: int = 800) -> set[tuple[str, ...]]:
+    return {tuple(tree.sample(random.Random(seed))) for seed in range(samples)}
+
+
+def variants(log: EventLog) -> set[tuple[str, ...]]:
+    return {trace.activities for trace in log}
+
+
+class TestBaseCases:
+    def test_single_activity(self):
+        tree = inductive_miner(EventLog([["a"]] * 5))
+        assert isinstance(tree, Leaf)
+        assert tree.activity == "a"
+
+    def test_repeating_single_activity_becomes_loop(self):
+        tree = inductive_miner(EventLog([["a", "a"], ["a"]]))
+        assert isinstance(tree, Loop)
+        assert language(tree) >= {("a",), ("a", "a")}
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(SynthesisError):
+            inductive_miner(EventLog())
+
+
+class TestCuts:
+    def test_sequence_cut(self):
+        tree = inductive_miner(EventLog([["a", "b", "c"]] * 10))
+        assert isinstance(tree, Sequence)
+        assert language(tree) == {("a", "b", "c")}
+
+    def test_xor_cut(self):
+        tree = inductive_miner(EventLog([["a"], ["b"]] * 5))
+        assert isinstance(tree, Choice)
+        assert language(tree) == {("a",), ("b",)}
+
+    def test_parallel_cut(self):
+        tree = inductive_miner(EventLog([["a", "b"], ["b", "a"]] * 5))
+        assert isinstance(tree, Parallel)
+        assert language(tree) == {("a", "b"), ("b", "a")}
+
+    def test_nested_choice_inside_sequence(self):
+        log = EventLog([["s", "a", "t"]] * 5 + [["s", "b", "t"]] * 5)
+        tree = inductive_miner(log)
+        assert tree.describe() == "->(s, X(a, b), t)"
+
+    def test_loop_cut(self):
+        log = EventLog([["a"], ["a", "r", "a"], ["a", "r", "a", "r", "a"]] * 3)
+        tree = inductive_miner(log)
+        assert isinstance(tree, Loop)
+        assert variants(log) <= language(tree)
+
+    def test_rediscovers_figure1_structure(self, fig1_logs):
+        tree = inductive_miner(fig1_logs[0])
+        assert tree.describe() == "->(X(A, B), C, D, +(E, F))"
+
+
+class TestGuarantees:
+    def test_log_language_containment_on_random_models(self):
+        """Fitness guarantee: every observed trace is replayable."""
+        from repro.synthesis.generator import ACYCLIC_PROFILE, random_process_tree
+        from repro.synthesis.playout import play_out
+
+        for seed in range(6):
+            rng = random.Random(seed)
+            tree = random_process_tree(
+                [f"a{i}" for i in range(6)], rng, ACYCLIC_PROFILE
+            )
+            log = play_out(tree, 200, rng, with_timestamps=False)
+            mined = inductive_miner(log)
+            assert variants(log) <= language(mined, samples=1500), mined.describe()
+
+    def test_flower_fallback_on_unstructured_log(self):
+        # No cut applies: the flower model must still replay the log.
+        log = EventLog([["a", "b", "c"], ["c", "a"], ["b", "c", "a", "b"]])
+        tree = inductive_miner(log)
+        assert variants(log) <= language(tree, samples=4000)
+
+    def test_mined_tree_converts_to_workflow_net(self):
+        from repro.petri.from_tree import tree_to_petri
+
+        tree = inductive_miner(EventLog([["a", "b"], ["b", "a"]] * 4))
+        assert tree_to_petri(tree).is_workflow_net()
+
+    def test_conformance_of_mined_model(self):
+        from repro.conformance import replay_log
+        from repro.petri.from_tree import tree_to_petri
+
+        log = EventLog([["s", "a", "t"]] * 5 + [["s", "b", "t"]] * 5)
+        net = tree_to_petri(inductive_miner(log))
+        assert replay_log(net, log).fitness == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Tests for the extension experiment drivers."""
+
+from repro.experiments.extensions import (
+    EXTENSION_FIGURES,
+    ext_ablation,
+    ext_estimation_error,
+    ext_noise,
+)
+
+
+class TestRegistry:
+    def test_all_extensions_registered(self):
+        assert set(EXTENSION_FIGURES) == {
+            "ext-noise",
+            "ext-baselines",
+            "ext-ablation",
+            "ext-estimation-error",
+        }
+
+
+class TestNoise:
+    def test_zero_noise_equals_clean_run(self):
+        result = ext_noise(levels=(0.0,), pair_count=2)
+        row = result.rows[0]
+        # All three noise kinds at probability 0 are the identical run.
+        assert row[1] == row[2] == row[3]
+
+    def test_noise_levels_in_rows(self):
+        result = ext_noise(levels=(0.0, 0.2), pair_count=2)
+        assert [row[0] for row in result.rows] == [0.0, 0.2]
+        for row in result.rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.0
+
+
+class TestAblation:
+    def test_variants_present(self):
+        result = ext_ablation(pair_count=2)
+        variants = [row[0] for row in result.rows]
+        assert "EMS (both + C, c=0.8)" in variants
+        assert "no C factor" in variants
+        assert len(variants) == 6
+
+
+class TestEstimationError:
+    def test_error_decays_with_budget(self):
+        result = ext_estimation_error(budgets=(0, 10), pair_count=2)
+        max_errors = result.column("max |error|")
+        assert max_errors[0] >= max_errors[-1]
+
+    def test_large_budget_error_zero(self):
+        result = ext_estimation_error(budgets=(50,), pair_count=1)
+        assert result.rows[0][1] < 1e-6

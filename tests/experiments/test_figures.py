@@ -1,0 +1,58 @@
+"""Smoke tests for the figure drivers (tiny corpora; shapes only)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    fig12,
+    fig13,
+)
+
+
+class TestRegistry:
+    def test_all_twelve_figures_registered(self):
+        assert set(ALL_FIGURES) == {f"fig{i}" for i in range(3, 15)}
+
+
+class TestSmallRuns:
+    """Tiny instantiations: assert structure and the paper's directional claims."""
+
+    def test_fig5_estimation_tradeoff(self):
+        result = fig5(budgets=(0, None), pair_count=2)
+        assert [row[0] for row in result.rows] == [0, "MAX"]
+        for row in result.rows:
+            assert 0.0 <= row[1] <= 1.0
+        t_at_0, t_at_max = (row[2] for row in result.rows)
+        assert t_at_0 <= t_at_max  # I = 0 skips the exact iterations
+
+    def test_fig6_pruning_reduces_updates(self):
+        result = fig6(pair_count=2)
+        for row in result.rows:
+            _, updates_noprune, updates_prune, _, _ = row
+            assert updates_prune <= updates_noprune
+
+    def test_fig7_threshold_zero_baseline(self):
+        result = fig7(thresholds=(0.0, 0.25), pair_count=2)
+        assert len(result.rows) == 2
+        assert result.rows[0][0] == 0.0
+
+    def test_fig9_dislocation_trend(self):
+        result = fig9(removed=(0, 4), size=12, per_setting=1, traces_per_log=40)
+        f_ems = result.column("f(EMS)")
+        assert f_ems[0] >= f_ems[-1]  # accuracy drops with dislocation
+
+    def test_fig12_variants(self):
+        result = fig12(pair_count=1)
+        assert [row[0] for row in result.rows] == ["none", "Uc", "Bd", "Uc+Bd"]
+        updates = {row[0]: row[1] for row in result.rows}
+        assert updates["Uc+Bd"] <= updates["none"]
+
+    def test_fig13_delta_sweep_rows(self):
+        result = fig13(deltas=(0.2, 0.01), pair_count=1)
+        assert [row[0] for row in result.rows] == [0.2, 0.01]
+        # Lower delta accepts at least as many composites.
+        assert result.rows[1][3] >= result.rows[0][3]

@@ -1,0 +1,97 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.baselines.common import Evaluation, EventMatcher
+from repro.exceptions import SearchBudgetExceeded
+from repro.experiments.harness import (
+    aggregate_runs,
+    composite_matchers,
+    default_label_similarity,
+    mean_diagnostic,
+    run_matcher_on_pair,
+    run_matrix,
+    singleton_matchers,
+)
+from repro.matching.evaluation import Correspondence
+from repro.synthesis.corpus import LogPair
+from repro.synthesis.examples import figure1_logs
+
+
+class _PerfectMatcher(EventMatcher):
+    name = "perfect"
+
+    def __init__(self, truth):
+        self.truth = truth
+
+    def evaluate(self, log_first, log_second, members_first, members_second):
+        return Evaluation(objective=1.0, pairs=(), diagnostics={"calls": 1.0})
+
+    def match(self, log_first, log_second):
+        from repro.baselines.common import MatchOutcome
+
+        return MatchOutcome(tuple(self.truth), 1.0, {"calls": 1.0})
+
+
+class _ExplodingMatcher(EventMatcher):
+    name = "exploding"
+
+    def evaluate(self, log_first, log_second, members_first, members_second):
+        raise SearchBudgetExceeded("too big")
+
+
+@pytest.fixture()
+def pair() -> LogPair:
+    log_first, log_second, truth = figure1_logs()
+    return LogPair("fig1", "paper", "DS-B", log_first, log_second, truth)
+
+
+class TestRunMatcher:
+    def test_perfect_run(self, pair):
+        run = run_matcher_on_pair(_PerfectMatcher(pair.truth), pair)
+        assert run.finished
+        assert run.f_measure == 1.0
+        assert run.seconds >= 0.0
+        assert run.diagnostics["calls"] == 1.0
+
+    def test_budget_exceeded_becomes_dnf(self, pair):
+        run = run_matcher_on_pair(_ExplodingMatcher(), pair)
+        assert not run.finished
+        assert run.f_measure == 0.0
+
+    def test_run_matrix_order(self, pair):
+        matchers = [_PerfectMatcher(pair.truth), _ExplodingMatcher()]
+        runs = run_matrix(matchers, [pair, pair])
+        assert [run.matcher_name for run in runs] == [
+            "perfect", "perfect", "exploding", "exploding",
+        ]
+
+
+class TestAggregation:
+    def test_aggregate_runs(self, pair):
+        runs = run_matrix([_PerfectMatcher(pair.truth), _ExplodingMatcher()], [pair])
+        aggregates = aggregate_runs(runs)
+        assert aggregates["perfect"].mean_f_measure == 1.0
+        assert aggregates["perfect"].dnf_count == 0
+        assert aggregates["exploding"].dnf_count == 1
+        assert aggregates["exploding"].mean_f_measure == 0.0
+
+    def test_mean_diagnostic(self, pair):
+        runs = run_matrix([_PerfectMatcher(pair.truth)], [pair, pair])
+        assert mean_diagnostic(runs, "calls") == 1.0
+        assert mean_diagnostic(runs, "missing") == 0.0
+
+
+class TestLineups:
+    def test_singleton_lineup_names(self):
+        names = [matcher.name for matcher in singleton_matchers()]
+        assert names == ["EMS", "EMS+es", "GED", "OPQ", "BHV"]
+
+    def test_composite_lineup_names(self):
+        names = [matcher.name for matcher in composite_matchers()]
+        assert names == ["EMS", "EMS+es", "GED", "OPQ", "BHV"]
+
+    def test_label_lineup_uses_half_alpha(self):
+        matchers = singleton_matchers(label_similarity=default_label_similarity())
+        ems = matchers[0]
+        assert ems.config.alpha == 0.5

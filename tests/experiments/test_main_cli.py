@@ -1,0 +1,36 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import FULL_PARAMETERS, main
+from repro.experiments.figures import ALL_FIGURES
+
+
+class TestArguments:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_full_parameters_cover_known_figures_only(self):
+        assert set(FULL_PARAMETERS) <= set(ALL_FIGURES)
+
+
+class TestExecution:
+    def test_single_quick_figure(self, capsys):
+        exit_code = main(["fig7"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "min frequency" in output
+        assert "completed in" in output
+
+    def test_output_directory_written(self, tmp_path, capsys):
+        import json
+
+        exit_code = main(["fig7", "--output", str(tmp_path)])
+        assert exit_code == 0
+        assert (tmp_path / "fig7.txt").read_text(encoding="utf-8").startswith("Figure 7")
+        payload = json.loads((tmp_path / "fig7.json").read_text(encoding="utf-8"))
+        assert payload["figure"] == "Figure 7"
+        assert payload["headers"][0] == "min frequency"
+        assert not payload["full"]

@@ -1,0 +1,45 @@
+"""Tests for ASCII reporting."""
+
+import pytest
+
+from repro.experiments.reporting import FigureResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rendered = format_table(["name", "value"], [["a", 1.0], ["longer", 0.5]])
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+
+    def test_floats_formatted(self):
+        rendered = format_table(["x"], [[0.123456]])
+        assert "0.123" in rendered
+        assert "0.1234" not in rendered
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFigureResult:
+    def test_render_contains_title_and_notes(self):
+        result = FigureResult(
+            figure="Figure 0",
+            title="demo",
+            headers=["k"],
+            rows=[["v"]],
+            notes=["a note"],
+        )
+        rendered = result.render()
+        assert "Figure 0: demo" in rendered
+        assert "note: a note" in rendered
+
+    def test_column_accessor(self):
+        result = FigureResult("f", "t", ["a", "b"], [[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        result = FigureResult("f", "t", ["a"], [[1]])
+        with pytest.raises(ValueError):
+            result.column("zzz")

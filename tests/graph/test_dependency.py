@@ -1,0 +1,123 @@
+"""Tests for the dependency graph (Definition 1 + artificial event)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+from repro.logs.log import EventLog
+
+
+class TestConstruction:
+    def test_from_log_figure2(self, fig1_logs):
+        graph = DependencyGraph.from_log(fig1_logs[0])
+        assert set(graph.nodes) == set("ABCDEF")
+        assert graph.frequency("A") == pytest.approx(0.4)
+        assert graph.edge_frequency("C", "D") == pytest.approx(1.0)
+
+    def test_artificial_edges_weighted_by_node_frequency(self, fig1_graphs):
+        graph = fig1_graphs[0]
+        # Example 3: f(v^X, C) = 1.0 and f(v^X, A) = 0.4.
+        assert graph.edge_frequency(ARTIFICIAL, "C") == pytest.approx(1.0)
+        assert graph.edge_frequency(ARTIFICIAL, "A") == pytest.approx(0.4)
+        assert graph.edge_frequency("A", ARTIFICIAL) == pytest.approx(0.4)
+
+    def test_every_real_node_has_artificial_pre_and_post(self, fig1_graphs):
+        graph = fig1_graphs[0]
+        for node in graph.nodes:
+            assert ARTIFICIAL in graph.predecessors(node)
+            assert ARTIFICIAL in graph.successors(node)
+
+    def test_rejects_reserved_node_name(self):
+        with pytest.raises(GraphError):
+            DependencyGraph({ARTIFICIAL: 1.0}, {})
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            DependencyGraph({}, {})
+
+    def test_rejects_out_of_range_frequency(self):
+        with pytest.raises(GraphError):
+            DependencyGraph({"a": 1.5}, {})
+        with pytest.raises(GraphError):
+            DependencyGraph({"a": 1.0}, {("a", "a"): 0.0})
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(GraphError):
+            DependencyGraph({"a": 1.0}, {("a", "b"): 0.5})
+
+
+class TestAccessors:
+    def test_pre_and_post_sets(self, fig1_graphs):
+        graph = fig1_graphs[0]
+        assert set(graph.predecessors("C")) == {"A", "B", ARTIFICIAL}
+        assert set(graph.successors("C")) == {"D", ARTIFICIAL}
+
+    def test_artificial_frequency_is_one(self, fig1_graphs):
+        assert fig1_graphs[0].frequency(ARTIFICIAL) == 1.0
+
+    def test_unknown_node_raises(self, fig1_graphs):
+        with pytest.raises(GraphError):
+            fig1_graphs[0].frequency("missing")
+        with pytest.raises(GraphError):
+            fig1_graphs[0].predecessors("missing")
+
+    def test_missing_edge_raises(self, fig1_graphs):
+        with pytest.raises(GraphError):
+            fig1_graphs[0].edge_frequency("A", "F")
+
+    def test_contains(self, fig1_graphs):
+        graph = fig1_graphs[0]
+        assert "A" in graph
+        assert ARTIFICIAL in graph
+        assert "nope" not in graph
+
+    def test_real_edges_exclude_artificial(self, fig1_graphs):
+        for edge in fig1_graphs[0].real_edges:
+            assert ARTIFICIAL not in edge
+
+    def test_members_default_to_self(self, fig1_graphs):
+        assert fig1_graphs[0].members("A") == frozenset({"A"})
+
+    def test_average_degree_counts_artificial(self):
+        graph = DependencyGraph.from_log(EventLog([["a", "b"]] * 2))
+        # a: pre {X}, post {b, X}; b: pre {a, X}, post {X} -> degree 3 each.
+        assert graph.average_degree() == pytest.approx(3.0)
+
+
+class TestTransformations:
+    def test_reversed_swaps_real_edges(self, fig1_graphs):
+        reversed_graph = fig1_graphs[0].reversed()
+        assert reversed_graph.has_edge("D", "C")
+        assert not reversed_graph.has_edge("C", "D")
+        # Artificial edges survive in both directions.
+        assert reversed_graph.has_edge(ARTIFICIAL, "C")
+        assert reversed_graph.has_edge("C", ARTIFICIAL)
+
+    def test_reversed_twice_is_identity(self, fig1_graphs):
+        graph = fig1_graphs[0]
+        assert graph.reversed().reversed().real_edges == graph.real_edges
+
+    def test_filter_edges(self, fig1_graphs):
+        graph = fig1_graphs[0]
+        filtered = graph.filter_edges(0.5)
+        assert not filtered.has_edge("A", "C")  # 0.4 < 0.5
+        assert filtered.has_edge("C", "D")  # 1.0
+        # Artificial edges always survive.
+        assert filtered.has_edge(ARTIFICIAL, "A")
+
+    def test_filter_edges_validates(self, fig1_graphs):
+        with pytest.raises(GraphError):
+            fig1_graphs[0].filter_edges(1.5)
+
+    def test_min_frequency_at_build_time(self, fig1_logs):
+        graph = DependencyGraph.from_log(fig1_logs[0], min_frequency=0.5)
+        assert not graph.has_edge("A", "C")
+
+    def test_restrict_nodes(self, fig1_graphs):
+        sub = fig1_graphs[0].restrict_nodes(["C", "D"])
+        assert set(sub.nodes) == {"C", "D"}
+        assert sub.has_edge("C", "D")
+
+    def test_restrict_nodes_unknown(self, fig1_graphs):
+        with pytest.raises(GraphError):
+            fig1_graphs[0].restrict_nodes(["C", "zzz"])

@@ -1,0 +1,67 @@
+"""Tests for DOT export and graph metrics."""
+
+import pytest
+
+from repro.graph.dependency import DependencyGraph
+from repro.graph.export import graph_metrics, to_dot
+from repro.logs.log import EventLog
+
+
+@pytest.fixture()
+def graph() -> DependencyGraph:
+    return DependencyGraph.from_log(
+        EventLog([["a", "b", "c"], ["a", "c", "b"]], name="demo")
+    )
+
+
+class TestDot:
+    def test_all_nodes_and_edges_present(self, graph):
+        dot = to_dot(graph)
+        for node in graph.nodes:
+            assert f'"{node}"' in dot
+        for source, target in graph.real_edges:
+            assert f'"{source}" -> "{target}"' in dot
+
+    def test_artificial_optional(self, graph):
+        assert "vX" in to_dot(graph, include_artificial=True)
+        assert "vX" not in to_dot(graph, include_artificial=False)
+
+    def test_highlighting(self, graph):
+        dot = to_dot(graph, highlight={"a": "lightblue"})
+        assert 'fillcolor="lightblue"' in dot
+
+    def test_quoting(self):
+        log = EventLog([['weird "name"', "other"]])
+        dot = to_dot(DependencyGraph.from_log(log))
+        assert '\\"name\\"' in dot
+
+    def test_valid_braces(self, graph):
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+
+class TestMetrics:
+    def test_counts(self, graph):
+        metrics = graph_metrics(graph)
+        assert metrics.node_count == 3
+        assert metrics.edge_count == 4  # ab, bc, ac, cb
+
+    def test_density(self, graph):
+        metrics = graph_metrics(graph)
+        assert metrics.density == pytest.approx(4 / 6)
+
+    def test_reciprocity(self, graph):
+        # b<->c is the only reciprocal pair: 2 of 4 edges.
+        assert graph_metrics(graph).reciprocity == pytest.approx(0.5)
+
+    def test_degrees(self, graph):
+        metrics = graph_metrics(graph)
+        assert metrics.max_out_degree == 2  # a -> b and a -> c
+        assert metrics.mean_degree == pytest.approx(8 / 3)
+
+    def test_single_node(self):
+        metrics = graph_metrics(DependencyGraph.from_log(EventLog([["x"]])))
+        assert metrics.edge_count == 0
+        assert metrics.density == 0.0
+        assert metrics.reciprocity == 0.0

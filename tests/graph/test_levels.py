@@ -1,0 +1,74 @@
+"""Tests for longest-distance levels l(v) (Proposition 2 machinery)."""
+
+import math
+
+import pytest
+
+from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+from repro.graph.levels import longest_distances, max_finite_level
+from repro.logs.log import EventLog
+
+
+def graph_of(*traces: str) -> DependencyGraph:
+    return DependencyGraph.from_log(EventLog([list(t) for t in traces]))
+
+
+class TestAcyclic:
+    def test_chain_levels(self):
+        levels = longest_distances(graph_of("abc"))
+        assert levels[ARTIFICIAL] == 0
+        assert levels["a"] == 1
+        assert levels["b"] == 2
+        assert levels["c"] == 3
+
+    def test_figure1_levels(self, fig1_graphs):
+        levels = longest_distances(fig1_graphs[0])
+        # Example 5: l(A) = 1, and S(C, *) converges at iteration 2.
+        assert levels["A"] == 1
+        assert levels["B"] == 1
+        assert levels["C"] == 2
+        assert levels["D"] == 3
+        # E and F are concurrent: E -> F and F -> E form a real cycle.
+        assert math.isinf(levels["E"])
+        assert math.isinf(levels["F"])
+
+    def test_longest_not_shortest(self):
+        # a -> c directly but also a -> b -> c: l(c) must be 3.
+        levels = longest_distances(graph_of("abc", "ac"))
+        assert levels["c"] == 3
+
+
+class TestCycles:
+    def test_self_loop_is_infinite(self):
+        levels = longest_distances(graph_of("aab"))
+        assert math.isinf(levels["a"])
+        assert math.isinf(levels["b"])  # downstream of the loop
+
+    def test_cycle_members_infinite(self):
+        levels = longest_distances(graph_of("abab"))
+        assert math.isinf(levels["a"])
+        assert math.isinf(levels["b"])
+
+    def test_node_upstream_of_cycle_is_finite(self):
+        levels = longest_distances(graph_of("xbcbcy"))
+        assert levels["x"] == 1
+        assert math.isinf(levels["b"])
+        assert math.isinf(levels["y"])  # downstream of the b-c cycle
+
+    def test_artificial_cycle_does_not_count(self):
+        # v -> v^X -> v must NOT make levels infinite (Section 3.4 intent).
+        levels = longest_distances(graph_of("ab"))
+        assert levels["a"] == 1
+        assert levels["b"] == 2
+
+
+class TestMaxFiniteLevel:
+    def test_finite(self):
+        assert max_finite_level(longest_distances(graph_of("abc"))) == 3
+
+    def test_infinite_when_cyclic(self):
+        assert math.isinf(max_finite_level(longest_distances(graph_of("abab"))))
+
+    def test_ignores_artificial(self):
+        levels = longest_distances(graph_of("a"))
+        assert max_finite_level(levels) == 1

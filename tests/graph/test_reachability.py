@@ -1,0 +1,42 @@
+"""Tests for real-edge reachability (Proposition 4 support)."""
+
+from repro.graph.dependency import DependencyGraph
+from repro.graph.reachability import real_ancestors, real_descendants
+from repro.logs.log import EventLog
+
+
+def graph_of(*traces: str) -> DependencyGraph:
+    return DependencyGraph.from_log(EventLog([list(t) for t in traces]))
+
+
+class TestDescendants:
+    def test_chain(self):
+        graph = graph_of("abcd")
+        assert real_descendants(graph, ["b"]) == {"c", "d"}
+
+    def test_artificial_edges_do_not_leak(self):
+        # Without excluding v^X, every node would reach every other node.
+        graph = graph_of("ab", "cd")
+        assert real_descendants(graph, ["a"]) == {"b"}
+
+    def test_cycle_includes_sources(self):
+        graph = graph_of("abab")
+        assert real_descendants(graph, ["a"]) == {"a", "b"}
+
+    def test_multiple_sources(self):
+        graph = graph_of("abc")
+        assert real_descendants(graph, ["a", "b"]) == {"b", "c"}
+
+
+class TestAncestors:
+    def test_chain(self):
+        graph = graph_of("abcd")
+        assert real_ancestors(graph, ["c"]) == {"a", "b"}
+
+    def test_is_reverse_of_descendants(self):
+        graph = graph_of("abc", "adc")
+        for node in graph.nodes:
+            for other in graph.nodes:
+                forward = other in real_descendants(graph, [node])
+                backward = node in real_ancestors(graph, [other])
+                assert forward == backward

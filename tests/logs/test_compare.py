@@ -1,0 +1,68 @@
+"""Tests for the log comparison (drift) report."""
+
+import pytest
+
+from repro.logs.compare import compare_logs
+from repro.logs.log import EventLog
+
+
+@pytest.fixture()
+def pair():
+    first = EventLog([["a", "b", "c"]] * 6 + [["a", "c"]] * 4, name="before")
+    second = EventLog([["a", "b", "c"]] * 2 + [["a", "c"]] * 8, name="after")
+    return first, second
+
+
+class TestVocabulary:
+    def test_identical_logs(self):
+        log = EventLog([["a", "b"]] * 3, name="same")
+        comparison = compare_logs(log, log)
+        assert comparison.vocabulary_overlap == 1.0
+        assert comparison.only_first == ()
+        assert comparison.only_second == ()
+        assert comparison.max_drift == 0.0
+        assert comparison.relation_changes == ()
+
+    def test_exclusive_activities_reported(self):
+        first = EventLog([["a", "b"]] * 3, name="f")
+        second = EventLog([["a", "z"]] * 3, name="s")
+        comparison = compare_logs(first, second)
+        assert comparison.only_first == ("b",)
+        assert comparison.only_second == ("z",)
+        assert comparison.vocabulary_overlap == pytest.approx(1 / 3)
+
+
+class TestDrift:
+    def test_frequency_drift_measured(self, pair):
+        comparison = compare_logs(*pair)
+        drift = {d.activity: d.delta for d in comparison.drifts}
+        assert drift["b"] == pytest.approx(0.2 - 0.6)
+        assert drift["a"] == pytest.approx(0.0)
+        assert comparison.max_drift == pytest.approx(0.4)
+
+    def test_relation_changes_detected(self):
+        first = EventLog([["a", "b"]] * 4, name="f")       # a -> b
+        second = EventLog([["a", "b"], ["b", "a"]] * 2, name="s")  # a || b
+        comparison = compare_logs(first, second)
+        assert len(comparison.relation_changes) == 1
+        change = comparison.relation_changes[0]
+        assert change.pair == ("a", "b")
+        assert change.relation_first == "->"
+        assert change.relation_second == "||"
+
+
+class TestMapping:
+    def test_mapping_translates_before_diffing(self):
+        first = EventLog([["x1", "x2"]] * 3, name="f")
+        second = EventLog([["y1", "y2"]] * 3, name="s")
+        comparison = compare_logs(first, second, mapping={"x1": "y1", "x2": "y2"})
+        assert comparison.shared == ("y1", "y2")
+        assert comparison.only_first == ()
+
+
+class TestRender:
+    def test_render_mentions_everything(self, pair):
+        rendered = compare_logs(*pair).render()
+        assert "vocabulary overlap" in rendered
+        assert "frequency drift" in rendered
+        assert "b: 0.60 -> 0.20" in rendered

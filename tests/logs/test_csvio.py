@@ -1,0 +1,81 @@
+"""CSV serialization tests."""
+
+import io
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.logs.csvio import read_csv, traces_from_rows, write_csv
+from repro.logs.events import Event, Trace
+from repro.logs.log import EventLog
+
+
+def roundtrip(log: EventLog) -> EventLog:
+    buffer = io.StringIO()
+    write_csv(log, buffer)
+    buffer.seek(0)
+    return read_csv(buffer, name=log.name)
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        log = EventLog([["a", "b"], ["c"]], name="demo")
+        assert roundtrip(log) == log
+
+    def test_case_grouping_from_interleaved_rows(self):
+        rows = io.StringIO(
+            "case_id,activity,timestamp\n"
+            "c1,a,\n"
+            "c2,x,\n"
+            "c1,b,\n"
+            "c2,y,\n"
+        )
+        log = read_csv(rows)
+        variants = {trace.case_id: trace.activities for trace in log}
+        assert variants == {"c1": ("a", "b"), "c2": ("x", "y")}
+
+    def test_timestamp_ordering_within_case(self):
+        rows = io.StringIO(
+            "case_id,activity,timestamp\n"
+            "c1,second,20.0\n"
+            "c1,first,10.0\n"
+        )
+        log = read_csv(rows)
+        assert log.traces[0].activities == ("first", "second")
+
+    def test_timestamps_roundtrip_exactly(self):
+        log = EventLog([[Event("a", timestamp=123.456789)]])
+        restored = roundtrip(log)
+        assert restored.traces[0][0].timestamp == 123.456789
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "log.csv"
+        log = EventLog(name="f")
+        log.append(Trace(["a", "b"], case_id="k-1"))
+        write_csv(log, path)
+        assert read_csv(path) == log
+
+
+class TestErrors:
+    def test_empty_document(self):
+        with pytest.raises(LogFormatError):
+            read_csv(io.StringIO(""))
+
+    def test_missing_columns(self):
+        with pytest.raises(LogFormatError):
+            read_csv(io.StringIO("foo,bar\n1,2\n"))
+
+    def test_bad_timestamp(self):
+        with pytest.raises(LogFormatError):
+            read_csv(io.StringIO("case_id,activity,timestamp\nc1,a,xyz\n"))
+
+    def test_short_row(self):
+        with pytest.raises(LogFormatError):
+            read_csv(io.StringIO("case_id,activity,timestamp\nc1\n"))
+
+
+class TestTracesFromRows:
+    def test_preserves_order(self):
+        log = traces_from_rows([("c1", "a"), ("c2", "x"), ("c1", "b")])
+        variants = {trace.case_id: trace.activities for trace in log}
+        assert variants == {"c1": ("a", "b"), "c2": ("x",)}

@@ -1,0 +1,97 @@
+"""Unit tests for Event and Trace."""
+
+import pytest
+
+from repro.logs.events import Event, Trace
+
+
+class TestEvent:
+    def test_activity_required(self):
+        with pytest.raises(ValueError):
+            Event("")
+
+    def test_activity_must_be_string(self):
+        with pytest.raises(TypeError):
+            Event(42)  # type: ignore[arg-type]
+
+    def test_with_activity_preserves_payload(self):
+        event = Event("a", timestamp=5.0, attributes={"resource": "bob"})
+        renamed = event.with_activity("b")
+        assert renamed.activity == "b"
+        assert renamed.timestamp == 5.0
+        assert renamed.attributes == {"resource": "bob"}
+
+    def test_frozen(self):
+        event = Event("a")
+        with pytest.raises(AttributeError):
+            event.activity = "b"  # type: ignore[misc]
+
+
+class TestTrace:
+    def test_accepts_strings_and_events(self):
+        trace = Trace(["a", Event("b")])
+        assert trace.activities == ("a", "b")
+
+    def test_equality_ignores_timestamps(self):
+        assert Trace([Event("a", 1.0)]) == Trace([Event("a", 99.0)])
+        assert hash(Trace([Event("a", 1.0)])) == hash(Trace([Event("a", 99.0)]))
+
+    def test_equality_respects_order(self):
+        assert Trace(["a", "b"]) != Trace(["b", "a"])
+
+    def test_pairs(self):
+        assert list(Trace(["a", "b", "c", "b"]).pairs()) == [
+            ("a", "b"), ("b", "c"), ("c", "b"),
+        ]
+
+    def test_pairs_of_singleton_empty(self):
+        assert list(Trace(["a"]).pairs()) == []
+
+    def test_distinct_activities(self):
+        assert Trace(["a", "b", "a"]).distinct_activities() == frozenset({"a", "b"})
+
+    def test_drop_prefix(self):
+        assert Trace(["a", "b", "c"]).drop_prefix(2).activities == ("c",)
+
+    def test_drop_prefix_beyond_length_empties(self):
+        assert len(Trace(["a"]).drop_prefix(5)) == 0
+
+    def test_drop_prefix_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(["a"]).drop_prefix(-1)
+
+    def test_drop_suffix(self):
+        assert Trace(["a", "b", "c"]).drop_suffix(1).activities == ("a", "b")
+
+    def test_drop_suffix_zero_is_identity(self):
+        trace = Trace(["a", "b"], case_id="c1")
+        result = trace.drop_suffix(0)
+        assert result == trace
+        assert result.case_id == "c1"
+
+    def test_relabel_partial(self):
+        trace = Trace(["a", "b"]).relabel({"a": "x"})
+        assert trace.activities == ("x", "b")
+
+    def test_replace_run_collapses_consecutive(self):
+        trace = Trace(["a", "b", "c", "b", "c", "d"])
+        merged = trace.replace_run(("b", "c"), "bc")
+        assert merged.activities == ("a", "bc", "bc", "d")
+
+    def test_replace_run_ignores_noncontiguous(self):
+        trace = Trace(["b", "a", "c"])
+        assert trace.replace_run(("b", "c"), "bc").activities == ("b", "a", "c")
+
+    def test_replace_run_keeps_anchor_timestamp(self):
+        trace = Trace([Event("b", 1.0), Event("c", 2.0)])
+        merged = trace.replace_run(("b", "c"), "bc")
+        assert merged.events[0].timestamp == 1.0
+
+    def test_replace_run_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(["a"]).replace_run((), "x")
+
+    def test_indexing_and_iteration(self):
+        trace = Trace(["a", "b"])
+        assert trace[0].activity == "a"
+        assert [event.activity for event in trace] == ["a", "b"]

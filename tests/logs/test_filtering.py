@@ -1,0 +1,66 @@
+"""Tests for log filtering utilities."""
+
+import pytest
+
+from repro.logs.filtering import (
+    drop_trace_prefixes,
+    drop_trace_suffixes,
+    keep_frequent_variants,
+    remove_activities,
+    sample_traces,
+    truncate_traces,
+)
+from repro.logs.log import EventLog
+
+
+@pytest.fixture()
+def log() -> EventLog:
+    return EventLog([["a", "b", "c"], ["a", "b"], ["a"]])
+
+
+class TestPrefixSuffix:
+    def test_drop_prefixes(self, log):
+        result = drop_trace_prefixes(log, 1)
+        assert [t.activities for t in result] == [("b", "c"), ("b",)]
+
+    def test_drop_suffixes(self, log):
+        result = drop_trace_suffixes(log, 1)
+        assert [t.activities for t in result] == [("a", "b"), ("a",)]
+
+    def test_drop_zero_is_identity(self, log):
+        assert drop_trace_prefixes(log, 0) == log
+
+
+class TestActivityRemoval:
+    def test_remove_activities(self, log):
+        result = remove_activities(log, {"b"})
+        assert result.activities() == frozenset({"a", "c"})
+        assert len(result) == 3
+
+    def test_remove_all_activities_of_trace_drops_it(self):
+        log = EventLog([["x"], ["x", "y"]])
+        result = remove_activities(log, {"x"})
+        assert len(result) == 1
+
+
+class TestVariantsAndSampling:
+    def test_keep_frequent_variants(self):
+        log = EventLog([["a"]] * 3 + [["b"]])
+        result = keep_frequent_variants(log, 2)
+        assert len(result) == 3
+
+    def test_keep_frequent_variants_validates(self):
+        with pytest.raises(ValueError):
+            keep_frequent_variants(EventLog([["a"]]), 0)
+
+    def test_truncate(self, log):
+        result = truncate_traces(log, 2)
+        assert max(len(trace) for trace in result) == 2
+
+    def test_truncate_validates(self, log):
+        with pytest.raises(ValueError):
+            truncate_traces(log, 0)
+
+    def test_sample_with_repeats(self, log):
+        result = sample_traces(log, [0, 0, 2])
+        assert [t.activities for t in result] == [("a", "b", "c"), ("a", "b", "c"), ("a",)]

@@ -1,0 +1,85 @@
+"""Tests for behavioral footprints."""
+
+import pytest
+
+from repro.logs.footprint import (
+    Relation,
+    compute_footprint,
+    footprint_agreement,
+)
+from repro.logs.log import EventLog
+
+
+@pytest.fixture()
+def footprint():
+    # a then (b || c) then d; e never occurs adjacent to a.
+    log = EventLog([["a", "b", "c", "d"], ["a", "c", "b", "d"], ["e"]])
+    return compute_footprint(log)
+
+
+class TestRelations:
+    def test_causal(self, footprint):
+        assert footprint.relation("a", "b") == Relation.CAUSAL
+        assert footprint.relation("b", "a") == Relation.REVERSE
+
+    def test_parallel(self, footprint):
+        assert footprint.relation("b", "c") == Relation.PARALLEL
+        assert footprint.relation("c", "b") == Relation.PARALLEL
+
+    def test_exclusive(self, footprint):
+        assert footprint.relation("a", "e") == Relation.EXCLUSIVE
+        assert footprint.relation("a", "d") == Relation.EXCLUSIVE  # never adjacent
+
+    def test_unknown_activity(self, footprint):
+        with pytest.raises(KeyError):
+            footprint.relation("a", "zzz")
+
+    def test_self_relation_exclusive_without_loop(self, footprint):
+        assert footprint.relation("a", "a") == Relation.EXCLUSIVE
+
+    def test_self_loop_parallel(self):
+        footprint = compute_footprint(EventLog([["a", "a"]]))
+        assert footprint.relation("a", "a") == Relation.PARALLEL
+
+
+class TestProfiles:
+    def test_profile_sums_to_one(self, footprint):
+        for activity in footprint.activities:
+            assert sum(footprint.profile(activity)) == pytest.approx(1.0)
+
+    def test_isolated_activity_profile(self, footprint):
+        causal, reverse, parallel, exclusive = footprint.profile("e")
+        assert exclusive == 1.0
+        assert causal == reverse == parallel == 0.0
+
+    def test_single_activity_log(self):
+        footprint = compute_footprint(EventLog([["only"]]))
+        assert footprint.profile("only") == (0.0, 0.0, 0.0, 1.0)
+
+
+class TestAgreement:
+    def test_isomorphic_mapping_scores_one(self):
+        first = compute_footprint(EventLog([["a", "b", "c"]] * 3))
+        second = compute_footprint(EventLog([["x", "y", "z"]] * 3))
+        mapping = {"a": "x", "b": "y", "c": "z"}
+        assert footprint_agreement(first, second, mapping) == 1.0
+
+    def test_crossed_mapping_scores_below_one(self):
+        first = compute_footprint(EventLog([["a", "b", "c"]] * 3))
+        second = compute_footprint(EventLog([["x", "y", "z"]] * 3))
+        mapping = {"a": "z", "b": "y", "c": "x"}
+        assert footprint_agreement(first, second, mapping) < 1.0
+
+    def test_tiny_mappings(self):
+        first = compute_footprint(EventLog([["a"]]))
+        second = compute_footprint(EventLog([["x"]]))
+        assert footprint_agreement(first, second, {"a": "x"}) == 1.0
+        assert footprint_agreement(first, second, {}) == 0.0
+
+
+class TestRender:
+    def test_render_contains_all_activities(self, footprint):
+        rendered = footprint.render()
+        for activity in footprint.activities:
+            assert activity in rendered
+        assert Relation.PARALLEL.value in rendered

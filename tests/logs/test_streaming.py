@@ -1,0 +1,82 @@
+"""Tests for the streaming statistics accumulator."""
+
+import pytest
+
+from repro.exceptions import EventLogError
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import RESERVED_ACTIVITY, EventLog
+from repro.logs.stats import compute_statistics
+from repro.logs.streaming import OnlineStatistics
+
+
+class TestAccumulation:
+    def test_matches_batch_computation(self, fig1_logs):
+        log = fig1_logs[0]
+        online = OnlineStatistics()
+        online.add_log(log)
+        snapshot = online.snapshot()
+        batch = compute_statistics(log)
+        assert snapshot.trace_count == batch.trace_count
+        assert snapshot.activity_frequencies == batch.activity_frequencies
+        assert snapshot.pair_frequencies == batch.pair_frequencies
+
+    def test_incremental_equals_batch_at_every_prefix(self, fig1_logs):
+        log = fig1_logs[0]
+        online = OnlineStatistics()
+        seen = []
+        for trace in log:
+            online.add_trace(trace)
+            seen.append(trace)
+            batch = compute_statistics(EventLog(seen))
+            assert online.snapshot() == batch
+
+    def test_accepts_bare_sequences(self):
+        online = OnlineStatistics()
+        online.add_trace(["a", "b"])
+        assert online.trace_count == 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(EventLogError):
+            OnlineStatistics().add_trace([])
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(EventLogError):
+            OnlineStatistics().add_trace([RESERVED_ACTIVITY])
+
+    def test_snapshot_requires_data(self):
+        with pytest.raises(EventLogError):
+            OnlineStatistics().snapshot()
+
+
+class TestMerge:
+    def test_merge_equals_union(self, fig1_logs):
+        log = fig1_logs[0]
+        traces = list(log)
+        first = OnlineStatistics()
+        second = OnlineStatistics()
+        for trace in traces[:4]:
+            first.add_trace(trace)
+        for trace in traces[4:]:
+            second.add_trace(trace)
+        merged = first.merge(second)
+        assert merged.snapshot() == compute_statistics(log)
+
+    def test_merge_leaves_inputs_untouched(self):
+        first = OnlineStatistics()
+        first.add_trace(["a"])
+        second = OnlineStatistics()
+        second.add_trace(["b"])
+        first.merge(second)
+        assert first.trace_count == 1
+        assert second.trace_count == 1
+
+
+class TestGraphRefresh:
+    def test_snapshot_builds_identical_graph(self, fig1_logs):
+        log = fig1_logs[0]
+        online = OnlineStatistics()
+        online.add_log(log)
+        from_stream = DependencyGraph.from_statistics(online.snapshot())
+        from_batch = DependencyGraph.from_log(log)
+        assert from_stream.nodes == from_batch.nodes
+        assert from_stream.real_edges == from_batch.real_edges

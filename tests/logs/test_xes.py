@@ -1,0 +1,80 @@
+"""XES serialization round-trip tests."""
+
+import io
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.logs.events import Event, Trace
+from repro.logs.log import EventLog
+from repro.logs.xes import read_xes, write_xes
+
+
+def roundtrip(log: EventLog) -> EventLog:
+    buffer = io.BytesIO()
+    write_xes(log, buffer)
+    buffer.seek(0)
+    return read_xes(buffer)
+
+
+class TestRoundTrip:
+    def test_traces_and_activities_preserved(self):
+        log = EventLog([["a", "b"], ["b", "c", "b"]], name="demo")
+        restored = roundtrip(log)
+        assert restored == log
+        assert restored.name == "demo"
+
+    def test_case_ids_preserved(self):
+        log = EventLog(name="demo")
+        log.append(Trace(["a"], case_id="case-42"))
+        restored = roundtrip(log)
+        assert restored.traces[0].case_id == "case-42"
+
+    def test_timestamps_preserved_to_millisecond(self):
+        log = EventLog([[Event("a", timestamp=1_403_395_200.125)]])
+        restored = roundtrip(log)
+        assert restored.traces[0][0].timestamp == pytest.approx(
+            1_403_395_200.125, abs=1e-3
+        )
+
+    def test_attributes_preserved(self):
+        log = EventLog([[Event("a", attributes={"resource": "alice"})]])
+        restored = roundtrip(log)
+        assert restored.traces[0][0].attributes["resource"] == "alice"
+
+    def test_unicode_activities(self):
+        log = EventLog([["?????", "Prüfung", "支付"]])
+        assert roundtrip(log).activities() == frozenset({"?????", "Prüfung", "支付"})
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "log.xes"
+        log = EventLog([["a", "b"]], name="file-demo")
+        write_xes(log, path)
+        assert read_xes(path) == log
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(LogFormatError):
+            read_xes(io.BytesIO(b"<log><trace>"))
+
+    def test_wrong_root(self):
+        with pytest.raises(LogFormatError):
+            read_xes(io.BytesIO(b"<notalog/>"))
+
+    def test_event_without_name(self):
+        document = (
+            b'<log><trace><event><string key="other" value="x"/></event></trace></log>'
+        )
+        with pytest.raises(LogFormatError):
+            read_xes(io.BytesIO(document))
+
+    def test_bad_timestamp(self):
+        document = (
+            b'<log><trace><event>'
+            b'<string key="concept:name" value="a"/>'
+            b'<date key="time:timestamp" value="not-a-date"/>'
+            b"</event></trace></log>"
+        )
+        with pytest.raises(LogFormatError):
+            read_xes(io.BytesIO(document))

@@ -1,0 +1,48 @@
+"""Tests for threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import SimilarityMatrix
+from repro.matching.calibration import calibrate_threshold
+from repro.matching.evaluation import Correspondence
+
+
+def labeled_pair(noise_pairs: int = 1):
+    """A matrix where true pairs score 0.9 and noise pairs 0.3."""
+    rows = ["a", "b", "n1", "n2"][: 2 + noise_pairs]
+    cols = ["x", "y", "m1", "m2"][: 2 + noise_pairs]
+    values = np.full((len(rows), len(cols)), 0.1)
+    values[0, 0] = 0.9
+    values[1, 1] = 0.85
+    for index in range(noise_pairs):
+        values[2 + index, 2 + index] = 0.3
+    truth = [Correspondence.one_to_one("a", "x"), Correspondence.one_to_one("b", "y")]
+    return SimilarityMatrix(rows, cols, values), truth
+
+
+class TestCalibrateThreshold:
+    def test_finds_separating_threshold(self):
+        calibration = calibrate_threshold([labeled_pair(noise_pairs=2)])
+        # Selection keeps pairs *strictly above* the threshold, so any
+        # threshold in [0.3, 0.85) separates signal from noise.
+        assert 0.3 <= calibration.best_threshold < 0.85
+        assert calibration.best_f_measure == 1.0
+
+    def test_curve_covers_grid(self):
+        calibration = calibrate_threshold(
+            [labeled_pair()], thresholds=(0.0, 0.5, 0.9)
+        )
+        assert [point[0] for point in calibration.curve] == [0.0, 0.5, 0.9]
+
+    def test_multiple_pairs_averaged(self):
+        calibration = calibrate_threshold([labeled_pair(), labeled_pair(2)])
+        assert calibration.best_f_measure > 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold([])
+
+    def test_str(self):
+        calibration = calibrate_threshold([labeled_pair()])
+        assert "threshold" in str(calibration)

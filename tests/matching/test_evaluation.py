@@ -1,0 +1,91 @@
+"""Tests for correspondences and the f-measure evaluation."""
+
+import pytest
+
+from repro.matching.evaluation import (
+    Correspondence,
+    correspondence_links,
+    evaluate,
+    mean_evaluation,
+)
+
+
+class TestCorrespondence:
+    def test_one_to_one(self):
+        correspondence = Correspondence.one_to_one("a", "x")
+        assert correspondence.links() == frozenset({("a", "x")})
+        assert not correspondence.is_composite()
+
+    def test_composite_links_cross_product(self):
+        correspondence = Correspondence(frozenset({"c", "d"}), frozenset({"4"}))
+        assert correspondence.links() == frozenset({("c", "4"), ("d", "4")})
+        assert correspondence.is_composite()
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValueError):
+            Correspondence(frozenset(), frozenset({"x"}))
+
+    def test_links_union(self):
+        links = correspondence_links(
+            [Correspondence.one_to_one("a", "x"), Correspondence.one_to_one("b", "y")]
+        )
+        assert links == frozenset({("a", "x"), ("b", "y")})
+
+
+class TestEvaluate:
+    def test_perfect(self):
+        truth = [Correspondence.one_to_one("a", "x")]
+        result = evaluate(truth, truth)
+        assert result.precision == result.recall == result.f_measure == 1.0
+
+    def test_empty_found(self):
+        result = evaluate([Correspondence.one_to_one("a", "x")], [])
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f_measure == 0.0
+
+    def test_partial_composite_credit(self):
+        truth = [Correspondence(frozenset({"c", "d"}), frozenset({"4"}))]
+        found = [Correspondence.one_to_one("c", "4")]
+        result = evaluate(truth, found)
+        assert result.precision == 1.0
+        assert result.recall == pytest.approx(0.5)
+        assert result.f_measure == pytest.approx(2 / 3)
+
+    def test_false_positive_hurts_precision_only(self):
+        truth = [Correspondence.one_to_one("a", "x")]
+        found = [
+            Correspondence.one_to_one("a", "x"),
+            Correspondence.one_to_one("b", "y"),
+        ]
+        result = evaluate(truth, found)
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == 1.0
+
+    def test_counts_exposed(self):
+        truth = [Correspondence.one_to_one("a", "x")]
+        found = [Correspondence.one_to_one("a", "y")]
+        result = evaluate(truth, found)
+        assert result.truth_size == 1
+        assert result.found_size == 1
+        assert result.hit_count == 0
+
+    def test_str_formats(self):
+        result = evaluate(
+            [Correspondence.one_to_one("a", "x")], [Correspondence.one_to_one("a", "x")]
+        )
+        assert "F=1.000" in str(result)
+
+
+class TestMeanEvaluation:
+    def test_macro_average(self):
+        truth = [Correspondence.one_to_one("a", "x")]
+        perfect = evaluate(truth, truth)
+        empty = evaluate(truth, [])
+        mean = mean_evaluation([perfect, empty])
+        assert mean.f_measure == pytest.approx(0.5)
+        assert mean.hit_count == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_evaluation([])

@@ -1,0 +1,60 @@
+"""Tests for correspondence selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import SimilarityMatrix
+from repro.matching.selection import (
+    pairs_to_correspondences,
+    select_correspondences,
+    select_pairs,
+)
+
+
+@pytest.fixture()
+def matrix() -> SimilarityMatrix:
+    return SimilarityMatrix(
+        ["a", "b"], ["x", "y"], np.array([[0.9, 0.2], [0.3, 0.8]])
+    )
+
+
+class TestSelectPairs:
+    def test_maximum_total(self, matrix):
+        pairs = select_pairs(matrix)
+        assert {(p.left, p.right) for p in pairs} == {("a", "x"), ("b", "y")}
+
+    def test_threshold_filters(self, matrix):
+        pairs = select_pairs(matrix, threshold=0.85)
+        assert {(p.left, p.right) for p in pairs} == {("a", "x")}
+
+    def test_zero_similarity_dropped_by_default(self):
+        matrix = SimilarityMatrix(["a"], ["x", "y"], np.array([[0.0, 0.0]]))
+        assert select_pairs(matrix) == []
+
+    def test_threshold_validated(self, matrix):
+        with pytest.raises(ValueError):
+            select_pairs(matrix, threshold=1.5)
+
+    def test_assignment_beats_greedy(self):
+        # Greedy row-max would pick (a, x) then leave b with 0.1; the
+        # assignment picks the globally better cross pairing.
+        matrix = SimilarityMatrix(
+            ["a", "b"], ["x", "y"], np.array([[0.9, 0.8], [0.85, 0.1]])
+        )
+        pairs = select_pairs(matrix)
+        assert {(p.left, p.right) for p in pairs} == {("a", "y"), ("b", "x")}
+
+
+class TestCorrespondences:
+    def test_member_expansion(self, matrix):
+        pairs = select_pairs(matrix)
+        members_left = {"a": frozenset({"a1", "a2"})}
+        correspondences = pairs_to_correspondences(pairs, members_left, None)
+        by_right = {min(c.right): c for c in correspondences}
+        assert by_right["x"].left == frozenset({"a1", "a2"})
+        assert by_right["y"].left == frozenset({"b"})
+
+    def test_one_call_pipeline(self, matrix):
+        correspondences = select_correspondences(matrix, threshold=0.5)
+        assert len(correspondences) == 2
+        assert all(len(c.left) == 1 for c in correspondences)

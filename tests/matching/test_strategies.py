@@ -1,0 +1,92 @@
+"""Tests for the alternative selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import SimilarityMatrix
+from repro.matching.strategies import (
+    greedy_selection,
+    mutual_best_selection,
+    stable_marriage_selection,
+)
+
+ALL_STRATEGIES = [greedy_selection, stable_marriage_selection, mutual_best_selection]
+
+
+@pytest.fixture()
+def matrix() -> SimilarityMatrix:
+    return SimilarityMatrix(
+        ["a", "b", "c"],
+        ["x", "y", "z"],
+        np.array([[0.9, 0.1, 0.2], [0.3, 0.8, 0.1], [0.2, 0.4, 0.7]]),
+    )
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.__name__)
+    def test_injective(self, strategy, matrix):
+        pairs = strategy(matrix)
+        lefts = [pair.left for pair in pairs]
+        rights = [pair.right for pair in pairs]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.__name__)
+    def test_clear_diagonal_found(self, strategy, matrix):
+        pairs = strategy(matrix)
+        assert {(p.left, p.right) for p in pairs} == {("a", "x"), ("b", "y"), ("c", "z")}
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.__name__)
+    def test_threshold_validated(self, strategy, matrix):
+        with pytest.raises(ValueError):
+            strategy(matrix, threshold=2.0)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.__name__)
+    def test_empty_matrix(self, strategy):
+        empty = SimilarityMatrix.zeros([], [])
+        assert strategy(empty) == []
+
+
+class TestGreedy:
+    def test_greedy_takes_global_max_first(self):
+        matrix = SimilarityMatrix(
+            ["a", "b"], ["x", "y"], np.array([[0.9, 0.8], [0.85, 0.1]])
+        )
+        pairs = greedy_selection(matrix)
+        # Greedy grabs (a, x) = 0.9 first, leaving (b, y) = 0.1 — unlike
+        # the Hungarian, which would pick the cross pairing.
+        assert {(p.left, p.right) for p in pairs} == {("a", "x"), ("b", "y")}
+
+    def test_threshold_stops_selection(self, matrix):
+        pairs = greedy_selection(matrix, threshold=0.75)
+        assert {(p.left, p.right) for p in pairs} == {("a", "x"), ("b", "y")}
+
+
+class TestMutualBest:
+    def test_non_mutual_pairs_dropped(self):
+        # Row a's best is x, but x's best row is b.
+        matrix = SimilarityMatrix(
+            ["a", "b"], ["x", "y"], np.array([[0.6, 0.1], [0.9, 0.8]])
+        )
+        pairs = mutual_best_selection(matrix)
+        assert {(p.left, p.right) for p in pairs} == {("b", "x")}
+
+
+class TestStableMarriage:
+    def test_no_blocking_pair(self, matrix):
+        pairs = stable_marriage_selection(matrix)
+        values = matrix.values
+        rows = {p.left: p for p in pairs}
+        cols = {p.right: p for p in pairs}
+        for left in matrix.rows:
+            for right in matrix.cols:
+                current_left = rows.get(left)
+                current_right = cols.get(right)
+                if current_left is not None and current_right is not None:
+                    i, j = matrix.rows.index(left), matrix.cols.index(right)
+                    # A blocking pair would prefer each other to partners.
+                    blocking = (
+                        values[i, j] > current_left.similarity
+                        and values[i, j] > current_right.similarity
+                    )
+                    assert not blocking

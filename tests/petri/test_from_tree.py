@@ -1,0 +1,93 @@
+"""Tests for the process-tree -> workflow-net conversion."""
+
+import random
+
+import pytest
+
+from repro.petri.from_tree import tree_to_petri
+from repro.petri.playout import play_out_net
+from repro.synthesis.generator import random_process_tree
+from repro.synthesis.playout import play_out
+from repro.synthesis.process_tree import (
+    Choice,
+    Leaf,
+    Loop,
+    Parallel,
+    Sequence,
+    Silent,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "tree",
+        [
+            Leaf("a"),
+            Sequence([Leaf("a"), Leaf("b")]),
+            Choice([Leaf("a"), Leaf("b")]),
+            Parallel([Leaf("a"), Leaf("b")]),
+            Loop(Leaf("a"), Leaf("r")),
+            Choice([Leaf("a"), Silent()]),
+            Sequence([Leaf("a"), Parallel([Leaf("b"), Choice([Leaf("c"), Leaf("d")])])]),
+        ],
+        ids=lambda t: t.describe(),
+    )
+    def test_always_a_workflow_net(self, tree):
+        net = tree_to_petri(tree)
+        assert net.is_workflow_net()
+
+    def test_labels_cover_activities(self):
+        tree = Sequence([Leaf("a"), Choice([Leaf("b"), Leaf("c")])])
+        net = tree_to_petri(tree)
+        labels = {t.label for t in net.transitions.values() if t.label}
+        assert labels == {"a", "b", "c"}
+
+    def test_duplicate_labels_in_choice_branches(self):
+        # Two leaves with the same activity in different branches must not
+        # collide on transition names.  (Trees forbid duplicates within one
+        # operator, so build two single-activity trees and merge by hand.)
+        tree = Choice([Sequence([Leaf("a"), Leaf("b")]), Leaf("c")])
+        net = tree_to_petri(tree)
+        assert net.is_workflow_net()
+
+    def test_random_trees_convert(self):
+        rng = random.Random(3)
+        for seed in range(5):
+            tree = random_process_tree(
+                [f"a{i}" for i in range(10)], random.Random(seed)
+            )
+            net = tree_to_petri(tree)
+            assert net.is_workflow_net(), tree.describe()
+
+
+class TestLanguageEquivalence:
+    """The net's visible traces must match the tree's semantics."""
+
+    def test_variant_sets_agree_on_block_structured_tree(self):
+        tree = Sequence(
+            [Leaf("a"), Parallel([Leaf("b"), Leaf("c")]), Choice([Leaf("d"), Leaf("e")])]
+        )
+        net = tree_to_petri(tree)
+        rng = random.Random(7)
+        net_variants = {
+            tuple(trace.activities) for trace in play_out_net(net, 200, rng)
+        }
+        tree_variants = {
+            tuple(play_out(tree, 1, random.Random(seed)).traces[0].activities)
+            for seed in range(200)
+        }
+        assert net_variants == tree_variants
+
+    def test_loop_language_contains_tree_language(self):
+        # The net loop is unbounded; the tree's bounded repetitions must be
+        # a subset of what the net can produce.
+        tree = Loop(Leaf("x"), Leaf("r"), redo_probability=0.6, max_repeats=2)
+        net = tree_to_petri(tree)
+        net_variants = {
+            tuple(trace.activities)
+            for trace in play_out_net(net, 300, random.Random(1))
+        }
+        tree_variants = {
+            tuple(tree.sample(random.Random(seed))) for seed in range(300)
+        }
+        assert tree_variants <= net_variants

@@ -1,0 +1,111 @@
+"""Tests for the Petri-net substrate: token game and structure checks."""
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.petri.net import Marking, PetriNet, Transition
+
+
+@pytest.fixture()
+def simple_net() -> PetriNet:
+    """p_in -> a -> p_mid -> b -> p_out"""
+    net = PetriNet(name="simple")
+    for place in ("p_in", "p_mid", "p_out"):
+        net.add_place(place)
+    net.add_transition("a", label="A")
+    net.add_transition("b", label="B")
+    net.add_arc("p_in", "a")
+    net.add_arc("a", "p_mid")
+    net.add_arc("p_mid", "b")
+    net.add_arc("b", "p_out")
+    return net
+
+
+class TestMarking:
+    def test_from_iterable(self):
+        marking = Marking(["p", "p", "q"])
+        assert marking["p"] == 2
+        assert marking["q"] == 1
+        assert marking["absent"] == 0
+
+    def test_immutable_operations(self):
+        marking = Marking(["p"])
+        added = marking.add(["q"])
+        assert marking["q"] == 0
+        assert added["q"] == 1
+
+    def test_remove_missing_token(self):
+        with pytest.raises(SynthesisError):
+            Marking(["p"]).remove(["q"])
+
+    def test_equality_and_hash(self):
+        assert Marking(["p", "q"]) == Marking(["q", "p"])
+        assert hash(Marking(["p"])) == hash(Marking({"p": 1}))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SynthesisError):
+            Marking({"p": -1})
+
+    def test_total(self):
+        assert Marking(["p", "p", "q"]).total() == 3
+
+
+class TestStructure:
+    def test_pre_and_post_sets(self, simple_net):
+        assert simple_net.preset("a") == frozenset({"p_in"})
+        assert simple_net.postset("a") == frozenset({"p_mid"})
+        assert simple_net.place_postset("p_mid") == frozenset({"b"})
+
+    def test_source_and_sink(self, simple_net):
+        assert simple_net.source_places() == {"p_in"}
+        assert simple_net.sink_places() == {"p_out"}
+        assert simple_net.is_workflow_net()
+
+    def test_invalid_arc(self, simple_net):
+        with pytest.raises(SynthesisError):
+            simple_net.add_arc("p_in", "p_mid")  # place to place
+        with pytest.raises(SynthesisError):
+            simple_net.add_arc("a", "b")  # transition to transition
+
+    def test_duplicate_transition(self, simple_net):
+        with pytest.raises(SynthesisError):
+            simple_net.add_transition("a")
+
+    def test_silent_flag(self):
+        assert Transition("t").is_silent
+        assert not Transition("t", label="X").is_silent
+
+
+class TestTokenGame:
+    def test_enabled_at_initial(self, simple_net):
+        marking = simple_net.initial_marking()
+        assert simple_net.enabled(marking) == ["a"]
+
+    def test_fire_sequence(self, simple_net):
+        marking = simple_net.initial_marking()
+        marking = simple_net.fire(marking, "a")
+        assert marking == Marking(["p_mid"])
+        marking = simple_net.fire(marking, "b")
+        assert marking == simple_net.final_marking()
+
+    def test_fire_disabled_rejected(self, simple_net):
+        with pytest.raises(SynthesisError):
+            simple_net.fire(simple_net.initial_marking(), "b")
+
+    def test_and_split_join(self):
+        net = PetriNet()
+        for place in ("i", "x1", "x2", "y1", "y2", "o"):
+            net.add_place(place)
+        net.add_transition("split")
+        net.add_transition("join")
+        net.add_transition("u", label="U")
+        net.add_transition("v", label="V")
+        for arc in [("i", "split"), ("split", "x1"), ("split", "x2"),
+                    ("x1", "u"), ("u", "y1"), ("x2", "v"), ("v", "y2"),
+                    ("y1", "join"), ("y2", "join"), ("join", "o")]:
+            net.add_arc(*arc)
+        marking = net.fire(net.initial_marking(), "split")
+        assert sorted(net.enabled(marking)) == ["u", "v"]
+        marking = net.fire(net.fire(marking, "u"), "v")
+        assert net.enabled(marking) == ["join"]
+        assert net.fire(marking, "join") == net.final_marking()

@@ -1,0 +1,81 @@
+"""Tests for Petri-net playout."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.petri.from_tree import tree_to_petri
+from repro.petri.net import PetriNet
+from repro.petri.playout import play_out_net, sample_trace
+from repro.synthesis.process_tree import Choice, Leaf, Sequence, Silent
+
+
+class TestSampleTrace:
+    def test_visible_labels_only(self):
+        tree = Sequence([Leaf("a"), Silent(), Leaf("b")])
+        net = tree_to_petri(tree)
+        assert sample_trace(net, random.Random(0)) == ["a", "b"]
+
+    def test_deadlock_detected(self):
+        net = PetriNet()
+        net.add_place("i")
+        net.add_place("trap")
+        net.add_place("o")
+        net.add_transition("t", label="T")
+        net.add_arc("i", "t")
+        net.add_arc("t", "trap")  # token stuck: trap feeds nothing
+        with pytest.raises(SynthesisError):
+            sample_trace(net, random.Random(0))
+
+    def test_livelock_guard(self):
+        # x spins forever between two places; the final place is unreachable.
+        net = PetriNet()
+        for place in ("i", "p", "o"):
+            net.add_place(place)
+        net.add_transition("go", label="G")
+        net.add_transition("spin", label="S")
+        net.add_arc("i", "go")
+        net.add_arc("go", "p")
+        net.add_arc("p", "spin")
+        net.add_arc("spin", "p")
+        with pytest.raises(SynthesisError):
+            sample_trace(net, random.Random(0), max_steps=50)
+
+
+class TestPlayOutNet:
+    def test_trace_count_and_case_ids(self):
+        net = tree_to_petri(Sequence([Leaf("a"), Leaf("b")]))
+        log = play_out_net(net, 7, random.Random(0), case_prefix="k")
+        assert len(log) == 7
+        assert log.traces[0].case_id == "k-0"
+
+    def test_silent_only_runs_redrawn(self):
+        net = tree_to_petri(Choice([Leaf("a"), Silent()]))
+        log = play_out_net(net, 30, random.Random(3))
+        assert all(len(trace) >= 1 for trace in log)
+
+    def test_always_silent_net_rejected(self):
+        net = tree_to_petri(Silent())
+        with pytest.raises(SynthesisError):
+            play_out_net(net, 3, random.Random(0))
+
+    def test_num_traces_validated(self):
+        net = tree_to_petri(Leaf("a"))
+        with pytest.raises(SynthesisError):
+            play_out_net(net, 0, random.Random(0))
+
+    def test_matching_works_on_petri_generated_logs(self):
+        """End-to-end: BeehiveZ-style net playout feeds the matcher."""
+        from repro.matchers import EMSMatcher
+
+        tree = Sequence([Leaf("a"), Choice([Leaf("b"), Leaf("c")]), Leaf("d")])
+        net = tree_to_petri(tree)
+        log_first = play_out_net(net, 60, random.Random(1), name="n1")
+        log_second = play_out_net(net, 60, random.Random(2), name="n2").relabel(
+            {"a": "w", "b": "x", "c": "y", "d": "z"}
+        )
+        outcome = EMSMatcher().match(log_first, log_second)
+        found = {(min(c.left), min(c.right)) for c in outcome.correspondences}
+        assert ("a", "w") in found
+        assert ("d", "z") in found

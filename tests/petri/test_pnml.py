@@ -1,0 +1,81 @@
+"""PNML round-trip tests."""
+
+import io
+import random
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.petri.from_tree import tree_to_petri
+from repro.petri.playout import play_out_net
+from repro.petri.pnml import read_pnml, write_pnml
+from repro.synthesis.generator import random_process_tree
+from repro.synthesis.process_tree import Choice, Leaf, Parallel, Sequence
+
+
+def roundtrip(net):
+    buffer = io.BytesIO()
+    write_pnml(net, buffer)
+    buffer.seek(0)
+    return read_pnml(buffer)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        tree = Sequence([Leaf("a"), Parallel([Leaf("b"), Leaf("c")])])
+        net = tree_to_petri(tree)
+        restored = roundtrip(net)
+        assert restored.places == net.places
+        assert set(restored.transitions) == set(net.transitions)
+        for name in net.transitions:
+            assert restored.preset(name) == net.preset(name)
+            assert restored.postset(name) == net.postset(name)
+
+    def test_silent_transitions_survive(self):
+        tree = Choice([Leaf("a"), Leaf("b")])
+        net = tree_to_petri(Parallel([tree, Leaf("c")]))
+        restored = roundtrip(net)
+        for name, transition in net.transitions.items():
+            assert restored.transitions[name].label == transition.label
+
+    def test_behaviour_preserved(self):
+        rng = random.Random(4)
+        tree = random_process_tree([f"a{i}" for i in range(6)], rng)
+        net = tree_to_petri(tree)
+        restored = roundtrip(net)
+        original_variants = {
+            tuple(t.activities) for t in play_out_net(net, 100, random.Random(9))
+        }
+        restored_variants = {
+            tuple(t.activities) for t in play_out_net(restored, 100, random.Random(9))
+        }
+        assert original_variants == restored_variants
+
+    def test_file_roundtrip(self, tmp_path):
+        net = tree_to_petri(Leaf("solo"))
+        path = tmp_path / "net.pnml"
+        write_pnml(net, path)
+        assert read_pnml(path).places == net.places
+
+
+class TestErrors:
+    def test_malformed(self):
+        with pytest.raises(LogFormatError):
+            read_pnml(io.BytesIO(b"<pnml><net>"))
+
+    def test_wrong_root(self):
+        with pytest.raises(LogFormatError):
+            read_pnml(io.BytesIO(b"<notpnml/>"))
+
+    def test_missing_net(self):
+        with pytest.raises(LogFormatError):
+            read_pnml(io.BytesIO(b"<pnml></pnml>"))
+
+    def test_arc_without_endpoints(self):
+        document = (
+            b'<pnml><net id="n"><page id="p0">'
+            b'<place id="p1"/><transition id="t1"/><arc id="a1" source="p1"/>'
+            b"</page></net></pnml>"
+        )
+        with pytest.raises(LogFormatError):
+            read_pnml(io.BytesIO(document))

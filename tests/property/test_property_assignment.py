@@ -1,0 +1,58 @@
+"""Property-based tests: our Hungarian vs scipy on random instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.matching.assignment import (
+    assignment_weight,
+    max_weight_assignment,
+    min_cost_assignment,
+)
+
+scipy_optimize = pytest.importorskip("scipy.optimize")
+
+weight_matrices = st.integers(min_value=1, max_value=7).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=7).flatmap(
+        lambda cols: arrays(
+            dtype=np.float64,
+            shape=(rows, cols),
+            elements=st.floats(min_value=-10.0, max_value=10.0, width=64),
+        )
+    )
+)
+
+
+@given(weight_matrices)
+@settings(max_examples=80, deadline=None)
+def test_max_weight_matches_scipy(weights):
+    ours = max_weight_assignment(weights)
+    rows, cols = scipy_optimize.linear_sum_assignment(weights, maximize=True)
+    assert assignment_weight(weights, ours) == pytest.approx(
+        float(weights[rows, cols].sum()), abs=1e-6
+    )
+
+
+@given(weight_matrices)
+@settings(max_examples=80, deadline=None)
+def test_assignment_shape_invariants(weights):
+    assignment = max_weight_assignment(weights)
+    smaller_side = min(weights.shape)
+    assert len(assignment) == smaller_side
+    assert len({i for i, _ in assignment}) == len(assignment)
+    assert len({j for _, j in assignment}) == len(assignment)
+    for i, j in assignment:
+        assert 0 <= i < weights.shape[0]
+        assert 0 <= j < weights.shape[1]
+
+
+@given(weight_matrices)
+@settings(max_examples=50, deadline=None)
+def test_min_cost_is_max_weight_negated(weights):
+    min_assignment = min_cost_assignment(weights)
+    max_assignment = max_weight_assignment(-weights)
+    min_total = sum(weights[i, j] for i, j in min_assignment)
+    max_total = sum(-weights[i, j] for i, j in max_assignment)
+    assert min_total == pytest.approx(-max_total, abs=1e-6)

@@ -1,0 +1,82 @@
+"""Property-based tests of the greedy composite matcher.
+
+Invariants on random small logs: the greedy loop terminates, accepted
+composite runs never overlap (the non-overlap constraint of Problem 1),
+member maps partition the final vocabularies, and the final average
+similarity is at least the singleton baseline's (greedy only accepts
+improvements).
+"""
+
+import random as random_module
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composite import CompositeMatcher
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def random_log(seed: int, alphabet: str = "abcdef") -> EventLog:
+    rng = random_module.Random(seed)
+    traces = []
+    for _ in range(rng.randint(2, 8)):
+        length = rng.randint(1, 6)
+        traces.append([rng.choice(alphabet) for _ in range(length)])
+    return EventLog(traces, name=f"rand-{seed}")
+
+
+@given(seeds, seeds)
+@settings(max_examples=20, deadline=None)
+def test_greedy_terminates_and_never_worsens(seed_first, seed_second):
+    log_first = random_log(seed_first)
+    log_second = random_log(seed_second, alphabet="uvwxyz")
+    matcher = CompositeMatcher(
+        EMSConfig(), delta=0.0, min_confidence=0.8, max_run_length=3
+    )
+    result = matcher.match(log_first, log_second)
+
+    singleton_average = (
+        EMSEngine(EMSConfig())
+        .similarity(
+            DependencyGraph.from_log(log_first), DependencyGraph.from_log(log_second)
+        )
+        .matrix.average()
+    )
+    assert result.average >= singleton_average - 1e-9
+
+
+@given(seeds, seeds)
+@settings(max_examples=20, deadline=None)
+def test_members_partition_vocabulary(seed_first, seed_second):
+    log_first = random_log(seed_first)
+    log_second = random_log(seed_second, alphabet="uvwxyz")
+    matcher = CompositeMatcher(
+        EMSConfig(), delta=0.001, min_confidence=0.8, max_run_length=3
+    )
+    result = matcher.match(log_first, log_second)
+
+    for members, original in (
+        (result.members_first, log_first.activities()),
+        (result.members_second, log_second.activities()),
+    ):
+        covered: set[str] = set()
+        for node, member_set in members.items():
+            assert not (covered & member_set), "members overlap"
+            covered.update(member_set)
+        assert covered == original
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_matrix_rows_are_member_map_keys(seed):
+    log_first = random_log(seed)
+    log_second = random_log(seed + 1, alphabet="uvwxyz")
+    matcher = CompositeMatcher(EMSConfig(), delta=0.001, min_confidence=0.8)
+    result = matcher.match(log_first, log_second)
+    assert set(result.matrix.rows) == set(result.members_first)
+    assert set(result.matrix.cols) == set(result.members_second)

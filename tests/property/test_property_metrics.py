@@ -1,0 +1,68 @@
+"""Property-based tests of the evaluation metrics and label similarities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.evaluation import Correspondence, evaluate
+from repro.similarity.labels import (
+    JaccardTokenSimilarity,
+    LevenshteinSimilarity,
+    QGramCosineSimilarity,
+)
+from repro.similarity.levenshtein import levenshtein_distance
+
+activity = st.text(min_size=1, max_size=6)
+correspondence = st.builds(
+    Correspondence.one_to_one, left=activity, right=activity
+)
+correspondences = st.lists(correspondence, min_size=0, max_size=8)
+
+
+@given(correspondences, correspondences)
+@settings(max_examples=80, deadline=None)
+def test_metric_bounds(truth, found):
+    result = evaluate(truth, found)
+    assert 0.0 <= result.precision <= 1.0
+    assert 0.0 <= result.recall <= 1.0
+    assert 0.0 <= result.f_measure <= 1.0
+    lower = min(result.precision, result.recall)
+    upper = max(result.precision, result.recall)
+    assert result.f_measure == 0.0 or (
+        lower - 1e-9 <= result.f_measure <= upper + 1e-9
+    )
+
+
+@given(correspondences)
+@settings(max_examples=50, deadline=None)
+def test_perfect_match_scores_one(truth):
+    result = evaluate(truth, truth)
+    if truth:
+        assert result.f_measure == 1.0
+
+
+@given(correspondences, correspondences)
+@settings(max_examples=50, deadline=None)
+def test_hits_bounded_by_sizes(truth, found):
+    result = evaluate(truth, found)
+    assert result.hit_count <= result.truth_size
+    assert result.hit_count <= result.found_size
+
+
+texts = st.text(max_size=12)
+
+
+@given(texts, texts)
+@settings(max_examples=80, deadline=None)
+def test_levenshtein_metric_axioms(first, second):
+    assert levenshtein_distance(first, second) == levenshtein_distance(second, first)
+    assert (levenshtein_distance(first, second) == 0) == (first == second)
+    assert levenshtein_distance(first, second) <= max(len(first), len(second))
+
+
+@given(texts, texts)
+@settings(max_examples=60, deadline=None)
+def test_label_similarities_bounded_and_symmetric(first, second):
+    for scorer in (QGramCosineSimilarity(), LevenshteinSimilarity(), JaccardTokenSimilarity()):
+        value = scorer(first, second)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert abs(value - scorer(second, first)) < 1e-12

@@ -1,0 +1,56 @@
+"""Tests for Jaro / Jaro-Winkler similarity."""
+
+import pytest
+
+from repro.similarity.jaro import (
+    JaroWinklerSimilarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("", "") == 1.0
+
+    def test_classic_martha_marhta(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_classic_dixon_dicksonx(self):
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_symmetric(self):
+        assert jaro_similarity("dwayne", "duane") == pytest.approx(
+            jaro_similarity("duane", "dwayne")
+        )
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        plain = jaro_similarity("prefixed", "prefixes")
+        boosted = jaro_winkler_similarity("prefixed", "prefixes")
+        assert boosted > plain
+
+    def test_classic_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.9611, abs=1e-3
+        )
+
+    def test_prefix_scale_validated(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+        with pytest.raises(ValueError):
+            JaroWinklerSimilarity(prefix_scale=0.3)
+
+    def test_label_similarity_contract(self):
+        scorer = JaroWinklerSimilarity()
+        value = scorer("Check Inventory", "check inventory")
+        assert value == 1.0  # case-insensitive
+        assert 0.0 <= scorer("abc", "xyz") <= 1.0

@@ -1,0 +1,97 @@
+"""Tests for the pluggable label similarity functions."""
+
+import pytest
+
+from repro.similarity.labels import (
+    CompositeAwareSimilarity,
+    ExactSimilarity,
+    JaccardTokenSimilarity,
+    LabelSimilarity,
+    LevenshteinSimilarity,
+    OpaqueSimilarity,
+    QGramCosineSimilarity,
+)
+
+ALL_SIMILARITIES = [
+    OpaqueSimilarity(),
+    ExactSimilarity(),
+    QGramCosineSimilarity(),
+    LevenshteinSimilarity(),
+    JaccardTokenSimilarity(),
+]
+
+
+class TestProtocolContract:
+    @pytest.mark.parametrize("scorer", ALL_SIMILARITIES, ids=lambda s: type(s).__name__)
+    def test_symmetric_and_bounded(self, scorer):
+        pairs = [("Check Inventory", "Inventory Check"), ("a", "b"), ("", "x")]
+        for first, second in pairs:
+            value = scorer(first, second)
+            assert 0.0 <= value <= 1.0
+            assert value == pytest.approx(scorer(second, first))
+
+    @pytest.mark.parametrize("scorer", ALL_SIMILARITIES, ids=lambda s: type(s).__name__)
+    def test_satisfies_protocol(self, scorer):
+        assert isinstance(scorer, LabelSimilarity)
+
+
+class TestIndividual:
+    def test_opaque_always_zero(self):
+        assert OpaqueSimilarity()("same", "same") == 0.0
+
+    def test_exact(self):
+        assert ExactSimilarity()("Ship Goods", "ship goods") == 1.0
+        assert ExactSimilarity()("Ship Goods", "Ship Good") == 0.0
+
+    def test_qgram_caches_consistently(self):
+        scorer = QGramCosineSimilarity()
+        first = scorer("abcdef", "abcxyz")
+        assert scorer("abcxyz", "abcdef") == first
+
+    def test_qgram_validates_q(self):
+        with pytest.raises(ValueError):
+            QGramCosineSimilarity(q=0)
+
+    def test_jaccard_tokens(self):
+        assert JaccardTokenSimilarity()("check order", "order check") == 1.0
+        assert JaccardTokenSimilarity()("check order", "pay invoice") == 0.0
+        assert JaccardTokenSimilarity()("", "") == 1.0
+
+
+class TestCompositeAware:
+    def test_scores_through_members(self):
+        members_first = {"⟨C+D⟩": frozenset({"Check Inventory", "Validate"})}
+        members_second = {"IV": frozenset({"Inventory Checking & Validation"})}
+        scorer = CompositeAwareSimilarity(
+            QGramCosineSimilarity(), members_first, members_second
+        )
+        composite_score = scorer("⟨C+D⟩", "IV")
+        raw_score = QGramCosineSimilarity()("⟨C+D⟩", "Inventory Checking & Validation")
+        assert composite_score > raw_score
+
+    def test_plain_nodes_fall_through(self):
+        scorer = CompositeAwareSimilarity(ExactSimilarity(), {}, {})
+        assert scorer("a", "a") == 1.0
+
+    def test_best_pair_average(self):
+        members_first = {"m": frozenset({"alpha", "zzz"})}
+        members_second = {"n": frozenset({"alpha", "qqq"})}
+        scorer = CompositeAwareSimilarity(ExactSimilarity(), members_first, members_second)
+        # alpha matches exactly, zzz/qqq match nothing: average = 0.5.
+        assert scorer("m", "n") == pytest.approx(0.5)
+
+    def test_symmetric_coverage(self):
+        # left side {alpha, zzz}: coverage (1 + 0)/2 = 0.5;
+        # right side {alpha}: coverage 1.0; symmetric average = 0.75.
+        members_first = {"m": frozenset({"alpha", "zzz"})}
+        scorer = CompositeAwareSimilarity(ExactSimilarity(), members_first, {})
+        assert scorer("m", "alpha") == pytest.approx(0.75)
+
+    def test_merging_unrelated_members_lowers_score(self):
+        # The anti-runaway property the greedy loop relies on.
+        base = QGramCosineSimilarity()
+        merged = CompositeAwareSimilarity(
+            base, {"⟨a+b⟩": frozenset({"approve claim", "zzzz qqqq"})}, {}
+        )
+        plain = CompositeAwareSimilarity(base, {}, {})
+        assert merged("⟨a+b⟩", "claim approval") < plain("approve claim", "claim approval")

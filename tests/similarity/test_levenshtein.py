@@ -1,0 +1,49 @@
+"""Tests for Levenshtein distance and similarity."""
+
+import pytest
+
+from repro.similarity.levenshtein import levenshtein_distance, levenshtein_similarity
+
+
+class TestDistance:
+    @pytest.mark.parametrize(
+        ("first", "second", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "abc", 0),
+            ("abc", "acb", 2),
+        ],
+    )
+    def test_known_distances(self, first, second, expected):
+        assert levenshtein_distance(first, second) == expected
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcde", "xbcz") == levenshtein_distance("xbcz", "abcde")
+
+    def test_triangle_inequality(self):
+        words = ["order", "older", "bolder", ""]
+        for a in words:
+            for b in words:
+                for c in words:
+                    assert levenshtein_distance(a, c) <= (
+                        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+                    )
+
+
+class TestSimilarity:
+    def test_identical(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_case_insensitive(self):
+        assert levenshtein_similarity("ABC", "abc") == 1.0
+
+    def test_range(self):
+        assert 0.0 <= levenshtein_similarity("abc", "xyz") <= 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0

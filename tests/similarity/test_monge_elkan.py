@@ -1,0 +1,65 @@
+"""Tests for Monge-Elkan similarity."""
+
+import pytest
+
+from repro.similarity.labels import ExactSimilarity
+from repro.similarity.monge_elkan import (
+    MongeElkanSimilarity,
+    monge_elkan,
+    symmetric_monge_elkan,
+)
+
+
+class TestMongeElkan:
+    def test_identical(self):
+        assert monge_elkan("check inventory", "check inventory") == pytest.approx(1.0)
+
+    def test_token_reordering_is_free(self):
+        assert monge_elkan("check inventory", "inventory check") == pytest.approx(1.0)
+
+    def test_empty_cases(self):
+        assert monge_elkan("", "") == 1.0
+        assert monge_elkan("", "x") == 0.0
+        assert monge_elkan("x", "") == 0.0
+
+    def test_asymmetry(self):
+        # Every token of "check" matches into the longer label perfectly,
+        # but not vice versa.
+        with_exact = lambda a, b: monge_elkan(a, b, ExactSimilarity())
+        assert with_exact("check", "check inventory") == 1.0
+        assert with_exact("check inventory", "check") == 0.5
+
+    def test_inner_similarity_pluggable(self):
+        loose = monge_elkan("chek inventory", "check inventory")
+        strict = monge_elkan("chek inventory", "check inventory", ExactSimilarity())
+        assert loose > strict
+
+    def test_symmetric_variant(self):
+        forward = monge_elkan("check", "check inventory", ExactSimilarity())
+        backward = monge_elkan("check inventory", "check", ExactSimilarity())
+        combined = symmetric_monge_elkan("check", "check inventory", ExactSimilarity())
+        assert combined == pytest.approx((forward + backward) / 2)
+
+
+class TestLabelSimilarityContract:
+    def test_bounded_and_symmetric(self):
+        scorer = MongeElkanSimilarity()
+        pairs = [
+            ("Check Inventory", "Inventory Checking & Validation"),
+            ("Paid by Cash", "Cash Payment"),
+            ("a", "zzz"),
+        ]
+        for first, second in pairs:
+            value = scorer(first, second)
+            assert 0.0 <= value <= 1.0
+            assert value == pytest.approx(scorer(second, first))
+
+    def test_related_labels_score_high(self):
+        scorer = MongeElkanSimilarity()
+        assert scorer("Check Inventory", "Inventory Check") > 0.9
+        assert scorer("Check Inventory", "Paid by Cash") < 0.6
+
+    def test_cache_consistency(self):
+        scorer = MongeElkanSimilarity()
+        first = scorer("abc def", "def abc")
+        assert scorer("def abc", "abc def") == first

@@ -1,0 +1,53 @@
+"""Tests for q-gram tokenization and cosine similarity."""
+
+import pytest
+
+from repro.similarity.qgrams import cosine, qgram_cosine, qgrams
+
+
+class TestQGrams:
+    def test_empty_string(self):
+        assert qgrams("") == {}
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_padding_counts(self):
+        grams = qgrams("ab", q=2)
+        # padded: _ab_ -> "_a", "ab", "b_"
+        assert sum(grams.values()) == 3
+        assert grams["ab"] == 1
+
+    def test_case_insensitive(self):
+        assert qgrams("ABC") == qgrams("abc")
+
+    def test_q1_is_character_counts(self):
+        grams = qgrams("aab", q=1)
+        assert grams["a"] == 2
+        assert grams["b"] == 1
+
+
+class TestCosine:
+    def test_identical_is_one(self):
+        assert qgram_cosine("check inventory", "check inventory") == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert qgram_cosine("aaaa", "zzzz") == pytest.approx(0.0)
+
+    def test_empty_is_zero(self):
+        assert qgram_cosine("", "abc") == 0.0
+        assert cosine(qgrams(""), qgrams("")) == 0.0
+
+    def test_symmetry(self):
+        first, second = "Check Inventory", "Inventory Check"
+        assert qgram_cosine(first, second) == pytest.approx(qgram_cosine(second, first))
+
+    def test_shared_words_score_high(self):
+        related = qgram_cosine("Check Inventory", "Inventory Checking")
+        unrelated = qgram_cosine("Check Inventory", "Paid by Cash")
+        assert related > 0.5 > unrelated
+
+    def test_range(self):
+        for first, second in [("abc", "abd"), ("a", "ab"), ("xy", "yx")]:
+            assert 0.0 <= qgram_cosine(first, second) <= 1.0

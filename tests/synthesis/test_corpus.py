@@ -1,0 +1,130 @@
+"""Tests for the benchmark corpora."""
+
+import pytest
+
+from repro.synthesis.corpus import (
+    REAL_CORPUS_PLAN,
+    build_dislocation_pair,
+    build_real_like_corpus,
+    build_scalability_pair,
+    build_scalability_pairs,
+    composite_pairs,
+    make_log_pair,
+    singleton_testbeds,
+)
+
+
+class TestMakeLogPair:
+    def test_truth_links_both_logs(self):
+        pair = make_log_pair("order-processing", 8, "DS-B", seed=3)
+        activities_first = pair.log_first.activities()
+        activities_second = pair.log_second.activities()
+        for correspondence in pair.truth:
+            assert correspondence.left <= activities_first
+            assert correspondence.right <= activities_second
+
+    def test_deterministic(self):
+        first = make_log_pair("procurement", 8, "DS-F", seed=5)
+        second = make_log_pair("procurement", 8, "DS-F", seed=5)
+        assert first.log_first == second.log_first
+        assert first.truth == second.truth
+
+    def test_composite_pair_has_composite_truth(self):
+        pair = make_log_pair(
+            "it-service", 8, "COMPOSITE", seed=9, composite_splits=2
+        )
+        assert any(c.is_composite() for c in pair.truth)
+
+    def test_opaque_fraction_garbles(self):
+        pair = make_log_pair("logistics", 8, "DS-F", seed=1, opaque_fraction=1.0)
+        assert all(
+            name.startswith("0x") for name in pair.log_second.activities()
+        )
+
+    def test_unknown_testbed(self):
+        from repro.exceptions import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            make_log_pair("logistics", 8, "DS-X", seed=1)
+
+    def test_oversized_request_rejected(self):
+        from repro.exceptions import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            make_log_pair("expense-claims", 100, "DS-F", seed=1)
+
+
+class TestRealLikeCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_real_like_corpus(traces_per_log=30)
+
+    def test_plan_counts(self, corpus):
+        assert len(corpus) == sum(count for _, count in REAL_CORPUS_PLAN) == 149
+        testbeds = singleton_testbeds(corpus)
+        assert len(testbeds["DS-F"]) == 23
+        assert len(testbeds["DS-B"]) == 22
+        assert len(testbeds["DS-FB"]) == 58
+        assert len(composite_pairs(corpus)) == 46
+
+    def test_all_areas_used(self, corpus):
+        assert len({pair.area for pair in corpus}) == 10
+
+    def test_every_pair_has_truth(self, corpus):
+        assert all(len(pair.truth) >= 3 for pair in corpus)
+
+    def test_names_unique(self, corpus):
+        names = [pair.name for pair in corpus]
+        assert len(set(names)) == len(names)
+
+
+class TestCorpusStability:
+    def test_canonical_corpus_digest(self):
+        """EXPERIMENTS.md records measurements on the seed-2014 corpus;
+        if this digest moves, those tables no longer describe what
+        `python -m repro.experiments` produces and must be regenerated."""
+        import hashlib
+
+        corpus = build_real_like_corpus(seed=2014, traces_per_log=10)
+        digest = hashlib.sha256()
+        for pair in corpus:
+            digest.update(pair.name.encode())
+            for log in (pair.log_first, pair.log_second):
+                for trace in log:
+                    digest.update("|".join(trace.activities).encode())
+        assert digest.hexdigest()[:16] == "9d6569b7571da3b7"
+
+
+class TestScalabilityCorpus:
+    def test_pair_size(self):
+        pair = build_scalability_pair(20, seed=2, traces_per_log=30)
+        assert len(pair.log_first.activities()) == 20
+        assert len(pair.truth) >= 18  # reweighted playout may rarely miss one
+
+    def test_truth_bijective_across_vocabularies(self):
+        pair = build_scalability_pair(10, seed=4, traces_per_log=30)
+        lefts = [min(c.left) for c in pair.truth]
+        rights = [min(c.right) for c in pair.truth]
+        assert all(left.startswith("Activity") for left in lefts)
+        assert all(right.startswith("Task") for right in rights)
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_build_many(self):
+        corpus = build_scalability_pairs(sizes=(10, 20), per_size=2, traces_per_log=20)
+        assert set(corpus) == {10, 20}
+        assert all(len(pairs) == 2 for pairs in corpus.values())
+
+
+class TestDislocationPair:
+    def test_prefix_removed(self):
+        base = build_scalability_pair(15, seed=6, traces_per_log=30)
+        dislocated = build_dislocation_pair(15, removed=2, seed=6, traces_per_log=30)
+        mean_base = sum(len(t) for t in base.log_second) / len(base.log_second)
+        mean_disl = sum(len(t) for t in dislocated.log_second) / len(dislocated.log_second)
+        assert mean_disl == pytest.approx(mean_base - 2, abs=1e-9)
+
+    def test_truth_shrinks_with_removal(self):
+        small = build_dislocation_pair(15, removed=0, seed=6, traces_per_log=30)
+        large = build_dislocation_pair(15, removed=5, seed=6, traces_per_log=30)
+        assert len(large.truth) <= len(small.truth)

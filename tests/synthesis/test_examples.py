@@ -1,0 +1,48 @@
+"""Tests pinning the Figure 1 fixture to the paper's frequencies."""
+
+import pytest
+
+from repro.logs.stats import compute_statistics
+from repro.synthesis.examples import (
+    SUBSIDIARY_1_NAMES,
+    SUBSIDIARY_2_NAMES,
+    figure1_logs,
+    turbine_order_logs,
+)
+
+
+class TestFigure1:
+    def test_frequencies_match_figure2(self):
+        log_first, log_second, _ = figure1_logs()
+        stats_first = compute_statistics(log_first)
+        assert stats_first.activity_frequencies["A"] == pytest.approx(0.4)
+        assert stats_first.pair_frequencies[("A", "C")] == pytest.approx(0.4)
+        stats_second = compute_statistics(log_second)
+        assert stats_second.activity_frequencies["1"] == pytest.approx(1.0)
+        assert stats_second.activity_frequencies["2"] == pytest.approx(0.4)
+
+    def test_truth_includes_composite(self):
+        _, _, truth = figure1_logs()
+        composites = [c for c in truth if c.is_composite()]
+        assert len(composites) == 1
+        assert composites[0].left == frozenset({"C", "D"})
+
+    def test_truth_excludes_dislocated_extra(self):
+        _, _, truth = figure1_logs()
+        matched_seconds = {activity for c in truth for activity in c.right}
+        assert "1" not in matched_seconds  # Order Accepted has no counterpart
+
+
+class TestTurbineNames:
+    def test_name_maps_cover_all_events(self):
+        assert set(SUBSIDIARY_1_NAMES) == set("ABCDEF")
+        assert set(SUBSIDIARY_2_NAMES) == set("123456")
+
+    def test_named_logs_consistent_with_letter_logs(self):
+        letters_first, _, _ = figure1_logs()
+        named_first, named_second, truth = turbine_order_logs()
+        assert len(named_first) == len(letters_first)
+        assert "Paid by Cash" in named_first.activities()
+        assert "?????" in named_second.activities()
+        # The garbled Delivery event still participates in ground truth.
+        assert any("?????" in c.right for c in truth)

@@ -1,0 +1,109 @@
+"""Tests for random model generation, reweighting and perturbation."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.synthesis.generator import (
+    ACYCLIC_PROFILE,
+    GeneratorProfile,
+    perturbed,
+    random_process_tree,
+    reweighted,
+)
+from repro.synthesis.playout import play_out
+from repro.synthesis.process_tree import Loop
+
+
+def contains_loop(tree) -> bool:
+    if isinstance(tree, Loop):
+        return True
+    children = getattr(tree, "children", ())
+    if isinstance(tree, Loop):
+        children = (tree.body, tree.redo)
+    return any(contains_loop(child) for child in children)
+
+
+class TestRandomProcessTree:
+    def test_every_activity_exactly_once(self):
+        rng = random.Random(1)
+        names = [f"a{i}" for i in range(20)]
+        tree = random_process_tree(names, rng)
+        assert tree.activities() == frozenset(names)
+
+    def test_deterministic_given_seed(self):
+        names = [f"a{i}" for i in range(12)]
+        first = random_process_tree(names, random.Random(5)).describe()
+        second = random_process_tree(names, random.Random(5)).describe()
+        assert first == second
+
+    def test_single_activity(self):
+        tree = random_process_tree(["only"], random.Random(0))
+        assert tree.sample(random.Random(0)) == ["only"]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SynthesisError):
+            random_process_tree(["a", "a"], random.Random(0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(SynthesisError):
+            random_process_tree([], random.Random(0))
+
+    def test_acyclic_profile_has_no_loops(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            tree = random_process_tree([f"a{i}" for i in range(15)], rng, ACYCLIC_PROFILE)
+            assert not contains_loop(tree)
+
+    def test_profile_validation(self):
+        with pytest.raises(SynthesisError):
+            GeneratorProfile(weight_sequence=0, weight_choice=0,
+                             weight_parallel=0, weight_loop=0)
+        with pytest.raises(SynthesisError):
+            GeneratorProfile(max_branches=1)
+
+
+class TestReweighted:
+    def test_structure_preserved(self):
+        rng = random.Random(7)
+        tree = random_process_tree([f"a{i}" for i in range(15)], rng)
+        copy = reweighted(tree, random.Random(8))
+        assert copy.activities() == tree.activities()
+        assert copy.describe() == tree.describe()
+
+    def test_frequencies_shift(self):
+        rng = random.Random(9)
+        names = [f"a{i}" for i in range(10)]
+        tree = random_process_tree(names, rng, GeneratorProfile(weight_choice=5.0))
+        log_original = play_out(tree, 400, random.Random(1))
+        log_reweighted = play_out(reweighted(tree, rng, spread=0.5), 400, random.Random(1))
+        counts_a = log_original.activity_trace_counts()
+        counts_b = log_reweighted.activity_trace_counts()
+        assert any(
+            abs(counts_a[name] - counts_b.get(name, 0)) > 10 for name in counts_a
+        )
+
+
+class TestPerturbed:
+    def test_activities_preserved(self):
+        rng = random.Random(21)
+        tree = random_process_tree([f"a{i}" for i in range(12)], rng)
+        swapped = perturbed(tree, random.Random(22), swaps=2)
+        assert swapped.activities() == tree.activities()
+
+    def test_zero_swaps_is_identity_structure(self):
+        rng = random.Random(23)
+        tree = random_process_tree([f"a{i}" for i in range(8)], rng)
+        assert perturbed(tree, random.Random(1), swaps=0).describe() == tree.describe()
+
+    def test_swap_changes_order(self):
+        rng = random.Random(25)
+        tree = random_process_tree([f"a{i}" for i in range(10)], rng)
+        swapped = perturbed(tree, random.Random(26), swaps=1)
+        assert swapped.describe() != tree.describe()
+
+    def test_negative_swaps_rejected(self):
+        tree = random_process_tree(["a", "b"], random.Random(0))
+        with pytest.raises(SynthesisError):
+            perturbed(tree, random.Random(0), swaps=-1)

@@ -1,0 +1,144 @@
+"""Tests for heterogeneity-injecting mutations."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.logs.log import EventLog
+from repro.synthesis.mutations import (
+    dislocate,
+    opacify,
+    shuffle_case_order,
+    split_activities,
+)
+
+
+@pytest.fixture()
+def log() -> EventLog:
+    return EventLog([["a", "b", "c"], ["a", "c", "b"]] * 3)
+
+
+class TestOpacify:
+    def test_full_opacification(self, log):
+        garbled, mapping = opacify(log, random.Random(0), fraction=1.0)
+        assert set(mapping) == {"a", "b", "c"}
+        assert garbled.activities() == frozenset(mapping.values())
+        assert all(name.startswith("0x") for name in mapping.values())
+
+    def test_partial_opacification(self, log):
+        garbled, mapping = opacify(log, random.Random(0), fraction=0.34)
+        assert len(mapping) == 1
+        assert garbled.activities() & {"a", "b", "c"}
+
+    def test_structure_preserved(self, log):
+        garbled, mapping = opacify(log, random.Random(0))
+        inverse = {value: key for key, value in mapping.items()}
+        assert garbled.relabel(inverse) == log
+
+    def test_deterministic(self, log):
+        first = opacify(log, random.Random(4))
+        second = opacify(log, random.Random(4))
+        assert first[1] == second[1]
+
+
+class TestDislocate:
+    def test_begin(self, log):
+        result = dislocate(log, 1, "begin")
+        assert all(trace.activities[0] != "a" for trace in result)
+
+    def test_end(self, log):
+        result = dislocate(log, 1, "end")
+        assert all(len(trace) == 2 for trace in result)
+
+    def test_both(self, log):
+        result = dislocate(log, 1, "both")
+        assert all(len(trace) == 1 for trace in result)
+
+    def test_all_traces_removed_raises(self, log):
+        with pytest.raises(SynthesisError):
+            dislocate(log, 2, "both")
+
+    def test_negative_rejected(self, log):
+        with pytest.raises(SynthesisError):
+            dislocate(log, -1)
+
+
+class TestSplitActivities:
+    def test_split_into_adjacent_run(self, log):
+        split, parts = split_activities(log, ["b"], parts=2)
+        run = parts["b"]
+        assert len(run) == 2
+        for trace in split:
+            activities = trace.activities
+            assert "b" not in activities
+            index = activities.index(run[0])
+            assert activities[index + 1] == run[1]
+
+    def test_unknown_activity_rejected(self, log):
+        with pytest.raises(SynthesisError):
+            split_activities(log, ["zzz"])
+
+    def test_parts_validated(self, log):
+        with pytest.raises(SynthesisError):
+            split_activities(log, ["a"], parts=1)
+
+    def test_timestamps_copied_to_parts(self):
+        from repro.logs.events import Event
+        from repro.logs.log import EventLog as Log
+
+        log = Log([[Event("a", 5.0)]])
+        split, parts = split_activities(log, ["a"], parts=3)
+        assert all(event.timestamp == 5.0 for event in split.traces[0])
+
+
+class TestNoiseOperators:
+    def test_drop_zero_probability_is_identity(self, log):
+        from repro.synthesis.mutations import drop_random_events
+
+        assert drop_random_events(log, random.Random(0), 0.0) == log
+
+    def test_drop_reduces_event_mass(self, log):
+        from repro.synthesis.mutations import drop_random_events
+
+        thinned = drop_random_events(log, random.Random(1), 0.5)
+        original_events = sum(len(trace) for trace in log)
+        thinned_events = sum(len(trace) for trace in thinned)
+        assert thinned_events < original_events
+
+    def test_drop_validates(self, log):
+        from repro.synthesis.mutations import drop_random_events
+
+        with pytest.raises(SynthesisError):
+            drop_random_events(log, random.Random(0), 1.0)
+
+    def test_duplicate_grows_event_mass(self, log):
+        from repro.synthesis.mutations import duplicate_random_events
+
+        thick = duplicate_random_events(log, random.Random(1), 0.5)
+        assert sum(len(t) for t in thick) > sum(len(t) for t in log)
+        assert thick.activities() == log.activities()
+
+    def test_swap_preserves_multiset_per_trace(self, log):
+        from collections import Counter
+
+        from repro.synthesis.mutations import swap_adjacent_events
+
+        swapped = swap_adjacent_events(log, random.Random(2), 0.5)
+        for before, after in zip(log, swapped):
+            assert Counter(before.activities) == Counter(after.activities)
+
+    def test_swap_changes_some_order(self, log):
+        from repro.synthesis.mutations import swap_adjacent_events
+
+        swapped = swap_adjacent_events(log, random.Random(2), 0.9)
+        assert any(
+            before.activities != after.activities
+            for before, after in zip(log, swapped)
+        )
+
+
+class TestShuffle:
+    def test_multiset_preserved(self, log):
+        shuffled = shuffle_case_order(log, random.Random(0))
+        assert shuffled == log  # EventLog equality is order-insensitive

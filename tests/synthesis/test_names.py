@@ -1,0 +1,69 @@
+"""Tests for the activity name pools."""
+
+import random
+
+import pytest
+
+from repro.similarity.qgrams import qgram_cosine
+from repro.synthesis.names import (
+    AREA_ACTIVITIES,
+    FUNCTIONAL_AREAS,
+    area_pool,
+    garble_mapping,
+    opaque_name,
+)
+
+
+class TestPools:
+    def test_ten_functional_areas(self):
+        assert len(FUNCTIONAL_AREAS) == 10
+
+    def test_pools_non_trivial(self):
+        for area in FUNCTIONAL_AREAS:
+            assert len(area_pool(area)) >= 10
+
+    def test_labels_unique_within_pool(self):
+        for area, pool in AREA_ACTIVITIES.items():
+            firsts = [first for first, _ in pool]
+            seconds = [second for _, second in pool]
+            assert len(set(firsts)) == len(firsts), area
+            assert len(set(seconds)) == len(seconds), area
+
+    def test_surface_variants_share_vocabulary(self):
+        """q-gram cosine must be informative on un-garbled variants."""
+        informative = 0
+        total = 0
+        for pool in AREA_ACTIVITIES.values():
+            for first, second in pool:
+                total += 1
+                if qgram_cosine(first, second) > 0.3:
+                    informative += 1
+        assert informative / total > 0.8
+
+    def test_unknown_area(self):
+        with pytest.raises(KeyError):
+            area_pool("nonexistent")
+
+    def test_pool_returns_copy(self):
+        pool = area_pool("procurement")
+        pool.clear()
+        assert area_pool("procurement")
+
+
+class TestOpaqueNames:
+    def test_deterministic(self):
+        assert opaque_name("Check Inventory") == opaque_name("Check Inventory")
+
+    def test_salt_changes_output(self):
+        assert opaque_name("x", "salt1") != opaque_name("x", "salt2")
+
+    def test_no_shared_qgrams(self):
+        assert qgram_cosine("Check Inventory", opaque_name("Check Inventory")) < 0.1
+
+    def test_garble_mapping_fraction(self):
+        mapping = garble_mapping(["a", "b", "c", "d"], random.Random(0), fraction=0.5)
+        assert len(mapping) == 2
+
+    def test_garble_mapping_validates(self):
+        with pytest.raises(ValueError):
+            garble_mapping(["a"], random.Random(0), fraction=2.0)

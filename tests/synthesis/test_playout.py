@@ -1,0 +1,50 @@
+"""Tests for model playout."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.synthesis.playout import BASE_TIMESTAMP, play_out
+from repro.synthesis.process_tree import Choice, Leaf, Sequence, Silent
+
+
+class TestPlayOut:
+    def test_trace_count(self):
+        log = play_out(Sequence([Leaf("a"), Leaf("b")]), 25, random.Random(0))
+        assert len(log) == 25
+
+    def test_timestamps_monotone_within_trace(self):
+        log = play_out(Sequence([Leaf("a"), Leaf("b"), Leaf("c")]), 10, random.Random(0))
+        for trace in log:
+            stamps = [event.timestamp for event in trace]
+            assert all(earlier < later for earlier, later in zip(stamps, stamps[1:]))
+            assert stamps[0] > BASE_TIMESTAMP
+
+    def test_without_timestamps(self):
+        log = play_out(Leaf("a"), 3, random.Random(0), with_timestamps=False)
+        assert all(event.timestamp is None for trace in log for event in trace)
+
+    def test_case_ids_unique(self):
+        log = play_out(Leaf("a"), 5, random.Random(0), case_prefix="k")
+        assert [trace.case_id for trace in log] == [f"k-{i}" for i in range(5)]
+
+    def test_empty_samples_redrawn(self):
+        tree = Choice([Leaf("a"), Silent()])
+        log = play_out(tree, 30, random.Random(3))
+        assert len(log) == 30
+        assert all(len(trace) >= 1 for trace in log)
+
+    def test_always_empty_model_rejected(self):
+        with pytest.raises(SynthesisError):
+            play_out(Silent(), 5, random.Random(0))
+
+    def test_num_traces_validated(self):
+        with pytest.raises(SynthesisError):
+            play_out(Leaf("a"), 0, random.Random(0))
+
+    def test_deterministic(self):
+        tree = Choice([Leaf("a"), Leaf("b")])
+        first = play_out(tree, 20, random.Random(5))
+        second = play_out(tree, 20, random.Random(5))
+        assert first == second

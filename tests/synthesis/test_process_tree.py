@@ -1,0 +1,110 @@
+"""Tests for process-tree semantics."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SynthesisError
+from repro.synthesis.process_tree import (
+    Choice,
+    Leaf,
+    Loop,
+    Parallel,
+    Sequence,
+    Silent,
+    interleave,
+)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(42)
+
+
+class TestLeaves:
+    def test_leaf_sample(self, rng):
+        assert Leaf("a").sample(rng) == ["a"]
+
+    def test_leaf_validates(self):
+        with pytest.raises(SynthesisError):
+            Leaf("")
+
+    def test_silent_sample(self, rng):
+        assert Silent().sample(rng) == []
+        assert Silent().activities() == frozenset()
+
+
+class TestOperators:
+    def test_sequence_order(self, rng):
+        tree = Sequence([Leaf("a"), Leaf("b"), Leaf("c")])
+        assert tree.sample(rng) == ["a", "b", "c"]
+
+    def test_choice_picks_one_child(self, rng):
+        tree = Choice([Leaf("a"), Leaf("b")])
+        samples = {tuple(tree.sample(rng)) for _ in range(50)}
+        assert samples == {("a",), ("b",)}
+
+    def test_choice_weights_bias(self, rng):
+        tree = Choice([Leaf("a"), Leaf("b")], weights=[99.0, 1.0])
+        samples = [tree.sample(rng)[0] for _ in range(200)]
+        assert samples.count("a") > 150
+
+    def test_choice_weight_validation(self):
+        with pytest.raises(SynthesisError):
+            Choice([Leaf("a")], weights=[1.0, 2.0])
+        with pytest.raises(SynthesisError):
+            Choice([Leaf("a")], weights=[0.0])
+
+    def test_parallel_contains_all_preserving_order(self, rng):
+        tree = Parallel([Sequence([Leaf("a"), Leaf("b")]), Leaf("x")])
+        for _ in range(30):
+            sample = tree.sample(rng)
+            assert sorted(sample) == ["a", "b", "x"]
+            assert sample.index("a") < sample.index("b")
+
+    def test_duplicate_activities_rejected(self):
+        with pytest.raises(SynthesisError):
+            Sequence([Leaf("a"), Leaf("a")])
+
+    def test_activities_aggregate(self):
+        tree = Sequence([Leaf("a"), Choice([Leaf("b"), Silent()])])
+        assert tree.activities() == frozenset({"a", "b"})
+
+
+class TestLoop:
+    def test_no_redo_when_probability_zero(self, rng):
+        tree = Loop(Leaf("a"), Leaf("r"), redo_probability=0.0)
+        assert tree.sample(rng) == ["a"]
+
+    def test_redo_pattern(self, rng):
+        tree = Loop(Leaf("a"), Leaf("r"), redo_probability=0.9, max_repeats=2)
+        for _ in range(30):
+            sample = tree.sample(rng)
+            assert sample[0] == "a"
+            # Pattern is a (r a)^k with k <= 2.
+            assert sample in (["a"], ["a", "r", "a"], ["a", "r", "a", "r", "a"])
+
+    def test_max_repeats_bounds_length(self, rng):
+        tree = Loop(Leaf("a"), Leaf("r"), redo_probability=0.99, max_repeats=3)
+        assert max(len(tree.sample(rng)) for _ in range(100)) <= 7
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            Loop(Leaf("a"), Leaf("r"), redo_probability=1.0)
+        with pytest.raises(SynthesisError):
+            Loop(Leaf("a"), Leaf("a"))
+
+
+class TestInterleave:
+    def test_preserves_branch_order(self, rng):
+        for _ in range(20):
+            result = interleave([["a1", "a2", "a3"], ["b1", "b2"]], rng)
+            assert [x for x in result if x.startswith("a")] == ["a1", "a2", "a3"]
+            assert [x for x in result if x.startswith("b")] == ["b1", "b2"]
+
+    def test_empty_branches_skipped(self, rng):
+        assert interleave([[], ["x"]], rng) == ["x"]
+
+    def test_describe_renders(self):
+        tree = Sequence([Leaf("a"), Choice([Leaf("b"), Leaf("c")])])
+        assert tree.describe() == "->(a, X(b, c))"

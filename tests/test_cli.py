@@ -1,0 +1,115 @@
+"""Tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_log, main
+from repro.logs.csvio import write_csv
+from repro.logs.xes import write_xes
+from repro.synthesis.examples import figure1_logs
+
+
+@pytest.fixture()
+def log_paths(tmp_path):
+    log_first, log_second, _ = figure1_logs()
+    path_first = tmp_path / "first.xes"
+    path_second = tmp_path / "second.xes"
+    write_xes(log_first, path_first)
+    write_xes(log_second, path_second)
+    return str(path_first), str(path_second)
+
+
+class TestLoadLog:
+    def test_auto_detect_xes(self, log_paths):
+        log = load_log(log_paths[0])
+        assert log.activities() == frozenset("ABCDEF")
+
+    def test_auto_detect_csv(self, tmp_path):
+        log_first, _, _ = figure1_logs()
+        path = tmp_path / "log.csv"
+        write_csv(log_first, path)
+        assert load_log(str(path)).activities() == frozenset("ABCDEF")
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "log.bin"
+        path.write_bytes(b"")
+        with pytest.raises(SystemExit):
+            load_log(str(path))
+
+
+class TestMatchCommand:
+    def test_plain_output(self, log_paths, capsys):
+        exit_code = main(["match", *log_paths])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "EMS" in output
+        assert "<->" in output
+
+    def test_json_output(self, log_paths, capsys):
+        exit_code = main(["match", *log_paths, "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matcher"] == "EMS"
+        assert payload["correspondences"]
+        pairs = {
+            (entry["left"][0], entry["right"][0])
+            for entry in payload["correspondences"]
+            if len(entry["left"]) == 1
+        }
+        assert ("A", "2") in pairs  # dislocated match found from the CLI too
+
+    def test_composite_flag(self, log_paths, capsys):
+        exit_code = main(
+            ["match", *log_paths, "--composite", "--delta", "0.005", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        lefts = [tuple(sorted(e["left"])) for e in payload["correspondences"]]
+        assert ("C", "D") in lefts
+
+    def test_estimate_flag(self, log_paths, capsys):
+        assert main(["match", *log_paths, "--estimate", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matcher"] == "EMS+es"
+
+    def test_threshold_flag(self, log_paths, capsys):
+        assert main(["match", *log_paths, "--threshold", "0.99"]) == 0
+        assert "no correspondences" in capsys.readouterr().out
+
+    def test_explicit_format_flag(self, tmp_path, capsys):
+        from repro.logs.csvio import write_csv
+        from repro.synthesis.examples import figure1_logs
+
+        log_first, log_second, _ = figure1_logs()
+        # Extensions lie about the content; --format must override.
+        path_first = tmp_path / "first.dat"
+        path_second = tmp_path / "second.dat"
+        with open(path_first, "w", newline="", encoding="utf-8") as handle:
+            write_csv(log_first, handle)
+        with open(path_second, "w", newline="", encoding="utf-8") as handle:
+            write_csv(log_second, handle)
+        exit_code = main(
+            ["match", str(path_first), str(path_second), "--format", "csv"]
+        )
+        assert exit_code == 0
+        assert "<->" in capsys.readouterr().out
+
+    def test_labels_flag_sets_blended_alpha(self, log_paths, capsys):
+        exit_code = main(["match", *log_paths, "--labels", "--json"])
+        assert exit_code == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["correspondences"]
+
+    def test_alpha_flag_overrides(self, log_paths, capsys):
+        exit_code = main(["match", *log_paths, "--labels", "--alpha", "0.9", "--json"])
+        assert exit_code == 0
+
+    def test_report_flag_writes_markdown(self, log_paths, tmp_path, capsys):
+        report_path = tmp_path / "report.md"
+        assert main(["match", *log_paths, "--report", str(report_path)]) == 0
+        content = report_path.read_text(encoding="utf-8")
+        assert content.startswith("# Event matching report")
+        assert "## Correspondences" in content

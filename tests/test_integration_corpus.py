@@ -1,0 +1,65 @@
+"""End-to-end integration tests over the benchmark corpus.
+
+These run the full pipeline (corpus synthesis -> graphs -> similarity ->
+selection -> evaluation) on small corpus slices and assert the paper's
+headline orderings.  They are the slowest tests in the suite (a few
+seconds each) and act as a regression net for the experiment results.
+"""
+
+import pytest
+
+from repro.baselines import BHVMatcher, GEDMatcher
+from repro.experiments.harness import aggregate_runs, run_matrix, singleton_matchers
+from repro.matchers import EMSMatcher
+from repro.synthesis.corpus import build_real_like_corpus, singleton_testbeds
+
+
+@pytest.fixture(scope="module")
+def testbeds():
+    corpus = build_real_like_corpus(seed=2014, traces_per_log=100)
+    return singleton_testbeds(corpus)
+
+
+class TestHeadlineOrdering:
+    def test_ems_beats_ged_on_average(self, testbeds):
+        pairs = (
+            testbeds["DS-F"][:4] + testbeds["DS-B"][:4] + testbeds["DS-FB"][:4]
+        )
+        runs = run_matrix([EMSMatcher(), GEDMatcher()], pairs)
+        aggregates = aggregate_runs(runs)
+        assert aggregates["EMS"].mean_f_measure > aggregates["GED"].mean_f_measure
+
+    def test_ems_beats_bhv_on_dislocated_beginnings(self, testbeds):
+        pairs = testbeds["DS-B"][:6]
+        runs = run_matrix([EMSMatcher(), BHVMatcher()], pairs)
+        aggregates = aggregate_runs(runs)
+        assert aggregates["EMS"].mean_f_measure > aggregates["BHV"].mean_f_measure
+
+    def test_bhv_better_on_dsf_than_dsb(self, testbeds):
+        matcher = BHVMatcher()
+        dsf = aggregate_runs(run_matrix([matcher], testbeds["DS-F"][:8]))["BHV"]
+        dsb = aggregate_runs(run_matrix([matcher], testbeds["DS-B"][:8]))["BHV"]
+        assert dsf.mean_f_measure > dsb.mean_f_measure
+
+    def test_no_matcher_dnfs_on_the_real_corpus(self, testbeds):
+        pairs = testbeds["DS-FB"][:3]
+        runs = run_matrix(singleton_matchers(), pairs)
+        assert all(run.finished for run in runs)
+
+
+class TestDeterminism:
+    def test_corpus_rebuild_identical(self):
+        first = build_real_like_corpus(seed=7, traces_per_log=20)
+        second = build_real_like_corpus(seed=7, traces_per_log=20)
+        assert len(first) == len(second)
+        for pair_a, pair_b in zip(first, second):
+            assert pair_a.log_first == pair_b.log_first
+            assert pair_a.log_second == pair_b.log_second
+            assert pair_a.truth == pair_b.truth
+
+    def test_matching_rerun_identical(self, testbeds):
+        pair = testbeds["DS-B"][0]
+        first = EMSMatcher().match(pair.log_first, pair.log_second)
+        second = EMSMatcher().match(pair.log_first, pair.log_second)
+        assert first.correspondences == second.correspondences
+        assert first.objective == second.objective

@@ -1,0 +1,60 @@
+"""Tests for the Markdown matching report."""
+
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.reporting import match_and_report, render_match_report
+
+
+@pytest.fixture()
+def report(fig1_logs):
+    log_first, log_second = fig1_logs
+    matcher = EMSMatcher(threshold=0.45)
+    outcome = matcher.match(log_first, log_second)
+    similarity = EMSEngine(EMSConfig()).similarity(
+        DependencyGraph.from_log(log_first), DependencyGraph.from_log(log_second)
+    ).matrix
+    return render_match_report(
+        log_first, log_second, outcome, matcher.name, similarity
+    )
+
+
+class TestRenderMatchReport:
+    def test_header_and_logs(self, report):
+        assert report.startswith("# Event matching report: L1 ↔ L2")
+        assert "`L1`: 10 traces, 6 activities" in report
+
+    def test_correspondence_table(self, report):
+        assert "| first log | second log | kind | similarity |" in report
+        assert "| A | 2 | 1:1 |" in report
+
+    def test_similarity_scores_present(self, report):
+        import re
+
+        assert re.search(r"\| A \| 2 \| 1:1 \| 0\.\d{3} \|", report)
+
+    def test_unmatched_section(self, report):
+        assert "## Unmatched activities" in report
+
+    def test_diagnostics_section(self, report):
+        assert "## Diagnostics" in report
+        assert "pair_updates" in report
+
+    def test_composite_marked(self, fig1_logs):
+        matcher = EMSCompositeMatcher(delta=0.005, min_confidence=0.9, max_run_length=2)
+        outcome = matcher.match(*fig1_logs)
+        report = render_match_report(*fig1_logs, outcome, matcher.name)
+        assert "| C + D | 4 | m:n |" in report
+
+    def test_match_and_report_one_call(self, fig1_logs):
+        report = match_and_report(EMSMatcher(), *fig1_logs)
+        assert "# Event matching report" in report
+
+    def test_empty_correspondences(self, fig1_logs):
+        matcher = EMSMatcher(threshold=0.99)
+        outcome = matcher.match(*fig1_logs)
+        report = render_match_report(*fig1_logs, outcome, matcher.name)
+        assert "*(none above the threshold)*" in report

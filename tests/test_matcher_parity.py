@@ -1,0 +1,61 @@
+"""Cross-implementation parity checks.
+
+The specialized EMS composite matcher (with Uc/Bd prunings) and the
+generic greedy wrapper around the singleton EMS matcher implement the
+same Algorithm 2 objective; on the Figure 1 fixture they must agree on
+what gets merged.  Likewise, the composite matcher's singleton
+``evaluate`` must be the plain EMS evaluation.
+"""
+
+import pytest
+
+from repro.baselines.composite_wrapper import GreedyCompositeWrapper
+from repro.core.config import EMSConfig
+from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.matching.evaluation import evaluate
+
+
+class TestWrapperVsSpecialized:
+    def test_same_composite_found_on_figure1(self, fig1_logs, fig1_truth):
+        specialized = EMSCompositeMatcher(
+            delta=0.005, min_confidence=0.9, max_run_length=2
+        ).match(*fig1_logs)
+        wrapped = GreedyCompositeWrapper(
+            EMSMatcher(), delta=0.005, min_confidence=0.9, max_run_length=2
+        ).match(*fig1_logs)
+        specialized_composites = {
+            c.left for c in specialized.correspondences if c.is_composite()
+        }
+        wrapped_composites = {
+            c.left for c in wrapped.correspondences if c.is_composite()
+        }
+        assert specialized_composites == wrapped_composites == {frozenset({"C", "D"})}
+        assert evaluate(fig1_truth, specialized.correspondences).f_measure == (
+            evaluate(fig1_truth, wrapped.correspondences).f_measure
+        )
+
+    def test_objectives_agree(self, fig1_logs):
+        specialized = EMSCompositeMatcher(
+            delta=0.005, min_confidence=0.9, max_run_length=2
+        ).match(*fig1_logs)
+        wrapped = GreedyCompositeWrapper(
+            EMSMatcher(), delta=0.005, min_confidence=0.9, max_run_length=2
+        ).match(*fig1_logs)
+        assert specialized.objective == pytest.approx(wrapped.objective, abs=1e-4)
+
+
+class TestEvaluateDelegation:
+    def test_composite_evaluate_is_singleton_evaluation(self, fig1_logs):
+        config = EMSConfig()
+        composite = EMSCompositeMatcher(config)
+        singleton = EMSMatcher(config)
+        members_first = {a: frozenset({a}) for a in fig1_logs[0].activities()}
+        members_second = {a: frozenset({a}) for a in fig1_logs[1].activities()}
+        from_composite = composite.evaluate(
+            *fig1_logs, members_first, members_second
+        )
+        from_singleton = singleton.evaluate(
+            *fig1_logs, members_first, members_second
+        )
+        assert from_composite.objective == pytest.approx(from_singleton.objective)
+        assert from_composite.pairs == from_singleton.pairs

@@ -1,0 +1,92 @@
+"""Integration tests for the high-level matcher adapters."""
+
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.matching.evaluation import evaluate
+from repro.similarity.labels import QGramCosineSimilarity
+from repro.synthesis.corpus import make_log_pair
+from repro.synthesis.examples import turbine_order_logs
+
+
+class TestEMSMatcher:
+    def test_figure1_matching(self, fig1_logs, fig1_truth):
+        outcome = EMSMatcher().match(*fig1_logs)
+        result = evaluate(fig1_truth, outcome.correspondences)
+        # Singleton matching cannot get the composite {C, D} fully right,
+        # but everything else should match.
+        assert result.f_measure >= 0.8
+
+    def test_dislocated_match_found(self, fig1_logs):
+        outcome = EMSMatcher().match(*fig1_logs)
+        found = {(min(c.left), min(c.right)) for c in outcome.correspondences}
+        assert ("A", "2") in found
+        assert ("B", "3") in found
+
+    def test_estimation_variant_named(self):
+        matcher = EMSMatcher(EMSConfig(estimation_iterations=3))
+        assert matcher.name == "EMS+es"
+
+    def test_diagnostics_present(self, fig1_logs):
+        outcome = EMSMatcher().match(*fig1_logs)
+        assert outcome.diagnostics["pair_updates"] > 0
+
+    def test_label_similarity_pins_equal_labels(self):
+        log_first, log_second, truth = turbine_order_logs()
+        blended = EMSMatcher(
+            EMSConfig(alpha=0.5), QGramCosineSimilarity()
+        ).match(log_first, log_second)
+        found = {(min(c.left), min(c.right)) for c in blended.correspondences}
+        # The pairs whose labels literally agree must be matched.
+        assert ("Paid by Cash", "Paid by Cash") in found
+        assert ("Paid by Credit Card", "Paid by Credit Card") in found
+        assert evaluate(truth, blended.correspondences).f_measure >= 0.5
+
+    def test_threshold_prunes_found_pairs(self, fig1_logs):
+        all_pairs = EMSMatcher(threshold=0.0).match(*fig1_logs)
+        strict = EMSMatcher(threshold=0.6).match(*fig1_logs)
+        assert len(strict.correspondences) < len(all_pairs.correspondences)
+
+    def test_min_edge_frequency_still_matches(self, fig1_logs):
+        outcome = EMSMatcher(min_edge_frequency=0.3).match(*fig1_logs)
+        assert outcome.correspondences
+
+
+class TestEMSCompositeMatcher:
+    @pytest.fixture()
+    def matcher(self) -> EMSCompositeMatcher:
+        return EMSCompositeMatcher(delta=0.005, min_confidence=0.9, max_run_length=2)
+
+    def test_perfect_on_figure1(self, fig1_logs, fig1_truth, matcher):
+        outcome = matcher.match(*fig1_logs)
+        result = evaluate(fig1_truth, outcome.correspondences)
+        assert result.f_measure == pytest.approx(1.0)
+
+    def test_composite_correspondence_reported(self, fig1_logs, matcher):
+        outcome = matcher.match(*fig1_logs)
+        composites = [c for c in outcome.correspondences if c.is_composite()]
+        assert len(composites) == 1
+        assert composites[0].left == frozenset({"C", "D"})
+
+    def test_diagnostics(self, fig1_logs, matcher):
+        outcome = matcher.match(*fig1_logs)
+        assert outcome.diagnostics["composites_accepted"] == 1.0
+        assert outcome.diagnostics["pair_updates"] > 0
+
+    def test_estimation_name(self):
+        matcher = EMSCompositeMatcher(EMSConfig(estimation_iterations=5))
+        assert matcher.name == "EMS+es"
+
+    def test_beats_singleton_on_synthetic_composite_pair(self):
+        pair = make_log_pair(
+            "manufacturing", 8, "COMPOSITE", seed=12,
+            composite_splits=2, traces_per_log=80,
+        )
+        singleton = EMSMatcher().match(pair.log_first, pair.log_second)
+        composite = EMSCompositeMatcher(
+            delta=0.002, min_confidence=0.9, max_run_length=3
+        ).match(pair.log_first, pair.log_second)
+        singleton_f = evaluate(pair.truth, singleton.correspondences).f_measure
+        composite_f = evaluate(pair.truth, composite.correspondences).f_measure
+        assert composite_f >= singleton_f

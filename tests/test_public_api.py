@@ -1,0 +1,35 @@
+"""The documented public API surface must stay importable and coherent."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        log_a = repro.EventLog(
+            [["cash", "check", "ship"]] * 4 + [["card", "check", "ship"]] * 6,
+            name="a",
+        )
+        log_b = repro.EventLog(
+            [["accept", "cash2", "check2", "ship2"]] * 4
+            + [["accept", "card2", "check2", "ship2"]] * 6,
+            name="b",
+        )
+        outcome = repro.EMSMatcher().match(log_a, log_b)
+        assert outcome.correspondences
+        found = {(min(c.left), min(c.right)) for c in outcome.correspondences}
+        assert ("cash", "cash2") in found  # dislocated start handled
+        assert ("card", "card2") in found
+
+    def test_engine_surface(self):
+        log = repro.EventLog([["a", "b"]] * 4)
+        graph = repro.DependencyGraph.from_log(log)
+        result = repro.EMSEngine(repro.EMSConfig()).similarity(graph, graph)
+        assert result.matrix.get("a", "a") > result.matrix.get("a", "b")

@@ -1,0 +1,53 @@
+"""Smoke tests that the installed entry points actually launch."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, *args], capture_output=True, text=True, timeout=120
+    )
+
+
+class TestEntryPoints:
+    def test_repro_match_help(self):
+        result = run(["-m", "repro", "match", "--help"])
+        assert result.returncode == 0
+        assert "--composite" in result.stdout
+
+    def test_repro_module_requires_command(self):
+        result = run(["-m", "repro"])
+        assert result.returncode != 0
+
+    def test_experiments_help(self):
+        result = run(["-m", "repro.experiments", "--help"])
+        assert result.returncode == 0
+        assert "fig3" in result.stdout
+        assert "ext-noise" in result.stdout
+
+    def test_experiments_unknown_figure(self):
+        result = run(["-m", "repro.experiments", "fig99"])
+        assert result.returncode != 0
+        assert "unknown figures" in result.stderr
+
+    @pytest.mark.parametrize("figure", ["fig7"])
+    def test_experiments_quick_figure_runs(self, figure):
+        result = run(["-m", "repro.experiments", figure])
+        assert result.returncode == 0
+        assert "completed in" in result.stdout
+
+    def test_match_end_to_end(self, tmp_path):
+        from repro.logs.xes import write_xes
+        from repro.synthesis.examples import figure1_logs
+
+        log_first, log_second, _ = figure1_logs()
+        path_first = tmp_path / "first.xes"
+        path_second = tmp_path / "second.xes"
+        write_xes(log_first, path_first)
+        write_xes(log_second, path_second)
+        result = run(["-m", "repro", "match", str(path_first), str(path_second)])
+        assert result.returncode == 0
+        assert "<->" in result.stdout
