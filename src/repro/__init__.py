@@ -36,11 +36,18 @@ from repro.core import (
     EMSResult,
     SimilarityMatrix,
 )
+from repro.exceptions import BudgetExhausted, LogFormatError, ReproError
 from repro.graph import ARTIFICIAL, DependencyGraph
 from repro.logs import Event, EventLog, Trace
 from repro.matchers import EMSCompositeMatcher, EMSMatcher
 from repro.reporting import match_and_report, render_match_report
 from repro.matching import Correspondence, MatchEvaluation, evaluate
+from repro.runtime import (
+    DegradationPolicy,
+    IngestionReport,
+    MatchBudget,
+    RuntimeReport,
+)
 from repro.similarity import (
     LevenshteinSimilarity,
     OpaqueSimilarity,
@@ -80,6 +87,14 @@ __all__ = [
     "evaluate",
     "render_match_report",
     "match_and_report",
+    # resilient runtime
+    "MatchBudget",
+    "DegradationPolicy",
+    "RuntimeReport",
+    "IngestionReport",
+    "ReproError",
+    "LogFormatError",
+    "BudgetExhausted",
     # label similarities
     "OpaqueSimilarity",
     "QGramCosineSimilarity",

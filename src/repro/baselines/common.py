@@ -21,6 +21,7 @@ from typing import Mapping
 
 from repro.logs.log import EventLog
 from repro.matching.evaluation import Correspondence
+from repro.runtime.report import RuntimeReport
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,11 +39,17 @@ class Evaluation:
 
 @dataclass(frozen=True, slots=True)
 class MatchOutcome:
-    """Final result of a matcher run on two logs."""
+    """Final result of a matcher run on two logs.
+
+    ``runtime`` carries the resilient-runtime annotations (degradation
+    stage, budget spend) for matchers that support budgets; baselines
+    that never degrade leave it ``None``.
+    """
 
     correspondences: tuple[Correspondence, ...]
     objective: float
     diagnostics: Mapping[str, float] = field(default_factory=dict)
+    runtime: RuntimeReport | None = field(default=None, compare=False)
 
 
 def identity_members(log: EventLog) -> dict[str, frozenset[str]]:
@@ -53,6 +60,7 @@ def pairs_to_outcome(
     evaluation: Evaluation,
     members_first: Mapping[str, frozenset[str]],
     members_second: Mapping[str, frozenset[str]],
+    runtime: RuntimeReport | None = None,
 ) -> MatchOutcome:
     """Expand an :class:`Evaluation`'s node pairs into correspondences."""
     correspondences = tuple(
@@ -62,7 +70,9 @@ def pairs_to_outcome(
         )
         for left, right in evaluation.pairs
     )
-    return MatchOutcome(correspondences, evaluation.objective, evaluation.diagnostics)
+    return MatchOutcome(
+        correspondences, evaluation.objective, evaluation.diagnostics, runtime
+    )
 
 
 class EventMatcher(ABC):

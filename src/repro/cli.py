@@ -5,10 +5,23 @@ Usage::
     python -m repro match LOG1 LOG2 [--format xes|csv] [--composite]
                                     [--alpha A] [--labels] [--threshold T]
                                     [--estimate I] [--json]
+                                    [--timeout S] [--pair-budget N]
+                                    [--no-degrade] [--on-error MODE]
 
 Reads the two logs (XES or CSV, auto-detected from the extension by
 default), runs EMS matching, and prints the found correspondences with
 their similarity — or a JSON document with ``--json`` for scripting.
+
+Failure behaviour (see ``docs/robustness.md``):
+
+* exit 0 — a result was produced, possibly degraded within the budget;
+* exit 2 — the inputs could not be read (bad format, missing file, ...);
+* exit 3 — the budget was exhausted and degradation was disabled.
+
+``--timeout``/``--pair-budget`` bound the matching work;
+``--on-error skip|repair`` makes ingestion fault-tolerant, with the
+dropped/repaired rows accounted in the ``--json`` output and the
+Markdown report.
 """
 
 from __future__ import annotations
@@ -19,15 +32,32 @@ import sys
 from pathlib import Path
 
 from repro.core.config import EMSConfig
+from repro.exceptions import BudgetExhausted, LogFormatError, ReproError
 from repro.logs.csvio import read_csv
 from repro.logs.log import EventLog
 from repro.logs.xes import read_xes
 from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.runtime import DegradationPolicy, IngestionReport, MatchBudget
 from repro.similarity.labels import QGramCosineSimilarity
 
+#: Exit code for unreadable/invalid inputs.
+EXIT_INPUT_ERROR = 2
+#: Exit code for budget exhaustion with the degradation ladder disabled.
+EXIT_BUDGET_EXHAUSTED = 3
 
-def load_log(path: str, fmt: str = "auto") -> EventLog:
-    """Load an event log from *path* (XES or CSV)."""
+
+def load_log(
+    path: str,
+    fmt: str = "auto",
+    on_error: str = "raise",
+    report: IngestionReport | None = None,
+) -> EventLog:
+    """Load an event log from *path* (XES or CSV).
+
+    Raises :class:`LogFormatError` for unrecognized or unparseable
+    inputs — callers decide how to present that (the CLI maps it to exit
+    code 2 in :func:`main`).
+    """
     resolved = Path(path)
     if fmt == "auto":
         suffix = resolved.suffix.lower()
@@ -36,14 +66,14 @@ def load_log(path: str, fmt: str = "auto") -> EventLog:
         elif suffix == ".csv":
             fmt = "csv"
         else:
-            raise SystemExit(
+            raise LogFormatError(
                 f"cannot infer the format of {path!r}; pass --format xes|csv"
             )
     if fmt == "xes":
-        return read_xes(resolved)
+        return read_xes(resolved, on_error=on_error, report=report)
     if fmt == "csv":
-        return read_csv(resolved, name=resolved.stem)
-    raise SystemExit(f"unknown format {fmt!r}")
+        return read_csv(resolved, name=resolved.stem, on_error=on_error, report=report)
+    raise LogFormatError(f"unknown format {fmt!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the EMS+es estimation with I exact iterations")
     match.add_argument("--delta", type=float, default=0.01,
                        help="composite-merge improvement threshold")
+    match.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on exhaustion the result degrades "
+             "(exact -> estimated -> partial) instead of failing",
+    )
+    match.add_argument(
+        "--pair-budget", type=int, default=None, metavar="N",
+        help="cap on formula-(1) pair updates across the whole job",
+    )
+    match.add_argument(
+        "--no-degrade", action="store_true",
+        help="disable the degradation ladder: budget exhaustion exits 3",
+    )
+    match.add_argument(
+        "--on-error", choices=("raise", "skip", "repair"), default="raise",
+        help="ingestion fault mode: abort on the first bad row (raise), "
+             "drop bad rows (skip), or fix what is fixable (repair)",
+    )
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.add_argument(
         "--report", metavar="PATH", default=None,
@@ -81,8 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_match(arguments: argparse.Namespace) -> int:
-    log_first = load_log(arguments.log_first, arguments.format)
-    log_second = load_log(arguments.log_second, arguments.format)
+    ingestion_first = IngestionReport(
+        source=arguments.log_first, mode=arguments.on_error
+    )
+    ingestion_second = IngestionReport(
+        source=arguments.log_second, mode=arguments.on_error
+    )
+    log_first = load_log(
+        arguments.log_first, arguments.format, arguments.on_error, ingestion_first
+    )
+    log_second = load_log(
+        arguments.log_second, arguments.format, arguments.on_error, ingestion_second
+    )
 
     label_similarity = QGramCosineSimilarity() if arguments.labels else None
     alpha = arguments.alpha
@@ -90,19 +148,38 @@ def run_match(arguments: argparse.Namespace) -> int:
         alpha = 0.5 if arguments.labels else 1.0
     config = EMSConfig(alpha=alpha, estimation_iterations=arguments.estimate)
 
+    budget = None
+    if arguments.timeout is not None or arguments.pair_budget is not None:
+        try:
+            budget = MatchBudget(
+                deadline=arguments.timeout, max_pair_updates=arguments.pair_budget
+            )
+        except ValueError as error:
+            raise ReproError(str(error)) from None
+    degradation = (
+        DegradationPolicy.none() if arguments.no_degrade else DegradationPolicy()
+    )
+
     if arguments.composite:
         matcher = EMSCompositeMatcher(
             config, label_similarity,
             threshold=arguments.threshold, delta=arguments.delta,
+            budget=budget, degradation=degradation,
         )
     else:
-        matcher = EMSMatcher(config, label_similarity, threshold=arguments.threshold)
+        matcher = EMSMatcher(
+            config, label_similarity, threshold=arguments.threshold,
+            budget=budget, degradation=degradation,
+        )
     outcome = matcher.match(log_first, log_second)
 
+    ingestion = (ingestion_first, ingestion_second)
     if arguments.report:
         from repro.reporting import render_match_report
 
-        report = render_match_report(log_first, log_second, outcome, matcher.name)
+        report = render_match_report(
+            log_first, log_second, outcome, matcher.name, ingestion=ingestion
+        )
         Path(arguments.report).write_text(report, encoding="utf-8")
 
     if arguments.json:
@@ -116,6 +193,11 @@ def run_match(arguments: argparse.Namespace) -> int:
                 for c in outcome.correspondences
             ],
             "diagnostics": dict(outcome.diagnostics),
+            "runtime": outcome.runtime.to_dict() if outcome.runtime else None,
+            "ingestion": {
+                "first": ingestion_first.to_dict(),
+                "second": ingestion_second.to_dict(),
+            },
         }
         json.dump(payload, sys.stdout, indent=2, ensure_ascii=False)
         print()
@@ -129,11 +211,23 @@ def run_match(arguments: argparse.Namespace) -> int:
               f"{' + '.join(sorted(correspondence.right))}{marker}")
     if not outcome.correspondences:
         print("  (no correspondences above the threshold)")
+    if outcome.runtime is not None and outcome.runtime.degraded:
+        print(f"  note: {outcome.runtime.describe()}", file=sys.stderr)
+    for report in ingestion:
+        if not report.clean or report.fallback_cases:
+            print(f"  note: {report.describe()}", file=sys.stderr)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     arguments = build_parser().parse_args(argv)
-    if arguments.command == "match":
-        return run_match(arguments)
-    raise SystemExit(f"unknown command {arguments.command!r}")
+    try:
+        if arguments.command == "match":
+            return run_match(arguments)
+        raise SystemExit(f"unknown command {arguments.command!r}")
+    except BudgetExhausted as error:
+        print(f"error: {error} (degradation disabled)", file=sys.stderr)
+        return EXIT_BUDGET_EXHAUSTED
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_INPUT_ERROR

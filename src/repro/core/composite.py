@@ -32,16 +32,21 @@ pool can be grown for the Figure 14 experiment.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine, EMSResult
 from repro.core.matrix import SimilarityMatrix
+from repro.exceptions import BudgetExhausted
 from repro.graph.dependency import DependencyGraph
 from repro.graph.merge import composite_name, merge_run_in_log
 from repro.graph.reachability import real_ancestors, real_descendants
 from repro.logs.log import EventLog
 from repro.logs.stats import activity_occurrence_counts, directly_follows_counts
+from repro.runtime.budget import BudgetMeter, MatchBudget
+from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.report import STAGE_EXACT, STAGE_PARTIAL, RuntimeReport
 from repro.similarity.labels import CompositeAwareSimilarity, LabelSimilarity, OpaqueSimilarity
 
 
@@ -135,6 +140,9 @@ class CompositeMatchResult:
     accepted_first: tuple[tuple[str, ...], ...]
     accepted_second: tuple[tuple[str, ...], ...]
     stats: CompositeStats = field(compare=False, default_factory=CompositeStats)
+    #: How the run ended (degradation stage, budget spend); always set by
+    #: :meth:`CompositeMatcher.match`, ``None`` only for hand-built results.
+    runtime: RuntimeReport | None = field(compare=False, default=None)
 
     @property
     def average(self) -> float:
@@ -172,6 +180,15 @@ class CompositeMatcher:
         Enable the Bd pruning (upper-bound abort, Section 4.3).
     min_edge_frequency:
         Minimum frequency control applied when (re)building graphs.
+    budget:
+        Optional :class:`~repro.runtime.MatchBudget` bounding the whole
+        greedy search (wall clock and/or pair updates).  Checked between
+        merge rounds and cooperatively inside every similarity
+        evaluation.
+    degradation:
+        What to do when the budget runs out (default: the full
+        exact → estimated → partial ladder).  With the ladder disabled,
+        exhaustion raises :class:`~repro.exceptions.BudgetExhausted`.
     """
 
     def __init__(
@@ -185,6 +202,8 @@ class CompositeMatcher:
         use_unchanged: bool = True,
         use_bounds: bool = True,
         min_edge_frequency: float = 0.0,
+        budget: MatchBudget | None = None,
+        degradation: DegradationPolicy | None = None,
     ):
         if delta < 0.0:
             raise ValueError(f"delta must be non-negative, got {delta}")
@@ -199,6 +218,8 @@ class CompositeMatcher:
         self.use_unchanged = use_unchanged
         self.use_bounds = use_bounds
         self.min_edge_frequency = min_edge_frequency
+        self.budget = budget
+        self.degradation = degradation if degradation is not None else DegradationPolicy()
 
     # ------------------------------------------------------------------
     def _engine(self, state_first: _SideState, state_second: _SideState) -> EMSEngine:
@@ -251,7 +272,18 @@ class CompositeMatcher:
 
     # ------------------------------------------------------------------
     def match(self, log_first: EventLog, log_second: EventLog) -> CompositeMatchResult:
-        """Run Algorithm 2 on the two logs."""
+        """Run Algorithm 2 on the two logs.
+
+        With a :class:`~repro.runtime.MatchBudget` configured, the run is
+        resilient: the initial similarity degrades through the ladder of
+        the configured :class:`~repro.runtime.DegradationPolicy`, and a
+        budget exhausted mid-search truncates the greedy loop and returns
+        the best merge state found so far — always a valid result,
+        annotated through :attr:`CompositeMatchResult.runtime`.
+        """
+        started = time.perf_counter()
+        meter = self.budget.start() if self.budget is not None else None
+        policy = self.degradation
         states = (
             _SideState(
                 log_first,
@@ -267,12 +299,70 @@ class CompositeMatcher:
             ),
         )
         stats = CompositeStats()
-        current = self._engine(states[0], states[1]).similarity(
-            states[0].graph, states[1].graph
-        )
+        stage: str = STAGE_EXACT
+        reason: str | None = None
+        detail: str | None = None
+        engine = self._engine(states[0], states[1])
+        if meter is None:
+            current = engine.similarity(states[0].graph, states[1].graph)
+        else:
+            current, stage, reason = engine.similarity_resilient(
+                states[0].graph, states[1].graph, meter, policy
+            )
+            if stage != STAGE_EXACT:
+                detail = "initial similarity degraded; composite search skipped"
         stats.pair_updates += current.pair_updates
 
+        if stage == STAGE_EXACT:
+            try:
+                current = self._search(states, current, stats, meter)
+            except BudgetExhausted as error:
+                if not policy.enabled:
+                    raise
+                # The matrix of the last accepted merge state is complete
+                # and exact — only the candidate search was cut short.
+                stage = STAGE_PARTIAL
+                reason = error.reason
+                detail = (
+                    f"composite search truncated after {stats.rounds} round(s)"
+                )
+
+        # stats misses the pair updates of an evaluation aborted by the
+        # budget mid-flight; the meter saw every metered update.
+        spent = stats.pair_updates if meter is None else meter.pair_updates_spent
+        runtime = RuntimeReport(
+            stage=stage,
+            degraded=stage != STAGE_EXACT,
+            reason=reason,
+            detail=detail,
+            iterations=current.iterations,
+            pair_updates=spent,
+            wall_time=time.perf_counter() - started,
+            rounds=stats.rounds,
+        )
+        return CompositeMatchResult(
+            matrix=current.matrix,
+            log_first=states[0].log,
+            log_second=states[1].log,
+            members_first=dict(states[0].members),
+            members_second=dict(states[1].members),
+            accepted_first=tuple(states[0].accepted),
+            accepted_second=tuple(states[1].accepted),
+            stats=stats,
+            runtime=runtime,
+        )
+
+    def _search(
+        self,
+        states: tuple[_SideState, _SideState],
+        current: EMSResult,
+        stats: CompositeStats,
+        meter: BudgetMeter | None,
+    ) -> EMSResult:
+        """The greedy merge loop of Algorithm 2; returns the final result."""
         while True:
+            if meter is not None:
+                meter.check()
             stats.rounds += 1
             current_average = current.matrix.average()
             target = current_average + self.delta
@@ -291,6 +381,7 @@ class CompositeMatcher:
                     outcome = self._evaluate(
                         side_index, run, states, current, stats,
                         abort_below=max(best_average, target),
+                        meter=meter,
                     )
                     if outcome is None:
                         continue
@@ -299,7 +390,7 @@ class CompositeMatcher:
                         best = (side_index, run, outcome)
 
             if best is None or best_average - current_average <= self.delta:
-                break
+                return current
 
             side_index, run, outcome = best
             state = states[side_index]
@@ -310,17 +401,6 @@ class CompositeMatcher:
             state.accepted.append(run)
             current = outcome
 
-        return CompositeMatchResult(
-            matrix=current.matrix,
-            log_first=states[0].log,
-            log_second=states[1].log,
-            members_first=dict(states[0].members),
-            members_second=dict(states[1].members),
-            accepted_first=tuple(states[0].accepted),
-            accepted_second=tuple(states[1].accepted),
-            stats=stats,
-        )
-
     # ------------------------------------------------------------------
     def _evaluate(
         self,
@@ -330,6 +410,7 @@ class CompositeMatcher:
         current: EMSResult,
         stats: CompositeStats,
         abort_below: float,
+        meter: BudgetMeter | None = None,
     ) -> EMSResult | None:
         """Similarity of the graphs after merging *run* on one side."""
         state = states[side_index]
@@ -345,12 +426,15 @@ class CompositeMatcher:
         graphs = (pair[0].graph, pair[1].graph)
         if self.use_bounds:
             outcome = engine.similarity_with_abort(
-                graphs[0], graphs[1], abort_below, fixed_forward, fixed_backward
+                graphs[0], graphs[1], abort_below, fixed_forward, fixed_backward,
+                meter=meter,
             )
             if outcome is None:
                 stats.evaluations_aborted += 1
                 return None
         else:
-            outcome = engine.similarity(graphs[0], graphs[1], fixed_forward, fixed_backward)
+            outcome = engine.similarity(
+                graphs[0], graphs[1], fixed_forward, fixed_backward, meter=meter
+            )
         stats.pair_updates += outcome.pair_updates
         return outcome

@@ -42,6 +42,10 @@ from repro.core.estimation import estimate_matrix, estimation_coefficients
 from repro.core.matrix import SimilarityMatrix
 from repro.core.pruning import ConvergenceSchedule
 from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+from repro.runtime.budget import BudgetMeter
+from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.report import STAGE_ESTIMATED, STAGE_EXACT, STAGE_PARTIAL
+from repro.exceptions import BudgetExhausted
 from repro.similarity.labels import LabelSimilarity, OpaqueSimilarity
 
 
@@ -101,8 +105,10 @@ class _DirectionalRun:
         config: EMSConfig,
         label_matrix: np.ndarray,
         fixed_pairs: dict[tuple[str, str], float] | None = None,
+        meter: BudgetMeter | None = None,
     ):
         self.config = config
+        self._meter = meter
         self.nodes_first = first.nodes
         self.nodes_second = second.nodes
         n1, n2 = len(self.nodes_first), len(self.nodes_second)
@@ -202,7 +208,18 @@ class _DirectionalRun:
         return self.values[: self._n1, : self._n2].copy()
 
     def step(self) -> float:
-        """Perform one iteration of formula (1); return the max change."""
+        """Perform one iteration of formula (1); return the max change.
+
+        When a :class:`BudgetMeter` is attached, the budget is checked at
+        the start of the iteration and every pair update is charged; a
+        :class:`~repro.exceptions.BudgetExhausted` raised mid-iteration
+        leaves ``values`` in a valid best-so-far state (some pairs
+        updated, the rest at the previous iteration) and the accounting
+        consistent, so the degradation ladder can continue from it.
+        """
+        meter = self._meter
+        if meter is not None:
+            meter.check()
         self.iterations += 1
         iteration = self.iterations
         alpha = self.config.alpha
@@ -215,25 +232,29 @@ class _DirectionalRun:
         label_weight = 1.0 - alpha
         max_delta = 0.0
         updates = 0
-        for i in range(self._n1):
-            for j in range(self._n2):
-                if fixed[i, j]:
-                    continue
-                if use_pruning and iteration > pair_levels[i, j]:
-                    continue
-                agreement, mesh, inverse_a, inverse_b = self._pair_entry(i, j)
-                weighted = agreement * previous[mesh]
-                s_forward = weighted.max(axis=1).sum() * inverse_a
-                s_backward = weighted.max(axis=0).sum() * inverse_b
-                updated = half_alpha * (s_forward + s_backward)
-                if label_weight:
-                    updated += label_weight * label[i, j]
-                updates += 1
-                delta = abs(updated - previous[i, j])
-                if delta > max_delta:
-                    max_delta = delta
-                self.values[i, j] = updated
-        self.pair_updates += updates
+        try:
+            for i in range(self._n1):
+                for j in range(self._n2):
+                    if fixed[i, j]:
+                        continue
+                    if use_pruning and iteration > pair_levels[i, j]:
+                        continue
+                    agreement, mesh, inverse_a, inverse_b = self._pair_entry(i, j)
+                    weighted = agreement * previous[mesh]
+                    s_forward = weighted.max(axis=1).sum() * inverse_a
+                    s_backward = weighted.max(axis=0).sum() * inverse_b
+                    updated = half_alpha * (s_forward + s_backward)
+                    if label_weight:
+                        updated += label_weight * label[i, j]
+                    updates += 1
+                    delta = abs(updated - previous[i, j])
+                    if delta > max_delta:
+                        max_delta = delta
+                    self.values[i, j] = updated
+                    if meter is not None:
+                        meter.tick()
+        finally:
+            self.pair_updates += updates
         return max_delta
 
     def finished(self) -> bool:
@@ -325,15 +346,19 @@ class EMSEngine:
         second: DependencyGraph,
         fixed_forward: dict[tuple[str, str], float] | None = None,
         fixed_backward: dict[tuple[str, str], float] | None = None,
+        meter: BudgetMeter | None = None,
     ) -> list[_DirectionalRun]:
         label = self._label_matrix(first, second)
         runs: list[_DirectionalRun] = []
         if self.config.direction in ("forward", "both"):
-            runs.append(_DirectionalRun(first, second, self.config, label, fixed_forward))
+            runs.append(
+                _DirectionalRun(first, second, self.config, label, fixed_forward, meter)
+            )
         if self.config.direction in ("backward", "both"):
             runs.append(
                 _DirectionalRun(
-                    first.reversed(), second.reversed(), self.config, label, fixed_backward
+                    first.reversed(), second.reversed(), self.config, label,
+                    fixed_backward, meter,
                 )
             )
         return runs
@@ -365,19 +390,65 @@ class EMSEngine:
         second: DependencyGraph,
         fixed_forward: dict[tuple[str, str], float] | None = None,
         fixed_backward: dict[tuple[str, str], float] | None = None,
+        meter: BudgetMeter | None = None,
     ) -> EMSResult:
         """Compute the pairwise similarity matrix of the two graphs.
 
         ``fixed_forward`` / ``fixed_backward`` seed pairs whose converged
         value is already known (Proposition 4); they are never iterated.
+        A *meter* makes the computation cooperatively cancellable:
+        :class:`~repro.exceptions.BudgetExhausted` propagates to the
+        caller (use :meth:`similarity_resilient` for the degradation
+        ladder instead).
         """
-        runs = self._runs(first, second, fixed_forward, fixed_backward)
+        runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
         for run in runs:
             if self.config.estimation_iterations is not None:
                 run.run_estimated(self.config.estimation_iterations)
             else:
                 run.run_exact()
         return self._result(first, second, runs)
+
+    def similarity_resilient(
+        self,
+        first: DependencyGraph,
+        second: DependencyGraph,
+        meter: BudgetMeter | None,
+        policy: DegradationPolicy | None = None,
+        fixed_forward: dict[tuple[str, str], float] | None = None,
+        fixed_backward: dict[tuple[str, str], float] | None = None,
+    ) -> tuple[EMSResult, str, str | None]:
+        """:meth:`similarity` with the graceful-degradation ladder.
+
+        Returns ``(result, stage, reason)`` where *stage* is one of
+        ``"exact"`` (completed within budget), ``"estimated"`` (budget
+        exhausted; the Section 3.5 closed form filled in unconverged
+        pairs from however many exact iterations ran) or ``"partial"``
+        (best-so-far values as-is), and *reason* is the exhausted budget
+        axis (``None`` when exact).  With a ladder fully disabled by
+        *policy*, :class:`~repro.exceptions.BudgetExhausted` propagates.
+        """
+        if policy is None:
+            policy = DegradationPolicy()
+        runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
+        try:
+            for run in runs:
+                if self.config.estimation_iterations is not None:
+                    run.run_estimated(self.config.estimation_iterations)
+                else:
+                    run.run_exact()
+            return self._result(first, second, runs), STAGE_EXACT, None
+        except BudgetExhausted as error:
+            if policy.allow_estimation:
+                # The closed form needs no further iterations: asking for
+                # exactly the iterations already performed makes
+                # run_estimated apply formula (2) to the current state.
+                for run in runs:
+                    run.run_estimated(run.iterations)
+                return self._result(first, second, runs), STAGE_ESTIMATED, error.reason
+            if policy.allow_partial:
+                return self._result(first, second, runs), STAGE_PARTIAL, error.reason
+            raise
 
     def similarity_with_abort(
         self,
@@ -386,6 +457,7 @@ class EMSEngine:
         abort_below: float,
         fixed_forward: dict[tuple[str, str], float] | None = None,
         fixed_backward: dict[tuple[str, str], float] | None = None,
+        meter: BudgetMeter | None = None,
     ) -> EMSResult | None:
         """Like :meth:`similarity`, but give up early when hopeless.
 
@@ -395,7 +467,7 @@ class EMSEngine:
         ``None`` is returned — the candidate cannot beat the incumbent.
         This is the *Bd* pruning of Section 4.3.
         """
-        runs = self._runs(first, second, fixed_forward, fixed_backward)
+        runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
         # Lockstep: advance each unfinished run one iteration, then check
         # the combined bound, so hopeless candidates die at the first
         # possible moment.

@@ -29,6 +29,30 @@ class MatchingError(ReproError):
     """A matching computation could not be carried out."""
 
 
+class BudgetExhausted(ReproError):
+    """A matching run hit its :class:`repro.runtime.MatchBudget`.
+
+    Carries machine-readable context so the degradation ladder (and the
+    CLI's exit-code mapping) can react without parsing the message:
+    ``reason`` is ``"deadline"`` or ``"pair-updates"``, ``elapsed`` the
+    wall-clock seconds spent, and ``pair_updates`` the formula-(1)
+    evaluations charged so far.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "deadline",
+        elapsed: float = 0.0,
+        pair_updates: int = 0,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.elapsed = elapsed
+        self.pair_updates = pair_updates
+
+
 class SearchBudgetExceeded(MatchingError):
     """A matcher exceeded its configured search budget.
 

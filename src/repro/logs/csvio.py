@@ -4,6 +4,22 @@ The flat format common in industry extracts: one row per event, columns
 ``case_id, activity, timestamp`` (timestamp optional).  Rows are grouped by
 case id; within a case, rows are ordered by timestamp when present, by file
 order otherwise.
+
+Real extracts are messy, so :func:`read_csv` supports three fault modes:
+
+* ``on_error="raise"`` (default) — the first bad row aborts the read with
+  a :class:`~repro.exceptions.LogFormatError`;
+* ``on_error="skip"`` — bad rows are dropped and listed in the
+  :class:`~repro.runtime.IngestionReport`;
+* ``on_error="repair"`` — recoverable faults are fixed in place (an
+  unparseable timestamp becomes "no timestamp"); unrecoverable rows
+  (missing columns, empty ``case_id``/``activity``) are still dropped.
+  Every drop and repair is recorded.
+
+File-level faults — an empty document or a header without the required
+columns — always raise: there is no row-by-row recovery without a header.
+A case holding *some but not all* timestamps falls back to file order in
+every mode and is recorded as ``fallback_cases`` in the report.
 """
 
 from __future__ import annotations
@@ -15,10 +31,13 @@ from typing import IO, Iterable
 from repro.exceptions import LogFormatError
 from repro.logs.events import Event, Trace
 from repro.logs.log import EventLog
+from repro.runtime.report import IngestionReport
 
 CASE_COLUMN = "case_id"
 ACTIVITY_COLUMN = "activity"
 TIMESTAMP_COLUMN = "timestamp"
+
+ON_ERROR_MODES = ("raise", "skip", "repair")
 
 
 def write_csv(log: EventLog, destination: str | os.PathLike[str] | IO[str]) -> None:
@@ -40,18 +59,37 @@ def _write_rows(log: EventLog, handle: IO[str]) -> None:
             writer.writerow([case_id, event.activity, timestamp])
 
 
-def read_csv(source: str | os.PathLike[str] | IO[str], name: str = "log") -> EventLog:
+def read_csv(
+    source: str | os.PathLike[str] | IO[str],
+    name: str = "log",
+    on_error: str = "raise",
+    report: IngestionReport | None = None,
+) -> EventLog:
     """Parse CSV event data at *source* into an :class:`EventLog`.
 
-    Case order in the output follows first appearance in the file.
+    Case order in the output follows first appearance in the file.  See
+    the module docstring for the ``on_error`` fault modes; pass an
+    :class:`~repro.runtime.IngestionReport` to receive the per-row
+    accounting of what was dropped or repaired.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
+    if report is None:
+        report = IngestionReport(mode=on_error)
     if isinstance(source, (str, os.PathLike)):
+        if not report.source:
+            report.source = os.fspath(source)
         with open(source, newline="", encoding="utf-8") as handle:
-            return _read_rows(handle, name)
-    return _read_rows(source, name)
+            return _read_rows(handle, name, on_error, report)
+    return _read_rows(source, name, on_error, report)
 
 
-def _read_rows(handle: IO[str], name: str) -> EventLog:
+def _read_rows(
+    handle: IO[str], name: str, on_error: str = "raise",
+    report: IngestionReport | None = None,
+) -> EventLog:
+    if report is None:
+        report = IngestionReport(mode=on_error)
     reader = csv.reader(handle)
     try:
         header = next(reader)
@@ -66,29 +104,57 @@ def _read_rows(handle: IO[str], name: str) -> EventLog:
         ) from None
     timestamp_idx = header.index(TIMESTAMP_COLUMN) if TIMESTAMP_COLUMN in header else None
 
+    def reject(row_number: int, problem: str) -> None:
+        """Apply *on_error* to an unrecoverable row."""
+        if on_error == "raise":
+            raise LogFormatError(f"row {row_number}: {problem}")
+        report.record_dropped(f"row {row_number}", problem)
+
     cases: dict[str, list[tuple[float | None, int, Event]]] = {}
     for row_number, row in enumerate(reader, start=2):
         if not row:
-            continue
+            continue  # blank line, not event data
+        report.record_row(loaded=False)
         try:
             case_id = row[case_idx]
             activity = row[activity_idx]
         except IndexError:
-            raise LogFormatError(f"row {row_number} is missing required columns") from None
+            reject(row_number, "missing required columns")
+            continue
+        if not case_id.strip():
+            reject(row_number, f"empty {CASE_COLUMN!r}")
+            continue
+        if not activity.strip():
+            reject(row_number, f"empty {ACTIVITY_COLUMN!r}")
+            continue
         timestamp: float | None = None
         if timestamp_idx is not None and timestamp_idx < len(row) and row[timestamp_idx]:
             try:
                 timestamp = float(row[timestamp_idx])
             except ValueError:
-                raise LogFormatError(
-                    f"row {row_number}: invalid timestamp {row[timestamp_idx]!r}"
-                ) from None
+                problem = f"invalid timestamp {row[timestamp_idx]!r}"
+                if on_error == "raise":
+                    raise LogFormatError(f"row {row_number}: {problem}") from None
+                if on_error == "skip":
+                    report.record_dropped(f"row {row_number}", problem)
+                    continue
+                # repair: keep the event, drop only the unusable timestamp
+                report.record_repaired(
+                    f"row {row_number}", f"{problem} treated as missing"
+                )
+                timestamp = None
+        report.events_loaded += 1
         cases.setdefault(case_id, []).append((timestamp, row_number, Event(activity, timestamp)))
 
     log = EventLog(name=name)
     for case_id, entries in cases.items():
-        if all(timestamp is not None for timestamp, _, _ in entries):
+        with_timestamp = sum(1 for timestamp, _, _ in entries if timestamp is not None)
+        if with_timestamp == len(entries):
             entries.sort(key=lambda entry: (entry[0], entry[1]))
+        elif with_timestamp:
+            # Mixed timestamps: ordering silently changes meaning, so the
+            # fallback to file order is recorded rather than guessed around.
+            report.record_fallback(case_id)
         log.append(Trace((event for _, _, event in entries), case_id=case_id))
     return log
 

@@ -6,6 +6,14 @@ optional ``time:timestamp``, and flat string attributes.  This keeps the
 library dependency-free while staying interoperable with standard process
 mining tools — logs written here load in ProM/pm4py and vice versa for
 logs using only these elements.
+
+:func:`read_xes` supports the same ``on_error="raise"|"skip"|"repair"``
+fault modes as the CSV reader.  In the non-raising modes a *truncated*
+document (the classic failure of an interrupted export) is salvaged with
+an incremental parser: every trace completed before the break is loaded,
+and the truncation is recorded in the
+:class:`~repro.runtime.IngestionReport`.  Event-level faults (missing
+``concept:name``, malformed timestamps) are dropped or repaired per mode.
 """
 
 from __future__ import annotations
@@ -18,6 +26,9 @@ from typing import IO
 from repro.exceptions import LogFormatError
 from repro.logs.events import Event, Trace
 from repro.logs.log import EventLog
+from repro.runtime.report import IngestionReport
+
+ON_ERROR_MODES = ("raise", "skip", "repair")
 
 _CONCEPT_NAME = "concept:name"
 _TIMESTAMP = "time:timestamp"
@@ -69,42 +80,138 @@ def write_xes(log: EventLog, destination: str | os.PathLike[str] | IO[bytes]) ->
     tree.write(destination, encoding="utf-8", xml_declaration=True)
 
 
-def read_xes(source: str | os.PathLike[str] | IO[bytes]) -> EventLog:
-    """Parse an XES document at *source* into an :class:`EventLog`."""
+def _local(tag_name: str) -> str:
+    return tag_name.rsplit("}", 1)[-1]
+
+
+def read_xes(
+    source: str | os.PathLike[str] | IO[bytes],
+    on_error: str = "raise",
+    report: IngestionReport | None = None,
+) -> EventLog:
+    """Parse an XES document at *source* into an :class:`EventLog`.
+
+    See the module docstring for the ``on_error`` fault modes; pass an
+    :class:`~repro.runtime.IngestionReport` to receive the accounting of
+    dropped/repaired events and of a salvaged truncation.
+    """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
+    if report is None:
+        report = IngestionReport(mode=on_error)
+    if isinstance(source, (str, os.PathLike)) and not report.source:
+        report.source = os.fspath(source)
     try:
         tree = ET.parse(source)
     except ET.ParseError as exc:
-        raise LogFormatError(f"malformed XES document: {exc}") from exc
+        if on_error == "raise":
+            raise LogFormatError(f"malformed XES document: {exc}") from exc
+        return _salvage_xes(source, exc, on_error, report)
     root = tree.getroot()
-    tag = root.tag.rsplit("}", 1)[-1]  # tolerate a default namespace
+    tag = _local(root.tag)  # tolerate a default namespace
     if tag != "log":
         raise LogFormatError(f"expected a <log> root element, found <{root.tag}>")
 
-    def local(tag_name: str) -> str:
-        return tag_name.rsplit("}", 1)[-1]
-
     log_name = "log"
     for child in root:
-        if local(child.tag) == "string" and child.get("key") == _CONCEPT_NAME:
+        if _local(child.tag) == "string" and child.get("key") == _CONCEPT_NAME:
             log_name = child.get("value", "log")
     log = EventLog(name=log_name)
-    for trace_el in root:
-        if local(trace_el.tag) != "trace":
+    for trace_index, trace_el in enumerate(root):
+        if _local(trace_el.tag) != "trace":
             continue
-        case_id: str | None = None
-        events: list[Event] = []
-        for child in trace_el:
-            child_tag = local(child.tag)
-            if child_tag == "string" and child.get("key") == _CONCEPT_NAME:
-                case_id = child.get("value")
-            elif child_tag == "event":
-                events.append(_parse_event(child, local))
-        if events:
-            log.append(Trace(events, case_id=case_id))
+        trace = _parse_trace(trace_el, trace_index, on_error, report)
+        if trace is not None:
+            log.append(trace)
     return log
 
 
-def _parse_event(event_el: ET.Element, local) -> Event:
+def _salvage_xes(
+    source: str | os.PathLike[str] | IO[bytes],
+    error: ET.ParseError,
+    on_error: str,
+    report: IngestionReport,
+) -> EventLog:
+    """Recover every complete trace of a malformed/truncated document.
+
+    Feeds the raw bytes to an incremental pull parser and keeps each
+    ``<trace>`` element that closed before the parse error; the error
+    itself is recorded as a truncation in the report.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "rb") as handle:
+            data = handle.read()
+    else:
+        source.seek(0)
+        data = source.read()
+
+    parser = ET.XMLPullParser(events=("start", "end"))
+    log_name = "log"
+    traces: list[ET.Element] = []
+    depth = 0
+    try:
+        parser.feed(data)
+        for kind, element in parser.read_events():
+            if kind == "start":
+                depth += 1
+                continue
+            depth -= 1
+            if depth != 1:
+                continue  # only direct children of <log>
+            if _local(element.tag) == "trace":
+                traces.append(element)
+            elif (
+                _local(element.tag) == "string"
+                and element.get("key") == _CONCEPT_NAME
+            ):
+                log_name = element.get("value", "log")
+    except ET.ParseError as exc:
+        # Everything parsed before the break has already been yielded.
+        report.record_truncation(str(exc))
+    else:
+        report.record_truncation(str(error))
+
+    log = EventLog(name=log_name)
+    for trace_index, trace_el in enumerate(traces):
+        trace = _parse_trace(trace_el, trace_index, on_error, report)
+        if trace is not None:
+            log.append(trace)
+    return log
+
+
+def _parse_trace(
+    trace_el: ET.Element,
+    trace_index: int,
+    on_error: str,
+    report: IngestionReport,
+) -> Trace | None:
+    case_id: str | None = None
+    events: list[Event] = []
+    event_index = 0
+    for child in trace_el:
+        child_tag = _local(child.tag)
+        if child_tag == "string" and child.get("key") == _CONCEPT_NAME:
+            case_id = child.get("value")
+        elif child_tag == "event":
+            report.record_row(loaded=False)
+            event = _parse_event(
+                child, f"trace {trace_index} event {event_index}", on_error, report
+            )
+            event_index += 1
+            if event is not None:
+                report.events_loaded += 1
+                events.append(event)
+    if not events:
+        return None
+    return Trace(events, case_id=case_id)
+
+
+def _parse_event(
+    event_el: ET.Element,
+    location: str,
+    on_error: str,
+    report: IngestionReport,
+) -> Event | None:
     activity: str | None = None
     timestamp: float | None = None
     attributes: dict[str, str] = {}
@@ -116,9 +223,23 @@ def _parse_event(event_el: ET.Element, local) -> Event:
         if key == _CONCEPT_NAME:
             activity = value
         elif key == _TIMESTAMP:
-            timestamp = _parse_timestamp(value)
-        elif local(attr.tag) == "string":
+            try:
+                timestamp = _parse_timestamp(value)
+            except LogFormatError:
+                problem = f"invalid timestamp {value!r}"
+                if on_error == "raise":
+                    raise LogFormatError(f"{location}: {problem}") from None
+                if on_error == "skip":
+                    report.record_dropped(location, problem)
+                    return None
+                report.record_repaired(location, f"{problem} treated as missing")
+                timestamp = None
+        elif _local(attr.tag) == "string":
             attributes[key] = value
-    if activity is None:
-        raise LogFormatError("event element without a concept:name attribute")
+    if activity is None or not activity.strip():
+        problem = "event without a concept:name activity"
+        if on_error == "raise":
+            raise LogFormatError(f"{location}: {problem}")
+        report.record_dropped(location, problem)
+        return None
     return Event(activity, timestamp, attributes)

@@ -13,9 +13,16 @@ baselines, so the experiment harness can treat every method identically.
 
 from __future__ import annotations
 
+import time
 from typing import Mapping
 
-from repro.baselines.common import Evaluation, EventMatcher, MatchOutcome
+from repro.baselines.common import (
+    Evaluation,
+    EventMatcher,
+    MatchOutcome,
+    identity_members,
+    pairs_to_outcome,
+)
 from repro.core.composite import CompositeMatcher
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine
@@ -23,6 +30,9 @@ from repro.graph.dependency import DependencyGraph
 from repro.logs.log import EventLog
 from repro.matching.assignment import max_weight_assignment
 from repro.matching.evaluation import Correspondence
+from repro.runtime.budget import MatchBudget
+from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.report import STAGE_EXACT, RuntimeReport
 from repro.similarity.labels import (
     CompositeAwareSimilarity,
     LabelSimilarity,
@@ -44,6 +54,15 @@ class EMSMatcher(EventMatcher):
         Selected pairs must exceed this similarity to be reported.
     min_edge_frequency:
         Minimum-frequency edge filtering when building graphs (Figure 7).
+    budget:
+        Optional :class:`~repro.runtime.MatchBudget` (wall-clock deadline
+        and/or pair-update cap) cooperatively enforced inside the
+        fixpoint iteration.
+    degradation:
+        The :class:`~repro.runtime.DegradationPolicy` applied when the
+        budget runs out; defaults to the full exact → estimated → partial
+        ladder.  Results always carry a
+        :class:`~repro.runtime.RuntimeReport` via ``outcome.runtime``.
     """
 
     name = "EMS"
@@ -55,6 +74,8 @@ class EMSMatcher(EventMatcher):
         threshold: float = 0.0,
         min_edge_frequency: float = 0.0,
         name: str | None = None,
+        budget: MatchBudget | None = None,
+        degradation: DegradationPolicy | None = None,
     ):
         self.config = config if config is not None else EMSConfig()
         self.label_similarity = (
@@ -62,6 +83,8 @@ class EMSMatcher(EventMatcher):
         )
         self.threshold = threshold
         self.min_edge_frequency = min_edge_frequency
+        self.budget = budget
+        self.degradation = degradation if degradation is not None else DegradationPolicy()
         if name is not None:
             self.name = name
         elif self.config.estimation_iterations is not None:
@@ -74,6 +97,27 @@ class EMSMatcher(EventMatcher):
         members_first: Mapping[str, frozenset[str]],
         members_second: Mapping[str, frozenset[str]],
     ) -> Evaluation:
+        evaluation, _ = self._evaluate_with_runtime(
+            log_first, log_second, members_first, members_second
+        )
+        return evaluation
+
+    def match(self, log_first: EventLog, log_second: EventLog) -> MatchOutcome:
+        members_first = identity_members(log_first)
+        members_second = identity_members(log_second)
+        evaluation, runtime = self._evaluate_with_runtime(
+            log_first, log_second, members_first, members_second
+        )
+        return pairs_to_outcome(evaluation, members_first, members_second, runtime)
+
+    def _evaluate_with_runtime(
+        self,
+        log_first: EventLog,
+        log_second: EventLog,
+        members_first: Mapping[str, frozenset[str]],
+        members_second: Mapping[str, frozenset[str]],
+    ) -> tuple[Evaluation, RuntimeReport]:
+        started = time.perf_counter()
         graph_first = DependencyGraph.from_log(
             log_first, min_frequency=self.min_edge_frequency, members=members_first
         )
@@ -86,7 +130,13 @@ class EMSMatcher(EventMatcher):
                 self.label_similarity, dict(members_first), dict(members_second)
             )
         engine = EMSEngine(self.config, label)
-        result = engine.similarity(graph_first, graph_second)
+        if self.budget is None:
+            result = engine.similarity(graph_first, graph_second)
+            stage, reason = STAGE_EXACT, None
+        else:
+            result, stage, reason = engine.similarity_resilient(
+                graph_first, graph_second, self.budget.start(), self.degradation
+            )
         matrix = result.matrix
         values = matrix.values
         assignment = max_weight_assignment(values)
@@ -95,7 +145,15 @@ class EMSMatcher(EventMatcher):
             for i, j in assignment
             if values[i, j] > self.threshold
         )
-        return Evaluation(
+        runtime = RuntimeReport(
+            stage=stage,
+            degraded=stage != STAGE_EXACT,
+            reason=reason,
+            iterations=result.iterations,
+            pair_updates=result.pair_updates,
+            wall_time=time.perf_counter() - started,
+        )
+        evaluation = Evaluation(
             objective=matrix.average(),
             pairs=pairs,
             diagnostics={
@@ -103,6 +161,7 @@ class EMSMatcher(EventMatcher):
                 "pair_updates": float(result.pair_updates),
             },
         )
+        return evaluation, runtime
 
 
 class EMSCompositeMatcher(EventMatcher):
@@ -123,6 +182,8 @@ class EMSCompositeMatcher(EventMatcher):
         use_bounds: bool = True,
         min_edge_frequency: float = 0.0,
         name: str | None = None,
+        budget: MatchBudget | None = None,
+        degradation: DegradationPolicy | None = None,
     ):
         self.matcher = CompositeMatcher(
             config=config,
@@ -134,6 +195,8 @@ class EMSCompositeMatcher(EventMatcher):
             use_unchanged=use_unchanged,
             use_bounds=use_bounds,
             min_edge_frequency=min_edge_frequency,
+            budget=budget,
+            degradation=degradation,
         )
         self.threshold = threshold
         self._singleton = EMSMatcher(
@@ -179,4 +242,5 @@ class EMSCompositeMatcher(EventMatcher):
                     len(result.accepted_first) + len(result.accepted_second)
                 ),
             },
+            runtime=result.runtime,
         )

@@ -9,11 +9,14 @@ the matcher's diagnostics.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.baselines.common import EventMatcher, MatchOutcome
 from repro.core.matrix import SimilarityMatrix
 from repro.logs.log import EventLog
 from repro.logs.stats import summarize
 from repro.matching.evaluation import Correspondence
+from repro.runtime.report import IngestionReport
 
 
 def _matched_sides(
@@ -33,11 +36,14 @@ def render_match_report(
     outcome: MatchOutcome,
     matcher_name: str = "EMS",
     similarity: SimilarityMatrix | None = None,
+    ingestion: Sequence[IngestionReport] | None = None,
 ) -> str:
     """A Markdown report of one matching run.
 
     Pass the similarity matrix to annotate each correspondence with its
-    score and to include a top-alternatives section for review.
+    score and to include a top-alternatives section for review; pass the
+    :class:`~repro.runtime.IngestionReport` objects of the loaded logs to
+    document what fault-tolerant ingestion dropped or repaired.
     """
     lines: list[str] = [
         f"# Event matching report: {log_first.name} ↔ {log_second.name}",
@@ -100,6 +106,29 @@ def render_match_report(
         lines += ["", "## Diagnostics", ""]
         for key in sorted(outcome.diagnostics):
             lines.append(f"* {key}: {outcome.diagnostics[key]:g}")
+
+    runtime = outcome.runtime
+    if runtime is not None:
+        lines += ["", "## Runtime", ""]
+        lines.append(f"* stage: {runtime.stage}" + (" (degraded)" if runtime.degraded else ""))
+        if runtime.reason:
+            lines.append(f"* reason: {runtime.reason}")
+        if runtime.detail:
+            lines.append(f"* detail: {runtime.detail}")
+        lines.append(f"* wall time: {runtime.wall_time:.3f}s")
+        lines.append(f"* pair updates: {runtime.pair_updates}")
+
+    if ingestion:
+        reported = [
+            report for report in ingestion
+            if not report.clean or report.fallback_cases
+        ]
+        if reported:
+            lines += ["", "## Ingestion", ""]
+            for report in reported:
+                lines.append(f"* {report.describe()}")
+                for issue in (*report.dropped, *report.repaired):
+                    lines.append(f"  * {issue.describe()}")
 
     return "\n".join(lines) + "\n"
 

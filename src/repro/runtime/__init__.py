@@ -1,0 +1,45 @@
+"""Resilient matching runtime: budgets, degradation, faithful reporting.
+
+Production event extracts are messy and production matching jobs need
+wall-clock bounds.  This package supplies the runtime layer the matching
+core threads through:
+
+* :class:`MatchBudget` / :class:`BudgetMeter` — deadline and pair-update
+  budgets, cooperatively checked inside the fixpoint loops; exhaustion
+  raises :class:`~repro.exceptions.BudgetExhausted`.
+* :class:`DegradationPolicy` — the ladder exact → estimated → partial
+  that turns budget exhaustion into a valid, annotated result.
+* :class:`RuntimeReport` — how a run ended (stage, reason, spend),
+  attached to every :class:`~repro.baselines.common.MatchOutcome`.
+* :class:`IngestionReport` / :class:`RowIssue` — per-row accounting of
+  what the fault-tolerant CSV/XES readers dropped or repaired.
+
+See ``docs/robustness.md`` for the full model and the CLI exit codes.
+"""
+
+from repro.exceptions import BudgetExhausted
+from repro.runtime.budget import BudgetMeter, MatchBudget
+from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.report import (
+    STAGE_ESTIMATED,
+    STAGE_EXACT,
+    STAGE_PARTIAL,
+    STAGES,
+    IngestionReport,
+    RowIssue,
+    RuntimeReport,
+)
+
+__all__ = [
+    "BudgetExhausted",
+    "BudgetMeter",
+    "MatchBudget",
+    "DegradationPolicy",
+    "RuntimeReport",
+    "IngestionReport",
+    "RowIssue",
+    "STAGE_EXACT",
+    "STAGE_ESTIMATED",
+    "STAGE_PARTIAL",
+    "STAGES",
+]

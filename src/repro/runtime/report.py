@@ -1,0 +1,189 @@
+"""Structured reports of how a run actually went.
+
+Two report types, one per failure surface:
+
+* :class:`RuntimeReport` — attached to every matcher outcome: which rung
+  of the degradation ladder produced the result (``exact`` /
+  ``estimated`` / ``partial``), why, and how much work was done.
+* :class:`IngestionReport` — filled by the CSV/XES readers in
+  ``on_error="skip"|"repair"`` mode: every dropped or repaired row, the
+  cases whose ordering fell back to file order, and whether a truncated
+  document was salvaged.  The contract is 100% accounting: every input
+  row is either loaded, repaired (and loaded), or dropped (and listed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Degradation stages, best to worst.
+STAGE_EXACT = "exact"
+STAGE_ESTIMATED = "estimated"
+STAGE_PARTIAL = "partial"
+STAGES = (STAGE_EXACT, STAGE_ESTIMATED, STAGE_PARTIAL)
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeReport:
+    """How a matching run ended: degradation stage, reason, and spend.
+
+    Attributes
+    ----------
+    stage:
+        The degradation-ladder rung that produced the returned matrix:
+        ``"exact"`` (completed as requested), ``"estimated"`` (budget ran
+        out; the Section 3.5 closed form filled in unconverged pairs) or
+        ``"partial"`` (best-so-far values, or a composite search cut
+        short after producing a complete matrix).
+    degraded:
+        ``stage != "exact"`` — the acceptance test of resilience.
+    reason:
+        Which budget axis triggered degradation (``"deadline"`` /
+        ``"pair-updates"``), ``None`` when not degraded.
+    detail:
+        Free-text context, e.g. "composite search truncated after 2 rounds".
+    iterations, pair_updates:
+        Work performed (pair updates use the paper's Figure 6/12 metric).
+    wall_time:
+        Wall-clock seconds from matcher entry to result.
+    rounds:
+        Greedy merge rounds (composite matching only).
+    """
+
+    stage: str = STAGE_EXACT
+    degraded: bool = False
+    reason: str | None = None
+    detail: str | None = None
+    iterations: int = 0
+    pair_updates: int = 0
+    wall_time: float = 0.0
+    rounds: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "stage": self.stage,
+            "degraded": self.degraded,
+            "reason": self.reason,
+            "detail": self.detail,
+            "iterations": self.iterations,
+            "pair_updates": self.pair_updates,
+            "wall_time": self.wall_time,
+        }
+        if self.rounds is not None:
+            payload["rounds"] = self.rounds
+        return payload
+
+    def describe(self) -> str:
+        """One line for logs and the CLI's plain output."""
+        if not self.degraded:
+            return (
+                f"completed exactly in {self.wall_time:.3f}s "
+                f"({self.pair_updates} pair updates)"
+            )
+        detail = f": {self.detail}" if self.detail else ""
+        return (
+            f"degraded to {self.stage} ({self.reason}){detail} — "
+            f"{self.wall_time:.3f}s, {self.pair_updates} pair updates"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RowIssue:
+    """One dropped or repaired input row/event.
+
+    ``location`` is ``"row N"`` for CSV and ``"trace I event J"`` for
+    XES; ``problem`` says what was wrong, ``action`` what the reader did
+    (``"dropped"`` or ``"repaired"``).
+    """
+
+    location: str
+    problem: str
+    action: str
+
+    def describe(self) -> str:
+        return f"{self.location}: {self.problem} ({self.action})"
+
+
+@dataclass(slots=True)
+class IngestionReport:
+    """Accumulator of everything a fault-tolerant read did not load verbatim.
+
+    Mutable on purpose: callers construct one, pass it to
+    ``read_csv``/``read_xes`` alongside ``on_error``, and inspect it
+    afterwards.  The readers also fill it in ``on_error="raise"`` mode
+    for non-fatal observations (the mixed-timestamp ordering fallback).
+    """
+
+    source: str = ""
+    mode: str = "raise"
+    rows_seen: int = 0
+    events_loaded: int = 0
+    dropped: list[RowIssue] = field(default_factory=list)
+    repaired: list[RowIssue] = field(default_factory=list)
+    #: Case ids whose events had *some but not all* timestamps, so the
+    #: reader fell back to file order instead of timestamp order.
+    fallback_cases: list[str] = field(default_factory=list)
+    #: Parse-error message when a truncated document was salvaged.
+    truncation: str | None = None
+
+    # ------------------------------------------------------------------
+    def record_row(self, loaded: bool = True) -> None:
+        self.rows_seen += 1
+        if loaded:
+            self.events_loaded += 1
+
+    def record_dropped(self, location: str, problem: str) -> None:
+        self.dropped.append(RowIssue(location, problem, "dropped"))
+
+    def record_repaired(self, location: str, problem: str) -> None:
+        self.repaired.append(RowIssue(location, problem, "repaired"))
+
+    def record_fallback(self, case_id: str) -> None:
+        if case_id not in self.fallback_cases:
+            self.fallback_cases.append(case_id)
+
+    def record_truncation(self, message: str) -> None:
+        self.truncation = message
+
+    # ------------------------------------------------------------------
+    @property
+    def rows_dropped(self) -> int:
+        return len(self.dropped)
+
+    @property
+    def rows_repaired(self) -> int:
+        return len(self.repaired)
+
+    @property
+    def clean(self) -> bool:
+        """No row was lost or altered and the document was complete."""
+        return not self.dropped and not self.repaired and self.truncation is None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "mode": self.mode,
+            "rows_seen": self.rows_seen,
+            "events_loaded": self.events_loaded,
+            "dropped": [issue.describe() for issue in self.dropped],
+            "repaired": [issue.describe() for issue in self.repaired],
+            "fallback_cases": list(self.fallback_cases),
+            "truncation": self.truncation,
+            "clean": self.clean,
+        }
+
+    def describe(self) -> str:
+        label = self.source or "input"
+        if self.clean and not self.fallback_cases:
+            return f"{label}: {self.events_loaded} events loaded cleanly"
+        bits = [f"{self.events_loaded} events loaded"]
+        if self.dropped:
+            bits.append(f"{self.rows_dropped} dropped")
+        if self.repaired:
+            bits.append(f"{self.rows_repaired} repaired")
+        if self.fallback_cases:
+            bits.append(f"{len(self.fallback_cases)} case(s) fell back to file order")
+        if self.truncation is not None:
+            bits.append("document truncated")
+        return f"{label}: " + ", ".join(bits)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the fault-injection suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.logs.csvio import read_csv
+from repro.logs.log import EventLog
+
+CORPUS = Path(__file__).parent / "corpus"
+
+ON_ERROR_MODES = ("raise", "skip", "repair")
+
+
+@pytest.fixture()
+def corpus() -> Path:
+    return CORPUS
+
+
+@pytest.fixture()
+def adversarial_pair() -> tuple[EventLog, EventLog]:
+    """Two dense, loopy logs whose matching needs real iteration work."""
+    first = read_csv(CORPUS / "adversarial_a.csv", name="adv-a")
+    second = read_csv(CORPUS / "adversarial_b.csv", name="adv-b")
+    return first, second
+
+
+@pytest.fixture()
+def small_pair() -> tuple[EventLog, EventLog]:
+    first = EventLog(
+        [["a", "b", "c", "d"]] * 5 + [["a", "c", "b", "d"]] * 3, name="small-a"
+    )
+    second = EventLog(
+        [["w", "x", "y", "z"]] * 5 + [["w", "y", "x", "z"]] * 3, name="small-b"
+    )
+    return first, second

@@ -1,0 +1,88 @@
+"""Unit tests for MatchBudget / BudgetMeter."""
+
+import pytest
+
+from repro.exceptions import BudgetExhausted, ReproError
+from repro.runtime import BudgetMeter, MatchBudget
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestMatchBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatchBudget(deadline=-1.0)
+        with pytest.raises(ValueError):
+            MatchBudget(max_pair_updates=-5)
+
+    def test_unbounded(self):
+        assert MatchBudget().unbounded
+        assert not MatchBudget(deadline=1.0).unbounded
+        assert not MatchBudget(max_pair_updates=10).unbounded
+
+    def test_describe(self):
+        assert MatchBudget().describe() == "unbounded"
+        text = MatchBudget(deadline=2.5, max_pair_updates=100).describe()
+        assert "2.5" in text and "100" in text
+
+    def test_zero_deadline_is_legal(self):
+        assert MatchBudget(deadline=0.0).deadline == 0.0
+
+
+class TestBudgetMeter:
+    def test_deadline_check(self):
+        clock = FakeClock()
+        meter = MatchBudget(deadline=10.0).start(clock)
+        meter.check()  # within budget
+        clock.now = 10.5
+        with pytest.raises(BudgetExhausted) as excinfo:
+            meter.check()
+        assert excinfo.value.reason == "deadline"
+
+    def test_pair_update_budget(self):
+        meter = MatchBudget(max_pair_updates=3).start(FakeClock())
+        for _ in range(3):
+            meter.tick()
+        with pytest.raises(BudgetExhausted) as excinfo:
+            meter.tick()
+        assert excinfo.value.reason == "pair-updates"
+        assert excinfo.value.pair_updates == 4
+
+    def test_check_reports_spent_pair_budget(self):
+        meter = MatchBudget(max_pair_updates=2).start(FakeClock())
+        meter.tick()
+        meter.tick()
+        with pytest.raises(BudgetExhausted):
+            meter.check()
+
+    def test_tick_rereads_clock_on_stride(self):
+        clock = FakeClock()
+        meter = MatchBudget(deadline=5.0).start(clock)
+        clock.now = 6.0
+        # Under the stride no clock read happens...
+        for _ in range(255):
+            meter.tick()
+        # ...the 256th re-reads and trips the deadline.
+        with pytest.raises(BudgetExhausted):
+            meter.tick()
+
+    def test_elapsed(self):
+        clock = FakeClock(100.0)
+        meter = MatchBudget().start(clock)
+        clock.now = 101.5
+        assert meter.elapsed() == pytest.approx(1.5)
+
+    def test_exhaustion_is_a_repro_error(self):
+        assert issubclass(BudgetExhausted, ReproError)
+
+    def test_unbounded_meter_never_raises(self):
+        meter = MatchBudget().start(FakeClock())
+        for _ in range(1000):
+            meter.tick()
+        meter.check()

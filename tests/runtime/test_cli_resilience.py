@@ -1,0 +1,159 @@
+"""CLI failure behaviour: exit codes, budgets, and fault-tolerant flags."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_BUDGET_EXHAUSTED, EXIT_INPUT_ERROR, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured
+
+
+class TestInputErrors:
+    def test_missing_file_exits_2(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match", str(corpus / "does_not_exist.csv"),
+            str(corpus / "garbage_rows.csv"),
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "error:" in captured.err
+
+    def test_unknown_extension_exits_2(self, capsys, tmp_path):
+        weird = tmp_path / "log.parquet"
+        weird.write_text("whatever")
+        code, captured = run(capsys, "match", str(weird), str(weird))
+        assert code == EXIT_INPUT_ERROR
+        assert "--format" in captured.err
+
+    def test_bad_rows_in_raise_mode_exit_2(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match", str(corpus / "garbage_rows.csv"),
+            str(corpus / "garbage_rows.csv"),
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "row" in captured.err
+
+    def test_negative_budget_exits_2(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "garbage_rows.csv"), str(corpus / "garbage_rows.csv"),
+            "--on-error", "skip", "--pair-budget", "-5",
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "must be >= 0" in captured.err
+
+    def test_truncated_xes_in_raise_mode_exits_2(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match", str(corpus / "truncated.xes"),
+            str(corpus / "truncated.xes"),
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "malformed" in captured.err
+
+
+class TestBudgets:
+    def test_timeout_without_degradation_exits_3(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--timeout", "0", "--no-degrade",
+        )
+        assert code == EXIT_BUDGET_EXHAUSTED
+        assert "degradation disabled" in captured.err
+
+    def test_timeout_with_degradation_exits_0(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--timeout", "0", "--json",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["runtime"]["degraded"] is True
+        assert payload["runtime"]["stage"] in ("estimated", "partial")
+        assert payload["runtime"]["reason"] == "deadline"
+
+    def test_pair_budget_composite_degrades(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--composite", "--pair-budget", "100", "--json",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["runtime"]["degraded"] is True
+        assert payload["correspondences"] is not None
+
+    def test_degradation_note_on_stderr_in_plain_mode(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--timeout", "0",
+        )
+        assert code == 0
+        assert "degraded" in captured.err
+
+    def test_unbudgeted_run_reports_exact(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["runtime"]["stage"] == "exact"
+        assert payload["runtime"]["degraded"] is False
+
+
+class TestFaultTolerantIngestion:
+    def test_skip_mode_loads_dirty_csv(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "garbage_rows.csv"), str(corpus / "garbage_rows.csv"),
+            "--on-error", "skip", "--json",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        first = payload["ingestion"]["first"]
+        assert first["clean"] is False
+        assert first["rows_seen"] == first["events_loaded"] + len(first["dropped"])
+
+    def test_repair_mode_salvages_truncated_xes(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "truncated.xes"), str(corpus / "truncated.xes"),
+            "--on-error", "repair", "--json",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["ingestion"]["first"]["truncation"]
+        assert payload["objective"] > 0.0
+
+    def test_ingestion_note_on_stderr_in_plain_mode(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "garbage_rows.csv"), str(corpus / "garbage_rows.csv"),
+            "--on-error", "skip",
+        )
+        assert code == 0
+        assert "dropped" in captured.err
+
+
+class TestMarkdownReport:
+    def test_report_includes_runtime_and_ingestion(self, capsys, corpus, tmp_path):
+        destination = tmp_path / "report.md"
+        code, _ = run(
+            capsys, "match",
+            str(corpus / "garbage_rows.csv"), str(corpus / "garbage_rows.csv"),
+            "--on-error", "skip", "--timeout", "0",
+            "--report", str(destination),
+        )
+        assert code == 0
+        text = destination.read_text(encoding="utf-8")
+        assert "## Runtime" in text
+        assert "## Ingestion" in text
+        assert "dropped" in text

@@ -1,0 +1,128 @@
+"""Fault-injection: CSV ingestion in all three on_error modes."""
+
+import io
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.logs.csvio import read_csv
+from repro.runtime import IngestionReport
+
+from .conftest import ON_ERROR_MODES
+
+
+def load(corpus, name, mode):
+    report = IngestionReport(mode=mode)
+    log = read_csv(corpus / name, on_error=mode, report=report)
+    return log, report
+
+
+class TestGarbageRows:
+    def test_raise_mode_aborts(self, corpus):
+        with pytest.raises(LogFormatError):
+            read_csv(corpus / "garbage_rows.csv", on_error="raise")
+
+    @pytest.mark.parametrize("mode", ["skip", "repair"])
+    def test_tolerant_modes_drop_and_account(self, corpus, mode):
+        log, report = load(corpus, "garbage_rows.csv", mode)
+        # Both short rows are unrecoverable in either mode; the row with
+        # a missing timestamp cell loads and puts its case in file order.
+        assert report.rows_dropped == 2
+        assert report.events_loaded == 5
+        # 100% accounting: every row seen is loaded or dropped.
+        assert report.rows_seen == report.events_loaded + report.rows_dropped
+        assert {t.case_id: t.activities for t in log} == {
+            "c1": ("submit", "review"),
+            "c2": ("submit", "approve", "archive"),
+        }
+        assert report.fallback_cases == ["c2"]
+
+
+class TestEmptyFields:
+    def test_raise_mode_rejects_empty_activity(self, corpus):
+        with pytest.raises(LogFormatError, match="empty"):
+            read_csv(corpus / "empty_fields.csv", on_error="raise")
+
+    @pytest.mark.parametrize("mode", ["skip", "repair"])
+    def test_empty_fields_dropped(self, corpus, mode):
+        log, report = load(corpus, "empty_fields.csv", mode)
+        # Empty case ids / activities cannot be repaired, only dropped.
+        assert report.rows_dropped == 4
+        assert report.rows_seen == report.events_loaded + report.rows_dropped
+        assert {t.case_id: t.activities for t in log} == {
+            "c1": ("submit", "close"),
+            "c2": ("refund",),
+        }
+        problems = " ".join(issue.problem for issue in report.dropped)
+        assert "case_id" in problems and "activity" in problems
+
+
+class TestBadTimestamps:
+    def test_raise_mode(self, corpus):
+        with pytest.raises(LogFormatError, match="timestamp"):
+            read_csv(corpus / "bad_timestamps.csv", on_error="raise")
+
+    def test_skip_drops_whole_rows(self, corpus):
+        log, report = load(corpus, "bad_timestamps.csv", "skip")
+        assert report.rows_dropped == 2
+        assert report.rows_repaired == 0
+        assert {t.case_id: t.activities for t in log} == {
+            "c1": ("submit", "close"),
+            "c2": ("close",),
+        }
+
+    def test_repair_keeps_events_without_timestamps(self, corpus):
+        log, report = load(corpus, "bad_timestamps.csv", "repair")
+        assert report.rows_dropped == 0
+        assert report.rows_repaired == 2
+        assert report.events_loaded == 5
+        traces = {t.case_id: t.activities for t in log}
+        assert traces["c1"] == ("submit", "review", "close")
+        # Repairing strips the timestamp, so the case becomes mixed and
+        # falls back to file order — and says so.
+        assert "c1" in report.fallback_cases
+
+
+class TestMixedTimestamps:
+    @pytest.mark.parametrize("mode", ON_ERROR_MODES)
+    def test_fallback_recorded_in_every_mode(self, corpus, mode):
+        log, report = load(corpus, "mixed_timestamps.csv", mode)
+        # Fully-timestamped case is sorted, mixed case keeps file order.
+        traces = {t.case_id: t.activities for t in log}
+        assert traces["c1"] == ("first", "second")
+        assert traces["c2"] == ("alpha", "beta", "gamma")
+        assert report.fallback_cases == ["c2"]  # c3 has no timestamps at all
+        assert report.clean  # nothing dropped or repaired
+
+    def test_fallback_surfaces_in_description(self, corpus):
+        _, report = load(corpus, "mixed_timestamps.csv", "raise")
+        assert "file order" in report.describe()
+
+
+class TestReportPlumbing:
+    def test_invalid_mode_rejected(self, corpus):
+        with pytest.raises(ValueError, match="on_error"):
+            read_csv(corpus / "garbage_rows.csv", on_error="ignore")
+
+    def test_report_optional(self, corpus):
+        log = read_csv(corpus / "garbage_rows.csv", on_error="skip")
+        assert len(log) == 2
+
+    def test_source_recorded(self, corpus):
+        report = IngestionReport(mode="skip")
+        read_csv(corpus / "garbage_rows.csv", on_error="skip", report=report)
+        assert report.source.endswith("garbage_rows.csv")
+        assert not report.clean
+        payload = report.to_dict()
+        assert payload["rows_seen"] == report.rows_seen
+        assert len(payload["dropped"]) == report.rows_dropped
+
+    def test_clean_file_clean_report(self):
+        report = IngestionReport(mode="skip")
+        read_csv(
+            io.StringIO("case_id,activity,timestamp\nc1,a,1.0\nc1,b,2.0\n"),
+            on_error="skip",
+            report=report,
+        )
+        assert report.clean
+        assert report.events_loaded == 2

@@ -1,0 +1,86 @@
+"""Fault-injection: XES ingestion — truncated documents and faulty events."""
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.logs.xes import read_xes
+from repro.runtime import IngestionReport
+
+
+def load(corpus, name, mode):
+    report = IngestionReport(mode=mode)
+    log = read_xes(corpus / name, on_error=mode, report=report)
+    return log, report
+
+
+class TestTruncatedDocument:
+    def test_raise_mode_aborts(self, corpus):
+        with pytest.raises(LogFormatError, match="malformed"):
+            read_xes(corpus / "truncated.xes", on_error="raise")
+
+    @pytest.mark.parametrize("mode", ["skip", "repair"])
+    def test_salvage_recovers_complete_traces(self, corpus, mode):
+        log, report = load(corpus, "truncated.xes", mode)
+        # The export broke inside case-2; the two closed traces survive.
+        assert [t.case_id for t in log] == ["case-0", "case-1"]
+        assert log.name == "tickets"
+        assert all(
+            t.activities == ("receive", "triage", "resolve", "close") for t in log
+        )
+        assert report.truncation is not None
+        assert not report.clean
+        assert report.rows_seen == report.events_loaded + report.rows_dropped
+
+    def test_salvage_from_file_object(self, corpus):
+        report = IngestionReport(mode="skip")
+        with open(corpus / "truncated.xes", "rb") as handle:
+            log = read_xes(handle, on_error="skip", report=report)
+        assert len(log) == 2
+        assert report.truncation is not None
+
+    def test_truncation_in_report_payload(self, corpus):
+        _, report = load(corpus, "truncated.xes", "skip")
+        payload = report.to_dict()
+        assert payload["truncation"]
+        assert "truncat" in report.describe() or "salvage" in report.describe()
+
+
+class TestFaultyEvents:
+    def test_raise_mode_aborts(self, corpus):
+        with pytest.raises(LogFormatError, match="concept:name"):
+            read_xes(corpus / "faulty_events.xes", on_error="raise")
+
+    def test_skip_drops_faulty_events(self, corpus):
+        log, report = load(corpus, "faulty_events.xes", "skip")
+        assert report.rows_seen == 5
+        assert report.events_loaded == 2
+        assert report.rows_dropped == 3
+        assert report.rows_repaired == 0
+        assert {t.case_id: t.activities for t in log} == {
+            "t1": ("start",),
+            "t2": ("solo",),
+        }
+
+    def test_repair_salvages_bad_timestamp(self, corpus):
+        log, report = load(corpus, "faulty_events.xes", "repair")
+        assert report.rows_seen == 5
+        assert report.events_loaded == 3
+        # Events without an activity cannot be repaired, only dropped.
+        assert report.rows_dropped == 2
+        assert report.rows_repaired == 1
+        traces = {t.case_id: t.activities for t in log}
+        assert traces["t1"] == ("start", "finish")
+        assert traces["t2"] == ("solo",)
+
+    @pytest.mark.parametrize("mode", ["skip", "repair"])
+    def test_full_accounting(self, corpus, mode):
+        _, report = load(corpus, "faulty_events.xes", mode)
+        assert report.rows_seen == report.events_loaded + report.rows_dropped
+        locations = [issue.location for issue in report.dropped + report.repaired]
+        assert all("trace" in loc and "event" in loc for loc in locations)
+
+
+class TestModeValidation:
+    def test_invalid_mode_rejected(self, corpus):
+        with pytest.raises(ValueError, match="on_error"):
+            read_xes(corpus / "truncated.xes", on_error="lenient")

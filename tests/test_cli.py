@@ -32,9 +32,11 @@ class TestLoadLog:
         assert load_log(str(path)).activities() == frozenset("ABCDEF")
 
     def test_unknown_extension_rejected(self, tmp_path):
+        from repro.exceptions import LogFormatError
+
         path = tmp_path / "log.bin"
         path.write_bytes(b"")
-        with pytest.raises(SystemExit):
+        with pytest.raises(LogFormatError):
             load_log(str(path))
 
 
