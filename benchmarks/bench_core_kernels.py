@@ -1,14 +1,39 @@
-"""Micro-benchmarks of the library's computational kernels.
+"""Micro-benchmarks and regression harness for the computational kernels.
 
 Not a paper figure — these pin the cost of the individual building
-blocks (graph construction, one exact EMS run, the I = 0 estimation, the
-Hungarian assignment) so regressions in the hot paths are visible.
+blocks (graph construction, one exact EMS run under both fixpoint
+kernels, the I = 0 estimation, the Hungarian assignment) so regressions
+in the hot paths are visible.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_core_kernels.py --benchmark-only`` — the
+  pytest-benchmark view, convenient for local profiling.
+* ``python benchmarks/bench_core_kernels.py`` — the dependency-free
+  regression harness.  It times every scenario, records the mean/min
+  wall time and the deterministic ``pair_updates`` work metric, and
+  writes the machine-readable trajectory to ``BENCH_core.json`` at the
+  repo root.  ``--check BASELINE`` compares against a committed baseline
+  and exits non-zero on large regressions; times are normalized by a
+  small NumPy calibration workload measured in the same process, so the
+  comparison tolerates CI machines of different speeds.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 import numpy as np
-import pytest
 
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine
@@ -16,54 +41,234 @@ from repro.graph.dependency import DependencyGraph
 from repro.matching.assignment import max_weight_assignment
 from repro.synthesis.corpus import build_scalability_pair
 
+#: The Figure-8 scalability scenario every timing below runs against.
+SCENARIO = {"activities": 20, "seed": 7, "traces_per_log": 60}
 
-@pytest.fixture(scope="module")
-def pair_20():
-    return build_scalability_pair(20, seed=7, traces_per_log=60)
+#: Default output of the harness (committed as the CI baseline).
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_core.json"
 
 
-@pytest.fixture(scope="module")
-def graphs_20(pair_20):
-    return (
-        DependencyGraph.from_log(pair_20.log_first),
-        DependencyGraph.from_log(pair_20.log_second),
+# ----------------------------------------------------------------------
+# pytest-benchmark view
+# ----------------------------------------------------------------------
+try:  # pragma: no cover - only used under pytest
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def pair_20():
+        return build_scalability_pair(
+            SCENARIO["activities"], seed=SCENARIO["seed"],
+            traces_per_log=SCENARIO["traces_per_log"],
+        )
+
+    @pytest.fixture(scope="module")
+    def graphs_20(pair_20):
+        return (
+            DependencyGraph.from_log(pair_20.log_first),
+            DependencyGraph.from_log(pair_20.log_second),
+        )
+
+    def test_dependency_graph_construction(benchmark, pair_20):
+        graph = benchmark(DependencyGraph.from_log, pair_20.log_first)
+        assert len(graph.nodes) == 20
+
+    @pytest.mark.parametrize("kernel", ["vectorized", "reference"])
+    def test_ems_exact_20_events(benchmark, graphs_20, kernel):
+        engine = EMSEngine(EMSConfig(kernel=kernel))
+        result = benchmark(engine.similarity, *graphs_20)
+        assert result.converged
+
+    def test_ems_estimation_budget_zero(benchmark, graphs_20):
+        engine = EMSEngine(EMSConfig(estimation_iterations=0))
+        result = benchmark(engine.similarity, *graphs_20)
+        assert result.converged
+
+    def test_ems_forward_only(benchmark, graphs_20):
+        engine = EMSEngine(EMSConfig(direction="forward"))
+        result = benchmark(engine.similarity, *graphs_20)
+        assert result.converged
+
+    def test_hungarian_50x50(benchmark):
+        rng = np.random.default_rng(3)
+        weights = rng.random((50, 50))
+        assignment = benchmark(max_weight_assignment, weights)
+        assert len(assignment) == 50
+
+    def test_playout_1000_traces(benchmark):
+        from repro.synthesis.generator import random_process_tree
+        from repro.synthesis.playout import play_out
+
+        tree = random_process_tree([f"a{i}" for i in range(15)], random.Random(1))
+        log = benchmark(play_out, tree, 1000, random.Random(2))
+        assert len(log) == 1000
+
+
+# ----------------------------------------------------------------------
+# Regression harness
+# ----------------------------------------------------------------------
+def _calibration_time() -> float:
+    """Wall time of a fixed NumPy workload, for machine normalization."""
+    rng = np.random.default_rng(0)
+    a = rng.random((200, 200))
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(20):
+            a = np.tanh(a @ a.T / 200.0)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _scenarios():
+    """Yield ``(name, fn)``; *fn* returns ``pair_updates`` or ``None``."""
+    pair = build_scalability_pair(
+        SCENARIO["activities"], seed=SCENARIO["seed"],
+        traces_per_log=SCENARIO["traces_per_log"],
+    )
+    graphs = (
+        DependencyGraph.from_log(pair.log_first),
+        DependencyGraph.from_log(pair.log_second),
     )
 
+    def graph_build():
+        DependencyGraph.from_log(pair.log_first)
+        return None
 
-def test_dependency_graph_construction(benchmark, pair_20):
-    graph = benchmark(DependencyGraph.from_log, pair_20.log_first)
-    assert len(graph.nodes) == 20
+    def ems(**config):
+        return EMSEngine(EMSConfig(**config)).similarity(*graphs).pair_updates
 
+    def hungarian():
+        rng = np.random.default_rng(3)
+        max_weight_assignment(rng.random((50, 50)))
+        return None
 
-def test_ems_exact_20_events(benchmark, graphs_20):
-    engine = EMSEngine(EMSConfig())
-    result = benchmark(engine.similarity, *graphs_20)
-    assert result.converged
-
-
-def test_ems_estimation_budget_zero(benchmark, graphs_20):
-    engine = EMSEngine(EMSConfig(estimation_iterations=0))
-    result = benchmark(engine.similarity, *graphs_20)
-    assert result.converged
-
-
-def test_ems_forward_only(benchmark, graphs_20):
-    engine = EMSEngine(EMSConfig(direction="forward"))
-    result = benchmark(engine.similarity, *graphs_20)
-    assert result.converged
+    yield "graph_build_20", graph_build
+    yield "ems_exact_20_vectorized", lambda: ems(kernel="vectorized")
+    yield "ems_exact_20_reference", lambda: ems(kernel="reference")
+    yield "ems_exact_20_nopruning_vectorized", lambda: ems(use_pruning=False)
+    yield "ems_estimation_I0_20", lambda: ems(estimation_iterations=0)
+    yield "ems_forward_20", lambda: ems(direction="forward")
+    yield "hungarian_50x50", hungarian
 
 
-def test_hungarian_50x50(benchmark):
-    rng = np.random.default_rng(3)
-    weights = rng.random((50, 50))
-    assignment = benchmark(max_weight_assignment, weights)
-    assert len(assignment) == 50
+def run_harness(repeats: int) -> dict:
+    """Time every scenario; return the BENCH_core.json payload."""
+    calibration = _calibration_time()
+    scenarios: dict[str, dict] = {}
+    for name, fn in _scenarios():
+        fn()  # warm-up: first-touch caches, lazy imports
+        times = []
+        pair_updates = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            pair_updates = fn()
+            times.append(time.perf_counter() - started)
+        scenarios[name] = {
+            "mean_time": statistics.mean(times),
+            "min_time": min(times),
+            "repeats": repeats,
+            "pair_updates": pair_updates,
+        }
+    speedup = (
+        scenarios["ems_exact_20_reference"]["mean_time"]
+        / scenarios["ems_exact_20_vectorized"]["mean_time"]
+    )
+    return {
+        "schema": 1,
+        "scenario": SCENARIO,
+        "calibration_time": calibration,
+        "scenarios": scenarios,
+        "speedup_exact_20": speedup,
+    }
 
 
-def test_playout_1000_traces(benchmark):
-    from repro.synthesis.generator import random_process_tree
-    from repro.synthesis.playout import play_out
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression check; returns human-readable failure messages.
 
-    tree = random_process_tree([f"a{i}" for i in range(15)], random.Random(1))
-    log = benchmark(play_out, tree, 1000, random.Random(2))
-    assert len(log) == 1000
+    Times are compared after dividing by each run's calibration time, so
+    a uniformly slower machine does not trip the check; *threshold* is
+    the allowed normalized-slowdown factor.  ``pair_updates`` is
+    deterministic, so any growth beyond 10% is flagged regardless of
+    machine speed.  The vectorized-vs-reference speedup must stay >= 3x
+    (the optimization's acceptance floor).
+    """
+    failures: list[str] = []
+    base_cal = baseline.get("calibration_time") or 1.0
+    cur_cal = current.get("calibration_time") or 1.0
+    for name, base in baseline.get("scenarios", {}).items():
+        entry = current["scenarios"].get(name)
+        if entry is None:
+            failures.append(f"{name}: scenario disappeared from the harness")
+            continue
+        base_norm = base["mean_time"] / base_cal
+        cur_norm = entry["mean_time"] / cur_cal
+        if cur_norm > threshold * base_norm:
+            failures.append(
+                f"{name}: normalized mean time {cur_norm:.3f} vs baseline "
+                f"{base_norm:.3f} (> {threshold:g}x)"
+            )
+        if base.get("pair_updates") is not None and entry.get("pair_updates") is not None:
+            if entry["pair_updates"] > 1.1 * base["pair_updates"]:
+                failures.append(
+                    f"{name}: pair_updates {entry['pair_updates']} vs baseline "
+                    f"{base['pair_updates']} (> 1.1x)"
+                )
+    if current.get("speedup_exact_20", 0.0) < 3.0:
+        failures.append(
+            f"vectorized kernel speedup {current.get('speedup_exact_20'):.2f}x "
+            "is below the 3x acceptance floor"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(DEFAULT_OUTPUT), metavar="PATH",
+        help="where to write the machine-readable results "
+             f"(default: {DEFAULT_OUTPUT.name} at the repo root)",
+    )
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per scenario (default 5)")
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a baseline BENCH_core.json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="allowed normalized slowdown factor for --check (default 2.0)",
+    )
+    arguments = parser.parse_args(argv)
+
+    payload = run_harness(arguments.repeats)
+    Path(arguments.output).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"scenario: {payload['scenario']}")
+    for name, entry in payload["scenarios"].items():
+        updates = entry["pair_updates"]
+        suffix = f"  pair_updates={updates}" if updates is not None else ""
+        print(f"  {name:38s} mean {entry['mean_time'] * 1e3:8.2f} ms{suffix}")
+    print(f"vectorized speedup on exact EMS (20 events): "
+          f"{payload['speedup_exact_20']:.2f}x")
+    print(f"wrote {arguments.output}")
+
+    if arguments.check:
+        baseline = json.loads(Path(arguments.check).read_text(encoding="utf-8"))
+        failures = compare(payload, baseline, arguments.threshold)
+        if failures:
+            print("\nREGRESSIONS against", arguments.check, file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"no regressions against {arguments.check} "
+              f"(threshold {arguments.threshold:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

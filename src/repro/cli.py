@@ -4,7 +4,7 @@ Usage::
 
     python -m repro match LOG1 LOG2 [--format xes|csv] [--composite]
                                     [--alpha A] [--labels] [--threshold T]
-                                    [--estimate I] [--json]
+                                    [--estimate I] [--json] [--workers N]
                                     [--timeout S] [--pair-budget N]
                                     [--no-degrade] [--on-error MODE]
 
@@ -120,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingestion fault mode: abort on the first bad row (raise), "
              "drop bad rows (skip), or fix what is fixable (repair)",
     )
+    match.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="evaluate composite candidates in N worker processes "
+             "(composite mode only; budgeted runs stay serial)",
+    )
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.add_argument(
         "--report", metavar="PATH", default=None,
@@ -160,11 +165,14 @@ def run_match(arguments: argparse.Namespace) -> int:
         DegradationPolicy.none() if arguments.no_degrade else DegradationPolicy()
     )
 
+    if arguments.workers < 0:
+        raise ReproError(f"--workers must be >= 0, got {arguments.workers}")
     if arguments.composite:
         matcher = EMSCompositeMatcher(
             config, label_similarity,
             threshold=arguments.threshold, delta=arguments.delta,
             budget=budget, degradation=degradation,
+            workers=arguments.workers,
         )
     else:
         matcher = EMSMatcher(

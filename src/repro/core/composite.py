@@ -33,10 +33,11 @@ pool can be grown for the Figure 14 experiment.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.config import EMSConfig
-from repro.core.ems import EMSEngine, EMSResult
+from repro.core.ems import EMSEngine, EMSResult, LabelMatrixCache
 from repro.core.matrix import SimilarityMatrix
 from repro.exceptions import BudgetExhausted
 from repro.graph.dependency import DependencyGraph
@@ -159,6 +160,128 @@ class _SideState:
     accepted: list[tuple[str, ...]]
 
 
+# ----------------------------------------------------------------------
+# Candidate evaluation core — module-level so worker processes can run it
+# ----------------------------------------------------------------------
+def _unchanged_pairs(
+    merged_side: int,
+    run: tuple[str, ...],
+    graph_merged: DependencyGraph,
+    graph_other: DependencyGraph,
+    directional: dict[str, SimilarityMatrix] | None,
+    use_unchanged: bool,
+) -> tuple[dict[tuple[str, str], float] | None, dict[tuple[str, str], float] | None, int]:
+    """Uc (Proposition 4): converged values the merge provably cannot change.
+
+    *graph_merged* is the merged side's graph **before** the merge.
+    Returns ``(fixed_forward, fixed_backward, pairs_fixed)``.
+    """
+    if not use_unchanged or directional is None:
+        return None, None, 0
+    new_name = composite_name(run)
+    fixed: dict[str, dict[tuple[str, str], float]] = {}
+    count = 0
+    for direction, matrix in directional.items():
+        if direction == "forward":
+            affected = set(run) | real_descendants(graph_merged, run)
+        else:
+            affected = set(run) | real_ancestors(graph_merged, run)
+        affected.add(new_name)
+        unchanged = [node for node in graph_merged.nodes if node not in affected]
+        pairs: dict[tuple[str, str], float] = {}
+        for node in unchanged:
+            for other_node in graph_other.nodes:
+                if merged_side == 0:
+                    pairs[(node, other_node)] = matrix.get(node, other_node)
+                else:
+                    pairs[(other_node, node)] = matrix.get(other_node, node)
+        fixed[direction] = pairs
+        count += len(pairs)
+    return fixed.get("forward"), fixed.get("backward"), count
+
+
+#: Everything one candidate evaluation needs besides the candidate itself.
+#: Picklable, so a round's context ships to worker processes once (via the
+#: pool initializer) instead of once per candidate.
+@dataclass(frozen=True, slots=True)
+class _RoundContext:
+    config: EMSConfig
+    base_label: LabelSimilarity
+    min_edge_frequency: float
+    use_unchanged: bool
+    use_bounds: bool
+    #: Per side: (log, members, graph) — the round's pre-merge state.
+    sides: tuple[tuple[EventLog, dict[str, frozenset[str]], DependencyGraph], ...]
+    directional: dict[str, SimilarityMatrix] | None
+
+
+def _evaluate_candidate(
+    context: _RoundContext,
+    side_index: int,
+    run: tuple[str, ...],
+    abort_below: float,
+    label_cache: LabelMatrixCache | None = None,
+    meter: BudgetMeter | None = None,
+) -> tuple[EMSResult | None, int]:
+    """Similarity of the graphs after merging *run* on one side.
+
+    Returns ``(outcome, pairs_fixed)``; *outcome* is ``None`` when the Bd
+    bound proved the candidate cannot reach *abort_below*.
+    """
+    log, members, graph = context.sides[side_index]
+    other_log, other_members, other_graph = context.sides[1 - side_index]
+    merged_log, merged_members = merge_run_in_log(log, run, members)
+    merged_graph = DependencyGraph.from_log(
+        merged_log, min_frequency=context.min_edge_frequency, members=merged_members
+    )
+    if side_index == 0:
+        members_pair = (merged_members, other_members)
+        graphs = (merged_graph, other_graph)
+    else:
+        members_pair = (other_members, merged_members)
+        graphs = (other_graph, merged_graph)
+    if isinstance(context.base_label, OpaqueSimilarity) or context.config.alpha == 1.0:
+        label: LabelSimilarity = context.base_label
+    else:
+        label = CompositeAwareSimilarity(context.base_label, *members_pair)
+    engine = EMSEngine(context.config, label, label_cache)
+    fixed_forward, fixed_backward, pairs_fixed = _unchanged_pairs(
+        side_index, run, graph, other_graph, context.directional, context.use_unchanged
+    )
+    if context.use_bounds:
+        outcome = engine.similarity_with_abort(
+            graphs[0], graphs[1], abort_below, fixed_forward, fixed_backward,
+            meter=meter,
+        )
+    else:
+        outcome = engine.similarity(
+            graphs[0], graphs[1], fixed_forward, fixed_backward, meter=meter
+        )
+    return outcome, pairs_fixed
+
+
+#: Per-process state of pool workers: the round context plus a label cache
+#: that persists across the round's candidates evaluated in this process.
+_WORKER_STATE: tuple[_RoundContext, LabelMatrixCache] | None = None
+
+
+def _init_worker(context: _RoundContext) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (context, LabelMatrixCache())
+
+
+def _pool_evaluate(
+    task: tuple[int, tuple[str, ...], float]
+) -> tuple[int, tuple[str, ...], EMSResult | None, int]:
+    assert _WORKER_STATE is not None, "pool worker used without _init_worker"
+    context, label_cache = _WORKER_STATE
+    side_index, run, abort_below = task
+    outcome, pairs_fixed = _evaluate_candidate(
+        context, side_index, run, abort_below, label_cache
+    )
+    return side_index, run, outcome, pairs_fixed
+
+
 class CompositeMatcher:
     """Greedy composite event matching (Algorithm 2).
 
@@ -189,6 +312,14 @@ class CompositeMatcher:
         What to do when the budget runs out (default: the full
         exact → estimated → partial ladder).  With the ladder disabled,
         exhaustion raises :class:`~repro.exceptions.BudgetExhausted`.
+    workers:
+        Candidate evaluations per round run in this many worker processes
+        (``0``/``1`` = in-process, serial).  Waves of *workers* candidates
+        share the round's Bd incumbent bound, which is re-tightened
+        between waves from the results received so far.  A budgeted run
+        (``budget`` set) always evaluates serially: cooperative
+        cancellation needs the one shared meter, which worker processes
+        cannot charge.
     """
 
     def __init__(
@@ -204,9 +335,12 @@ class CompositeMatcher:
         min_edge_frequency: float = 0.0,
         budget: MatchBudget | None = None,
         degradation: DegradationPolicy | None = None,
+        workers: int = 0,
     ):
         if delta < 0.0:
             raise ValueError(f"delta must be non-negative, got {delta}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         self.config = config if config is not None else EMSConfig()
         self.base_label = (
             label_similarity if label_similarity is not None else OpaqueSimilarity()
@@ -220,6 +354,10 @@ class CompositeMatcher:
         self.min_edge_frequency = min_edge_frequency
         self.budget = budget
         self.degradation = degradation if degradation is not None else DegradationPolicy()
+        self.workers = workers
+        #: One S^L cache per matching run, shared by every engine built
+        #: for it; reset at the start of :meth:`match`.
+        self._label_cache: LabelMatrixCache | None = None
 
     # ------------------------------------------------------------------
     def _engine(self, state_first: _SideState, state_second: _SideState) -> EMSEngine:
@@ -229,46 +367,25 @@ class CompositeMatcher:
             label = CompositeAwareSimilarity(
                 self.base_label, state_first.members, state_second.members
             )
-        return EMSEngine(self.config, label)
+        return EMSEngine(self.config, label, self._label_cache)
 
     def _graph(self, log: EventLog, members: dict[str, frozenset[str]]) -> DependencyGraph:
         return DependencyGraph.from_log(
             log, min_frequency=self.min_edge_frequency, members=members
         )
 
-    def _fixed_pairs(
-        self,
-        merged_side: int,
-        run: tuple[str, ...],
-        states: tuple[_SideState, _SideState],
-        current: EMSResult,
-        stats: CompositeStats,
-    ) -> tuple[dict[tuple[str, str], float] | None, dict[tuple[str, str], float] | None]:
-        """Uc: converged values for pairs the merge provably cannot change."""
-        if not self.use_unchanged or current.directional is None:
-            return None, None
-        state = states[merged_side]
-        other = states[1 - merged_side]
-        new_name = composite_name(run)
-
-        fixed: dict[str, dict[tuple[str, str], float]] = {}
-        for direction, matrix in current.directional.items():
-            if direction == "forward":
-                affected = set(run) | real_descendants(state.graph, run)
-            else:
-                affected = set(run) | real_ancestors(state.graph, run)
-            affected.add(new_name)
-            unchanged = [node for node in state.graph.nodes if node not in affected]
-            pairs: dict[tuple[str, str], float] = {}
-            for node in unchanged:
-                for other_node in other.graph.nodes:
-                    if merged_side == 0:
-                        pairs[(node, other_node)] = matrix.get(node, other_node)
-                    else:
-                        pairs[(other_node, node)] = matrix.get(other_node, node)
-            fixed[direction] = pairs
-            stats.pairs_fixed += len(pairs)
-        return fixed.get("forward"), fixed.get("backward")
+    def _round_context(
+        self, states: tuple[_SideState, _SideState], current: EMSResult
+    ) -> _RoundContext:
+        return _RoundContext(
+            config=self.config,
+            base_label=self.base_label,
+            min_edge_frequency=self.min_edge_frequency,
+            use_unchanged=self.use_unchanged,
+            use_bounds=self.use_bounds,
+            sides=tuple((state.log, state.members, state.graph) for state in states),
+            directional=current.directional if self.use_unchanged else None,
+        )
 
     # ------------------------------------------------------------------
     def match(self, log_first: EventLog, log_second: EventLog) -> CompositeMatchResult:
@@ -284,6 +401,7 @@ class CompositeMatcher:
         started = time.perf_counter()
         meter = self.budget.start() if self.budget is not None else None
         policy = self.degradation
+        self._label_cache = LabelMatrixCache()
         states = (
             _SideState(
                 log_first,
@@ -369,15 +487,22 @@ class CompositeMatcher:
             best: tuple[int, tuple[str, ...], EMSResult] | None = None
             best_average = current_average
 
+            tasks: list[tuple[int, tuple[str, ...]]] = []
             for side_index in (0, 1):
-                state = states[side_index]
-                candidates = discover_candidates(
-                    state.log,
+                for run in discover_candidates(
+                    states[side_index].log,
                     min_confidence=self.min_confidence,
                     max_run_length=self.max_run_length,
                     max_candidates=self.max_candidates,
+                ):
+                    tasks.append((side_index, run))
+
+            if self.workers > 1 and meter is None and len(tasks) > 1:
+                best, best_average = self._round_parallel(
+                    tasks, states, current, stats, target, best_average
                 )
-                for run in candidates:
+            else:
+                for side_index, run in tasks:
                     outcome = self._evaluate(
                         side_index, run, states, current, stats,
                         abort_below=max(best_average, target),
@@ -412,29 +537,57 @@ class CompositeMatcher:
         abort_below: float,
         meter: BudgetMeter | None = None,
     ) -> EMSResult | None:
-        """Similarity of the graphs after merging *run* on one side."""
-        state = states[side_index]
-        merged_log, merged_members = merge_run_in_log(state.log, run, state.members)
-        merged_graph = self._graph(merged_log, merged_members)
-        trial = _SideState(merged_log, merged_members, merged_graph, [])
-        pair = (trial, states[1]) if side_index == 0 else (states[0], trial)
-        engine = self._engine(*pair)
-        fixed_forward, fixed_backward = self._fixed_pairs(
-            side_index, run, states, current, stats
-        )
+        """Similarity of the graphs after merging *run* on one side (serial)."""
         stats.candidates_evaluated += 1
-        graphs = (pair[0].graph, pair[1].graph)
-        if self.use_bounds:
-            outcome = engine.similarity_with_abort(
-                graphs[0], graphs[1], abort_below, fixed_forward, fixed_backward,
-                meter=meter,
-            )
-            if outcome is None:
-                stats.evaluations_aborted += 1
-                return None
-        else:
-            outcome = engine.similarity(
-                graphs[0], graphs[1], fixed_forward, fixed_backward, meter=meter
-            )
+        outcome, pairs_fixed = _evaluate_candidate(
+            self._round_context(states, current), side_index, run, abort_below,
+            self._label_cache, meter,
+        )
+        stats.pairs_fixed += pairs_fixed
+        if outcome is None:
+            stats.evaluations_aborted += 1
+            return None
         stats.pair_updates += outcome.pair_updates
         return outcome
+
+    def _round_parallel(
+        self,
+        tasks: list[tuple[int, tuple[str, ...]]],
+        states: tuple[_SideState, _SideState],
+        current: EMSResult,
+        stats: CompositeStats,
+        target: float,
+        best_average: float,
+    ) -> tuple[tuple[int, tuple[str, ...], EMSResult] | None, float]:
+        """Evaluate one round's candidates in a process pool.
+
+        Candidates go out in waves of ``workers``; every wave shares the
+        tightest Bd incumbent bound known when it is submitted, so later
+        waves abort hopeless candidates as aggressively as the serial
+        loop would.  The round context ships once per worker via the pool
+        initializer.
+        """
+        context = self._round_context(states, current)
+        best: tuple[int, tuple[str, ...], EMSResult] | None = None
+        with ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_init_worker, initargs=(context,)
+        ) as pool:
+            for start in range(0, len(tasks), self.workers):
+                wave = tasks[start:start + self.workers]
+                bound = max(best_average, target)
+                futures = [
+                    pool.submit(_pool_evaluate, (side_index, run, bound))
+                    for side_index, run in wave
+                ]
+                for future in futures:
+                    side_index, run, outcome, pairs_fixed = future.result()
+                    stats.candidates_evaluated += 1
+                    stats.pairs_fixed += pairs_fixed
+                    if outcome is None:
+                        stats.evaluations_aborted += 1
+                        continue
+                    stats.pair_updates += outcome.pair_updates
+                    if outcome.matrix.average() > best_average:
+                        best_average = outcome.matrix.average()
+                        best = (side_index, run, outcome)
+        return best, best_average

@@ -16,6 +16,12 @@ One dataclass gathers every knob the paper exposes:
 * ``estimation_iterations`` — the budget ``I`` of exact iterations before
   switching to the closed-form estimation (Section 3.5); ``None`` disables
   estimation (exact EMS).
+* ``kernel`` — which implementation evaluates formula (1):
+  ``"vectorized"`` (default) runs each iteration as batched NumPy
+  gather/multiply/max-reduce operations over degree-bucketed pair
+  populations, ``"reference"`` is the straightforward per-pair loop the
+  vectorized kernel is differentially tested against.  Both produce
+  identical similarities, ``iterations`` and ``pair_updates``.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Literal
 
 Direction = Literal["forward", "backward", "both"]
+Kernel = Literal["vectorized", "reference"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +49,10 @@ class EMSConfig:
     #: SimRank-style propagation without the paper's edge similarities
     #: (Definition 2's second ingredient).  Keep True outside ablations.
     use_edge_weights: bool = True
+    #: Which fixpoint implementation evaluates formula (1); see module
+    #: docstring.  Results are identical — "reference" exists for
+    #: differential testing and as a readable spec of the computation.
+    kernel: Kernel = "vectorized"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -61,6 +72,10 @@ class EMSConfig:
         if self.estimation_iterations is not None and self.estimation_iterations < 0:
             raise ValueError(
                 f"estimation_iterations must be >= 0 or None, got {self.estimation_iterations}"
+            )
+        if self.kernel not in ("vectorized", "reference"):
+            raise ValueError(
+                f"kernel must be vectorized/reference, got {self.kernel!r}"
             )
 
     def with_(self, **changes) -> "EMSConfig":

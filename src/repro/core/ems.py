@@ -27,6 +27,17 @@ Features implemented here:
   pruning used by the composite matcher;
 * instrumentation: the number of formula-(1) evaluations (``pair_updates``)
   reported in the paper's Figures 6 and 12.
+
+Two interchangeable fixpoint kernels implement the iteration
+(``EMSConfig.kernel``): the **reference** per-pair loop
+(:class:`_DirectionalRun`, a readable spec of formula (1)) and the default
+**vectorized** kernel (:class:`_VectorizedRun`), which groups pairs into
+degree buckets ``(|pre(v1)|, |pre(v2)|)`` and evaluates each iteration as
+a handful of batched gather → multiply → max-reduce NumPy operations over
+the whole active pair population.  Both kernels produce bit-identical
+accounting (``iterations``, ``pair_updates``) and similarities equal to
+within floating-point associativity; ``tests/core/test_kernel_equivalence``
+proves it differentially.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -40,7 +51,7 @@ from repro.core.bounds import matrix_upper_bound
 from repro.core.config import EMSConfig
 from repro.core.estimation import estimate_matrix, estimation_coefficients
 from repro.core.matrix import SimilarityMatrix
-from repro.core.pruning import ConvergenceSchedule
+from repro.core.pruning import ConvergenceSchedule, active_prefix_length, prefix_schedule
 from repro.graph.dependency import ARTIFICIAL, DependencyGraph
 from repro.runtime.budget import BudgetMeter
 from repro.runtime.degrade import DegradationPolicy
@@ -81,6 +92,52 @@ class EMSResult:
     @property
     def average(self) -> float:
         return self.matrix.average()
+
+
+class LabelMatrixCache:
+    """Memoized ``S^L`` matrices shared across :class:`EMSEngine` instances.
+
+    One composite matching run evaluates dozens of candidates per round,
+    and every evaluation used to rebuild the label matrix from scratch —
+    ``O(n1 * n2)`` label-similarity calls, almost all scoring the same
+    node pairs as the previous candidate.  Engines sharing a cache reuse
+    whole matrices (keyed on the two node-name tuples) and individual
+    cells (keyed on the name pair).  Sound within one matching run because
+    composite node names (``⟨A+B⟩``, :func:`repro.graph.merge.composite_name`)
+    encode their member activities: equal names imply equal label values.
+    """
+
+    __slots__ = ("_matrices", "_cells")
+
+    def __init__(self) -> None:
+        self._matrices: dict[tuple[tuple[str, ...], tuple[str, ...]], np.ndarray] = {}
+        self._cells: dict[tuple[str, str], float] = {}
+
+    def matrix(
+        self,
+        rows: tuple[str, ...],
+        cols: tuple[str, ...],
+        label,
+    ) -> np.ndarray:
+        """The label matrix for *rows* x *cols*, computing misses via *label*.
+
+        The returned array is shared and marked read-only.
+        """
+        key = (rows, cols)
+        cached = self._matrices.get(key)
+        if cached is None:
+            cells = self._cells
+            cached = np.empty((len(rows), len(cols)))
+            for i, first in enumerate(rows):
+                for j, second in enumerate(cols):
+                    value = cells.get((first, second))
+                    if value is None:
+                        value = label(first, second)
+                        cells[first, second] = value
+                    cached[i, j] = value
+            cached.flags.writeable = False
+            self._matrices[key] = cached
+        return cached
 
 
 def edge_agreement(weight_first: np.ndarray, weight_second: np.ndarray, c: float) -> np.ndarray:
@@ -307,6 +364,205 @@ class _DirectionalRun:
         return float(bounded.mean())
 
 
+@dataclass(slots=True)
+class _Bucket:
+    """Precomputed tensors for one degree bucket ``(|pre(v1)|, |pre(v2)|)``.
+
+    Pairs are laid out in the :func:`repro.core.pruning.prefix_schedule`
+    order (descending convergence level), so Proposition-2 pruning at
+    iteration ``n`` reduces to slicing the first
+    :func:`repro.core.pruning.active_prefix_length` entries.
+    """
+
+    rows: np.ndarray           #: (m,) row index of each pair
+    cols: np.ndarray           #: (m,) column index of each pair
+    linear: np.ndarray         #: (m,) row-major linear index (budget-cut order)
+    preds_first: np.ndarray    #: (m, A) predecessor rows into the value array
+    preds_second: np.ndarray   #: (m, B) predecessor columns into the value array
+    agreement: np.ndarray | None  #: (m, A, B) edge-agreement ``C``; None = constant c
+    levels: np.ndarray         #: (m,) convergence levels, descending
+    inverse_first: float       #: 1 / A
+    inverse_second: float      #: 1 / B
+
+
+class _VectorizedRun(_DirectionalRun):
+    """The bucketed, padded NumPy formulation of the same fixpoint.
+
+    Pairs sharing a predecessor-count signature ``(A, B)`` evaluate
+    formula (1) with identically-shaped tensors, so each bucket runs one
+    iteration as ``gather(previous) * agreement -> max -> sum`` over all
+    its active pairs at once.  Tensors are built lazily on the first step
+    (the ``I = 0`` estimation never steps) and exclude Uc-fixed pairs,
+    which are never updated.
+
+    Budget semantics replicate the reference loop exactly: the meter is
+    charged once per iteration chunk via ``tick(n)``, and when the
+    pair-update cap would trip mid-iteration only the row-major prefix of
+    active pairs the reference loop would have committed is written before
+    the raise, leaving ``values`` in the same valid best-so-far state.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._buckets: list[_Bucket] | None = None
+
+    # ------------------------------------------------------------------
+    def _build_buckets(self) -> list[_Bucket]:
+        rows_by_degree: dict[int, list[int]] = {}
+        for i, preds in enumerate(self._preds_first):
+            rows_by_degree.setdefault(len(preds), []).append(i)
+        cols_by_degree: dict[int, list[int]] = {}
+        for j, preds in enumerate(self._preds_second):
+            cols_by_degree.setdefault(len(preds), []).append(j)
+
+        pair_levels = self.schedule.pair_levels
+        fixed = self._fixed_mask
+        config = self.config
+        buckets: list[_Bucket] = []
+        for degree_first, row_list in rows_by_degree.items():
+            row_arr = np.array(row_list, dtype=int)
+            p1 = np.stack([self._preds_first[i] for i in row_list])
+            w1 = np.stack([self._weights_first[i] for i in row_list])
+            for degree_second, col_list in cols_by_degree.items():
+                col_arr = np.array(col_list, dtype=int)
+                p2 = np.stack([self._preds_second[j] for j in col_list])
+                w2 = np.stack([self._weights_second[j] for j in col_list])
+
+                rows = np.repeat(row_arr, len(col_arr))
+                cols = np.tile(col_arr, len(row_arr))
+                row_pos = np.repeat(np.arange(len(row_arr)), len(col_arr))
+                col_pos = np.tile(np.arange(len(col_arr)), len(row_arr))
+                keep = ~fixed[rows, cols]
+                if not keep.any():
+                    continue
+                rows, cols = rows[keep], cols[keep]
+                row_pos, col_pos = row_pos[keep], col_pos[keep]
+                order, levels = prefix_schedule(np.asarray(pair_levels[rows, cols], dtype=float))
+                rows, cols = rows[order], cols[order]
+                row_pos, col_pos = row_pos[order], col_pos[order]
+                if config.use_edge_weights:
+                    left = w1[row_pos][:, :, None]
+                    right = w2[col_pos][:, None, :]
+                    agreement = config.c * (1.0 - np.abs(left - right) / (left + right))
+                else:
+                    agreement = None
+                buckets.append(
+                    _Bucket(
+                        rows=rows,
+                        cols=cols,
+                        linear=rows * self._n2 + cols,
+                        preds_first=p1[row_pos],
+                        preds_second=p2[col_pos],
+                        agreement=agreement,
+                        levels=levels,
+                        inverse_first=1.0 / degree_first,
+                        inverse_second=1.0 / degree_second,
+                    )
+                )
+        return buckets
+
+    # ------------------------------------------------------------------
+    def step(self) -> float:
+        meter = self._meter
+        if meter is not None:
+            meter.check()
+        self.iterations += 1
+        iteration = self.iterations
+        if self._buckets is None:
+            self._buckets = self._build_buckets()
+        config = self.config
+        half_alpha = config.alpha / 2.0
+        label_weight = 1.0 - config.alpha
+        use_pruning = config.use_pruning
+        previous = self.values.copy()
+        label = self.label_matrix
+        c = config.c
+
+        # Phase 1: evaluate formula (1) for every active pair.  All reads
+        # go to `previous` (Jacobi iteration), so pending updates are
+        # independent of commit order.
+        pending: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        total_active = 0
+        for bucket in self._buckets:
+            if use_pruning:
+                count = active_prefix_length(bucket.levels, iteration)
+                if count == 0:
+                    continue
+                sel = slice(0, count)
+            else:
+                sel = slice(None)
+            rows = bucket.rows[sel]
+            cols = bucket.cols[sel]
+            p1 = bucket.preds_first[sel]
+            p2 = bucket.preds_second[sel]
+            gathered = previous[p1[:, :, None], p2[:, None, :]]
+            if bucket.agreement is not None:
+                weighted = bucket.agreement[sel] * gathered
+            else:
+                weighted = c * gathered
+            s_forward = weighted.max(axis=2).sum(axis=1) * bucket.inverse_first
+            s_backward = weighted.max(axis=1).sum(axis=1) * bucket.inverse_second
+            updated = half_alpha * (s_forward + s_backward)
+            if label_weight:
+                updated = updated + label_weight * label[rows, cols]
+            pending.append((bucket.linear[sel], rows, cols, updated))
+            total_active += len(rows)
+
+        # Phase 2: commit and charge the meter in one batched call.
+        remaining = meter.pair_updates_remaining if meter is not None else None
+        committed = 0
+        max_delta = 0.0
+        try:
+            if remaining is not None and total_active > remaining:
+                # The cap trips mid-iteration.  The reference loop visits
+                # pairs in row-major order and writes the pair whose tick
+                # raises before raising, so `remaining + 1` pairs commit.
+                allowed = remaining + 1
+                linear = np.concatenate([entry[0] for entry in pending])
+                rows = np.concatenate([entry[1] for entry in pending])
+                cols = np.concatenate([entry[2] for entry in pending])
+                updated = np.concatenate([entry[3] for entry in pending])
+                first = np.argsort(linear, kind="stable")[:allowed]
+                rows, cols, updated = rows[first], cols[first], updated[first]
+                deltas = np.abs(updated - previous[rows, cols])
+                self.values[rows, cols] = updated
+                committed = allowed
+                max_delta = float(deltas.max()) if deltas.size else 0.0
+                meter.tick(allowed)
+                raise AssertionError("pair-update budget charge must have raised")
+            for _, rows, cols, updated in pending:
+                deltas = np.abs(updated - previous[rows, cols])
+                if deltas.size:
+                    delta = float(deltas.max())
+                    if delta > max_delta:
+                        max_delta = delta
+                self.values[rows, cols] = updated
+            committed = total_active
+            if meter is not None:
+                meter.tick(total_active)
+        finally:
+            self.pair_updates += committed
+        return max_delta
+
+
+#: Kernel registry: EMSConfig.kernel -> directional-run implementation.
+_KERNELS: dict[str, type[_DirectionalRun]] = {
+    "reference": _DirectionalRun,
+    "vectorized": _VectorizedRun,
+}
+
+
+def _make_run(
+    first: DependencyGraph,
+    second: DependencyGraph,
+    config: EMSConfig,
+    label_matrix: np.ndarray,
+    fixed_pairs: dict[tuple[str, str], float] | None = None,
+    meter: BudgetMeter | None = None,
+) -> _DirectionalRun:
+    return _KERNELS[config.kernel](first, second, config, label_matrix, fixed_pairs, meter)
+
+
 class EMSEngine:
     """Computes EMS similarities between two dependency graphs.
 
@@ -318,23 +574,31 @@ class EMSEngine:
         The ``S^L`` blended in with weight ``1 - alpha``.  Defaults to
         :class:`OpaqueSimilarity` (structural-only matching).  Note that
         with ``alpha = 1`` the label similarity has no effect.
+    label_cache:
+        Optional :class:`LabelMatrixCache` shared across engines of one
+        matching run, so repeated ``similarity`` calls over overlapping
+        vocabularies (the composite greedy loop) skip recomputing ``S^L``.
     """
 
     def __init__(
         self,
         config: EMSConfig | None = None,
         label_similarity: LabelSimilarity | None = None,
+        label_cache: LabelMatrixCache | None = None,
     ):
         self.config = config if config is not None else EMSConfig()
         self.label_similarity = (
             label_similarity if label_similarity is not None else OpaqueSimilarity()
         )
+        self.label_cache = label_cache
 
     # ------------------------------------------------------------------
     def _label_matrix(self, first: DependencyGraph, second: DependencyGraph) -> np.ndarray:
-        label = np.zeros((len(first.nodes), len(second.nodes)))
         if isinstance(self.label_similarity, OpaqueSimilarity) or self.config.alpha == 1.0:
-            return label
+            return np.zeros((len(first.nodes), len(second.nodes)))
+        if self.label_cache is not None:
+            return self.label_cache.matrix(first.nodes, second.nodes, self.label_similarity)
+        label = np.zeros((len(first.nodes), len(second.nodes)))
         for i, node_first in enumerate(first.nodes):
             for j, node_second in enumerate(second.nodes):
                 label[i, j] = self.label_similarity(node_first, node_second)
@@ -352,11 +616,11 @@ class EMSEngine:
         runs: list[_DirectionalRun] = []
         if self.config.direction in ("forward", "both"):
             runs.append(
-                _DirectionalRun(first, second, self.config, label, fixed_forward, meter)
+                _make_run(first, second, self.config, label, fixed_forward, meter)
             )
         if self.config.direction in ("backward", "both"):
             runs.append(
-                _DirectionalRun(
+                _make_run(
                     first.reversed(), second.reversed(), self.config, label,
                     fixed_backward, meter,
                 )
@@ -513,7 +777,7 @@ def iteration_trace(
     """
     engine = EMSEngine(config, label_similarity)
     label = engine._label_matrix(first, second)
-    run = _DirectionalRun(first, second, engine.config, label)
+    run = _make_run(first, second, engine.config, label)
     snapshots: list[SimilarityMatrix] = []
     for _ in range(iterations):
         run.step()

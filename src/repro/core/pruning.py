@@ -46,3 +46,26 @@ class ConvergenceSchedule:
     def all_fixed_after(self, iteration: int) -> bool:
         """True when no pair can change at iterations beyond *iteration*."""
         return not math.isinf(self.global_bound) and iteration >= self.global_bound
+
+
+def prefix_schedule(levels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort order under which every iteration's active set is a prefix.
+
+    Returns ``(order, sorted_levels)`` where *order* stably sorts *levels*
+    descending.  A pair with level ``h`` is active while ``iteration <= h``
+    (see :meth:`ConvergenceSchedule.active_mask`), so once pairs are laid
+    out in this order the active population at iteration ``n`` is exactly
+    the first :func:`active_prefix_length` entries — the vectorized kernel
+    applies Proposition-2 pruning as a slice instead of a boolean gather.
+    """
+    order = np.argsort(-levels, kind="stable")
+    return order, levels[order]
+
+
+def active_prefix_length(sorted_levels: np.ndarray, iteration: int) -> int:
+    """How many of the descending-sorted *sorted_levels* are still active.
+
+    ``sorted_levels`` must come from :func:`prefix_schedule`; the result
+    counts pairs with ``level >= iteration``.
+    """
+    return int(np.searchsorted(-sorted_levels, -iteration, side="right"))

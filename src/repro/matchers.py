@@ -165,7 +165,12 @@ class EMSMatcher(EventMatcher):
 
 
 class EMSCompositeMatcher(EventMatcher):
-    """m:n event matching: greedy composite merging plus EMS similarity."""
+    """m:n event matching: greedy composite merging plus EMS similarity.
+
+    ``workers > 1`` evaluates each greedy round's candidate composites in
+    that many worker processes (see :class:`CompositeMatcher`); budgeted
+    runs stay serial so cooperative cancellation keeps one shared meter.
+    """
 
     name = "EMS"
 
@@ -184,6 +189,7 @@ class EMSCompositeMatcher(EventMatcher):
         name: str | None = None,
         budget: MatchBudget | None = None,
         degradation: DegradationPolicy | None = None,
+        workers: int = 0,
     ):
         self.matcher = CompositeMatcher(
             config=config,
@@ -197,6 +203,7 @@ class EMSCompositeMatcher(EventMatcher):
             min_edge_frequency=min_edge_frequency,
             budget=budget,
             degradation=degradation,
+            workers=workers,
         )
         self.threshold = threshold
         self._singleton = EMSMatcher(

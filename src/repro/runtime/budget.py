@@ -130,18 +130,40 @@ class BudgetMeter:
         if reason is not None:
             self._raise(reason)
 
-    def tick(self) -> None:
-        """Charge one pair update; raise when the budget runs out."""
-        self.pair_updates_spent += 1
+    def tick(self, n: int = 1) -> None:
+        """Charge *n* pair updates (default 1); raise when the budget runs out.
+
+        Charging a batch of ``n`` is equivalent to ``n`` single ticks:
+        the spend is committed before any raise, the pair-update cap trips
+        as soon as the cumulative spend exceeds it, and the wall clock is
+        re-read whenever the batch crosses a :data:`_DEADLINE_STRIDE`
+        boundary.  The vectorized EMS kernel charges whole iterations in
+        one call; the reference loop charges pair by pair — both account
+        identically against the same budget.
+        """
+        if n < 0:
+            raise ValueError(f"tick charge must be >= 0, got {n}")
+        if n == 0:
+            return
+        before = self.pair_updates_spent
+        self.pair_updates_spent = before + n
         cap = self.budget.max_pair_updates
         if cap is not None and self.pair_updates_spent > cap:
             self._raise("pair-updates")
         if (
             self._deadline_at is not None
-            and self.pair_updates_spent % _DEADLINE_STRIDE == 0
+            and before // _DEADLINE_STRIDE != self.pair_updates_spent // _DEADLINE_STRIDE
             and self._clock() > self._deadline_at
         ):
             self._raise("deadline")
+
+    @property
+    def pair_updates_remaining(self) -> int | None:
+        """Pair updates left before the cap trips, or ``None`` (uncapped)."""
+        cap = self.budget.max_pair_updates
+        if cap is None:
+            return None
+        return max(0, cap - self.pair_updates_spent)
 
     def __repr__(self) -> str:
         return (

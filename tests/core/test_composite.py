@@ -172,3 +172,64 @@ class TestGreedyMatcher:
         result = matcher.match(log_first, log_second)
         assert result.accepted_first == ()
         assert set(result.matrix.rows) == {"a", "b"}
+
+
+class TestParallelEvaluation:
+    """workers > 1 must reproduce the serial greedy search exactly."""
+
+    KNOBS = dict(delta=0.005, min_confidence=0.9, max_run_length=2)
+
+    def test_workers_match_serial(self, fig1_logs):
+        import numpy as np
+
+        serial = CompositeMatcher(EMSConfig(), **self.KNOBS).match(*fig1_logs)
+        parallel = CompositeMatcher(
+            EMSConfig(), workers=2, **self.KNOBS
+        ).match(*fig1_logs)
+        assert parallel.accepted_first == serial.accepted_first
+        assert parallel.accepted_second == serial.accepted_second
+        assert parallel.members_first == serial.members_first
+        np.testing.assert_allclose(
+            parallel.matrix.values, serial.matrix.values, rtol=0, atol=1e-12
+        )
+        assert parallel.stats.rounds == serial.stats.rounds
+        assert parallel.stats.candidates_evaluated == serial.stats.candidates_evaluated
+
+    def test_workers_match_serial_with_labels(self):
+        import numpy as np
+
+        from repro.similarity.labels import QGramCosineSimilarity
+        from repro.synthesis.examples import turbine_order_logs
+
+        log_first, log_second, _ = turbine_order_logs()
+        results = []
+        for workers in (0, 2):
+            matcher = CompositeMatcher(
+                EMSConfig(alpha=0.5),
+                label_similarity=QGramCosineSimilarity(),
+                workers=workers,
+                **self.KNOBS,
+            )
+            results.append(matcher.match(log_first, log_second))
+        serial, parallel = results
+        assert parallel.accepted_first == serial.accepted_first
+        assert parallel.accepted_second == serial.accepted_second
+        np.testing.assert_allclose(
+            parallel.matrix.values, serial.matrix.values, rtol=0, atol=1e-12
+        )
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            CompositeMatcher(workers=-1)
+
+    def test_budgeted_run_stays_serial_and_exact(self, fig1_logs):
+        from repro.runtime.budget import MatchBudget
+
+        matcher = CompositeMatcher(
+            EMSConfig(), workers=2, budget=MatchBudget(max_pair_updates=10**9),
+            **self.KNOBS,
+        )
+        result = matcher.match(*fig1_logs)
+        assert result.runtime is not None
+        assert result.runtime.stage == "exact"
+        assert result.accepted_first == (("C", "D"),)

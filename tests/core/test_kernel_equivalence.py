@@ -1,0 +1,164 @@
+"""Differential tests: the vectorized EMS kernel against the reference loop.
+
+The vectorized kernel (``EMSConfig(kernel="vectorized")``) must be an
+observationally identical implementation of formula (1): same
+similarities (to within 1e-12), same ``iterations``, same
+``pair_updates`` — across pruning on/off, edge weights on/off, label
+blending, fixed (Uc) pairs, estimation, the Bd abort and mid-iteration
+budget exhaustion, where even the partially-updated best-so-far state
+must match pair for pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.runtime.budget import MatchBudget
+from repro.runtime.degrade import DegradationPolicy
+from repro.similarity.labels import QGramCosineSimilarity
+from repro.synthesis.corpus import build_scalability_pair
+
+ATOL = 1e-12
+
+
+def graphs_for(size: int, seed: int) -> tuple[DependencyGraph, DependencyGraph]:
+    pair = build_scalability_pair(size, seed=seed, traces_per_log=30)
+    return (
+        DependencyGraph.from_log(pair.log_first),
+        DependencyGraph.from_log(pair.log_second),
+    )
+
+
+@pytest.fixture(scope="module")
+def graphs_12() -> tuple[DependencyGraph, DependencyGraph]:
+    return graphs_for(12, seed=11)
+
+
+def assert_equivalent(result_vec, result_ref) -> None:
+    assert result_vec.iterations == result_ref.iterations
+    assert result_vec.pair_updates == result_ref.pair_updates
+    assert result_vec.converged == result_ref.converged
+    assert result_vec.estimated == result_ref.estimated
+    np.testing.assert_allclose(
+        result_vec.matrix.values, result_ref.matrix.values, rtol=0, atol=ATOL
+    )
+    assert set(result_vec.directional) == set(result_ref.directional)
+    for name, matrix in result_vec.directional.items():
+        np.testing.assert_allclose(
+            matrix.values, result_ref.directional[name].values, rtol=0, atol=ATOL
+        )
+
+
+def run_both(graphs, config_kwargs, label=None, **similarity_kwargs):
+    results = []
+    for kernel in ("vectorized", "reference"):
+        engine = EMSEngine(EMSConfig(kernel=kernel, **config_kwargs), label)
+        results.append(engine.similarity(*graphs, **similarity_kwargs))
+    return results
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("use_pruning", [True, False])
+    def test_random_graphs(self, seed, use_pruning):
+        graphs = graphs_for(8 + 2 * seed, seed=seed)
+        assert_equivalent(*run_both(graphs, {"use_pruning": use_pruning}))
+
+    @pytest.mark.parametrize("use_edge_weights", [True, False])
+    def test_edge_weight_ablation(self, graphs_12, use_edge_weights):
+        assert_equivalent(
+            *run_both(graphs_12, {"use_edge_weights": use_edge_weights})
+        )
+
+    @pytest.mark.parametrize("direction", ["forward", "backward", "both"])
+    def test_directions(self, graphs_12, direction):
+        assert_equivalent(*run_both(graphs_12, {"direction": direction}))
+
+    def test_label_blending(self, graphs_12):
+        assert_equivalent(
+            *run_both(graphs_12, {"alpha": 0.5}, label=QGramCosineSimilarity())
+        )
+
+    def test_fixed_pairs_seeded(self, graphs_12):
+        first, second = graphs_12
+        fixed_forward = {
+            (first.nodes[0], second.nodes[0]): 0.9,
+            (first.nodes[1], second.nodes[2]): 0.25,
+        }
+        fixed_backward = {(first.nodes[2], second.nodes[1]): 0.5}
+        assert_equivalent(
+            *run_both(
+                graphs_12, {},
+                fixed_forward=fixed_forward, fixed_backward=fixed_backward,
+            )
+        )
+
+    @pytest.mark.parametrize("exact_iterations", [0, 2])
+    def test_estimation(self, graphs_12, exact_iterations):
+        assert_equivalent(
+            *run_both(graphs_12, {"estimation_iterations": exact_iterations})
+        )
+
+
+class TestAbortEquivalence:
+    @pytest.mark.parametrize("abort_below", [0.0, 0.4, 0.99])
+    def test_similarity_with_abort(self, graphs_12, abort_below):
+        results = []
+        for kernel in ("vectorized", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            results.append(engine.similarity_with_abort(*graphs_12, abort_below))
+        vec, ref = results
+        if ref is None:
+            assert vec is None
+        else:
+            assert_equivalent(vec, ref)
+
+
+class TestBudgetEquivalence:
+    """Mid-iteration exhaustion must leave the identical best-so-far state."""
+
+    #: Caps chosen to trip at the start, inside the first iteration, and
+    #: deep inside later iterations of the 12-event fixpoint.
+    CAPS = [0, 1, 53, 500, 1777]
+
+    @pytest.mark.parametrize("cap", CAPS)
+    @pytest.mark.parametrize(
+        "policy", [DegradationPolicy.full(), DegradationPolicy.partial_only()],
+        ids=["estimated", "partial"],
+    )
+    def test_degraded_states_match(self, graphs_12, cap, policy):
+        results = []
+        spent = []
+        for kernel in ("vectorized", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            meter = MatchBudget(max_pair_updates=cap).start()
+            result, stage, reason = engine.similarity_resilient(
+                *graphs_12, meter, policy
+            )
+            results.append((result, stage, reason))
+            spent.append(meter.pair_updates_spent)
+        (vec, stage_vec, reason_vec), (ref, stage_ref, reason_ref) = results
+        assert stage_vec == stage_ref
+        assert reason_vec == reason_ref
+        assert spent[0] == spent[1]
+        assert_equivalent(vec, ref)
+
+    def test_exhaustion_raises_identically_without_ladder(self, graphs_12):
+        for kernel in ("vectorized", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            meter = MatchBudget(max_pair_updates=10).start()
+            with pytest.raises(Exception) as excinfo:
+                engine.similarity(*graphs_12, meter=meter)
+            assert excinfo.value.reason == "pair-updates"
+            assert meter.pair_updates_spent == 11
+
+    def test_uncapped_budget_charges_identically(self, graphs_12):
+        meters = []
+        for kernel in ("vectorized", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            meter = MatchBudget(max_pair_updates=10**9).start()
+            engine.similarity(*graphs_12, meter=meter)
+            meters.append(meter)
+        assert meters[0].pair_updates_spent == meters[1].pair_updates_spent

@@ -86,3 +86,63 @@ class TestBudgetMeter:
         for _ in range(1000):
             meter.tick()
         meter.check()
+
+
+class TestBatchedTick:
+    """tick(n) must be indistinguishable from n single ticks."""
+
+    def test_batched_equals_singles(self):
+        single = MatchBudget(max_pair_updates=100).start(FakeClock())
+        batched = MatchBudget(max_pair_updates=100).start(FakeClock())
+        for _ in range(60):
+            single.tick()
+        batched.tick(60)
+        assert single.pair_updates_spent == batched.pair_updates_spent == 60
+
+    def test_overshoot_raises_with_full_charge_committed(self):
+        meter = MatchBudget(max_pair_updates=10).start(FakeClock())
+        with pytest.raises(BudgetExhausted) as excinfo:
+            meter.tick(25)
+        assert excinfo.value.reason == "pair-updates"
+        assert meter.pair_updates_spent == 25
+
+    def test_zero_charge_is_a_noop(self):
+        meter = MatchBudget(max_pair_updates=0).start(FakeClock())
+        meter.tick(0)  # must not raise even with the cap already at 0
+        assert meter.pair_updates_spent == 0
+
+    def test_negative_charge_rejected(self):
+        meter = MatchBudget().start(FakeClock())
+        with pytest.raises(ValueError):
+            meter.tick(-1)
+
+    def test_deadline_checked_when_batch_crosses_stride(self):
+        clock = FakeClock()
+        meter = MatchBudget(deadline=5.0).start(clock)
+        clock.now = 6.0
+        meter.tick(255)  # below the stride boundary: no clock read
+        with pytest.raises(BudgetExhausted) as excinfo:
+            meter.tick(1)  # 255 -> 256 crosses the boundary
+        assert excinfo.value.reason == "deadline"
+
+    def test_deadline_not_checked_within_stride(self):
+        clock = FakeClock()
+        meter = MatchBudget(deadline=5.0).start(clock)
+        clock.now = 6.0
+        meter.tick(100)
+        meter.tick(100)  # cumulative 200 < 256: still no clock read
+        assert meter.pair_updates_spent == 200
+
+    def test_large_batch_crossing_stride_trips_deadline(self):
+        clock = FakeClock()
+        meter = MatchBudget(deadline=5.0).start(clock)
+        clock.now = 6.0
+        with pytest.raises(BudgetExhausted):
+            meter.tick(1000)
+
+    def test_pair_updates_remaining(self):
+        meter = MatchBudget(max_pair_updates=10).start(FakeClock())
+        assert meter.pair_updates_remaining == 10
+        meter.tick(4)
+        assert meter.pair_updates_remaining == 6
+        assert MatchBudget().start(FakeClock()).pair_updates_remaining is None

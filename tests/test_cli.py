@@ -70,6 +70,20 @@ class TestMatchCommand:
         lefts = [tuple(sorted(e["left"])) for e in payload["correspondences"]]
         assert ("C", "D") in lefts
 
+    def test_composite_workers_flag(self, log_paths, capsys):
+        exit_code = main(
+            ["match", *log_paths, "--composite", "--delta", "0.005",
+             "--workers", "2", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        lefts = [tuple(sorted(e["left"])) for e in payload["correspondences"]]
+        assert ("C", "D") in lefts
+
+    def test_negative_workers_rejected(self, log_paths, capsys):
+        assert main(["match", *log_paths, "--workers", "-2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_estimate_flag(self, log_paths, capsys):
         assert main(["match", *log_paths, "--estimate", "0", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
