@@ -35,14 +35,57 @@ if str(_REPO_ROOT / "src") not in sys.path:
 
 import numpy as np
 
+from repro.core.composite import CompositeMatcher
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine
 from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
 from repro.matching.assignment import max_weight_assignment
 from repro.synthesis.corpus import build_scalability_pair
 
 #: The Figure-8 scalability scenario every timing below runs against.
 SCENARIO = {"activities": 20, "seed": 7, "traces_per_log": 60}
+
+#: The composite-search scenario: a large log pair with planted
+#: always-consecutive chains, where the greedy loop accepts several
+#: merges.  Rebuilding the log/statistics/graph per candidate dominates
+#: the cold search here, which is exactly what the incremental engine
+#: (delta count merges + patched levels + warm-started fixpoints)
+#: avoids — the ``speedup_composite`` floor in :func:`compare` keeps
+#: that optimization honest.
+COMPOSITE_SCENARIO = {
+    "symbols": 6, "traces": 14000, "seed": 13, "chains": 5, "chain_rate": 0.02,
+}
+
+
+def build_composite_pair(
+    symbols: int, traces: int, seed: int, chains: int, chain_rate: float
+) -> tuple[EventLog, EventLog]:
+    """A deterministic log pair with rare planted composite chains.
+
+    Both logs share the same random base traces (disjoint vocabularies);
+    the second additionally contains *chains* multi-event sequences that
+    always occur consecutively (confidence 1.0) but only in a
+    *chain_rate* fraction of traces, so every candidate merge touches
+    few traces — the delta-merge sweet spot.
+    """
+    rng = random.Random(seed)
+    base = [f"a{i}" for i in range(symbols)]
+    planted = [[f"c{k}{i}" for i in range(2 + (k % 2))] for k in range(chains)]
+    first_traces, second_traces = [], []
+    for _ in range(traces):
+        length = rng.randint(5, 9)
+        trace = [rng.choice(base) for _ in range(length)]
+        first_traces.append(trace)
+        relabeled = [activity.replace("a", "b") for activity in trace]
+        if rng.random() < chain_rate:
+            position = rng.randint(0, len(relabeled))
+            relabeled[position:position] = planted[rng.randrange(chains)]
+        second_traces.append(relabeled)
+    return (
+        EventLog(first_traces, name="composite-bench-a"),
+        EventLog(second_traces, name="composite-bench-b"),
+    )
 
 #: Default output of the harness (committed as the CI baseline).
 DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_core.json"
@@ -98,6 +141,17 @@ if pytest is not None:
         assignment = benchmark(max_weight_assignment, weights)
         assert len(assignment) == 50
 
+    @pytest.fixture(scope="module")
+    def composite_pair():
+        return build_composite_pair(**COMPOSITE_SCENARIO)
+
+    def test_composite_incremental_search(benchmark, composite_pair):
+        matcher = CompositeMatcher(
+            EMSConfig(), delta=0.001, min_confidence=0.9, max_run_length=3
+        )
+        result = benchmark(matcher.match, *composite_pair)
+        assert result.accepted_second
+
     def test_playout_1000_traces(benchmark):
         from repro.synthesis.generator import random_process_tree
         from repro.synthesis.playout import play_out
@@ -146,6 +200,17 @@ def _scenarios():
         max_weight_assignment(rng.random((50, 50)))
         return None
 
+    composite_logs = build_composite_pair(**COMPOSITE_SCENARIO)
+
+    def composite_search(incremental: bool):
+        config = EMSConfig(incremental=incremental, screening=incremental)
+        matcher = CompositeMatcher(
+            config, delta=0.001, min_confidence=0.9, max_run_length=3
+        )
+        result = matcher.match(*composite_logs)
+        assert result.accepted_second  # the planted chains must be found
+        return result.stats.pair_updates
+
     yield "graph_build_20", graph_build
     yield "ems_exact_20_vectorized", lambda: ems(kernel="vectorized")
     yield "ems_exact_20_reference", lambda: ems(kernel="reference")
@@ -153,6 +218,8 @@ def _scenarios():
     yield "ems_estimation_I0_20", lambda: ems(estimation_iterations=0)
     yield "ems_forward_20", lambda: ems(direction="forward")
     yield "hungarian_50x50", hungarian
+    yield "composite_search_cold", lambda: composite_search(False)
+    yield "composite_search_incremental", lambda: composite_search(True)
 
 
 def run_harness(repeats: int) -> dict:
@@ -177,12 +244,18 @@ def run_harness(repeats: int) -> dict:
         scenarios["ems_exact_20_reference"]["mean_time"]
         / scenarios["ems_exact_20_vectorized"]["mean_time"]
     )
+    speedup_composite = (
+        scenarios["composite_search_cold"]["mean_time"]
+        / scenarios["composite_search_incremental"]["mean_time"]
+    )
     return {
         "schema": 1,
         "scenario": SCENARIO,
+        "composite_scenario": COMPOSITE_SCENARIO,
         "calibration_time": calibration,
         "scenarios": scenarios,
         "speedup_exact_20": speedup,
+        "speedup_composite": speedup_composite,
     }
 
 
@@ -193,8 +266,9 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
     a uniformly slower machine does not trip the check; *threshold* is
     the allowed normalized-slowdown factor.  ``pair_updates`` is
     deterministic, so any growth beyond 10% is flagged regardless of
-    machine speed.  The vectorized-vs-reference speedup must stay >= 3x
-    (the optimization's acceptance floor).
+    machine speed.  The vectorized-vs-reference and the
+    incremental-vs-cold composite-search speedups must each stay >= 3x
+    (the optimizations' acceptance floors).
     """
     failures: list[str] = []
     base_cal = baseline.get("calibration_time") or 1.0
@@ -221,6 +295,12 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
         failures.append(
             f"vectorized kernel speedup {current.get('speedup_exact_20'):.2f}x "
             "is below the 3x acceptance floor"
+        )
+    if current.get("speedup_composite", 0.0) < 3.0:
+        failures.append(
+            f"incremental composite-search speedup "
+            f"{current.get('speedup_composite', 0.0):.2f}x is below the 3x "
+            "acceptance floor"
         )
     return failures
 
@@ -255,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {name:38s} mean {entry['mean_time'] * 1e3:8.2f} ms{suffix}")
     print(f"vectorized speedup on exact EMS (20 events): "
           f"{payload['speedup_exact_20']:.2f}x")
+    print(f"incremental speedup on the composite search: "
+          f"{payload['speedup_composite']:.2f}x")
     print(f"wrote {arguments.output}")
 
     if arguments.check:

@@ -125,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate composite candidates in N worker processes "
              "(composite mode only; budgeted runs stay serial)",
     )
+    match.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the incremental composite engine (delta merges, "
+             "warm-started fixpoints, estimation screening) and evaluate "
+             "every candidate from a cold start",
+    )
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.add_argument(
         "--report", metavar="PATH", default=None,
@@ -151,7 +157,12 @@ def run_match(arguments: argparse.Namespace) -> int:
     alpha = arguments.alpha
     if alpha is None:
         alpha = 0.5 if arguments.labels else 1.0
-    config = EMSConfig(alpha=alpha, estimation_iterations=arguments.estimate)
+    config = EMSConfig(
+        alpha=alpha,
+        estimation_iterations=arguments.estimate,
+        incremental=not arguments.no_incremental,
+        screening=not arguments.no_incremental,
+    )
 
     budget = None
     if arguments.timeout is not None or arguments.pair_budget is not None:

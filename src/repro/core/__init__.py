@@ -12,7 +12,15 @@ from repro.core.composite import (
     discover_candidates,
 )
 from repro.core.config import EMSConfig
-from repro.core.ems import EMSEngine, EMSResult, edge_agreement, iteration_trace
+from repro.core.ems import (
+    EMSEngine,
+    EMSResult,
+    LabelMatrixCache,
+    WarmStart,
+    edge_agreement,
+    iteration_trace,
+)
+from repro.core.incremental import CandidateEvaluation, IncrementalSearchState
 from repro.core.matrix import SimilarityMatrix
 from repro.core.optimal import OptimalCompositeResult, optimal_composite_matching
 
@@ -23,6 +31,10 @@ __all__ = [
     "estimation_error",
     "EMSEngine",
     "EMSResult",
+    "LabelMatrixCache",
+    "WarmStart",
+    "CandidateEvaluation",
+    "IncrementalSearchState",
     "SimilarityMatrix",
     "edge_agreement",
     "iteration_trace",

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine, EMSResult, LabelMatrixCache
+from repro.core.incremental import IncrementalSearchState
 from repro.core.matrix import SimilarityMatrix
 from repro.exceptions import BudgetExhausted
 from repro.graph.dependency import DependencyGraph
@@ -116,13 +117,20 @@ def discover_candidates(
 # ----------------------------------------------------------------------
 @dataclass(slots=True)
 class CompositeStats:
-    """Instrumentation of one greedy matching run (Figures 12-14)."""
+    """Instrumentation of one greedy matching run (Figures 12-14).
+
+    ``screen_checks`` counts candidates subjected to the estimation-bound
+    screen, ``candidates_screened`` those it rejected before any graph was
+    built; screened candidates are not counted in ``candidates_evaluated``.
+    """
 
     rounds: int = 0
     candidates_evaluated: int = 0
     evaluations_aborted: int = 0
     pair_updates: int = 0
     pairs_fixed: int = 0
+    screen_checks: int = 0
+    candidates_screened: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -267,7 +275,7 @@ _WORKER_STATE: tuple[_RoundContext, LabelMatrixCache] | None = None
 
 def _init_worker(context: _RoundContext) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (context, LabelMatrixCache())
+    _WORKER_STATE = (context, LabelMatrixCache(context.config.label_cache_entries))
 
 
 def _pool_evaluate(
@@ -280,6 +288,65 @@ def _pool_evaluate(
         context, side_index, run, abort_below, label_cache
     )
     return side_index, run, outcome, pairs_fixed
+
+
+#: Per-process state of *incremental* pool workers.  Unlike the cold pool
+#: (re-created each round, full context per worker per round), this pool
+#: persists for the whole match: workers receive the base side states once
+#: at initialization and afterwards only the per-round delta — the list of
+#: accepted runs, which each worker replays through its own
+#: IncrementalSearchState, plus the round's directional matrices.
+_INC_WORKER: tuple[IncrementalSearchState, dict] | None = None
+
+
+def _init_incremental_worker(
+    config: EMSConfig,
+    base_label: LabelSimilarity,
+    min_edge_frequency: float,
+    use_unchanged: bool,
+    use_bounds: bool,
+    sides: tuple[tuple[EventLog, dict[str, frozenset[str]], DependencyGraph], ...],
+) -> None:
+    global _INC_WORKER
+    state = IncrementalSearchState(
+        config, base_label, min_edge_frequency, use_unchanged, use_bounds,
+        LabelMatrixCache(config.label_cache_entries),
+    )
+    state.reset(sides)
+    _INC_WORKER = (state, {"applied": 0, "round": None})
+
+
+def _incremental_pool_evaluate(
+    task: tuple[
+        int,
+        tuple[tuple[int, tuple[str, ...]], ...],
+        dict[str, SimilarityMatrix] | None,
+        int,
+        tuple[str, ...],
+        float,
+    ]
+) -> tuple[int, tuple[str, ...], EMSResult | None, int, bool]:
+    """Evaluate one candidate in a persistent incremental worker.
+
+    *task* carries ``(round_id, history, directional, side_index, run,
+    abort_below)`` where *history* lists every merge accepted since pool
+    creation.  The worker replays the suffix it has not applied yet —
+    the per-round delta — then evaluates with warm starts and screening
+    exactly like the serial loop.
+    """
+    assert _INC_WORKER is not None, "pool worker used without _init_incremental_worker"
+    state, progress = _INC_WORKER
+    round_id, history, directional, side_index, run, abort_below = task
+    while progress["applied"] < len(history):
+        accepted_side, accepted_run = history[progress["applied"]]
+        state.apply_accepted(accepted_side, accepted_run)
+        progress["applied"] += 1
+        progress["round"] = None  # force a begin_round with fresh matrices
+    if progress["round"] != round_id:
+        state.begin_round(directional)
+        progress["round"] = round_id
+    evaluation = state.evaluate(side_index, run, abort_below)
+    return side_index, run, evaluation.outcome, evaluation.pairs_fixed, evaluation.screened
 
 
 class CompositeMatcher:
@@ -401,7 +468,7 @@ class CompositeMatcher:
         started = time.perf_counter()
         meter = self.budget.start() if self.budget is not None else None
         policy = self.degradation
-        self._label_cache = LabelMatrixCache()
+        self._label_cache = LabelMatrixCache(self.config.label_cache_entries)
         states = (
             _SideState(
                 log_first,
@@ -477,54 +544,105 @@ class CompositeMatcher:
         stats: CompositeStats,
         meter: BudgetMeter | None,
     ) -> EMSResult:
-        """The greedy merge loop of Algorithm 2; returns the final result."""
-        while True:
-            if meter is not None:
-                meter.check()
-            stats.rounds += 1
-            current_average = current.matrix.average()
-            target = current_average + self.delta
-            best: tuple[int, tuple[str, ...], EMSResult] | None = None
-            best_average = current_average
+        """The greedy merge loop of Algorithm 2; returns the final result.
 
-            tasks: list[tuple[int, tuple[str, ...]]] = []
-            for side_index in (0, 1):
-                for run in discover_candidates(
-                    states[side_index].log,
-                    min_confidence=self.min_confidence,
-                    max_run_length=self.max_run_length,
-                    max_candidates=self.max_candidates,
-                ):
-                    tasks.append((side_index, run))
-
-            if self.workers > 1 and meter is None and len(tasks) > 1:
-                best, best_average = self._round_parallel(
-                    tasks, states, current, stats, target, best_average
-                )
-            else:
-                for side_index, run in tasks:
-                    outcome = self._evaluate(
-                        side_index, run, states, current, stats,
-                        abort_below=max(best_average, target),
-                        meter=meter,
+        With ``config.incremental`` (the default) candidate merges are
+        evaluated through an :class:`IncrementalSearchState` — delta count
+        patches, patched levels, warm-started fixpoints and estimation
+        screening — producing the same trajectory and scores as the cold
+        path.  ``config.incremental = False`` (the ``--no-incremental``
+        escape hatch) restores the full-rebuild evaluation.
+        """
+        incremental: IncrementalSearchState | None = None
+        if self.config.incremental:
+            incremental = IncrementalSearchState(
+                self.config, self.base_label, self.min_edge_frequency,
+                self.use_unchanged, self.use_bounds, self._label_cache,
+            )
+            incremental.reset(
+                tuple((state.log, state.members, state.graph) for state in states)
+            )
+        pool: ProcessPoolExecutor | None = None
+        pool_history: list[tuple[int, tuple[str, ...]]] = []
+        try:
+            while True:
+                if meter is not None:
+                    meter.check()
+                stats.rounds += 1
+                current_average = current.matrix.average()
+                target = current_average + self.delta
+                best: tuple[int, tuple[str, ...], EMSResult] | None = None
+                best_average = current_average
+                if incremental is not None:
+                    incremental.begin_round(
+                        current.directional if self.use_unchanged else None
                     )
-                    if outcome is None:
-                        continue
-                    if outcome.matrix.average() > best_average:
-                        best_average = outcome.matrix.average()
-                        best = (side_index, run, outcome)
 
-            if best is None or best_average - current_average <= self.delta:
-                return current
+                tasks: list[tuple[int, tuple[str, ...]]] = []
+                for side_index in (0, 1):
+                    for run in discover_candidates(
+                        states[side_index].log,
+                        min_confidence=self.min_confidence,
+                        max_run_length=self.max_run_length,
+                        max_candidates=self.max_candidates,
+                    ):
+                        tasks.append((side_index, run))
 
-            side_index, run, outcome = best
-            state = states[side_index]
-            merged_log, merged_members = merge_run_in_log(state.log, run, state.members)
-            state.log = merged_log
-            state.members = merged_members
-            state.graph = self._graph(merged_log, merged_members)
-            state.accepted.append(run)
-            current = outcome
+                if self.workers > 1 and meter is None and len(tasks) > 1:
+                    if incremental is not None:
+                        if pool is None:
+                            pool = self._start_incremental_pool(states)
+                            pool_history = []
+                        best, best_average = self._round_parallel_incremental(
+                            tasks, current, stats, target, best_average,
+                            pool, tuple(pool_history),
+                        )
+                    else:
+                        best, best_average = self._round_parallel(
+                            tasks, states, current, stats, target, best_average
+                        )
+                else:
+                    for side_index, run in tasks:
+                        if incremental is not None:
+                            outcome = self._evaluate_incremental(
+                                incremental, side_index, run, stats,
+                                abort_below=max(best_average, target),
+                                meter=meter,
+                            )
+                        else:
+                            outcome = self._evaluate(
+                                side_index, run, states, current, stats,
+                                abort_below=max(best_average, target),
+                                meter=meter,
+                            )
+                        if outcome is None:
+                            continue
+                        if outcome.matrix.average() > best_average:
+                            best_average = outcome.matrix.average()
+                            best = (side_index, run, outcome)
+
+                if best is None or best_average - current_average <= self.delta:
+                    return current
+
+                side_index, run, outcome = best
+                state = states[side_index]
+                if incremental is not None:
+                    state.log, state.members, state.graph = (
+                        incremental.apply_accepted(side_index, run)
+                    )
+                else:
+                    merged_log, merged_members = merge_run_in_log(
+                        state.log, run, state.members
+                    )
+                    state.log = merged_log
+                    state.members = merged_members
+                    state.graph = self._graph(merged_log, merged_members)
+                state.accepted.append(run)
+                pool_history.append((side_index, run))
+                current = outcome
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
     # ------------------------------------------------------------------
     def _evaluate(
@@ -549,6 +667,102 @@ class CompositeMatcher:
             return None
         stats.pair_updates += outcome.pair_updates
         return outcome
+
+    def _evaluate_incremental(
+        self,
+        incremental: IncrementalSearchState,
+        side_index: int,
+        run: tuple[str, ...],
+        stats: CompositeStats,
+        abort_below: float,
+        meter: BudgetMeter | None = None,
+    ) -> EMSResult | None:
+        """Incremental counterpart of :meth:`_evaluate` (same accounting)."""
+        screening_active = self.config.screening and meter is None
+        if screening_active:
+            stats.screen_checks += 1
+        else:
+            # Mirror the cold path: the candidate counts as evaluated even
+            # if the budget meter raises mid-fixpoint.  (Screening cannot
+            # raise — it is only active without a meter — so with screening
+            # on the count can safely wait for the screen verdict.)
+            stats.candidates_evaluated += 1
+        evaluation = incremental.evaluate(side_index, run, abort_below, meter)
+        if evaluation.screened:
+            stats.candidates_screened += 1
+            return None
+        if screening_active:
+            stats.candidates_evaluated += 1
+        stats.pairs_fixed += evaluation.pairs_fixed
+        if evaluation.outcome is None:
+            stats.evaluations_aborted += 1
+            return None
+        stats.pair_updates += evaluation.outcome.pair_updates
+        return evaluation.outcome
+
+    def _start_incremental_pool(
+        self, states: tuple[_SideState, _SideState]
+    ) -> ProcessPoolExecutor:
+        """A match-lifetime worker pool seeded with the current side states."""
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_incremental_worker,
+            initargs=(
+                self.config, self.base_label, self.min_edge_frequency,
+                self.use_unchanged, self.use_bounds,
+                tuple((state.log, state.members, state.graph) for state in states),
+            ),
+        )
+
+    def _round_parallel_incremental(
+        self,
+        tasks: list[tuple[int, tuple[str, ...]]],
+        current: EMSResult,
+        stats: CompositeStats,
+        target: float,
+        best_average: float,
+        pool: ProcessPoolExecutor,
+        history: tuple[tuple[int, tuple[str, ...]], ...],
+    ) -> tuple[tuple[int, tuple[str, ...], EMSResult] | None, float]:
+        """One round of candidates on the persistent incremental pool.
+
+        Tasks carry only the per-round delta — the accepted-run *history*
+        (replayed by workers that have not caught up) and the round's
+        directional matrices — instead of the full round context the cold
+        pool re-pickles every round.  Futures are reduced in submission
+        order, which matches the serial candidate order, so the selected
+        best candidate is the one the serial loop would pick.
+        """
+        directional = current.directional if self.use_unchanged else None
+        round_id = stats.rounds
+        best: tuple[int, tuple[str, ...], EMSResult] | None = None
+        for start in range(0, len(tasks), self.workers):
+            wave = tasks[start:start + self.workers]
+            bound = max(best_average, target)
+            futures = [
+                pool.submit(
+                    _incremental_pool_evaluate,
+                    (round_id, history, directional, side_index, run, bound),
+                )
+                for side_index, run in wave
+            ]
+            for future in futures:
+                side_index, run, outcome, pairs_fixed, screened = future.result()
+                if self.config.screening:
+                    stats.screen_checks += 1
+                if screened:
+                    stats.candidates_screened += 1
+                    continue
+                stats.candidates_evaluated += 1
+                stats.pairs_fixed += pairs_fixed
+                if outcome is None:
+                    stats.evaluations_aborted += 1
+                    continue
+                stats.pair_updates += outcome.pair_updates
+                if outcome.matrix.average() > best_average:
+                    best_average = outcome.matrix.average()
+                    best = (side_index, run, outcome)
+        return best, best_average
 
     def _round_parallel(
         self,

@@ -53,6 +53,26 @@ class EMSConfig:
     #: docstring.  Results are identical — "reference" exists for
     #: differential testing and as a readable spec of the computation.
     kernel: Kernel = "vectorized"
+    #: Incremental composite search: candidate merges patch the parent
+    #: round's counts, graphs and levels instead of rebuilding from the
+    #: rewritten log, and the fixpoint warm-starts from the parent round's
+    #: converged matrices (Proposition 4 in array form).  Trajectories and
+    #: scores are identical to the cold path (the differential property
+    #: suite holds this to 1e-12); False restores the cold path — the
+    #: ``--no-incremental`` escape hatch.
+    incremental: bool = True
+    #: Estimation-bound candidate screening (Section 3.5 as a filter):
+    #: before the exact evaluation, a candidate whose closed-form upper
+    #: bound cannot beat the incumbent ``Bd`` is rejected without building
+    #: a graph.  Sound — screened candidates would have lost anyway — and
+    #: automatically disabled while a pair-update budget is active so that
+    #: budget accounting matches the unscreened path.  Only consulted on
+    #: the incremental path.
+    screening: bool = True
+    #: LRU entry cap of the shared :class:`~repro.core.ems.LabelMatrixCache`
+    #: (``None`` = unbounded).  Each entry is one whole label matrix plus
+    #: headroom for 128 scalar cells.
+    label_cache_entries: int | None = 512
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -76,6 +96,10 @@ class EMSConfig:
         if self.kernel not in ("vectorized", "reference"):
             raise ValueError(
                 f"kernel must be vectorized/reference, got {self.kernel!r}"
+            )
+        if self.label_cache_entries is not None and self.label_cache_entries < 1:
+            raise ValueError(
+                f"label_cache_entries must be >= 1 or None, got {self.label_cache_entries}"
             )
 
     def with_(self, **changes) -> "EMSConfig":

@@ -94,6 +94,11 @@ class EMSResult:
         return self.matrix.average()
 
 
+#: Cell-cache headroom per matrix entry of a bounded LabelMatrixCache —
+#: roughly one mid-sized matrix's worth of scalar cells per cached matrix.
+_CELLS_PER_ENTRY = 128
+
+
 class LabelMatrixCache:
     """Memoized ``S^L`` matrices shared across :class:`EMSEngine` instances.
 
@@ -105,13 +110,28 @@ class LabelMatrixCache:
     cells (keyed on the name pair).  Sound within one matching run because
     composite node names (``⟨A+B⟩``, :func:`repro.graph.merge.composite_name`)
     encode their member activities: equal names imply equal label values.
+
+    ``max_entries`` bounds the cache with LRU eviction: at most that many
+    whole matrices and ``128 *`` that many scalar cells are retained, so a
+    long composite run over a large alphabet — whose candidate vocabularies
+    never repeat exactly — cannot grow the cache without limit.  ``None``
+    keeps the historical unbounded behaviour.  The cap is exposed as
+    :attr:`repro.core.config.EMSConfig.label_cache_entries`.
     """
 
-    __slots__ = ("_matrices", "_cells")
+    __slots__ = ("_matrices", "_cells", "_max_entries", "_max_cells")
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self._matrices: dict[tuple[tuple[str, ...], tuple[str, ...]], np.ndarray] = {}
         self._cells: dict[tuple[str, str], float] = {}
+        self._max_entries = max_entries
+        self._max_cells = None if max_entries is None else max_entries * _CELLS_PER_ENTRY
+
+    def __len__(self) -> int:
+        """Number of cached whole matrices."""
+        return len(self._matrices)
 
     def matrix(
         self,
@@ -124,20 +144,58 @@ class LabelMatrixCache:
         The returned array is shared and marked read-only.
         """
         key = (rows, cols)
-        cached = self._matrices.get(key)
-        if cached is None:
-            cells = self._cells
-            cached = np.empty((len(rows), len(cols)))
-            for i, first in enumerate(rows):
-                for j, second in enumerate(cols):
-                    value = cells.get((first, second))
-                    if value is None:
-                        value = label(first, second)
-                        cells[first, second] = value
-                    cached[i, j] = value
-            cached.flags.writeable = False
-            self._matrices[key] = cached
+        matrices = self._matrices
+        cached = matrices.get(key)
+        if cached is not None:
+            if self._max_entries is not None:
+                matrices[key] = matrices.pop(key)  # LRU touch
+            return cached
+        cells = self._cells
+        cached = np.empty((len(rows), len(cols)))
+        for i, first in enumerate(rows):
+            for j, second in enumerate(cols):
+                value = cells.get((first, second))
+                if value is None:
+                    value = label(first, second)
+                    cells[first, second] = value
+                cached[i, j] = value
+        cached.flags.writeable = False
+        matrices[key] = cached
+        if self._max_entries is not None:
+            while len(matrices) > self._max_entries:
+                matrices.pop(next(iter(matrices)))
+            while len(cells) > self._max_cells:
+                cells.pop(next(iter(cells)))
         return cached
+
+
+@dataclass(frozen=True, slots=True)
+class WarmStart:
+    """Similarity values carried over from a parent evaluation.
+
+    The incremental composite engine hands the fixpoint the parent round's
+    converged directional matrix, mapped onto the merged node grid, plus
+    the *dirty-pair frontier*: the boolean mask of pairs whose predecessor
+    signature changed under the candidate merge (Proposition 4's affected
+    region).  Non-dirty pairs keep their carried values and are never
+    re-iterated — the array equivalent of the ``fixed_pairs`` dictionaries,
+    built without ``O(n1 * n2)`` Python dictionary traffic.  Dirty pairs
+    restart from the standard initialization, which keeps the computation
+    bit-identical to a cold evaluation with the same fixed set (the
+    differential guarantee of ``tests/property/test_property_incremental``).
+
+    ``values`` and ``dirty`` are ``(n1, n2)`` arrays over the real node
+    grids of the two graphs; ``values`` entries under the dirty mask are
+    ignored.
+    """
+
+    values: np.ndarray
+    dirty: np.ndarray
+
+    @property
+    def pairs_fixed(self) -> int:
+        """How many pairs the warm start pins (the Uc accounting metric)."""
+        return int(self.dirty.size - self.dirty.sum())
 
 
 def edge_agreement(weight_first: np.ndarray, weight_second: np.ndarray, c: float) -> np.ndarray:
@@ -161,7 +219,7 @@ class _DirectionalRun:
         second: DependencyGraph,
         config: EMSConfig,
         label_matrix: np.ndarray,
-        fixed_pairs: dict[tuple[str, str], float] | None = None,
+        fixed_pairs: dict[tuple[str, str], float] | WarmStart | None = None,
         meter: BudgetMeter | None = None,
     ):
         self.config = config
@@ -218,15 +276,28 @@ class _DirectionalRun:
 
         # Pairs with externally known converged values (Proposition 4 — the
         # *Uc* pruning of the composite matcher): seeded and never updated.
-        self._fixed_mask = np.zeros((n1, n2), dtype=bool)
-        if fixed_pairs:
-            for (node_first, node_second), value in fixed_pairs.items():
-                i = index_first.get(node_first)
-                j = index_second.get(node_second)
-                if i is None or j is None or i == n1 or j == n2:
-                    continue
-                self.values[i, j] = value
-                self._fixed_mask[i, j] = True
+        # A WarmStart is the array form of the same fixed set: non-dirty
+        # pairs keep the carried values, dirty pairs start from 0 exactly
+        # like a cold run, so the two representations are interchangeable.
+        if isinstance(fixed_pairs, WarmStart):
+            if fixed_pairs.values.shape != (n1, n2):
+                raise ValueError(
+                    f"warm-start shape {fixed_pairs.values.shape} does not match "
+                    f"the ({n1}, {n2}) real-pair grid"
+                )
+            self._fixed_mask = ~fixed_pairs.dirty
+            real = self.values[:n1, :n2]
+            real[self._fixed_mask] = fixed_pairs.values[self._fixed_mask]
+        else:
+            self._fixed_mask = np.zeros((n1, n2), dtype=bool)
+            if fixed_pairs:
+                for (node_first, node_second), value in fixed_pairs.items():
+                    i = index_first.get(node_first)
+                    j = index_second.get(node_second)
+                    if i is None or j is None or i == n1 or j == n2:
+                        continue
+                    self.values[i, j] = value
+                    self._fixed_mask[i, j] = True
 
         self.iterations = 0
         self.pair_updates = 0
@@ -551,13 +622,16 @@ _KERNELS: dict[str, type[_DirectionalRun]] = {
     "vectorized": _VectorizedRun,
 }
 
+#: What the Uc / warm-start seed of a directional run may look like.
+FixedPairs = dict[tuple[str, str], float] | WarmStart | None
+
 
 def _make_run(
     first: DependencyGraph,
     second: DependencyGraph,
     config: EMSConfig,
     label_matrix: np.ndarray,
-    fixed_pairs: dict[tuple[str, str], float] | None = None,
+    fixed_pairs: FixedPairs = None,
     meter: BudgetMeter | None = None,
 ) -> _DirectionalRun:
     return _KERNELS[config.kernel](first, second, config, label_matrix, fixed_pairs, meter)
@@ -608,8 +682,8 @@ class EMSEngine:
         self,
         first: DependencyGraph,
         second: DependencyGraph,
-        fixed_forward: dict[tuple[str, str], float] | None = None,
-        fixed_backward: dict[tuple[str, str], float] | None = None,
+        fixed_forward: FixedPairs = None,
+        fixed_backward: FixedPairs = None,
         meter: BudgetMeter | None = None,
     ) -> list[_DirectionalRun]:
         label = self._label_matrix(first, second)
@@ -652,8 +726,8 @@ class EMSEngine:
         self,
         first: DependencyGraph,
         second: DependencyGraph,
-        fixed_forward: dict[tuple[str, str], float] | None = None,
-        fixed_backward: dict[tuple[str, str], float] | None = None,
+        fixed_forward: FixedPairs = None,
+        fixed_backward: FixedPairs = None,
         meter: BudgetMeter | None = None,
     ) -> EMSResult:
         """Compute the pairwise similarity matrix of the two graphs.
@@ -679,8 +753,8 @@ class EMSEngine:
         second: DependencyGraph,
         meter: BudgetMeter | None,
         policy: DegradationPolicy | None = None,
-        fixed_forward: dict[tuple[str, str], float] | None = None,
-        fixed_backward: dict[tuple[str, str], float] | None = None,
+        fixed_forward: FixedPairs = None,
+        fixed_backward: FixedPairs = None,
     ) -> tuple[EMSResult, str, str | None]:
         """:meth:`similarity` with the graceful-degradation ladder.
 
@@ -719,8 +793,8 @@ class EMSEngine:
         first: DependencyGraph,
         second: DependencyGraph,
         abort_below: float,
-        fixed_forward: dict[tuple[str, str], float] | None = None,
-        fixed_backward: dict[tuple[str, str], float] | None = None,
+        fixed_forward: FixedPairs = None,
+        fixed_backward: FixedPairs = None,
         meter: BudgetMeter | None = None,
     ) -> EMSResult | None:
         """Like :meth:`similarity`, but give up early when hopeless.

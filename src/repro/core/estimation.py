@@ -34,6 +34,31 @@ import math
 
 import numpy as np
 
+#: exp(x) underflows to subnormal/zero below this; fall straight to the
+#: series limit instead of letting ``q ** steps`` trip FP underflow traps.
+_UNDERFLOW_EXPONENT = -745.0
+
+
+def _geometric_power(q: np.ndarray, steps: np.ndarray) -> np.ndarray:
+    """``q ** steps`` computed in log-space, underflow-safe.
+
+    ``steps`` can reach the pair's convergence level ``h`` — thousands on
+    deep logs — where ``q ** steps`` underflows.  The result is then
+    indistinguishable from 0 (the series limit ``a / (1 - q)`` takes over),
+    so exponents below the double-precision floor are clamped to exactly 0
+    instead of raising ``FloatingPointError`` under strict FP error states.
+    ``q`` entries are in ``[0, 1)``; ``q == 0`` yields 0 (steps >= 1 here).
+    """
+    result = np.zeros_like(q)
+    positive = q > 0.0
+    if positive.any():
+        exponent = steps[positive] * np.log(q[positive])
+        safe = exponent > _UNDERFLOW_EXPONENT
+        values = np.zeros_like(exponent)
+        values[safe] = np.exp(exponent[safe])
+        result[positive] = values
+    return result
+
 
 def estimation_coefficients(
     pre_count_first: np.ndarray,
@@ -98,7 +123,7 @@ def estimate_matrix(
     one_minus_q = 1.0 - q
     if finite.any():
         steps = pair_levels[finite] - exact_iterations
-        q_pow = np.power(q[finite], steps)
+        q_pow = _geometric_power(q[finite], steps)
         result[finite] = q_pow * exact[finite] + a[finite] * (1.0 - q_pow) / one_minus_q[finite]
     if infinite.any():
         # q < alpha*c < 1, so q^(n-I) -> 0 and the series sums to a/(1-q).
@@ -118,5 +143,10 @@ def estimate_pair(
         return exact_value
     if math.isinf(level):
         return min(1.0, a / (1.0 - q))
-    q_pow = q ** (level - exact_iterations)
+    steps = level - exact_iterations
+    if q <= 0.0:
+        q_pow = 0.0
+    else:
+        exponent = steps * math.log(q)
+        q_pow = math.exp(exponent) if exponent > _UNDERFLOW_EXPONENT else 0.0
     return min(1.0, q_pow * exact_value + a * (1.0 - q_pow) / (1.0 - q))

@@ -15,7 +15,7 @@ import math
 import numpy as np
 
 from repro.graph.dependency import DependencyGraph
-from repro.graph.levels import longest_distances, max_finite_level
+from repro.graph.levels import max_finite_level
 
 
 class ConvergenceSchedule:
@@ -24,8 +24,12 @@ class ConvergenceSchedule:
     __slots__ = ("levels_first", "levels_second", "pair_levels", "global_bound")
 
     def __init__(self, first: DependencyGraph, second: DependencyGraph):
-        self.levels_first = longest_distances(first)
-        self.levels_second = longest_distances(second)
+        # Graphs cache their levels (DependencyGraph.levels), so repeated
+        # schedules over the same graph — every candidate of a composite
+        # round pairs a fresh merged graph with the same other-side graph —
+        # pay the longest-distance pass only once per graph.
+        self.levels_first = first.levels()
+        self.levels_second = second.levels()
         l1 = np.array([self.levels_first[node] for node in first.nodes])
         l2 = np.array([self.levels_second[node] for node in second.nodes])
         #: ``h`` for each real pair: min(l(v1), l(v2)), shape (|V1|, |V2|).

@@ -1,10 +1,17 @@
 """Dependency-graph substrate: Definition 1 plus the artificial event."""
 
 from repro.graph.dependency import ARTIFICIAL, DependencyGraph
-from repro.graph.levels import longest_distances, max_finite_level
+from repro.graph.levels import longest_distances, max_finite_level, patched_longest_distances
 from repro.graph.merge import (
+    LogCounts,
+    MergeDelta,
+    TraceIndex,
+    apply_delta_to_log,
     composite_name,
     expand_members,
+    merge_counts,
+    merged_graph_from_delta,
+    merged_member_map,
     merge_run_in_log,
     merge_runs_in_log,
     merged_dependency_graph,
@@ -15,6 +22,14 @@ __all__ = [
     "DependencyGraph",
     "longest_distances",
     "max_finite_level",
+    "patched_longest_distances",
+    "LogCounts",
+    "MergeDelta",
+    "TraceIndex",
+    "apply_delta_to_log",
+    "merge_counts",
+    "merged_graph_from_delta",
+    "merged_member_map",
     "composite_name",
     "expand_members",
     "merge_run_in_log",

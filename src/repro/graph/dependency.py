@@ -45,7 +45,10 @@ class DependencyGraph:
         node stands for.  Defaults to each node representing itself.
     """
 
-    __slots__ = ("name", "_node_freq", "_edge_freq", "_pre", "_post", "_members", "_nodes")
+    __slots__ = (
+        "name", "_node_freq", "_edge_freq", "_pre", "_post", "_members", "_nodes",
+        "_levels", "_reversed",
+    )
 
     def __init__(
         self,
@@ -93,6 +96,11 @@ class DependencyGraph:
             self._members = {
                 node: frozenset(members.get(node, frozenset({node}))) for node in self._nodes
             }
+
+        # Lazily-computed, instance-local caches.  Graphs are immutable, so
+        # both are sound; they are dropped on pickling (see __getstate__).
+        self._levels: dict[str, float] | None = None
+        self._reversed: "DependencyGraph | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -192,6 +200,32 @@ class DependencyGraph:
         except KeyError:
             raise GraphError(f"unknown node {node!r}") from None
 
+    def levels(self) -> dict[str, float]:
+        """The Proposition-2 levels ``l(v)`` of every real node (plus ``v^X``).
+
+        Computed once per instance and cached — the composite search asks
+        for the same graph's levels once per candidate per direction, and
+        recomputing the longest-distance pass each time dominated the
+        candidate-evaluation setup cost.  The incremental merge engine
+        seeds this cache with patched levels (:func:`repro.graph.levels.
+        patched_longest_distances`) so merged graphs never pay the full
+        recomputation either.
+        """
+        if self._levels is None:
+            from repro.graph.levels import longest_distances
+
+            self._levels = longest_distances(self)
+        return self._levels
+
+    def _seed_levels(self, levels: Mapping[str, float]) -> None:
+        """Install externally computed levels (the incremental patch path).
+
+        The caller guarantees *levels* equals :func:`longest_distances` of
+        this graph; the differential tests in ``tests/graph/test_levels``
+        hold that guarantee to account.
+        """
+        self._levels = dict(levels)
+
     def members(self, node: str) -> frozenset[str]:
         """The original activities a (possibly composite) node stands for."""
         try:
@@ -232,13 +266,38 @@ class DependencyGraph:
         Running the forward similarity on reversed graphs yields the
         *backward similarity* of Section 3.6 (successors instead of
         predecessors); artificial edges are symmetric and unaffected.
+        The result is memoized: graphs are immutable, and the composite
+        search reverses the same two graphs once per candidate.
         """
-        reversed_edges = {
-            (target, source): freq for (source, target), freq in self.real_edges.items()
+        if self._reversed is None:
+            reversed_edges = {
+                (target, source): freq
+                for (source, target), freq in self.real_edges.items()
+            }
+            self._reversed = DependencyGraph(
+                self._node_freq, reversed_edges,
+                name=f"{self.name}(reversed)", members=self._members,
+            )
+        return self._reversed
+
+    # ------------------------------------------------------------------
+    # Pickling: drop the instance caches — a reversed graph pickled along
+    # with its parent would double every worker payload, and caches are
+    # rebuilt (or re-seeded) lazily on first use anyway.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_levels", "_reversed")
         }
-        return DependencyGraph(
-            self._node_freq, reversed_edges, name=f"{self.name}(reversed)", members=self._members
-        )
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        self._levels = None
+        self._reversed = None
 
     def filter_edges(self, min_frequency: float) -> "DependencyGraph":
         """Drop real edges with frequency below *min_frequency*."""

@@ -66,6 +66,127 @@ def longest_distances(graph: DependencyGraph) -> dict[str, float]:
     return levels
 
 
+def patched_longest_distances(
+    graph: DependencyGraph,
+    parent_levels: dict[str, float],
+    changed: set[str] | frozenset[str],
+) -> dict[str, float]:
+    """``l(v)`` for *graph*, recomputed only where it can differ from a parent.
+
+    *graph* is assumed to differ from the graph that produced
+    *parent_levels* only at the *changed* nodes: nodes added, removed, or
+    whose set of real in-edges changed (a removed node's former neighbours
+    necessarily lost an in-edge, so they are in *changed* too).  Any path
+    from ``v^X`` that differs between the two graphs then runs through a
+    changed node, so ``l(v)`` can only move for *changed* nodes and their
+    real-edge descendants — the *dirty* region.  Everything else keeps its
+    parent level verbatim; the dirty region is recomputed with the same
+    SCC + longest-path machinery as :func:`longest_distances`, seeded at
+    the boundary by the (unchanged) levels of non-dirty predecessors.
+
+    Differentially equal to ``longest_distances(graph)``
+    (``tests/graph/test_levels.py``); raises if *changed* is inconsistent
+    with the two graphs (a node neither dirty nor known to the parent).
+    """
+    from repro.exceptions import GraphError
+
+    nodes = set(graph.nodes)
+    present_changed = {node for node in changed if node in nodes}
+    if not present_changed:
+        levels = {ARTIFICIAL: 0.0}
+        for node in graph.nodes:
+            try:
+                levels[node] = parent_levels[node]
+            except KeyError:
+                raise GraphError(
+                    f"node {node!r} is new but not in the changed set"
+                ) from None
+        return levels
+
+    # Dirty region: changed nodes plus everything reachable from them
+    # over real edges of the *merged* graph.
+    dirty = set(present_changed)
+    queue = deque(present_changed)
+    while queue:
+        node = queue.popleft()
+        for target in graph.successors(node):
+            if target != ARTIFICIAL and target not in dirty:
+                dirty.add(target)
+                queue.append(target)
+
+    # Boundary seeds: for each dirty node, the best level arriving from
+    # outside the dirty region (always at least 1 via the v^X source edge).
+    base: dict[str, float] = {}
+    entry_infinite: set[str] = set()
+    for node in dirty:
+        level = 1.0
+        for source in graph.predecessors(node):
+            if source == ARTIFICIAL or source in dirty:
+                continue
+            parent = parent_levels.get(source)
+            if parent is None:
+                raise GraphError(
+                    f"predecessor {source!r} is neither dirty nor in the parent levels"
+                )
+            if math.isinf(parent):
+                entry_infinite.add(node)
+            elif parent + 1.0 > level:
+                level = parent + 1.0
+        base[node] = level
+
+    successors_dirty = {
+        node: [
+            target
+            for target in graph.successors(node)
+            if target != ARTIFICIAL and target in dirty
+        ]
+        for node in dirty
+    }
+    # Any cycle through a dirty node lies entirely inside the dirty region
+    # (every cycle node is a descendant of the dirty node), so SCCs of the
+    # dirty subgraph find exactly the cycles that matter.
+    cyclic_roots: set[str] = set()
+    for component in _strongly_connected_components(successors_dirty):
+        if len(component) > 1:
+            cyclic_roots.update(component)
+        else:
+            (only,) = component
+            if only in successors_dirty[only]:
+                cyclic_roots.add(only)
+    infinite = _reachable_from(cyclic_roots | entry_infinite, successors_dirty)
+
+    order = _topological_order(
+        {
+            node: [t for t in targets if t not in infinite]
+            for node, targets in successors_dirty.items()
+            if node not in infinite
+        }
+    )
+    computed: dict[str, float] = {node: math.inf for node in infinite}
+    for node in order:
+        computed.setdefault(node, base[node])
+    for node in order:
+        level = computed[node]
+        for target in successors_dirty[node]:
+            if target in infinite:
+                continue
+            if level + 1.0 > computed[target]:
+                computed[target] = level + 1.0
+
+    levels = {ARTIFICIAL: 0.0}
+    for node in graph.nodes:
+        if node in dirty:
+            levels[node] = computed[node]
+        else:
+            parent = parent_levels.get(node)
+            if parent is None:
+                raise GraphError(
+                    f"node {node!r} is new but not in the changed set"
+                )
+            levels[node] = parent
+    return levels
+
+
 def max_finite_level(levels: dict[str, float]) -> float:
     """The largest level in *levels*; ``inf`` if any node is cyclic.
 

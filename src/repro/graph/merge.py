@@ -1,4 +1,4 @@
-"""Composite-event merging.
+"""Composite-event merging: full log rewriting and delta count patching.
 
 Section 4 treats a composite event — several singleton events that jointly
 correspond to one event in the other log — "as one node in constructing
@@ -7,15 +7,29 @@ frequencies is to rewrite the *log* (collapse each contiguous occurrence
 of the member run into one event) and rebuild the graph from the rewritten
 log; merging at the graph level cannot recover the per-trace co-occurrence
 counts.  This module implements that rewriting plus composite bookkeeping.
+
+The *delta* half of the module (:class:`TraceIndex`, :class:`LogCounts`,
+:func:`merge_counts`) exploits that a merge of run ``r`` only rewrites the
+traces that actually contain ``r`` contiguously.  Definition 1's
+frequencies are integer trace counts divided by the (merge-invariant)
+trace count, so patching the integer counters of just the affected traces
+yields frequencies — and therefore graphs, levels and similarities —
+**bit-identical** to the full rebuild, at a cost proportional to the
+affected traces instead of the whole log.  The full rewrite is kept both
+as the API for non-incremental callers and as the differential ground
+truth (``tests/graph/test_merge_delta.py``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.exceptions import GraphError
 from repro.graph.dependency import DependencyGraph
+from repro.logs.events import Trace
 from repro.logs.log import EventLog
+from repro.logs.stats import LogStatistics
 
 
 def composite_name(run: Sequence[str]) -> str:
@@ -95,3 +109,283 @@ def merged_dependency_graph(
     """Dependency graph of *log* after merging the composite *runs*."""
     merged, members = merge_runs_in_log(log, runs)
     return DependencyGraph.from_log(merged, min_frequency=min_frequency, members=members)
+
+
+# ----------------------------------------------------------------------
+# Delta merging: patch integer counts instead of rewriting the log
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class LogCounts:
+    """The integer numerators of Definition 1's frequencies.
+
+    ``activity[a]`` is the number of traces containing ``a``;
+    ``pair[(a, b)]`` the number of traces where ``a b`` occur consecutively
+    at least once.  Dividing by ``trace_count`` reproduces
+    :func:`repro.logs.stats.compute_statistics` exactly — same integers,
+    same division, bit-identical floats — which is what lets delta-merged
+    graphs match full rebuilds to the last bit.
+    """
+
+    trace_count: int
+    activity: dict[str, int]
+    pair: dict[tuple[str, str], int]
+
+    @classmethod
+    def from_log(cls, log: EventLog) -> "LogCounts":
+        return cls(
+            trace_count=len(log),
+            activity=dict(log.activity_trace_counts()),
+            pair=dict(log.pair_trace_counts()),
+        )
+
+    def copy(self) -> "LogCounts":
+        return LogCounts(self.trace_count, dict(self.activity), dict(self.pair))
+
+    def statistics(self) -> LogStatistics:
+        """The normalized statistics these counts represent."""
+        tc = self.trace_count
+        return LogStatistics(
+            trace_count=tc,
+            activity_frequencies={a: count / tc for a, count in self.activity.items()},
+            pair_frequencies={p: count / tc for p, count in self.pair.items()},
+        )
+
+
+class TraceIndex:
+    """Per-trace distinct sets plus an activity → trace-positions index.
+
+    Built once per log, the index answers "which traces can contain run
+    ``r`` contiguously?" (the intersection of the members' postings) and
+    supplies each affected trace's old distinct-activity and distinct-pair
+    sets so :func:`merge_counts` can subtract/re-add only what changed.
+    ``apply`` advances the index in place when a merge is accepted.
+    """
+
+    __slots__ = ("traces", "activity_sets", "pair_sets", "postings")
+
+    def __init__(self, log: EventLog):
+        self.traces: list[Trace] = list(log.traces)
+        self.activity_sets: list[frozenset[str]] = [
+            trace.distinct_activities() for trace in self.traces
+        ]
+        self.pair_sets: list[frozenset[tuple[str, str]]] = [
+            frozenset(trace.pairs()) for trace in self.traces
+        ]
+        self.postings: dict[str, set[int]] = {}
+        for i, activities in enumerate(self.activity_sets):
+            for activity in activities:
+                self.postings.setdefault(activity, set()).add(i)
+
+    def candidate_traces(self, run: Sequence[str]) -> list[int]:
+        """Positions of traces containing every member of *run* (sorted)."""
+        postings = [self.postings.get(member) for member in run]
+        if any(p is None for p in postings):
+            return []
+        smallest = min(postings, key=len)
+        common = set(smallest)
+        for p in postings:
+            if p is not smallest:
+                common &= p
+                if not common:
+                    return []
+        return sorted(common)
+
+    def apply(self, delta: "MergeDelta") -> None:
+        """Advance the index past an accepted merge (in place)."""
+        for i, new_trace in delta.affected:
+            old_activities = self.activity_sets[i]
+            new_activities = new_trace.distinct_activities()
+            for activity in old_activities - new_activities:
+                posting = self.postings[activity]
+                posting.discard(i)
+                if not posting:
+                    del self.postings[activity]
+            for activity in new_activities - old_activities:
+                self.postings.setdefault(activity, set()).add(i)
+            self.traces[i] = new_trace
+            self.activity_sets[i] = new_activities
+            self.pair_sets[i] = frozenset(new_trace.pairs())
+
+
+@dataclass(frozen=True, slots=True)
+class MergeDelta:
+    """Everything one candidate merge changes, in patchable form.
+
+    ``counts`` is the fully patched :class:`LogCounts` of the merged log;
+    ``affected`` the rewritten traces (position, new trace);
+    ``activity_changes`` / ``pair_changes`` map each touched counter key to
+    its ``(old, new)`` integer counts — the raw material for computing
+    which nodes' in/out edge sets changed (and hence where Proposition-2
+    levels must be recomputed).
+    """
+
+    run: tuple[str, ...]
+    name: str
+    counts: LogCounts
+    affected: tuple[tuple[int, Trace], ...]
+    activity_changes: dict[str, tuple[int, int]]
+    pair_changes: dict[tuple[str, str], tuple[int, int]]
+
+    def changed_nodes(self, min_frequency: float = 0.0) -> tuple[set[str], set[str]]:
+        """``(in_changed, out_changed)``: nodes whose real edge sets moved.
+
+        A node's *in*-edge set changes when it gains or loses a
+        surviving-the-``min_frequency``-filter incoming edge; likewise
+        *out* for outgoing.  Run members and the composite name are always
+        included (nodes removed/added outright).  These are exactly the
+        ``changed`` sets :func:`repro.graph.levels.patched_longest_distances`
+        needs for the forward and reversed merged graphs respectively.
+        """
+        tc = self.counts.trace_count
+        in_changed: set[str] = set(self.run)
+        out_changed: set[str] = set(self.run)
+        in_changed.add(self.name)
+        out_changed.add(self.name)
+        for (source, target), (old, new) in self.pair_changes.items():
+            present_old = old > 0 and old / tc >= min_frequency
+            present_new = new > 0 and new / tc >= min_frequency
+            if present_old != present_new:
+                in_changed.add(target)
+                out_changed.add(source)
+        return in_changed, out_changed
+
+
+def merge_counts(counts: LogCounts, index: TraceIndex, run: Sequence[str]) -> MergeDelta:
+    """Patch *counts* for merging *run*, touching only affected traces.
+
+    Equivalent to rewriting the log with :func:`merge_run_in_log` and
+    recounting from scratch, but proportional to the traces that actually
+    contain the contiguous run.  *counts* is not mutated; the returned
+    delta carries a patched copy.
+    """
+    run = tuple(run)
+    if len(run) < 2:
+        raise GraphError(f"a composite run needs at least two members, got {run!r}")
+    if len(set(run)) != len(run):
+        raise GraphError(f"composite run has repeated members: {run!r}")
+    name = composite_name(run)
+
+    activity = dict(counts.activity)
+    pair = dict(counts.pair)
+    activity_changes: dict[str, tuple[int, int]] = {}
+    pair_changes: dict[tuple[str, str], tuple[int, int]] = {}
+    affected: list[tuple[int, Trace]] = []
+
+    for i in index.candidate_traces(run):
+        trace = index.traces[i]
+        new_trace = trace.replace_run(run, name)
+        if new_trace.activities == trace.activities:
+            continue  # members present but never contiguous in this trace
+        affected.append((i, new_trace))
+        old_activities = index.activity_sets[i]
+        new_activities = new_trace.distinct_activities()
+        for a in old_activities - new_activities:
+            if a not in activity_changes:
+                activity_changes[a] = (activity.get(a, 0), 0)
+            remaining = activity[a] - 1
+            if remaining:
+                activity[a] = remaining
+            else:
+                del activity[a]
+        for a in new_activities - old_activities:
+            if a not in activity_changes:
+                activity_changes[a] = (activity.get(a, 0), 0)
+            activity[a] = activity.get(a, 0) + 1
+        old_pairs = index.pair_sets[i]
+        new_pairs = frozenset(new_trace.pairs())
+        for p in old_pairs - new_pairs:
+            if p not in pair_changes:
+                pair_changes[p] = (pair.get(p, 0), 0)
+            remaining = pair[p] - 1
+            if remaining:
+                pair[p] = remaining
+            else:
+                del pair[p]
+        for p in new_pairs - old_pairs:
+            if p not in pair_changes:
+                pair_changes[p] = (pair.get(p, 0), 0)
+            pair[p] = pair.get(p, 0) + 1
+
+    activity_changes = {
+        a: (old, activity.get(a, 0)) for a, (old, _) in activity_changes.items()
+    }
+    pair_changes = {p: (old, pair.get(p, 0)) for p, (old, _) in pair_changes.items()}
+    return MergeDelta(
+        run=run,
+        name=name,
+        counts=LogCounts(counts.trace_count, activity, pair),
+        affected=tuple(affected),
+        activity_changes=activity_changes,
+        pair_changes=pair_changes,
+    )
+
+
+def merged_member_map(
+    activities: Iterable[str],
+    run: Sequence[str],
+    members: Mapping[str, frozenset[str]] | None,
+) -> dict[str, frozenset[str]]:
+    """The node → original-activities map after merging *run*.
+
+    Mirrors the bookkeeping of :func:`merge_run_in_log` (same rule, applied
+    to the merged activity set) so the delta path produces identical member
+    maps to the rewrite path.
+    """
+    name = composite_name(run)
+    new_members: dict[str, frozenset[str]] = {}
+    for activity in activities:
+        if activity == name:
+            new_members[activity] = expand_members(run, members)
+        elif members is not None and activity in members:
+            new_members[activity] = members[activity]
+        else:
+            new_members[activity] = frozenset({activity})
+    return new_members
+
+
+def apply_delta_to_log(log: EventLog, delta: MergeDelta) -> EventLog:
+    """The merged log, rebuilt by swapping only the affected traces.
+
+    Equal (as a trace multiset, position for position) to
+    ``merge_run_in_log(log, delta.run)[0]``.
+    """
+    traces = list(log.traces)
+    for i, new_trace in delta.affected:
+        traces[i] = new_trace
+    return EventLog(traces, name=log.name)
+
+
+def merged_graph_from_delta(
+    parent_graph: DependencyGraph,
+    delta: MergeDelta,
+    min_frequency: float,
+    members: Mapping[str, frozenset[str]],
+    patch_reversed: bool = True,
+) -> DependencyGraph:
+    """Build the merged graph from a delta, with patched levels pre-seeded.
+
+    The graph is constructed from the patched statistics (bit-identical to
+    the full rebuild) and its Proposition-2 levels — plus those of its
+    reversed graph when *patch_reversed* — are computed with
+    :func:`repro.graph.levels.patched_longest_distances` from the parent's
+    cached levels, so the per-candidate cost is proportional to the dirty
+    region rather than the whole graph.
+    """
+    from repro.graph.levels import patched_longest_distances
+
+    graph = DependencyGraph.from_statistics(
+        delta.counts.statistics(),
+        name=parent_graph.name,
+        min_frequency=min_frequency,
+        members=members,
+    )
+    in_changed, out_changed = delta.changed_nodes(min_frequency)
+    graph._seed_levels(patched_longest_distances(graph, parent_graph.levels(), in_changed))
+    if patch_reversed:
+        reversed_graph = graph.reversed()
+        reversed_graph._seed_levels(
+            patched_longest_distances(
+                reversed_graph, parent_graph.reversed().levels(), out_changed
+            )
+        )
+    return graph
