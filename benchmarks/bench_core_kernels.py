@@ -57,6 +57,14 @@ COMPOSITE_SCENARIO = {
     "symbols": 6, "traces": 14000, "seed": 13, "chains": 5, "chain_rate": 0.02,
 }
 
+#: The large-vocabulary scenario used for the peak-memory comparison of
+#: the vectorized and the sparse fixpoint kernels.  At 300 activities
+#: the vectorized kernel's dense (pairs, A, B) scratch blocks dominate
+#: the footprint; the sparse kernel streams the same contributions
+#: through bounded chunks, and ``memory_reduction_sparse`` in
+#: :func:`compare` keeps that advantage honest (>= 4x floor).
+MEMORY_SCENARIO = {"activities": 300, "seed": 21, "traces_per_log": 40}
+
 
 def build_composite_pair(
     symbols: int, traces: int, seed: int, chains: int, chain_rate: float
@@ -119,7 +127,7 @@ if pytest is not None:
         graph = benchmark(DependencyGraph.from_log, pair_20.log_first)
         assert len(graph.nodes) == 20
 
-    @pytest.mark.parametrize("kernel", ["vectorized", "reference"])
+    @pytest.mark.parametrize("kernel", ["vectorized", "reference", "sparse"])
     def test_ems_exact_20_events(benchmark, graphs_20, kernel):
         engine = EMSEngine(EMSConfig(kernel=kernel))
         result = benchmark(engine.similarity, *graphs_20)
@@ -214,12 +222,58 @@ def _scenarios():
     yield "graph_build_20", graph_build
     yield "ems_exact_20_vectorized", lambda: ems(kernel="vectorized")
     yield "ems_exact_20_reference", lambda: ems(kernel="reference")
+    yield "ems_exact_20_sparse", lambda: ems(kernel="sparse")
     yield "ems_exact_20_nopruning_vectorized", lambda: ems(use_pruning=False)
     yield "ems_estimation_I0_20", lambda: ems(estimation_iterations=0)
     yield "ems_forward_20", lambda: ems(direction="forward")
     yield "hungarian_50x50", hungarian
     yield "composite_search_cold", lambda: composite_search(False)
     yield "composite_search_incremental", lambda: composite_search(True)
+
+
+def _memory_profile() -> dict:
+    """Tracemalloc peak of one exact EMS run per kernel, large vocabulary.
+
+    The dependency-graph caches (levels, reversed views, predecessor
+    CSR) are warmed before tracing starts so the measured peaks isolate
+    the kernels' own scratch memory.  Both kernels must report identical
+    ``pair_updates`` — they evaluate the same schedule, only the memory
+    layout differs.
+    """
+    import tracemalloc
+
+    pair = build_scalability_pair(
+        MEMORY_SCENARIO["activities"], seed=MEMORY_SCENARIO["seed"],
+        traces_per_log=MEMORY_SCENARIO["traces_per_log"],
+    )
+    graphs = (
+        DependencyGraph.from_log(pair.log_first),
+        DependencyGraph.from_log(pair.log_second),
+    )
+    for graph in graphs:
+        graph.levels()
+        graph.reversed().levels()
+        graph.predecessor_csr()
+        graph.reversed().predecessor_csr()
+    profile: dict[str, dict] = {}
+    for kernel in ("vectorized", "sparse"):
+        engine = EMSEngine(EMSConfig(kernel=kernel))
+        tracemalloc.start()
+        try:
+            result = engine.similarity(*graphs)
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        profile[kernel] = {
+            "peak_bytes": peak, "pair_updates": result.pair_updates,
+        }
+    if profile["sparse"]["pair_updates"] != profile["vectorized"]["pair_updates"]:
+        raise AssertionError(
+            "kernel schedules diverged: sparse did "
+            f"{profile['sparse']['pair_updates']} pair updates, vectorized "
+            f"{profile['vectorized']['pair_updates']}"
+        )
+    return profile
 
 
 def run_harness(repeats: int) -> dict:
@@ -248,15 +302,46 @@ def run_harness(repeats: int) -> dict:
         scenarios["composite_search_cold"]["mean_time"]
         / scenarios["composite_search_incremental"]["mean_time"]
     )
+    memory = _memory_profile()
+    memory_reduction = (
+        memory["vectorized"]["peak_bytes"] / memory["sparse"]["peak_bytes"]
+    )
+    # min-over-repeats is the least noisy estimator for the ratio of two
+    # short runs; the floor on this key is 1.2x, not a speedup claim.
+    sparse_ratio = (
+        scenarios["ems_exact_20_sparse"]["min_time"]
+        / scenarios["ems_exact_20_vectorized"]["min_time"]
+    )
     return {
-        "schema": 1,
+        "schema": 2,
         "scenario": SCENARIO,
         "composite_scenario": COMPOSITE_SCENARIO,
+        "memory_scenario": MEMORY_SCENARIO,
         "calibration_time": calibration,
         "scenarios": scenarios,
+        "memory": memory,
         "speedup_exact_20": speedup,
         "speedup_composite": speedup_composite,
+        "memory_reduction_sparse": memory_reduction,
+        "sparse_time_ratio_20": sparse_ratio,
     }
+
+
+#: Acceptance floors enforced by :func:`compare`.  Each row is
+#: ``(key, bound, sense, description)``: ``"min"`` keys must stay >=
+#: *bound*, ``"max"`` keys must stay <= *bound*.  A floor key missing
+#: from either JSON is itself a failure — a silent default would let a
+#: renamed or dropped metric pass the gate unnoticed.
+FLOORS = (
+    ("speedup_exact_20", 3.0, "min",
+     "vectorized-vs-reference exact-EMS speedup (20 events)"),
+    ("speedup_composite", 3.0, "min",
+     "incremental-vs-cold composite-search speedup"),
+    ("memory_reduction_sparse", 4.0, "min",
+     "sparse-vs-vectorized peak-memory reduction (300 activities)"),
+    ("sparse_time_ratio_20", 1.2, "max",
+     "sparse-vs-vectorized wall-clock ratio (20 events)"),
+)
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
@@ -266,9 +351,9 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
     a uniformly slower machine does not trip the check; *threshold* is
     the allowed normalized-slowdown factor.  ``pair_updates`` is
     deterministic, so any growth beyond 10% is flagged regardless of
-    machine speed.  The vectorized-vs-reference and the
-    incremental-vs-cold composite-search speedups must each stay >= 3x
-    (the optimizations' acceptance floors).
+    machine speed.  Every :data:`FLOORS` key must be present in both
+    payloads and within its bound in the current one — a missing key
+    fails loudly instead of defaulting to a vacuous pass.
     """
     failures: list[str] = []
     base_cal = baseline.get("calibration_time") or 1.0
@@ -291,17 +376,26 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
                     f"{name}: pair_updates {entry['pair_updates']} vs baseline "
                     f"{base['pair_updates']} (> 1.1x)"
                 )
-    if current.get("speedup_exact_20", 0.0) < 3.0:
-        failures.append(
-            f"vectorized kernel speedup {current.get('speedup_exact_20'):.2f}x "
-            "is below the 3x acceptance floor"
-        )
-    if current.get("speedup_composite", 0.0) < 3.0:
-        failures.append(
-            f"incremental composite-search speedup "
-            f"{current.get('speedup_composite', 0.0):.2f}x is below the 3x "
-            "acceptance floor"
-        )
+    for key, bound, sense, description in FLOORS:
+        missing = [
+            side for side, payload in (("current", current), ("baseline", baseline))
+            if key not in payload
+        ]
+        if missing:
+            failures.append(
+                f"{key}: floor key missing from the {' and '.join(missing)} "
+                "payload (regenerate BENCH_core.json with this harness)"
+            )
+            continue
+        value = current[key]
+        if sense == "min" and value < bound:
+            failures.append(
+                f"{description}: {value:.2f}x is below the {bound:g}x floor"
+            )
+        elif sense == "max" and value > bound:
+            failures.append(
+                f"{description}: {value:.2f}x exceeds the {bound:g}x ceiling"
+            )
     return failures
 
 
@@ -337,6 +431,14 @@ def main(argv: list[str] | None = None) -> int:
           f"{payload['speedup_exact_20']:.2f}x")
     print(f"incremental speedup on the composite search: "
           f"{payload['speedup_composite']:.2f}x")
+    memory = payload["memory"]
+    print(f"peak memory at {payload['memory_scenario']['activities']} "
+          f"activities: vectorized "
+          f"{memory['vectorized']['peak_bytes'] / 2**20:.1f} MiB, sparse "
+          f"{memory['sparse']['peak_bytes'] / 2**20:.1f} MiB "
+          f"({payload['memory_reduction_sparse']:.2f}x reduction)")
+    print(f"sparse/vectorized time ratio (20 events): "
+          f"{payload['sparse_time_ratio_20']:.2f}x")
     print(f"wrote {arguments.output}")
 
     if arguments.check:

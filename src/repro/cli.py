@@ -5,6 +5,7 @@ Usage::
     python -m repro match LOG1 LOG2 [--format xes|csv] [--composite]
                                     [--alpha A] [--labels] [--threshold T]
                                     [--estimate I] [--json] [--workers N]
+                                    [--kernel K] [--dtype D]
                                     [--timeout S] [--pair-budget N]
                                     [--no-degrade] [--on-error MODE]
 
@@ -126,6 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
              "(composite mode only; budgeted runs stay serial)",
     )
     match.add_argument(
+        "--kernel", choices=("vectorized", "reference", "sparse"),
+        default="vectorized",
+        help="fixpoint kernel: vectorized (fast, default), sparse "
+             "(memory-lean CSR gather-scatter for large vocabularies), or "
+             "reference (the per-pair spec loop)",
+    )
+    match.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64",
+        help="floating-point width of the similarity computation; float32 "
+             "halves buffer memory at ~1e-5 accuracy cost",
+    )
+    match.add_argument(
         "--no-incremental", action="store_true",
         help="disable the incremental composite engine (delta merges, "
              "warm-started fixpoints, estimation screening) and evaluate "
@@ -160,6 +173,8 @@ def run_match(arguments: argparse.Namespace) -> int:
     config = EMSConfig(
         alpha=alpha,
         estimation_iterations=arguments.estimate,
+        kernel=arguments.kernel,
+        dtype=arguments.dtype,
         incremental=not arguments.no_incremental,
         screening=not arguments.no_incremental,
     )

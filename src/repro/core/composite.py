@@ -34,7 +34,10 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
 
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine, EMSResult, LabelMatrixCache
@@ -208,6 +211,112 @@ def _unchanged_pairs(
     return fixed.get("forward"), fixed.get("backward"), count
 
 
+# ----------------------------------------------------------------------
+# Shared-memory transport of a round's directional matrices
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class _SharedDirectional:
+    """Handle to a round's directional matrices in one shared-memory block.
+
+    Pickling a handle costs the node vocabularies and a few integers; the
+    ``O(n1 * n2)`` float payload stays in the
+    :mod:`multiprocessing.shared_memory` segment, written once by the
+    parent and read directly by every worker of the round.  The parent
+    owns the segment's lifetime: it closes and unlinks after the round's
+    futures have all resolved — workers only ever attach, copy out, and
+    detach.
+    """
+
+    name: str
+    rows: tuple[str, ...]
+    cols: tuple[str, ...]
+    #: ``(direction, byte offset)`` per matrix; each is a
+    #: ``(len(rows), len(cols))`` float64 block.
+    offsets: tuple[tuple[str, int], ...]
+    #: PID of the resource-tracker process serving the creator, so an
+    #: attaching process can tell whether it shares that tracker (forked
+    #: worker) or brought its own (spawned worker) — see
+    #: :func:`_unpack_directional`.
+    tracker_pid: int | None = None
+
+
+def _tracker_pid() -> int | None:
+    """PID of this process's resource-tracker process, if one is running."""
+    tracker = getattr(resource_tracker, "_resource_tracker", None)
+    return getattr(tracker, "_pid", None)
+
+
+def _pack_directional(
+    directional: dict[str, SimilarityMatrix],
+) -> tuple[_SharedDirectional | None, shared_memory.SharedMemory | None]:
+    """Copy *directional* into a fresh shared-memory block.
+
+    Returns ``(handle, block)``, or ``(None, None)`` when shared memory
+    cannot be allocated (e.g. no writable segment directory) — callers
+    then fall back to pickling the matrices as before.
+    """
+    reference = next(iter(directional.values()))
+    rows, cols = reference.rows, reference.cols
+    stride = len(rows) * len(cols) * np.dtype(np.float64).itemsize
+    try:
+        block = shared_memory.SharedMemory(
+            create=True, size=max(1, stride * len(directional))
+        )
+    except (OSError, ValueError):
+        return None, None
+    offsets: list[tuple[str, int]] = []
+    for position, direction in enumerate(sorted(directional)):
+        offset = position * stride
+        view = np.ndarray(
+            (len(rows), len(cols)), dtype=np.float64, buffer=block.buf, offset=offset
+        )
+        view[:] = directional[direction].values
+        offsets.append((direction, offset))
+    handle = _SharedDirectional(
+        block.name, rows, cols, tuple(offsets), _tracker_pid()
+    )
+    return handle, block
+
+
+def _unpack_directional(handle: _SharedDirectional) -> dict[str, SimilarityMatrix]:
+    """Worker side: copy the matrices out of the block, then detach."""
+    block = shared_memory.SharedMemory(name=handle.name)
+    try:
+        # Attaching registered the segment with this process's resource
+        # tracker (Python < 3.13 SharedMemory has no track=False).  If
+        # that tracker is *not* the creator's — a spawned worker, or a
+        # worker forked before the parent's tracker existed — it would
+        # unlink the segment behind the owner's back at worker exit, so
+        # undo the registration.  A forked worker sharing the creator's
+        # tracker must keep its hands off: the register was a duplicate
+        # no-op there, and unregistering would strip the creator's own
+        # registration (its later unlink would then double-unregister).
+        if _tracker_pid() != handle.tracker_pid:
+            try:
+                resource_tracker.unregister(block._name, "shared_memory")
+            except Exception:
+                pass
+        shape = (len(handle.rows), len(handle.cols))
+        directional: dict[str, SimilarityMatrix] = {}
+        for direction, offset in handle.offsets:
+            view = np.ndarray(shape, dtype=np.float64, buffer=block.buf, offset=offset)
+            directional[direction] = SimilarityMatrix(
+                handle.rows, handle.cols, view.copy()
+            )
+        return directional
+    finally:
+        block.close()
+
+
+def _resolve_directional(
+    directional: dict[str, SimilarityMatrix] | _SharedDirectional | None,
+) -> dict[str, SimilarityMatrix] | None:
+    """Whatever the parent shipped — handle or plain dict — as a dict."""
+    if isinstance(directional, _SharedDirectional):
+        return _unpack_directional(directional)
+    return directional
+
+
 #: Everything one candidate evaluation needs besides the candidate itself.
 #: Picklable, so a round's context ships to worker processes once (via the
 #: pool initializer) instead of once per candidate.
@@ -220,7 +329,9 @@ class _RoundContext:
     use_bounds: bool
     #: Per side: (log, members, graph) — the round's pre-merge state.
     sides: tuple[tuple[EventLog, dict[str, frozenset[str]], DependencyGraph], ...]
-    directional: dict[str, SimilarityMatrix] | None
+    #: The previous round's matrices — a plain dict in-process, a
+    #: :class:`_SharedDirectional` handle when shipped to pool workers.
+    directional: dict[str, SimilarityMatrix] | _SharedDirectional | None
 
 
 def _evaluate_candidate(
@@ -275,6 +386,9 @@ _WORKER_STATE: tuple[_RoundContext, LabelMatrixCache] | None = None
 
 def _init_worker(context: _RoundContext) -> None:
     global _WORKER_STATE
+    directional = _resolve_directional(context.directional)
+    if directional is not context.directional:
+        context = replace(context, directional=directional)
     _WORKER_STATE = (context, LabelMatrixCache(context.config.label_cache_entries))
 
 
@@ -320,7 +434,7 @@ def _incremental_pool_evaluate(
     task: tuple[
         int,
         tuple[tuple[int, tuple[str, ...]], ...],
-        dict[str, SimilarityMatrix] | None,
+        dict[str, SimilarityMatrix] | _SharedDirectional | None,
         int,
         tuple[str, ...],
         float,
@@ -332,7 +446,10 @@ def _incremental_pool_evaluate(
     abort_below)`` where *history* lists every merge accepted since pool
     creation.  The worker replays the suffix it has not applied yet —
     the per-round delta — then evaluates with warm starts and screening
-    exactly like the serial loop.
+    exactly like the serial loop.  *directional* is usually a
+    :class:`_SharedDirectional` handle; the first task of a round copies
+    the matrices out of shared memory, later tasks of the same round hit
+    the ``progress["round"]`` cache and never reattach.
     """
     assert _INC_WORKER is not None, "pool worker used without _init_incremental_worker"
     state, progress = _INC_WORKER
@@ -343,7 +460,7 @@ def _incremental_pool_evaluate(
         progress["applied"] += 1
         progress["round"] = None  # force a begin_round with fresh matrices
     if progress["round"] != round_id:
-        state.begin_round(directional)
+        state.begin_round(_resolve_directional(directional))
         progress["round"] = round_id
     evaluation = state.evaluate(side_index, run, abort_below)
     return side_index, run, evaluation.outcome, evaluation.pairs_fixed, evaluation.screened
@@ -383,10 +500,14 @@ class CompositeMatcher:
         Candidate evaluations per round run in this many worker processes
         (``0``/``1`` = in-process, serial).  Waves of *workers* candidates
         share the round's Bd incumbent bound, which is re-tightened
-        between waves from the results received so far.  A budgeted run
-        (``budget`` set) always evaluates serially: cooperative
-        cancellation needs the one shared meter, which worker processes
-        cannot charge.
+        between waves from the results received so far.  The round's
+        directional similarity matrices travel through one
+        ``multiprocessing.shared_memory`` block instead of being pickled
+        per worker; only candidate indices and per-round deltas cross the
+        process boundary (with a transparent pickling fallback where
+        shared memory is unavailable).  A budgeted run (``budget`` set)
+        always evaluates serially: cooperative cancellation needs the one
+        shared meter, which worker processes cannot charge.
     """
 
     def __init__(
@@ -729,39 +850,53 @@ class CompositeMatcher:
         Tasks carry only the per-round delta — the accepted-run *history*
         (replayed by workers that have not caught up) and the round's
         directional matrices — instead of the full round context the cold
-        pool re-pickles every round.  Futures are reduced in submission
-        order, which matches the serial candidate order, so the selected
-        best candidate is the one the serial loop would pick.
+        pool re-pickles every round.  The matrices themselves travel
+        through one shared-memory block per round (see
+        :class:`_SharedDirectional`); each task pickles only the handle.
+        Futures are reduced in submission order, which matches the serial
+        candidate order, so the selected best candidate is the one the
+        serial loop would pick.
         """
         directional = current.directional if self.use_unchanged else None
+        handle = block = None
+        if directional:
+            handle, block = _pack_directional(directional)
+        payload = handle if handle is not None else directional
         round_id = stats.rounds
         best: tuple[int, tuple[str, ...], EMSResult] | None = None
-        for start in range(0, len(tasks), self.workers):
-            wave = tasks[start:start + self.workers]
-            bound = max(best_average, target)
-            futures = [
-                pool.submit(
-                    _incremental_pool_evaluate,
-                    (round_id, history, directional, side_index, run, bound),
-                )
-                for side_index, run in wave
-            ]
-            for future in futures:
-                side_index, run, outcome, pairs_fixed, screened = future.result()
-                if self.config.screening:
-                    stats.screen_checks += 1
-                if screened:
-                    stats.candidates_screened += 1
-                    continue
-                stats.candidates_evaluated += 1
-                stats.pairs_fixed += pairs_fixed
-                if outcome is None:
-                    stats.evaluations_aborted += 1
-                    continue
-                stats.pair_updates += outcome.pair_updates
-                if outcome.matrix.average() > best_average:
-                    best_average = outcome.matrix.average()
-                    best = (side_index, run, outcome)
+        try:
+            for start in range(0, len(tasks), self.workers):
+                wave = tasks[start:start + self.workers]
+                bound = max(best_average, target)
+                futures = [
+                    pool.submit(
+                        _incremental_pool_evaluate,
+                        (round_id, history, payload, side_index, run, bound),
+                    )
+                    for side_index, run in wave
+                ]
+                for future in futures:
+                    side_index, run, outcome, pairs_fixed, screened = future.result()
+                    if self.config.screening:
+                        stats.screen_checks += 1
+                    if screened:
+                        stats.candidates_screened += 1
+                        continue
+                    stats.candidates_evaluated += 1
+                    stats.pairs_fixed += pairs_fixed
+                    if outcome is None:
+                        stats.evaluations_aborted += 1
+                        continue
+                    stats.pair_updates += outcome.pair_updates
+                    if outcome.matrix.average() > best_average:
+                        best_average = outcome.matrix.average()
+                        best = (side_index, run, outcome)
+        finally:
+            # Every future above has resolved, so no worker will attach
+            # again; reclaim the round's segment.
+            if block is not None:
+                block.close()
+                block.unlink()
         return best, best_average
 
     def _round_parallel(
@@ -779,29 +914,44 @@ class CompositeMatcher:
         tightest Bd incumbent bound known when it is submitted, so later
         waves abort hopeless candidates as aggressively as the serial
         loop would.  The round context ships once per worker via the pool
-        initializer.
+        initializer, with the directional matrices riding in one
+        shared-memory block (see :class:`_SharedDirectional`) so the
+        initializer payload pickles only a handle.
         """
         context = self._round_context(states, current)
+        handle = block = None
+        if context.directional:
+            handle, block = _pack_directional(context.directional)
+            if handle is not None:
+                context = replace(context, directional=handle)
         best: tuple[int, tuple[str, ...], EMSResult] | None = None
-        with ProcessPoolExecutor(
-            max_workers=self.workers, initializer=_init_worker, initargs=(context,)
-        ) as pool:
-            for start in range(0, len(tasks), self.workers):
-                wave = tasks[start:start + self.workers]
-                bound = max(best_average, target)
-                futures = [
-                    pool.submit(_pool_evaluate, (side_index, run, bound))
-                    for side_index, run in wave
-                ]
-                for future in futures:
-                    side_index, run, outcome, pairs_fixed = future.result()
-                    stats.candidates_evaluated += 1
-                    stats.pairs_fixed += pairs_fixed
-                    if outcome is None:
-                        stats.evaluations_aborted += 1
-                        continue
-                    stats.pair_updates += outcome.pair_updates
-                    if outcome.matrix.average() > best_average:
-                        best_average = outcome.matrix.average()
-                        best = (side_index, run, outcome)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_init_worker, initargs=(context,)
+            ) as pool:
+                for start in range(0, len(tasks), self.workers):
+                    wave = tasks[start:start + self.workers]
+                    bound = max(best_average, target)
+                    futures = [
+                        pool.submit(_pool_evaluate, (side_index, run, bound))
+                        for side_index, run in wave
+                    ]
+                    for future in futures:
+                        side_index, run, outcome, pairs_fixed = future.result()
+                        stats.candidates_evaluated += 1
+                        stats.pairs_fixed += pairs_fixed
+                        if outcome is None:
+                            stats.evaluations_aborted += 1
+                            continue
+                        stats.pair_updates += outcome.pair_updates
+                        if outcome.matrix.average() > best_average:
+                            best_average = outcome.matrix.average()
+                            best = (side_index, run, outcome)
+        finally:
+            # The `with` block has joined every worker process — each ran
+            # its initializer (and detached) before exiting — so the
+            # segment can be reclaimed.
+            if block is not None:
+                block.close()
+                block.unlink()
         return best, best_average

@@ -19,9 +19,17 @@ One dataclass gathers every knob the paper exposes:
 * ``kernel`` — which implementation evaluates formula (1):
   ``"vectorized"`` (default) runs each iteration as batched NumPy
   gather/multiply/max-reduce operations over degree-bucketed pair
-  populations, ``"reference"`` is the straightforward per-pair loop the
-  vectorized kernel is differentially tested against.  Both produce
-  identical similarities, ``iterations`` and ``pair_updates``.
+  populations, ``"sparse"`` evaluates the same iteration as a CSR
+  gather–scatter over flat contribution chunks — ``O(chunk)`` working
+  memory instead of the vectorized kernel's ``O(Σ m·A·B)`` resident
+  tensors — and ``"reference"`` is the straightforward per-pair loop the
+  other kernels are differentially tested against.  All three produce
+  the same similarities, ``iterations`` and ``pair_updates``.
+* ``dtype`` — floating-point width of the similarity computation.
+  ``"float64"`` (default) is exact against the reference kernel;
+  ``"float32"`` halves the memory of every value/agreement buffer at a
+  ~1e-5 accuracy cost (rank-preserving in practice, see
+  ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -29,8 +37,17 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Literal
 
+import numpy as np
+
 Direction = Literal["forward", "backward", "both"]
-Kernel = Literal["vectorized", "reference"]
+Kernel = Literal["vectorized", "reference", "sparse"]
+Dtype = Literal["float64", "float32"]
+
+#: The NumPy dtypes backing :attr:`EMSConfig.dtype`.
+_DTYPES: dict[str, np.dtype] = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,8 +68,12 @@ class EMSConfig:
     use_edge_weights: bool = True
     #: Which fixpoint implementation evaluates formula (1); see module
     #: docstring.  Results are identical — "reference" exists for
-    #: differential testing and as a readable spec of the computation.
+    #: differential testing and as a readable spec of the computation,
+    #: "sparse" trades a little arithmetic for O(chunk) working memory.
     kernel: Kernel = "vectorized"
+    #: Floating-point width of the similarity computation ("float64" or
+    #: "float32"); see module docstring.
+    dtype: Dtype = "float64"
     #: Incremental composite search: candidate merges patch the parent
     #: round's counts, graphs and levels instead of rebuilding from the
     #: rewritten log, and the fixpoint warm-starts from the parent round's
@@ -93,9 +114,13 @@ class EMSConfig:
             raise ValueError(
                 f"estimation_iterations must be >= 0 or None, got {self.estimation_iterations}"
             )
-        if self.kernel not in ("vectorized", "reference"):
+        if self.kernel not in ("vectorized", "reference", "sparse"):
             raise ValueError(
-                f"kernel must be vectorized/reference, got {self.kernel!r}"
+                f"kernel must be vectorized/reference/sparse, got {self.kernel!r}"
+            )
+        if self.dtype not in _DTYPES:
+            raise ValueError(
+                f"dtype must be float64/float32, got {self.dtype!r}"
             )
         if self.label_cache_entries is not None and self.label_cache_entries < 1:
             raise ValueError(
@@ -110,3 +135,8 @@ class EMSConfig:
     def decay(self) -> float:
         """``alpha * c``: the per-iteration contraction factor (Lemma 5)."""
         return self.alpha * self.c
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The NumPy dtype backing :attr:`dtype`."""
+        return _DTYPES[self.dtype]

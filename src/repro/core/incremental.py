@@ -258,6 +258,9 @@ class IncrementalSearchState:
         parent_nodes = parent_graph.nodes
         merged_index = {node: i for i, node in enumerate(merged_graph.nodes)}
         n_other = len(other_graph.nodes)
+        # Carried values are narrowed to the run dtype here, matching what
+        # a cold run would do when seeding the same fixed pairs.
+        dtype = self.config.np_dtype
         starts: dict[str, WarmStart] = {}
         count = 0
         for direction, parent_values in self._warm_values.items():
@@ -274,14 +277,14 @@ class IncrementalSearchState:
                     parent_rows.append(parent_pos)
             if side_index == 0:
                 shape = (len(merged_index), n_other)
-                values = np.zeros(shape)
+                values = np.zeros(shape, dtype=dtype)
                 dirty = np.ones(shape, dtype=bool)
                 if merged_rows:
                     values[merged_rows, :] = parent_values[parent_rows, :]
                     dirty[merged_rows, :] = False
             else:
                 shape = (n_other, len(merged_index))
-                values = np.zeros(shape)
+                values = np.zeros(shape, dtype=dtype)
                 dirty = np.ones(shape, dtype=bool)
                 if merged_rows:
                     values[:, merged_rows] = parent_values[:, parent_rows]

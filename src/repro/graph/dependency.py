@@ -47,7 +47,7 @@ class DependencyGraph:
 
     __slots__ = (
         "name", "_node_freq", "_edge_freq", "_pre", "_post", "_members", "_nodes",
-        "_levels", "_reversed",
+        "_levels", "_reversed", "_pred_csr",
     )
 
     def __init__(
@@ -98,9 +98,10 @@ class DependencyGraph:
             }
 
         # Lazily-computed, instance-local caches.  Graphs are immutable, so
-        # both are sound; they are dropped on pickling (see __getstate__).
+        # all are sound; they are dropped on pickling (see __getstate__).
         self._levels: dict[str, float] | None = None
         self._reversed: "DependencyGraph | None" = None
+        self._pred_csr: tuple | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -226,6 +227,41 @@ class DependencyGraph:
         """
         self._levels = dict(levels)
 
+    def predecessor_csr(self) -> tuple:
+        """Real-predecessor adjacency in CSR form: ``(indptr, indices, weights)``.
+
+        Row ``k`` lists the *real* predecessors of ``self.nodes[k]`` as
+        positions into :attr:`nodes` (``indices`` int32, sorted) together
+        with the edge weights ``f(v', v)`` (``weights`` float64); ``indptr``
+        is the usual int64 offsets array of length ``len(nodes) + 1``.  The
+        artificial predecessor ``v^X`` is deliberately omitted: its
+        contribution to formula (1) is closed-form (the agreement of the two
+        artificial in-edges times the never-updated ``S(v^X, v^X) = 1``) and
+        the sparse kernel folds it into a per-pair constant instead of
+        storing a row for it.  Cached per instance; callers must treat the
+        arrays as read-only.
+        """
+        if self._pred_csr is None:
+            import numpy as np
+
+            index = {node: k for k, node in enumerate(self._nodes)}
+            indptr = np.zeros(len(self._nodes) + 1, dtype=np.int64)
+            indices: list[int] = []
+            weights: list[float] = []
+            for k, node in enumerate(self._nodes):
+                for pred in self._pre[node]:
+                    if pred == ARTIFICIAL:
+                        continue
+                    indices.append(index[pred])
+                    weights.append(self._edge_freq[(pred, node)])
+                indptr[k + 1] = len(indices)
+            self._pred_csr = (
+                indptr,
+                np.asarray(indices, dtype=np.int32),
+                np.asarray(weights, dtype=np.float64),
+            )
+        return self._pred_csr
+
     def members(self, node: str) -> frozenset[str]:
         """The original activities a (possibly composite) node stands for."""
         try:
@@ -289,7 +325,7 @@ class DependencyGraph:
         state = {
             slot: getattr(self, slot)
             for slot in self.__slots__
-            if slot not in ("_levels", "_reversed")
+            if slot not in ("_levels", "_reversed", "_pred_csr")
         }
         return state
 
@@ -298,6 +334,7 @@ class DependencyGraph:
             object.__setattr__(self, slot, value)
         self._levels = None
         self._reversed = None
+        self._pred_csr = None
 
     def filter_edges(self, min_frequency: float) -> "DependencyGraph":
         """Drop real edges with frequency below *min_frequency*."""

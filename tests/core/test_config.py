@@ -39,6 +39,19 @@ class TestValidation:
             EMSConfig(estimation_iterations=-1)
         assert EMSConfig(estimation_iterations=0).estimation_iterations == 0
 
+    def test_kernel_validated(self):
+        with pytest.raises(ValueError):
+            EMSConfig(kernel="gpu")  # type: ignore[arg-type]
+        assert EMSConfig(kernel="sparse").kernel == "sparse"
+
+    def test_dtype_validated(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            EMSConfig(dtype="float16")  # type: ignore[arg-type]
+        assert EMSConfig().np_dtype == np.dtype(np.float64)
+        assert EMSConfig(dtype="float32").np_dtype == np.dtype(np.float32)
+
 
 class TestHelpers:
     def test_with_returns_modified_copy(self):

@@ -135,6 +135,30 @@ class TestLabelMatrixCache:
         with pytest.raises(ValueError):
             LabelMatrixCache(max_entries=-3)
 
+    def test_dtype_keys_are_distinct(self):
+        """A float32 run must never reuse (or upcast) a float64 matrix."""
+        label, _ = self._counting_label()
+        cache = LabelMatrixCache()
+        wide = cache.matrix(("a", "b"), ("x",), label)
+        narrow = cache.matrix(("a", "b"), ("x",), label, dtype=np.float32)
+        assert wide.dtype == np.float64
+        assert narrow.dtype == np.float32
+        assert wide is not narrow
+        assert len(cache) == 2  # one entry per (rows, cols, dtype)
+        np.testing.assert_allclose(narrow, wide.astype(np.float32))
+        # Repeat requests hit their own dtype's entry.
+        assert cache.matrix(("a", "b"), ("x",), label) is wide
+        assert cache.matrix(("a", "b"), ("x",), label, dtype=np.float32) is narrow
+
+    def test_dtype_miss_reuses_scalar_cells(self):
+        """The cell cache is dtype-free: a narrowed rebuild costs no calls."""
+        label, calls = self._counting_label()
+        cache = LabelMatrixCache()
+        cache.matrix(("a",), ("x", "y"), label)
+        after_wide = calls[0]
+        cache.matrix(("a",), ("x", "y"), label, dtype=np.float32)
+        assert calls[0] == after_wide
+
 
 class TestEstimationOverflowGuard:
     def test_huge_level_matrix_no_underflow(self):

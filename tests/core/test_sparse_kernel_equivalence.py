@@ -1,0 +1,301 @@
+"""Differential tests: the sparse EMS kernel against the other two.
+
+The sparse kernel (``EMSConfig(kernel="sparse")``) trades the vectorized
+kernel's dense ``(m, A, B)`` scratch tensors for streamed CSR
+gather–scatter chunks, but it must remain an observationally identical
+implementation of formula (1): same similarities (to within 1e-12 at
+float64), same ``iterations``, same ``pair_updates`` — across pruning
+on/off (including the Proposition-2 freeze order), edge weights, label
+blending, fixed (Uc) pairs, estimation, the Bd abort and mid-iteration
+budget exhaustion, where even the partially-updated best-so-far state
+must match pair for pair.  The suite also pins:
+
+* **streaming mode** — with the cache limit forced to zero the kernel
+  regenerates gather indices per chunk from the node-level CSR tables;
+  results must not change;
+* **float32** — a narrowed run stays within 1e-5 of the float64 answer
+  and preserves the per-row best match up to ties;
+* **warm starts** — the incremental composite search produces the same
+  trajectory under the sparse kernel as under the vectorized one.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.ems as ems_module
+from repro.core.composite import CompositeMatcher
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.runtime.budget import MatchBudget
+from repro.runtime.degrade import DegradationPolicy
+from repro.similarity.labels import QGramCosineSimilarity
+from repro.synthesis.corpus import build_scalability_pair
+
+ATOL = 1e-12
+FLOAT32_ATOL = 1e-5
+
+
+def graphs_for(size: int, seed: int) -> tuple[DependencyGraph, DependencyGraph]:
+    pair = build_scalability_pair(size, seed=seed, traces_per_log=30)
+    return (
+        DependencyGraph.from_log(pair.log_first),
+        DependencyGraph.from_log(pair.log_second),
+    )
+
+
+@pytest.fixture(scope="module")
+def graphs_12() -> tuple[DependencyGraph, DependencyGraph]:
+    return graphs_for(12, seed=11)
+
+
+@pytest.fixture()
+def streaming_mode(monkeypatch):
+    """Force the sparse kernel off its cached path and onto tiny chunks."""
+    monkeypatch.setattr(ems_module, "_SPARSE_CACHE_LIMIT", 0)
+    monkeypatch.setattr(ems_module, "_SPARSE_CHUNK_TARGET", 7)
+
+
+def assert_equivalent(result_sparse, result_other, atol=ATOL) -> None:
+    assert result_sparse.iterations == result_other.iterations
+    assert result_sparse.pair_updates == result_other.pair_updates
+    assert result_sparse.converged == result_other.converged
+    assert result_sparse.estimated == result_other.estimated
+    np.testing.assert_allclose(
+        result_sparse.matrix.values, result_other.matrix.values, rtol=0, atol=atol
+    )
+    assert set(result_sparse.directional) == set(result_other.directional)
+    for name, matrix in result_sparse.directional.items():
+        np.testing.assert_allclose(
+            matrix.values, result_other.directional[name].values, rtol=0, atol=atol
+        )
+
+
+def run_kernels(graphs, config_kwargs, kernels=("sparse", "reference"),
+                label=None, **similarity_kwargs):
+    results = []
+    for kernel in kernels:
+        engine = EMSEngine(EMSConfig(kernel=kernel, **config_kwargs), label)
+        results.append(engine.similarity(*graphs, **similarity_kwargs))
+    return results
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("use_pruning", [True, False])
+    def test_random_graphs(self, seed, use_pruning):
+        graphs = graphs_for(8 + 2 * seed, seed=seed)
+        assert_equivalent(*run_kernels(graphs, {"use_pruning": use_pruning}))
+
+    @pytest.mark.parametrize("use_edge_weights", [True, False])
+    def test_edge_weight_ablation(self, graphs_12, use_edge_weights):
+        assert_equivalent(
+            *run_kernels(graphs_12, {"use_edge_weights": use_edge_weights})
+        )
+
+    @pytest.mark.parametrize("direction", ["forward", "backward", "both"])
+    def test_directions(self, graphs_12, direction):
+        assert_equivalent(*run_kernels(graphs_12, {"direction": direction}))
+
+    def test_label_blending(self, graphs_12):
+        assert_equivalent(
+            *run_kernels(graphs_12, {"alpha": 0.5}, label=QGramCosineSimilarity())
+        )
+
+    def test_fixed_pairs_seeded(self, graphs_12):
+        first, second = graphs_12
+        fixed_forward = {
+            (first.nodes[0], second.nodes[0]): 0.9,
+            (first.nodes[1], second.nodes[2]): 0.25,
+        }
+        fixed_backward = {(first.nodes[2], second.nodes[1]): 0.5}
+        assert_equivalent(
+            *run_kernels(
+                graphs_12, {},
+                fixed_forward=fixed_forward, fixed_backward=fixed_backward,
+            )
+        )
+
+    @pytest.mark.parametrize("exact_iterations", [0, 2])
+    def test_estimation(self, graphs_12, exact_iterations):
+        assert_equivalent(
+            *run_kernels(graphs_12, {"estimation_iterations": exact_iterations})
+        )
+
+    def test_matches_vectorized_too(self, graphs_12):
+        assert_equivalent(
+            *run_kernels(graphs_12, {}, kernels=("sparse", "vectorized"))
+        )
+
+
+class TestStreamingMode:
+    """The cached and streaming sparse paths must not disagree."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_streaming_matches_reference(self, streaming_mode, seed):
+        graphs = graphs_for(8 + 2 * seed, seed=seed)
+        assert_equivalent(*run_kernels(graphs, {}))
+
+    def test_streaming_matches_cached(self, graphs_12, monkeypatch):
+        cached = run_kernels(graphs_12, {}, kernels=("sparse",))[0]
+        monkeypatch.setattr(ems_module, "_SPARSE_CACHE_LIMIT", 0)
+        monkeypatch.setattr(ems_module, "_SPARSE_CHUNK_TARGET", 7)
+        streamed = run_kernels(graphs_12, {}, kernels=("sparse",))[0]
+        assert_equivalent(streamed, cached)
+
+    def test_streaming_under_pruning_and_labels(self, streaming_mode, graphs_12):
+        assert_equivalent(
+            *run_kernels(
+                graphs_12, {"alpha": 0.5, "use_pruning": True},
+                label=QGramCosineSimilarity(),
+            )
+        )
+
+
+class TestAbortEquivalence:
+    @pytest.mark.parametrize("abort_below", [0.0, 0.4, 0.99])
+    def test_similarity_with_abort(self, graphs_12, abort_below):
+        results = []
+        for kernel in ("sparse", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            results.append(engine.similarity_with_abort(*graphs_12, abort_below))
+        sparse, ref = results
+        if ref is None:
+            assert sparse is None
+        else:
+            assert_equivalent(sparse, ref)
+
+
+class TestBudgetEquivalence:
+    """Mid-iteration exhaustion must leave the identical best-so-far state."""
+
+    #: Caps chosen to trip at the start, inside the first iteration, and
+    #: deep inside later iterations of the 12-event fixpoint.
+    CAPS = [0, 1, 53, 500, 1777]
+
+    @pytest.mark.parametrize("cap", CAPS)
+    @pytest.mark.parametrize(
+        "policy", [DegradationPolicy.full(), DegradationPolicy.partial_only()],
+        ids=["estimated", "partial"],
+    )
+    def test_degraded_states_match(self, graphs_12, cap, policy):
+        results = []
+        spent = []
+        for kernel in ("sparse", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            meter = MatchBudget(max_pair_updates=cap).start()
+            result, stage, reason = engine.similarity_resilient(
+                *graphs_12, meter, policy
+            )
+            results.append((result, stage, reason))
+            spent.append(meter.pair_updates_spent)
+        (sparse, stage_sparse, reason_sparse), (ref, stage_ref, reason_ref) = results
+        assert stage_sparse == stage_ref
+        assert reason_sparse == reason_ref
+        assert spent[0] == spent[1]
+        assert_equivalent(sparse, ref)
+
+    def test_streaming_budget_cut_matches(self, streaming_mode, graphs_12):
+        results = []
+        for kernel in ("sparse", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            meter = MatchBudget(max_pair_updates=53).start()
+            result, _, _ = engine.similarity_resilient(
+                *graphs_12, meter, DegradationPolicy.partial_only()
+            )
+            results.append(result)
+        assert_equivalent(*results)
+
+    def test_exhaustion_raises_identically_without_ladder(self, graphs_12):
+        for kernel in ("sparse", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            meter = MatchBudget(max_pair_updates=10).start()
+            with pytest.raises(Exception) as excinfo:
+                engine.similarity(*graphs_12, meter=meter)
+            assert excinfo.value.reason == "pair-updates"
+            assert meter.pair_updates_spent == 11
+
+    def test_uncapped_budget_charges_identically(self, graphs_12):
+        meters = []
+        for kernel in ("sparse", "reference"):
+            engine = EMSEngine(EMSConfig(kernel=kernel))
+            meter = MatchBudget(max_pair_updates=10**9).start()
+            engine.similarity(*graphs_12, meter=meter)
+            meters.append(meter)
+        assert meters[0].pair_updates_spent == meters[1].pair_updates_spent
+
+
+class TestFloat32:
+    """dtype="float32" is a 1e-5 approximation, not a different answer."""
+
+    @pytest.mark.parametrize("kernel", ["sparse", "vectorized", "reference"])
+    def test_close_to_float64(self, graphs_12, kernel):
+        wide = EMSEngine(EMSConfig(kernel=kernel)).similarity(*graphs_12)
+        narrow = EMSEngine(
+            EMSConfig(kernel=kernel, dtype="float32")
+        ).similarity(*graphs_12)
+        assert narrow.pair_updates == wide.pair_updates or narrow.converged
+        np.testing.assert_allclose(
+            narrow.matrix.values, wide.matrix.values, rtol=0, atol=FLOAT32_ATOL
+        )
+
+    def test_kernels_agree_at_float32(self, graphs_12):
+        results = [
+            EMSEngine(EMSConfig(kernel=kernel, dtype="float32")).similarity(
+                *graphs_12
+            )
+            for kernel in ("sparse", "vectorized")
+        ]
+        assert results[0].pair_updates == results[1].pair_updates
+        np.testing.assert_allclose(
+            results[0].matrix.values, results[1].matrix.values,
+            rtol=0, atol=FLOAT32_ATOL,
+        )
+
+    def test_rank_preserving_per_row(self, graphs_12):
+        """float32's per-row best match is a float64 optimum up to ties."""
+        wide = EMSEngine(EMSConfig(kernel="sparse")).similarity(*graphs_12)
+        narrow = EMSEngine(
+            EMSConfig(kernel="sparse", dtype="float32")
+        ).similarity(*graphs_12)
+        values64 = wide.matrix.values
+        choice32 = np.argmax(narrow.matrix.values, axis=1)
+        chosen = values64[np.arange(values64.shape[0]), choice32]
+        # The row maximum at float64 may differ only by a near-tie the
+        # narrower arithmetic was free to break the other way.
+        assert np.all(values64.max(axis=1) - chosen <= 1e-6)
+
+
+class TestIncrementalCompositeParity:
+    """Warm-started fixpoints must behave identically under the sparse kernel."""
+
+    KNOBS = dict(delta=0.005, min_confidence=0.9, max_run_length=2)
+
+    def test_sparse_matches_vectorized_incremental(self, fig1_logs):
+        results = []
+        for kernel in ("vectorized", "sparse"):
+            config = EMSConfig(kernel=kernel, incremental=True, screening=True)
+            results.append(CompositeMatcher(config, **self.KNOBS).match(*fig1_logs))
+        vectorized, sparse = results
+        assert sparse.accepted_first == vectorized.accepted_first
+        assert sparse.accepted_second == vectorized.accepted_second
+        assert sparse.stats.pair_updates == vectorized.stats.pair_updates
+        np.testing.assert_allclose(
+            sparse.matrix.values, vectorized.matrix.values, rtol=0, atol=ATOL
+        )
+
+    def test_sparse_warm_equals_cold(self, fig1_logs):
+        warm = CompositeMatcher(
+            EMSConfig(kernel="sparse", incremental=True, screening=True),
+            **self.KNOBS,
+        ).match(*fig1_logs)
+        cold = CompositeMatcher(
+            EMSConfig(kernel="sparse", incremental=False, screening=False),
+            **self.KNOBS,
+        ).match(*fig1_logs)
+        assert warm.accepted_first == cold.accepted_first
+        assert warm.accepted_second == cold.accepted_second
+        assert warm.stats.pair_updates == cold.stats.pair_updates
+        np.testing.assert_allclose(
+            warm.matrix.values, cold.matrix.values, rtol=0, atol=ATOL
+        )

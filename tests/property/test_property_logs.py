@@ -83,3 +83,39 @@ def test_replace_run_never_grows(activities, replacement):
         if run[0] != run[1]:
             merged = trace.replace_run(run, replacement)
             assert len(merged) <= len(trace)
+
+
+#: A log whose traces additionally carry a shard assignment, for the
+#: streaming-accumulator merge property below.
+sharded_log_strategy = st.lists(
+    st.tuples(trace_strategy, st.integers(min_value=0, max_value=3)),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(sharded_log_strategy)
+@settings(max_examples=60, deadline=None)
+def test_sharded_streaming_merge_equals_batch(assigned):
+    """Splitting a log across accumulators and merging loses nothing.
+
+    Ingesting the traces into k shards in any split and folding the
+    shards with :meth:`OnlineStatistics.merge` must reproduce the batch
+    :func:`compute_statistics` snapshot exactly — merge adds the integer
+    counters, and the final division by the identical trace count makes
+    even the floats bit-equal.
+    """
+    from repro.logs.streaming import OnlineStatistics
+
+    shards = [OnlineStatistics() for _ in range(4)]
+    for trace, shard in assigned:
+        shards[shard].add_trace(trace)
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged = merged.merge(shard)
+    reversed_merge = shards[-1]
+    for shard in reversed(shards[:-1]):
+        reversed_merge = reversed_merge.merge(shard)
+    batch = compute_statistics(build_log([trace for trace, _ in assigned]))
+    assert merged.snapshot() == batch
+    assert reversed_merge.snapshot() == batch  # merge order is irrelevant

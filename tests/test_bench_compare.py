@@ -1,0 +1,105 @@
+"""The benchmark harness's regression gate (`compare`).
+
+Machine-independent checks only: the floor keys must be enforced, and —
+the part that once silently passed — a floor key missing from either
+payload must fail loudly instead of defaulting to a vacuous verdict.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_core_kernels import FLOORS, compare  # noqa: E402
+
+
+def payload(**overrides) -> dict:
+    base = {
+        "calibration_time": 1.0,
+        "scenarios": {},
+        "speedup_exact_20": 5.0,
+        "speedup_composite": 4.0,
+        "memory_reduction_sparse": 6.0,
+        "sparse_time_ratio_20": 0.9,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestFloorKeys:
+    def test_clean_payloads_pass(self):
+        assert compare(payload(), payload(), 2.0) == []
+
+    def test_missing_key_in_current_fails(self):
+        for key, _, _, _ in FLOORS:
+            current = payload()
+            del current[key]
+            failures = compare(current, payload(), 2.0)
+            assert any(key in failure and "current" in failure
+                       for failure in failures), key
+
+    def test_missing_key_in_baseline_fails(self):
+        for key, _, _, _ in FLOORS:
+            baseline = payload()
+            del baseline[key]
+            failures = compare(payload(), baseline, 2.0)
+            assert any(key in failure and "baseline" in failure
+                       for failure in failures), key
+
+    def test_min_floor_violation_fails(self):
+        failures = compare(payload(speedup_exact_20=2.9), payload(), 2.0)
+        assert len(failures) == 1
+        assert "3" in failures[0]
+
+    def test_memory_floor_violation_fails(self):
+        failures = compare(payload(memory_reduction_sparse=3.5), payload(), 2.0)
+        assert len(failures) == 1
+        assert "memory" in failures[0]
+
+    def test_ratio_ceiling_violation_fails(self):
+        failures = compare(payload(sparse_time_ratio_20=1.3), payload(), 2.0)
+        assert len(failures) == 1
+        assert "ratio" in failures[0]
+
+    def test_value_at_the_bound_passes(self):
+        ok = payload(
+            speedup_exact_20=3.0, speedup_composite=3.0,
+            memory_reduction_sparse=4.0, sparse_time_ratio_20=1.2,
+        )
+        assert compare(ok, payload(), 2.0) == []
+
+
+class TestScenarioComparison:
+    def test_disappeared_scenario_flagged(self):
+        baseline = payload(
+            scenarios={"x": {"mean_time": 1.0, "pair_updates": 10}}
+        )
+        failures = compare(payload(), baseline, 2.0)
+        assert any("disappeared" in failure for failure in failures)
+
+    def test_pair_update_growth_flagged(self):
+        baseline = payload(
+            scenarios={"x": {"mean_time": 1.0, "pair_updates": 10}}
+        )
+        current = payload(
+            scenarios={"x": {"mean_time": 1.0, "pair_updates": 12}}
+        )
+        failures = compare(current, baseline, 2.0)
+        assert any("pair_updates" in failure for failure in failures)
+
+
+class TestCommittedBaseline:
+    def test_baseline_has_every_floor_key(self):
+        committed = json.loads(
+            (REPO_ROOT / "BENCH_core.json").read_text(encoding="utf-8")
+        )
+        for key, bound, sense, _ in FLOORS:
+            assert key in committed, key
+            if sense == "min":
+                assert committed[key] >= bound, key
+            else:
+                assert committed[key] <= bound, key
+        assert compare(committed, committed, 2.0) == []

@@ -93,6 +93,34 @@ class TestMatchCommand:
         assert main(["match", *log_paths, "--threshold", "0.99"]) == 0
         assert "no correspondences" in capsys.readouterr().out
 
+    def test_kernel_flag_matches_default(self, log_paths, capsys):
+        payloads = []
+        for kernel in ("vectorized", "sparse", "reference"):
+            assert main(["match", *log_paths, "--kernel", kernel, "--json"]) == 0
+            payloads.append(json.loads(capsys.readouterr().out))
+        default, sparse, reference = payloads
+        assert sparse["correspondences"] == default["correspondences"]
+        assert reference["correspondences"] == default["correspondences"]
+        assert sparse["objective"] == pytest.approx(default["objective"], abs=1e-12)
+
+    def test_kernel_flag_rejects_unknown(self, log_paths, capsys):
+        with pytest.raises(SystemExit):
+            main(["match", *log_paths, "--kernel", "gpu"])
+        assert "--kernel" in capsys.readouterr().err
+
+    def test_dtype_flag(self, log_paths, capsys):
+        assert main(["match", *log_paths, "--json"]) == 0
+        wide = json.loads(capsys.readouterr().out)
+        assert main(["match", *log_paths, "--dtype", "float32", "--json"]) == 0
+        narrow = json.loads(capsys.readouterr().out)
+        assert narrow["correspondences"] == wide["correspondences"]
+        assert narrow["objective"] == pytest.approx(wide["objective"], abs=1e-5)
+
+    def test_dtype_flag_rejects_unknown(self, log_paths, capsys):
+        with pytest.raises(SystemExit):
+            main(["match", *log_paths, "--dtype", "float16"])
+        assert "--dtype" in capsys.readouterr().err
+
     def test_explicit_format_flag(self, tmp_path, capsys):
         from repro.logs.csvio import write_csv
         from repro.synthesis.examples import figure1_logs
