@@ -41,6 +41,13 @@ from repro.core.ems import EMSEngine
 from repro.graph.dependency import DependencyGraph
 from repro.logs.log import EventLog
 from repro.matching.assignment import max_weight_assignment
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    RunManifest,
+    Tracer,
+    environment_metadata,
+)
 from repro.synthesis.corpus import build_scalability_pair
 
 #: The Figure-8 scalability scenario every timing below runs against.
@@ -203,6 +210,14 @@ def _scenarios():
     def ems(**config):
         return EMSEngine(EMSConfig(**config)).similarity(*graphs).pair_updates
 
+    def ems_noop_observer():
+        # Same workload as ems_exact_20_vectorized, but through an
+        # explicitly constructed no-op Observer — the pair of timings
+        # pins the cost of the disabled instrumentation hooks
+        # (``noop_observer_overhead`` in the payload).
+        engine = EMSEngine(EMSConfig(kernel="vectorized"), observer=Observer())
+        return engine.similarity(*graphs).pair_updates
+
     def hungarian():
         rng = np.random.default_rng(3)
         max_weight_assignment(rng.random((50, 50)))
@@ -223,6 +238,7 @@ def _scenarios():
     yield "ems_exact_20_vectorized", lambda: ems(kernel="vectorized")
     yield "ems_exact_20_reference", lambda: ems(kernel="reference")
     yield "ems_exact_20_sparse", lambda: ems(kernel="sparse")
+    yield "ems_exact_20_noop_observer", ems_noop_observer
     yield "ems_exact_20_nopruning_vectorized", lambda: ems(use_pruning=False)
     yield "ems_estimation_I0_20", lambda: ems(estimation_iterations=0)
     yield "ems_forward_20", lambda: ems(direction="forward")
@@ -312,11 +328,18 @@ def run_harness(repeats: int) -> dict:
         scenarios["ems_exact_20_sparse"]["min_time"]
         / scenarios["ems_exact_20_vectorized"]["min_time"]
     )
+    # Same min-over-repeats estimator: the disabled observer hooks must
+    # be free on the hot path, so this ratio should sit at ~1.0.
+    noop_overhead = (
+        scenarios["ems_exact_20_noop_observer"]["min_time"]
+        / scenarios["ems_exact_20_vectorized"]["min_time"]
+    )
     return {
         "schema": 2,
         "scenario": SCENARIO,
         "composite_scenario": COMPOSITE_SCENARIO,
         "memory_scenario": MEMORY_SCENARIO,
+        "environment": environment_metadata(),
         "calibration_time": calibration,
         "scenarios": scenarios,
         "memory": memory,
@@ -324,6 +347,7 @@ def run_harness(repeats: int) -> dict:
         "speedup_composite": speedup_composite,
         "memory_reduction_sparse": memory_reduction,
         "sparse_time_ratio_20": sparse_ratio,
+        "noop_observer_overhead": noop_overhead,
     }
 
 
@@ -341,7 +365,33 @@ FLOORS = (
      "sparse-vs-vectorized peak-memory reduction (300 activities)"),
     ("sparse_time_ratio_20", 1.2, "max",
      "sparse-vs-vectorized wall-clock ratio (20 events)"),
+    ("noop_observer_overhead", 1.1, "max",
+     "no-op-observer overhead on exact EMS (20 events)"),
 )
+
+
+def environment_warnings(current: dict, baseline: dict) -> list[str]:
+    """Human-readable notes on environment drift between two payloads.
+
+    Differences here (interpreter, numpy, machine) are *warnings*, not
+    failures: the calibration normalization in :func:`compare` absorbs
+    raw speed differences, but a changed environment is worth surfacing
+    when a timing comparison looks suspicious.
+    """
+    cur_env = current.get("environment") or {}
+    base_env = baseline.get("environment") or {}
+    if not base_env:
+        return ["baseline payload has no environment metadata "
+                "(predates schema addition; regenerate to silence this)"]
+    warnings = []
+    for key in sorted(set(cur_env) | set(base_env)):
+        cur_value, base_value = cur_env.get(key), base_env.get(key)
+        if cur_value != base_value:
+            warnings.append(
+                f"environment mismatch on {key!r}: current {cur_value!r} "
+                f"vs baseline {base_value!r}"
+            )
+    return warnings
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
@@ -399,6 +449,44 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
+def emit_observability(trace_out: str | None, manifest_out: str | None) -> None:
+    """One fully-traced incremental composite search, exported to disk.
+
+    Gives CI (and curious humans) a Chrome-trace timeline and a
+    :class:`~repro.obs.RunManifest` for the same composite scenario the
+    timing floors run against, without slowing the timed scenarios down.
+    """
+    observer = Observer(tracer=Tracer(), metrics=MetricsRegistry())
+    config = EMSConfig(incremental=True, screening=True)
+    matcher = CompositeMatcher(
+        config, delta=0.001, min_confidence=0.9, max_run_length=3,
+        observer=observer,
+    )
+    logs = build_composite_pair(**COMPOSITE_SCENARIO)
+    with observer.span("bench.composite", **COMPOSITE_SCENARIO):
+        result = matcher.match(*logs)
+    if trace_out:
+        Path(trace_out).write_text(
+            json.dumps(observer.tracer.to_chrome_trace(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {trace_out}")
+    if manifest_out:
+        manifest = RunManifest.from_observer(
+            observer,
+            config={"scenario": dict(COMPOSITE_SCENARIO),
+                    "incremental": True, "screening": True},
+            stats={
+                "rounds": result.stats.rounds,
+                "candidates_evaluated": result.stats.candidates_evaluated,
+                "pair_updates": result.stats.pair_updates,
+                "accepted_second": [list(run) for run in result.accepted_second],
+            },
+        )
+        manifest.write(manifest_out)
+        print(f"wrote {manifest_out}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -415,6 +503,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--threshold", type=float, default=2.0,
         help="allowed normalized slowdown factor for --check (default 2.0)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also run one traced composite search and write its "
+             "Chrome-trace JSON to PATH (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write the traced composite search's run manifest to PATH",
     )
     arguments = parser.parse_args(argv)
 
@@ -439,10 +536,17 @@ def main(argv: list[str] | None = None) -> int:
           f"({payload['memory_reduction_sparse']:.2f}x reduction)")
     print(f"sparse/vectorized time ratio (20 events): "
           f"{payload['sparse_time_ratio_20']:.2f}x")
+    print(f"no-op observer overhead (20 events): "
+          f"{payload['noop_observer_overhead']:.2f}x")
     print(f"wrote {arguments.output}")
+
+    if arguments.trace_out or arguments.manifest_out:
+        emit_observability(arguments.trace_out, arguments.manifest_out)
 
     if arguments.check:
         baseline = json.loads(Path(arguments.check).read_text(encoding="utf-8"))
+        for warning in environment_warnings(payload, baseline):
+            print(f"WARNING: {warning}", file=sys.stderr)
         failures = compare(payload, baseline, arguments.threshold)
         if failures:
             print("\nREGRESSIONS against", arguments.check, file=sys.stderr)

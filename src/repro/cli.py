@@ -8,6 +8,8 @@ Usage::
                                     [--kernel K] [--dtype D]
                                     [--timeout S] [--pair-budget N]
                                     [--no-degrade] [--on-error MODE]
+                                    [--trace-out PATH] [--metrics-out PATH]
+                                    [--manifest-out PATH] [--log-level LEVEL]
 
 Reads the two logs (XES or CSV, auto-detected from the extension by
 default), runs EMS matching, and prints the found correspondences with
@@ -23,6 +25,12 @@ Failure behaviour (see ``docs/robustness.md``):
 ``--on-error skip|repair`` makes ingestion fault-tolerant, with the
 dropped/repaired rows accounted in the ``--json`` output and the
 Markdown report.
+
+Observability (see ``docs/observability.md``): ``--trace-out`` writes a
+Chrome-trace JSON of the run's spans, ``--metrics-out`` a Prometheus
+text exposition, ``--manifest-out`` a run-manifest JSON (config +
+environment + per-stage timings), and ``--log-level`` enables library
+logging to stderr.
 """
 
 from __future__ import annotations
@@ -38,6 +46,14 @@ from repro.logs.csvio import read_csv
 from repro.logs.log import EventLog
 from repro.logs.xes import read_xes
 from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.obs import (
+    NULL_OBSERVER,
+    MetricsRegistry,
+    Observer,
+    RunManifest,
+    Tracer,
+    configure_logging,
+)
 from repro.runtime import DegradationPolicy, IngestionReport, MatchBudget
 from repro.similarity.labels import QGramCosineSimilarity
 
@@ -149,23 +165,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None,
         help="also write a Markdown matching report to PATH",
     )
+    match.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome-trace JSON of the run (open in chrome://tracing "
+             "or Perfetto)",
+    )
+    match.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's metrics in Prometheus text exposition format",
+    )
+    match.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write a run manifest JSON (config, environment, per-stage "
+             "timings, stats)",
+    )
+    match.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="enable library logging to stderr at this level",
+    )
     return parser
 
 
+def _build_observer(arguments: argparse.Namespace) -> Observer:
+    """The run's observer, shaped by the observability flags.
+
+    A tracer is attached when a trace or manifest is requested, a metrics
+    registry when metrics or a manifest are; with none of the flags the
+    null observer keeps the run on the uninstrumented path.
+    """
+    if arguments.log_level is not None:
+        configure_logging(arguments.log_level)
+    wants_trace = arguments.trace_out or arguments.manifest_out
+    wants_metrics = arguments.metrics_out or arguments.manifest_out
+    if not wants_trace and not wants_metrics:
+        return NULL_OBSERVER
+    return Observer(
+        tracer=Tracer() if wants_trace else None,
+        metrics=MetricsRegistry() if wants_metrics else None,
+    )
+
+
 def run_match(arguments: argparse.Namespace) -> int:
+    observer = _build_observer(arguments)
     ingestion_first = IngestionReport(
         source=arguments.log_first, mode=arguments.on_error
     )
     ingestion_second = IngestionReport(
         source=arguments.log_second, mode=arguments.on_error
     )
-    log_first = load_log(
-        arguments.log_first, arguments.format, arguments.on_error, ingestion_first
-    )
-    log_second = load_log(
-        arguments.log_second, arguments.format, arguments.on_error, ingestion_second
+    with observer.span("match") as root_span:
+        with observer.span("ingest.parse", source=arguments.log_first):
+            log_first = load_log(
+                arguments.log_first, arguments.format, arguments.on_error,
+                ingestion_first,
+            )
+        with observer.span("ingest.parse", source=arguments.log_second):
+            log_second = load_log(
+                arguments.log_second, arguments.format, arguments.on_error,
+                ingestion_second,
+            )
+        observer.info(
+            "loaded %s (%d traces) and %s (%d traces)",
+            arguments.log_first, len(log_first),
+            arguments.log_second, len(log_second),
+        )
+        outcome, matcher, config = _execute_match(
+            arguments, observer, log_first, log_second
+        )
+        root_span.attributes["objective"] = outcome.objective
+        root_span.attributes["correspondences"] = len(outcome.correspondences)
+        observer.info(
+            "matched: %d correspondences, objective %.4f",
+            len(outcome.correspondences), outcome.objective,
+        )
+    _write_observability_outputs(arguments, observer, config, outcome)
+    return _render_match_output(
+        arguments, outcome, matcher,
+        log_first, log_second, ingestion_first, ingestion_second,
     )
 
+
+def _execute_match(
+    arguments: argparse.Namespace,
+    observer: Observer,
+    log_first: EventLog,
+    log_second: EventLog,
+):
     label_similarity = QGramCosineSimilarity() if arguments.labels else None
     alpha = arguments.alpha
     if alpha is None:
@@ -199,14 +286,67 @@ def run_match(arguments: argparse.Namespace) -> int:
             threshold=arguments.threshold, delta=arguments.delta,
             budget=budget, degradation=degradation,
             workers=arguments.workers,
+            observer=observer,
         )
     else:
         matcher = EMSMatcher(
             config, label_similarity, threshold=arguments.threshold,
             budget=budget, degradation=degradation,
+            observer=observer,
         )
     outcome = matcher.match(log_first, log_second)
+    return outcome, matcher, config
 
+
+def _write_observability_outputs(
+    arguments: argparse.Namespace,
+    observer: Observer,
+    config: EMSConfig,
+    outcome,
+) -> None:
+    """Write the trace / metrics / manifest files requested by flags."""
+    if arguments.trace_out:
+        Path(arguments.trace_out).write_text(
+            json.dumps(observer.tracer.to_chrome_trace(), indent=2)
+        )
+    if arguments.metrics_out:
+        Path(arguments.metrics_out).write_text(observer.metrics.to_prometheus_text())
+    if arguments.manifest_out:
+        runtime = outcome.runtime.to_dict() if outcome.runtime else {}
+        manifest = RunManifest.from_observer(
+            observer,
+            config={
+                "alpha": config.alpha,
+                "c": config.c,
+                "epsilon": config.epsilon,
+                "max_iterations": config.max_iterations,
+                "direction": config.direction,
+                "estimation_iterations": config.estimation_iterations,
+                "kernel": config.kernel,
+                "dtype": config.dtype,
+                "incremental": config.incremental,
+                "composite": arguments.composite,
+                "workers": arguments.workers,
+            },
+            stats={
+                "objective": outcome.objective,
+                "correspondences": len(outcome.correspondences),
+                "diagnostics": dict(outcome.diagnostics),
+                "runtime": runtime,
+            },
+        )
+        manifest.write(arguments.manifest_out)
+
+
+def _render_match_output(
+    arguments: argparse.Namespace,
+    outcome,
+    matcher,
+    log_first: EventLog,
+    log_second: EventLog,
+    ingestion_first: IngestionReport,
+    ingestion_second: IngestionReport,
+) -> int:
     ingestion = (ingestion_first, ingestion_second)
     if arguments.report:
         from repro.reporting import render_match_report

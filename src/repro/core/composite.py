@@ -32,7 +32,7 @@ pool can be grown for the Figure 14 experiment.
 
 from __future__ import annotations
 
-import time
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from multiprocessing import resource_tracker, shared_memory
@@ -49,10 +49,13 @@ from repro.graph.merge import composite_name, merge_run_in_log
 from repro.graph.reachability import real_ancestors, real_descendants
 from repro.logs.log import EventLog
 from repro.logs.stats import activity_occurrence_counts, directly_follows_counts
+from repro.obs import NULL_OBSERVER, Observer, Tracer, get_logger
 from repro.runtime.budget import BudgetMeter, MatchBudget
 from repro.runtime.degrade import DegradationPolicy
 from repro.runtime.report import STAGE_EXACT, STAGE_PARTIAL, RuntimeReport
 from repro.similarity.labels import CompositeAwareSimilarity, LabelSimilarity, OpaqueSimilarity
+
+_logger = get_logger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -332,6 +335,10 @@ class _RoundContext:
     #: The previous round's matrices — a plain dict in-process, a
     #: :class:`_SharedDirectional` handle when shipped to pool workers.
     directional: dict[str, SimilarityMatrix] | _SharedDirectional | None
+    #: When True, pool workers trace their evaluations into local spans
+    #: and ship the fragments back for the parent to stitch (observers
+    #: themselves never cross the process boundary).
+    trace: bool = False
 
 
 def _evaluate_candidate(
@@ -341,18 +348,22 @@ def _evaluate_candidate(
     abort_below: float,
     label_cache: LabelMatrixCache | None = None,
     meter: BudgetMeter | None = None,
+    observer: Observer | None = None,
 ) -> tuple[EMSResult | None, int]:
     """Similarity of the graphs after merging *run* on one side.
 
     Returns ``(outcome, pairs_fixed)``; *outcome* is ``None`` when the Bd
     bound proved the candidate cannot reach *abort_below*.
     """
+    if observer is None:
+        observer = NULL_OBSERVER
     log, members, graph = context.sides[side_index]
     other_log, other_members, other_graph = context.sides[1 - side_index]
     merged_log, merged_members = merge_run_in_log(log, run, members)
-    merged_graph = DependencyGraph.from_log(
-        merged_log, min_frequency=context.min_edge_frequency, members=merged_members
-    )
+    with observer.span("graph.build", merged=True, run=list(run)):
+        merged_graph = DependencyGraph.from_log(
+            merged_log, min_frequency=context.min_edge_frequency, members=merged_members
+        )
     if side_index == 0:
         members_pair = (merged_members, other_members)
         graphs = (merged_graph, other_graph)
@@ -363,7 +374,7 @@ def _evaluate_candidate(
         label: LabelSimilarity = context.base_label
     else:
         label = CompositeAwareSimilarity(context.base_label, *members_pair)
-    engine = EMSEngine(context.config, label, label_cache)
+    engine = EMSEngine(context.config, label, label_cache, observer=observer)
     fixed_forward, fixed_backward, pairs_fixed = _unchanged_pairs(
         side_index, run, graph, other_graph, context.directional, context.use_unchanged
     )
@@ -392,16 +403,30 @@ def _init_worker(context: _RoundContext) -> None:
     _WORKER_STATE = (context, LabelMatrixCache(context.config.label_cache_entries))
 
 
+def _worker_observer(trace: bool) -> Observer:
+    """A per-task observer for a pool worker: local tracer or the null one.
+
+    Workers never receive the parent's Observer (it is not picklable and
+    its clock shares no epoch); when tracing is requested they record
+    into a fresh local :class:`Tracer` and ship the span fragments back
+    with the result for the parent to :meth:`~Tracer.adopt`.
+    """
+    return Observer(tracer=Tracer()) if trace else NULL_OBSERVER
+
+
 def _pool_evaluate(
     task: tuple[int, tuple[str, ...], float]
-) -> tuple[int, tuple[str, ...], EMSResult | None, int]:
+) -> tuple[int, tuple[str, ...], EMSResult | None, int, list[dict], int]:
     assert _WORKER_STATE is not None, "pool worker used without _init_worker"
     context, label_cache = _WORKER_STATE
     side_index, run, abort_below = task
-    outcome, pairs_fixed = _evaluate_candidate(
-        context, side_index, run, abort_below, label_cache
-    )
-    return side_index, run, outcome, pairs_fixed
+    observer = _worker_observer(context.trace)
+    with observer.span("candidate.evaluate", side=side_index, run=list(run)):
+        outcome, pairs_fixed = _evaluate_candidate(
+            context, side_index, run, abort_below, label_cache, observer=observer
+        )
+    fragments = observer.tracer.export_fragments() if observer.tracing else []
+    return side_index, run, outcome, pairs_fixed, fragments, os.getpid()
 
 
 #: Per-process state of *incremental* pool workers.  Unlike the cold pool
@@ -420,6 +445,7 @@ def _init_incremental_worker(
     use_unchanged: bool,
     use_bounds: bool,
     sides: tuple[tuple[EventLog, dict[str, frozenset[str]], DependencyGraph], ...],
+    trace: bool = False,
 ) -> None:
     global _INC_WORKER
     state = IncrementalSearchState(
@@ -427,7 +453,7 @@ def _init_incremental_worker(
         LabelMatrixCache(config.label_cache_entries),
     )
     state.reset(sides)
-    _INC_WORKER = (state, {"applied": 0, "round": None})
+    _INC_WORKER = (state, {"applied": 0, "round": None, "trace": trace})
 
 
 def _incremental_pool_evaluate(
@@ -439,7 +465,7 @@ def _incremental_pool_evaluate(
         tuple[str, ...],
         float,
     ]
-) -> tuple[int, tuple[str, ...], EMSResult | None, int, bool]:
+) -> tuple[int, tuple[str, ...], EMSResult | None, int, bool, list[dict], int]:
     """Evaluate one candidate in a persistent incremental worker.
 
     *task* carries ``(round_id, history, directional, side_index, run,
@@ -462,8 +488,15 @@ def _incremental_pool_evaluate(
     if progress["round"] != round_id:
         state.begin_round(_resolve_directional(directional))
         progress["round"] = round_id
-    evaluation = state.evaluate(side_index, run, abort_below)
-    return side_index, run, evaluation.outcome, evaluation.pairs_fixed, evaluation.screened
+    observer = _worker_observer(progress.get("trace", False))
+    state.observer = observer
+    with observer.span("candidate.evaluate", side=side_index, run=list(run)):
+        evaluation = state.evaluate(side_index, run, abort_below)
+    fragments = observer.tracer.export_fragments() if observer.tracing else []
+    return (
+        side_index, run, evaluation.outcome, evaluation.pairs_fixed,
+        evaluation.screened, fragments, os.getpid(),
+    )
 
 
 class CompositeMatcher:
@@ -524,11 +557,13 @@ class CompositeMatcher:
         budget: MatchBudget | None = None,
         degradation: DegradationPolicy | None = None,
         workers: int = 0,
+        observer: Observer | None = None,
     ):
         if delta < 0.0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.config = config if config is not None else EMSConfig()
         self.base_label = (
             label_similarity if label_similarity is not None else OpaqueSimilarity()
@@ -555,7 +590,7 @@ class CompositeMatcher:
             label = CompositeAwareSimilarity(
                 self.base_label, state_first.members, state_second.members
             )
-        return EMSEngine(self.config, label, self._label_cache)
+        return EMSEngine(self.config, label, self._label_cache, observer=self.observer)
 
     def _graph(self, log: EventLog, members: dict[str, frozenset[str]]) -> DependencyGraph:
         return DependencyGraph.from_log(
@@ -573,6 +608,7 @@ class CompositeMatcher:
             use_bounds=self.use_bounds,
             sides=tuple((state.log, state.members, state.graph) for state in states),
             directional=current.directional if self.use_unchanged else None,
+            trace=self.observer.tracing,
         )
 
     # ------------------------------------------------------------------
@@ -586,21 +622,26 @@ class CompositeMatcher:
         the best merge state found so far — always a valid result,
         annotated through :attr:`CompositeMatchResult.runtime`.
         """
-        started = time.perf_counter()
-        meter = self.budget.start() if self.budget is not None else None
+        obs = self.observer
+        started = obs.clock()
+        meter = self.budget.start(obs.clock) if self.budget is not None else None
         policy = self.degradation
         self._label_cache = LabelMatrixCache(self.config.label_cache_entries)
+        with obs.span("graph.build", activities=len(log_first.activities())):
+            graph_first = self._graph(log_first, {})
+        with obs.span("graph.build", activities=len(log_second.activities())):
+            graph_second = self._graph(log_second, {})
         states = (
             _SideState(
                 log_first,
                 {a: frozenset({a}) for a in log_first.activities()},
-                self._graph(log_first, {}),
+                graph_first,
                 [],
             ),
             _SideState(
                 log_second,
                 {a: frozenset({a}) for a in log_second.activities()},
-                self._graph(log_second, {}),
+                graph_second,
                 [],
             ),
         )
@@ -643,7 +684,7 @@ class CompositeMatcher:
             detail=detail,
             iterations=current.iterations,
             pair_updates=spent,
-            wall_time=time.perf_counter() - started,
+            wall_time=obs.clock() - started,
             rounds=stats.rounds,
         )
         return CompositeMatchResult(
@@ -679,10 +720,12 @@ class CompositeMatcher:
             incremental = IncrementalSearchState(
                 self.config, self.base_label, self.min_edge_frequency,
                 self.use_unchanged, self.use_bounds, self._label_cache,
+                observer=self.observer,
             )
             incremental.reset(
                 tuple((state.log, state.members, state.graph) for state in states)
             )
+        obs = self.observer
         pool: ProcessPoolExecutor | None = None
         pool_history: list[tuple[int, tuple[str, ...]]] = []
         try:
@@ -690,77 +733,84 @@ class CompositeMatcher:
                 if meter is not None:
                     meter.check()
                 stats.rounds += 1
-                current_average = current.matrix.average()
-                target = current_average + self.delta
-                best: tuple[int, tuple[str, ...], EMSResult] | None = None
-                best_average = current_average
-                if incremental is not None:
-                    incremental.begin_round(
-                        current.directional if self.use_unchanged else None
-                    )
-
-                tasks: list[tuple[int, tuple[str, ...]]] = []
-                for side_index in (0, 1):
-                    for run in discover_candidates(
-                        states[side_index].log,
-                        min_confidence=self.min_confidence,
-                        max_run_length=self.max_run_length,
-                        max_candidates=self.max_candidates,
-                    ):
-                        tasks.append((side_index, run))
-
-                if self.workers > 1 and meter is None and len(tasks) > 1:
+                with obs.span(f"composite.round[{stats.rounds}]") as round_span:
+                    obs.gauge("composite_round", stats.rounds)
+                    current_average = current.matrix.average()
+                    target = current_average + self.delta
+                    best: tuple[int, tuple[str, ...], EMSResult] | None = None
+                    best_average = current_average
                     if incremental is not None:
-                        if pool is None:
-                            pool = self._start_incremental_pool(states)
-                            pool_history = []
-                        best, best_average = self._round_parallel_incremental(
-                            tasks, current, stats, target, best_average,
-                            pool, tuple(pool_history),
+                        incremental.begin_round(
+                            current.directional if self.use_unchanged else None
                         )
-                    else:
-                        best, best_average = self._round_parallel(
-                            tasks, states, current, stats, target, best_average
-                        )
-                else:
-                    for side_index, run in tasks:
+
+                    tasks: list[tuple[int, tuple[str, ...]]] = []
+                    for side_index in (0, 1):
+                        for run in discover_candidates(
+                            states[side_index].log,
+                            min_confidence=self.min_confidence,
+                            max_run_length=self.max_run_length,
+                            max_candidates=self.max_candidates,
+                        ):
+                            tasks.append((side_index, run))
+                    round_span.attributes["candidates"] = len(tasks)
+
+                    if self.workers > 1 and meter is None and len(tasks) > 1:
                         if incremental is not None:
-                            outcome = self._evaluate_incremental(
-                                incremental, side_index, run, stats,
-                                abort_below=max(best_average, target),
-                                meter=meter,
+                            if pool is None:
+                                pool = self._start_incremental_pool(states)
+                                pool_history = []
+                            best, best_average = self._round_parallel_incremental(
+                                tasks, current, stats, target, best_average,
+                                pool, tuple(pool_history),
                             )
                         else:
-                            outcome = self._evaluate(
-                                side_index, run, states, current, stats,
-                                abort_below=max(best_average, target),
-                                meter=meter,
+                            best, best_average = self._round_parallel(
+                                tasks, states, current, stats, target, best_average
                             )
-                        if outcome is None:
-                            continue
-                        if outcome.matrix.average() > best_average:
-                            best_average = outcome.matrix.average()
-                            best = (side_index, run, outcome)
+                    else:
+                        for side_index, run in tasks:
+                            if incremental is not None:
+                                outcome = self._evaluate_incremental(
+                                    incremental, side_index, run, stats,
+                                    abort_below=max(best_average, target),
+                                    meter=meter,
+                                )
+                            else:
+                                outcome = self._evaluate(
+                                    side_index, run, states, current, stats,
+                                    abort_below=max(best_average, target),
+                                    meter=meter,
+                                )
+                            if outcome is None:
+                                continue
+                            if outcome.matrix.average() > best_average:
+                                best_average = outcome.matrix.average()
+                                best = (side_index, run, outcome)
 
-                if best is None or best_average - current_average <= self.delta:
-                    return current
+                    if best is None or best_average - current_average <= self.delta:
+                        round_span.attributes["accepted"] = None
+                        return current
 
-                side_index, run, outcome = best
-                state = states[side_index]
-                if incremental is not None:
-                    state.log, state.members, state.graph = (
-                        incremental.apply_accepted(side_index, run)
-                    )
-                else:
-                    merged_log, merged_members = merge_run_in_log(
-                        state.log, run, state.members
-                    )
-                    state.log = merged_log
-                    state.members = merged_members
-                    state.graph = self._graph(merged_log, merged_members)
-                state.accepted.append(run)
-                pool_history.append((side_index, run))
-                current = outcome
+                    side_index, run, outcome = best
+                    round_span.attributes["accepted"] = list(run)
+                    round_span.attributes["average"] = best_average
+                    obs.count("composite_merges_accepted_total")
+                    state = states[side_index]
+                    if incremental is not None:
+                        state.log, state.members, state.graph = (
+                            incremental.apply_accepted(side_index, run)
+                        )
+                    else:
+                        merged_log, merged_members = merge_run_in_log(
+                            state.log, run, state.members
+                        )
+                        state.log = merged_log
+                        state.members = merged_members
+                        state.graph = self._graph(merged_log, merged_members)
+                    state.accepted.append(run)
+                    pool_history.append((side_index, run))
+                    current = outcome
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -780,7 +830,7 @@ class CompositeMatcher:
         stats.candidates_evaluated += 1
         outcome, pairs_fixed = _evaluate_candidate(
             self._round_context(states, current), side_index, run, abort_below,
-            self._label_cache, meter,
+            self._label_cache, meter, observer=self.observer,
         )
         stats.pairs_fixed += pairs_fixed
         if outcome is None:
@@ -832,7 +882,25 @@ class CompositeMatcher:
                 self.config, self.base_label, self.min_edge_frequency,
                 self.use_unchanged, self.use_bounds,
                 tuple((state.log, state.members, state.graph) for state in states),
+                self.observer.tracing,
             ),
+        )
+
+    def _note_shared_memory_fallback(self) -> None:
+        """Surface a shared-memory → pickling degradation (satellite fix).
+
+        Historically this fallback was silent; now it is logged through
+        the bridge and counted so operators can see rounds paying the
+        per-worker pickling cost.
+        """
+        _logger.warning(
+            "shared-memory transport unavailable; pickling the round's "
+            "directional matrices to every worker instead"
+        )
+        self.observer.count(
+            "workers_shared_memory_fallbacks_total",
+            help="rounds whose directional matrices were pickled because "
+            "shared memory was unavailable",
         )
 
     def _round_parallel_incremental(
@@ -857,40 +925,55 @@ class CompositeMatcher:
         candidate order, so the selected best candidate is the one the
         serial loop would pick.
         """
+        obs = self.observer
         directional = current.directional if self.use_unchanged else None
         handle = block = None
         if directional:
             handle, block = _pack_directional(directional)
+            if handle is None:
+                self._note_shared_memory_fallback()
         payload = handle if handle is not None else directional
         round_id = stats.rounds
         best: tuple[int, tuple[str, ...], EMSResult] | None = None
         try:
-            for start in range(0, len(tasks), self.workers):
-                wave = tasks[start:start + self.workers]
-                bound = max(best_average, target)
-                futures = [
-                    pool.submit(
-                        _incremental_pool_evaluate,
-                        (round_id, history, payload, side_index, run, bound),
-                    )
-                    for side_index, run in wave
-                ]
-                for future in futures:
-                    side_index, run, outcome, pairs_fixed, screened = future.result()
-                    if self.config.screening:
-                        stats.screen_checks += 1
-                    if screened:
-                        stats.candidates_screened += 1
-                        continue
-                    stats.candidates_evaluated += 1
-                    stats.pairs_fixed += pairs_fixed
-                    if outcome is None:
-                        stats.evaluations_aborted += 1
-                        continue
-                    stats.pair_updates += outcome.pair_updates
-                    if outcome.matrix.average() > best_average:
-                        best_average = outcome.matrix.average()
-                        best = (side_index, run, outcome)
+            with obs.span(
+                "workers.dispatch",
+                workers=self.workers,
+                tasks=len(tasks),
+                incremental=True,
+                shared_memory=handle is not None,
+            ):
+                for start in range(0, len(tasks), self.workers):
+                    wave = tasks[start:start + self.workers]
+                    bound = max(best_average, target)
+                    futures = [
+                        pool.submit(
+                            _incremental_pool_evaluate,
+                            (round_id, history, payload, side_index, run, bound),
+                        )
+                        for side_index, run in wave
+                    ]
+                    for future in futures:
+                        (
+                            side_index, run, outcome, pairs_fixed, screened,
+                            fragments, worker_pid,
+                        ) = future.result()
+                        if fragments and obs.tracing:
+                            obs.tracer.adopt(fragments, tid=worker_pid)
+                        if self.config.screening:
+                            stats.screen_checks += 1
+                        if screened:
+                            stats.candidates_screened += 1
+                            continue
+                        stats.candidates_evaluated += 1
+                        stats.pairs_fixed += pairs_fixed
+                        if outcome is None:
+                            stats.evaluations_aborted += 1
+                            continue
+                        stats.pair_updates += outcome.pair_updates
+                        if outcome.matrix.average() > best_average:
+                            best_average = outcome.matrix.average()
+                            best = (side_index, run, outcome)
         finally:
             # Every future above has resolved, so no worker will attach
             # again; reclaim the round's segment.
@@ -918,15 +1001,24 @@ class CompositeMatcher:
         shared-memory block (see :class:`_SharedDirectional`) so the
         initializer payload pickles only a handle.
         """
+        obs = self.observer
         context = self._round_context(states, current)
         handle = block = None
         if context.directional:
             handle, block = _pack_directional(context.directional)
             if handle is not None:
                 context = replace(context, directional=handle)
+            else:
+                self._note_shared_memory_fallback()
         best: tuple[int, tuple[str, ...], EMSResult] | None = None
         try:
-            with ProcessPoolExecutor(
+            with obs.span(
+                "workers.dispatch",
+                workers=self.workers,
+                tasks=len(tasks),
+                incremental=False,
+                shared_memory=handle is not None,
+            ), ProcessPoolExecutor(
                 max_workers=self.workers, initializer=_init_worker, initargs=(context,)
             ) as pool:
                 for start in range(0, len(tasks), self.workers):
@@ -937,7 +1029,12 @@ class CompositeMatcher:
                         for side_index, run in wave
                     ]
                     for future in futures:
-                        side_index, run, outcome, pairs_fixed = future.result()
+                        (
+                            side_index, run, outcome, pairs_fixed,
+                            fragments, worker_pid,
+                        ) = future.result()
+                        if fragments and obs.tracing:
+                            obs.tracer.adopt(fragments, tid=worker_pid)
                         stats.candidates_evaluated += 1
                         stats.pairs_fixed += pairs_fixed
                         if outcome is None:

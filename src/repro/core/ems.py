@@ -61,6 +61,7 @@ from repro.core.estimation import estimate_matrix, estimation_coefficients
 from repro.core.matrix import SimilarityMatrix
 from repro.core.pruning import ConvergenceSchedule, active_prefix_length, prefix_schedule
 from repro.graph.dependency import ARTIFICIAL, DependencyGraph
+from repro.obs import NULL_OBSERVER, Observer
 from repro.runtime.budget import BudgetMeter
 from repro.runtime.degrade import DegradationPolicy
 from repro.runtime.report import STAGE_ESTIMATED, STAGE_EXACT, STAGE_PARTIAL
@@ -972,6 +973,14 @@ class EMSEngine:
         Optional :class:`LabelMatrixCache` shared across engines of one
         matching run, so repeated ``similarity`` calls over overlapping
         vocabularies (the composite greedy loop) skip recomputing ``S^L``.
+    observer:
+        Optional :class:`~repro.obs.Observer`.  With a tracer attached,
+        every similarity call records an ``ems.fixpoint`` span with one
+        ``ems.iteration[k]`` child per exact iteration and a
+        ``pruning.freeze`` marker per direction; without one (the
+        default) the fixpoint loops run on the exact same code path as
+        before — iteration spans are only driven when tracing is on, so
+        the observer never perturbs results or hot-loop cost.
     """
 
     def __init__(
@@ -979,12 +988,14 @@ class EMSEngine:
         config: EMSConfig | None = None,
         label_similarity: LabelSimilarity | None = None,
         label_cache: LabelMatrixCache | None = None,
+        observer: Observer | None = None,
     ):
         self.config = config if config is not None else EMSConfig()
         self.label_similarity = (
             label_similarity if label_similarity is not None else OpaqueSimilarity()
         )
         self.label_cache = label_cache
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
     # ------------------------------------------------------------------
     def _label_matrix(self, first: DependencyGraph, second: DependencyGraph) -> np.ndarray:
@@ -992,6 +1003,12 @@ class EMSEngine:
         if isinstance(self.label_similarity, OpaqueSimilarity) or self.config.alpha == 1.0:
             return np.zeros((len(first.nodes), len(second.nodes)), dtype=dtype)
         if self.label_cache is not None:
+            if self.observer.metrics is not None:
+                key = (first.nodes, second.nodes, np.dtype(dtype).str)
+                hit = key in self.label_cache._matrices
+                self.observer.count(
+                    "label_cache_hits_total" if hit else "label_cache_misses_total"
+                )
             return self.label_cache.matrix(
                 first.nodes, second.nodes, self.label_similarity, dtype
             )
@@ -1023,6 +1040,57 @@ class EMSEngine:
                 )
             )
         return runs
+
+    def _directional_names(self) -> list[str]:
+        return (
+            ["forward", "backward"] if self.config.direction == "both"
+            else [self.config.direction]
+        )
+
+    def _drive(self, run: "_DirectionalRun", direction: str) -> None:
+        """Run one directional fixpoint, tracing iterations when asked.
+
+        With tracing off this is exactly the pre-observability code path
+        (`run_exact` / `run_estimated`); with tracing on, each exact
+        iteration gets an ``ems.iteration[k]`` span.  The two paths call
+        the same ``advance``/``run_estimated`` machinery, so results and
+        accounting are bit-identical either way.
+        """
+        obs = self.observer
+        exact = self.config.estimation_iterations
+        if not obs.tracing:
+            if exact is not None:
+                run.run_estimated(exact)
+            else:
+                run.run_exact()
+            return
+        tracer = obs.tracer
+        while not run.finished() and (exact is None or run.iterations < exact):
+            before = run.pair_updates
+            with tracer.span(
+                f"ems.iteration[{run.iterations}]", direction=direction
+            ) as span:
+                run.advance()
+                span.attributes["pair_updates"] = run.pair_updates - before
+        if exact is not None:
+            run.run_estimated(run.iterations)
+
+    def _freeze_event(self, run: "_DirectionalRun", direction: str) -> None:
+        """Record the post-run freeze accounting (Uc / Proposition 2)."""
+        obs = self.observer
+        if not obs.enabled:
+            return
+        fixed_mask = getattr(run, "_fixed_mask", None)
+        obs.event(
+            "pruning.freeze",
+            direction=direction,
+            fixed_pairs=0 if fixed_mask is None else int(fixed_mask.sum()),
+            iterations=run.iterations,
+            pair_updates=run.pair_updates,
+            converged=run.converged,
+            estimated=run.estimated,
+        )
+        obs.count("ems_pair_updates_total", run.pair_updates)
 
     def _result(self, first: DependencyGraph, second: DependencyGraph,
                 runs: list[_DirectionalRun]) -> EMSResult:
@@ -1062,12 +1130,18 @@ class EMSEngine:
         caller (use :meth:`similarity_resilient` for the degradation
         ladder instead).
         """
-        runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
-        for run in runs:
-            if self.config.estimation_iterations is not None:
-                run.run_estimated(self.config.estimation_iterations)
-            else:
-                run.run_exact()
+        obs = self.observer
+        with obs.span(
+            "ems.fixpoint",
+            pairs=len(first.nodes) * len(second.nodes),
+            kernel=self.config.kernel,
+            dtype=self.config.dtype,
+        ):
+            runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
+            for direction, run in zip(self._directional_names(), runs):
+                self._drive(run, direction)
+                self._freeze_event(run, direction)
+        obs.count("ems_fixpoint_total")
         return self._result(first, second, runs)
 
     def similarity_resilient(
@@ -1091,25 +1165,41 @@ class EMSEngine:
         """
         if policy is None:
             policy = DegradationPolicy()
-        runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
-        try:
-            for run in runs:
-                if self.config.estimation_iterations is not None:
-                    run.run_estimated(self.config.estimation_iterations)
-                else:
-                    run.run_exact()
-            return self._result(first, second, runs), STAGE_EXACT, None
-        except BudgetExhausted as error:
-            if policy.allow_estimation:
-                # The closed form needs no further iterations: asking for
-                # exactly the iterations already performed makes
-                # run_estimated apply formula (2) to the current state.
-                for run in runs:
-                    run.run_estimated(run.iterations)
-                return self._result(first, second, runs), STAGE_ESTIMATED, error.reason
-            if policy.allow_partial:
-                return self._result(first, second, runs), STAGE_PARTIAL, error.reason
-            raise
+        obs = self.observer
+        with obs.span(
+            "ems.fixpoint",
+            pairs=len(first.nodes) * len(second.nodes),
+            kernel=self.config.kernel,
+            dtype=self.config.dtype,
+            budgeted=meter is not None,
+        ) as span:
+            runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
+            try:
+                for direction, run in zip(self._directional_names(), runs):
+                    self._drive(run, direction)
+                    self._freeze_event(run, direction)
+                return self._result(first, second, runs), STAGE_EXACT, None
+            except BudgetExhausted as error:
+                span.attributes["budget_exhausted"] = error.reason
+                obs.count("budget_exhausted_total")
+                if policy.allow_estimation:
+                    # The closed form needs no further iterations: asking
+                    # for exactly the iterations already performed makes
+                    # run_estimated apply formula (2) to the current state.
+                    for run in runs:
+                        run.run_estimated(run.iterations)
+                    return (
+                        self._result(first, second, runs),
+                        STAGE_ESTIMATED,
+                        error.reason,
+                    )
+                if policy.allow_partial:
+                    return (
+                        self._result(first, second, runs),
+                        STAGE_PARTIAL,
+                        error.reason,
+                    )
+                raise
 
     def similarity_with_abort(
         self,
@@ -1128,28 +1218,41 @@ class EMSEngine:
         ``None`` is returned — the candidate cannot beat the incumbent.
         This is the *Bd* pruning of Section 4.3.
         """
-        runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
-        # Lockstep: advance each unfinished run one iteration, then check
-        # the combined bound, so hopeless candidates die at the first
-        # possible moment.
-        exact_budget = self.config.estimation_iterations
-        while True:
-            active = [
-                run
-                for run in runs
-                if not run.finished()
-                and (exact_budget is None or run.iterations < exact_budget)
-            ]
-            if not active:
-                break
-            for run in active:
-                run.advance()
-            bound = float(np.mean([run.average_bound() for run in runs]))
-            if bound < abort_below:
-                return None
-        if exact_budget is not None:
-            for run in runs:
-                run.run_estimated(exact_budget)
+        obs = self.observer
+        with obs.span(
+            "ems.fixpoint",
+            pairs=len(first.nodes) * len(second.nodes),
+            kernel=self.config.kernel,
+            dtype=self.config.dtype,
+            abort_below=abort_below,
+        ) as span:
+            runs = self._runs(first, second, fixed_forward, fixed_backward, meter)
+            # Lockstep: advance each unfinished run one iteration, then
+            # check the combined bound, so hopeless candidates die at the
+            # first possible moment.
+            exact_budget = self.config.estimation_iterations
+            while True:
+                active = [
+                    run
+                    for run in runs
+                    if not run.finished()
+                    and (exact_budget is None or run.iterations < exact_budget)
+                ]
+                if not active:
+                    break
+                for run in active:
+                    run.advance()
+                bound = float(np.mean([run.average_bound() for run in runs]))
+                if bound < abort_below:
+                    span.attributes["aborted"] = True
+                    obs.count("ems_bound_aborts_total")
+                    return None
+            if exact_budget is not None:
+                for run in runs:
+                    run.run_estimated(exact_budget)
+            for direction, run in zip(self._directional_names(), runs):
+                self._freeze_event(run, direction)
+        obs.count("ems_fixpoint_total")
         return self._result(first, second, runs)
 
     # ------------------------------------------------------------------

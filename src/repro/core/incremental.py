@@ -56,6 +56,7 @@ from repro.graph.merge import (
 )
 from repro.graph.reachability import real_ancestors, real_descendants
 from repro.logs.log import EventLog
+from repro.obs import NULL_OBSERVER, Observer
 from repro.runtime.budget import BudgetMeter
 from repro.similarity.labels import CompositeAwareSimilarity, LabelSimilarity, OpaqueSimilarity
 
@@ -111,6 +112,7 @@ class IncrementalSearchState:
         use_unchanged: bool,
         use_bounds: bool,
         label_cache: LabelMatrixCache | None = None,
+        observer: Observer | None = None,
     ):
         self.config = config
         self.base_label = base_label
@@ -118,6 +120,7 @@ class IncrementalSearchState:
         self.use_unchanged = use_unchanged
         self.use_bounds = use_bounds
         self.label_cache = label_cache
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self._sides: list[_IncrementalSide] = []
         self._directional: dict[str, SimilarityMatrix] | None = None
         #: Per (direction, side): the parent matrix as a raw array, built
@@ -179,6 +182,7 @@ class IncrementalSearchState:
         if self.config.screening and meter is None:
             bound = self._screen_bound(delta, other.graph)
             if bound < abort_below - _SCREEN_MARGIN:
+                self.observer.count("composite_candidates_screened_total")
                 return CandidateEvaluation(
                     outcome=None, pairs_fixed=0, screened=True, bound=bound
                 )
@@ -187,10 +191,11 @@ class IncrementalSearchState:
             sorted(delta.counts.activity), run, side.members
         )
         need_backward = self.config.direction in ("backward", "both")
-        merged_graph = merged_graph_from_delta(
-            side.graph, delta, self.min_edge_frequency, merged_members,
-            patch_reversed=need_backward,
-        )
+        with self.observer.span("graph.build", merged=True, run=list(run)):
+            merged_graph = merged_graph_from_delta(
+                side.graph, delta, self.min_edge_frequency, merged_members,
+                patch_reversed=need_backward,
+            )
         if side_index == 0:
             members_pair = (merged_members, other.members)
             graphs = (merged_graph, other.graph)
@@ -201,7 +206,7 @@ class IncrementalSearchState:
             label: LabelSimilarity = self.base_label
         else:
             label = CompositeAwareSimilarity(self.base_label, *members_pair)
-        engine = EMSEngine(self.config, label, self.label_cache)
+        engine = EMSEngine(self.config, label, self.label_cache, observer=self.observer)
 
         fixed_forward, fixed_backward, pairs_fixed = self._warm_starts(
             side_index, run, delta.name, merged_graph, other.graph

@@ -10,11 +10,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 from repro.experiments.extensions import EXTENSION_FIGURES
 from repro.experiments.figures import ALL_FIGURES
+from repro.obs.clock import Clock, default_clock
 
 KNOWN = {**ALL_FIGURES, **EXTENSION_FIGURES}
 
@@ -35,7 +35,9 @@ FULL_PARAMETERS: dict[str, dict[str, object]] = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def main(argv: list[str] | None = None, clock: Clock | None = None) -> int:
+    if clock is None:
+        clock = default_clock
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the figures of 'Matching Heterogeneous Event Data' (SIGMOD 2014).",
@@ -72,9 +74,9 @@ def main(argv: list[str] | None = None) -> int:
     for name in requested:
         driver = KNOWN[name]
         kwargs = FULL_PARAMETERS.get(name, {}) if arguments.full else {}
-        start = time.perf_counter()
+        start = clock()
         result = driver(**kwargs)  # type: ignore[arg-type]
-        elapsed = time.perf_counter() - start
+        elapsed = clock() - start
         print(result.render())
         print(f"  [completed in {elapsed:.1f}s]")
         print()

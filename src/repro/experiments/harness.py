@@ -12,7 +12,6 @@ Figure 8.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -25,6 +24,7 @@ from repro.core.config import EMSConfig
 from repro.exceptions import SearchBudgetExceeded
 from repro.matchers import EMSCompositeMatcher, EMSMatcher
 from repro.matching.evaluation import MatchEvaluation, evaluate
+from repro.obs.clock import Clock, default_clock
 from repro.similarity.labels import LabelSimilarity, QGramCosineSimilarity
 from repro.synthesis.corpus import LogPair
 
@@ -48,23 +48,38 @@ class MatcherRun:
         return self.evaluation.f_measure if self.evaluation else 0.0
 
 
-def run_matcher_on_pair(matcher: EventMatcher, pair: LogPair) -> MatcherRun:
-    """Time one matcher on one pair; budget blow-ups become DNF runs."""
-    start = time.perf_counter()
+def run_matcher_on_pair(
+    matcher: EventMatcher, pair: LogPair, clock: Clock | None = None
+) -> MatcherRun:
+    """Time one matcher on one pair; budget blow-ups become DNF runs.
+
+    *clock* defaults to the shared production clock
+    (:data:`repro.obs.clock.default_clock`); tests inject a
+    :class:`~repro.obs.clock.FakeClock` for deterministic timings.
+    """
+    if clock is None:
+        clock = default_clock
+    start = clock()
     try:
         outcome = matcher.match(pair.log_first, pair.log_second)
     except SearchBudgetExceeded:
-        return MatcherRun(matcher.name, pair.name, None, time.perf_counter() - start)
-    seconds = time.perf_counter() - start
+        return MatcherRun(matcher.name, pair.name, None, clock() - start)
+    seconds = clock() - start
     evaluation = evaluate(pair.truth, outcome.correspondences)
     return MatcherRun(matcher.name, pair.name, evaluation, seconds, outcome.diagnostics)
 
 
 def run_matrix(
-    matchers: Sequence[EventMatcher], pairs: Sequence[LogPair]
+    matchers: Sequence[EventMatcher],
+    pairs: Sequence[LogPair],
+    clock: Clock | None = None,
 ) -> list[MatcherRun]:
     """Every matcher on every pair, in a deterministic order."""
-    return [run_matcher_on_pair(matcher, pair) for matcher in matchers for pair in pairs]
+    return [
+        run_matcher_on_pair(matcher, pair, clock)
+        for matcher in matchers
+        for pair in pairs
+    ]
 
 
 @dataclass(frozen=True, slots=True)

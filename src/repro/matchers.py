@@ -13,7 +13,6 @@ baselines, so the experiment harness can treat every method identically.
 
 from __future__ import annotations
 
-import time
 from typing import Mapping
 
 from repro.baselines.common import (
@@ -30,6 +29,7 @@ from repro.graph.dependency import DependencyGraph
 from repro.logs.log import EventLog
 from repro.matching.assignment import max_weight_assignment
 from repro.matching.evaluation import Correspondence
+from repro.obs import NULL_OBSERVER, Observer
 from repro.runtime.budget import MatchBudget
 from repro.runtime.degrade import DegradationPolicy
 from repro.runtime.report import STAGE_EXACT, RuntimeReport
@@ -76,8 +76,10 @@ class EMSMatcher(EventMatcher):
         name: str | None = None,
         budget: MatchBudget | None = None,
         degradation: DegradationPolicy | None = None,
+        observer: Observer | None = None,
     ):
         self.config = config if config is not None else EMSConfig()
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.label_similarity = (
             label_similarity if label_similarity is not None else OpaqueSimilarity()
         )
@@ -117,29 +119,33 @@ class EMSMatcher(EventMatcher):
         members_first: Mapping[str, frozenset[str]],
         members_second: Mapping[str, frozenset[str]],
     ) -> tuple[Evaluation, RuntimeReport]:
-        started = time.perf_counter()
-        graph_first = DependencyGraph.from_log(
-            log_first, min_frequency=self.min_edge_frequency, members=members_first
-        )
-        graph_second = DependencyGraph.from_log(
-            log_second, min_frequency=self.min_edge_frequency, members=members_second
-        )
+        obs = self.observer
+        started = obs.clock()
+        with obs.span("graph.build", activities=len(log_first.activities())):
+            graph_first = DependencyGraph.from_log(
+                log_first, min_frequency=self.min_edge_frequency, members=members_first
+            )
+        with obs.span("graph.build", activities=len(log_second.activities())):
+            graph_second = DependencyGraph.from_log(
+                log_second, min_frequency=self.min_edge_frequency, members=members_second
+            )
         label: LabelSimilarity = self.label_similarity
         if not isinstance(label, OpaqueSimilarity) and self.config.alpha < 1.0:
             label = CompositeAwareSimilarity(
                 self.label_similarity, dict(members_first), dict(members_second)
             )
-        engine = EMSEngine(self.config, label)
+        engine = EMSEngine(self.config, label, observer=obs)
         if self.budget is None:
             result = engine.similarity(graph_first, graph_second)
             stage, reason = STAGE_EXACT, None
         else:
             result, stage, reason = engine.similarity_resilient(
-                graph_first, graph_second, self.budget.start(), self.degradation
+                graph_first, graph_second, self.budget.start(obs.clock), self.degradation
             )
         matrix = result.matrix
         values = matrix.values
-        assignment = max_weight_assignment(values)
+        with obs.span("match.assign", rows=len(matrix.rows), cols=len(matrix.cols)):
+            assignment = max_weight_assignment(values)
         pairs = tuple(
             (matrix.rows[i], matrix.cols[j])
             for i, j in assignment
@@ -151,7 +157,7 @@ class EMSMatcher(EventMatcher):
             reason=reason,
             iterations=result.iterations,
             pair_updates=result.pair_updates,
-            wall_time=time.perf_counter() - started,
+            wall_time=obs.clock() - started,
         )
         evaluation = Evaluation(
             objective=matrix.average(),
@@ -190,7 +196,9 @@ class EMSCompositeMatcher(EventMatcher):
         budget: MatchBudget | None = None,
         degradation: DegradationPolicy | None = None,
         workers: int = 0,
+        observer: Observer | None = None,
     ):
+        self.observer = observer if observer is not None else NULL_OBSERVER
         self.matcher = CompositeMatcher(
             config=config,
             label_similarity=label_similarity,
@@ -204,6 +212,7 @@ class EMSCompositeMatcher(EventMatcher):
             budget=budget,
             degradation=degradation,
             workers=workers,
+            observer=observer,
         )
         self.threshold = threshold
         self._singleton = EMSMatcher(
@@ -211,6 +220,7 @@ class EMSCompositeMatcher(EventMatcher):
             label_similarity=label_similarity,
             threshold=threshold,
             min_edge_frequency=min_edge_frequency,
+            observer=observer,
         )
         if name is not None:
             self.name = name
@@ -226,7 +236,10 @@ class EMSCompositeMatcher(EventMatcher):
         result = self.matcher.match(log_first, log_second)
         matrix = result.matrix
         values = matrix.values
-        assignment = max_weight_assignment(values)
+        with self.observer.span(
+            "match.assign", rows=len(matrix.rows), cols=len(matrix.cols)
+        ):
+            assignment = max_weight_assignment(values)
         correspondences = tuple(
             Correspondence(
                 result.members_first[matrix.rows[i]],

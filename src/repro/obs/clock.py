@@ -1,0 +1,46 @@
+"""The shared injectable clock of the matching pipeline.
+
+Every component that measures wall time — :class:`~repro.runtime.budget.
+BudgetMeter`, the :class:`~repro.obs.trace.Tracer`, the matcher adapters
+and the experiment harness — reads it through a :data:`Clock` callable
+instead of calling :func:`time.perf_counter` directly.  Production code
+uses :data:`default_clock`; tests inject a :class:`FakeClock` to make
+timings (and therefore budgets, spans and reported wall times)
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A monotonic wall-clock source: returns seconds as a float.
+Clock = Callable[[], float]
+
+#: The production clock.
+default_clock: Clock = time.perf_counter
+
+
+class FakeClock:
+    """A deterministic clock for tests.
+
+    Every call returns the current time and then advances it by *step*;
+    :meth:`advance` jumps forward explicitly.  With ``step=0`` the clock
+    is frozen until advanced.
+    """
+
+    __slots__ = ("now", "step")
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.step
+        return current
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self.now += seconds

@@ -1,0 +1,63 @@
+"""The stdlib-``logging`` bridge: per-module loggers under one root.
+
+Every module of the pipeline gets its logger via :func:`get_logger`,
+which namespaces under the ``"repro"`` root so one call to
+:func:`configure_logging` (the CLI's ``--log-level``) controls the whole
+library.  The library itself never configures handlers at import time —
+a :class:`logging.NullHandler` on the root keeps it silent by default,
+the standard good-citizen behaviour for libraries.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: The root logger name every repro logger hangs under.
+ROOT_LOGGER = "repro"
+
+#: Handler format used by :func:`configure_logging`.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Default: silent unless the application configures logging.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger for *name*, namespaced under ``repro``.
+
+    Accepts either a module ``__name__`` that already starts with
+    ``repro`` (the common case) or a bare suffix like ``"obs"``.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: int | str | None = "warning", stream: IO[str] | None = None
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root at *level*.
+
+    Idempotent: calling again replaces the previously attached handler
+    instead of stacking duplicates.  Returns the configured root logger.
+    ``level=None`` leaves the level untouched and only (re)attaches the
+    handler.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    if level is not None:
+        root.setLevel(level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.set_name("repro-obs-bridge")
+    for existing in list(root.handlers):
+        if existing.get_name() == handler.get_name():
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,113 @@
+"""Run manifests: config + environment + per-stage timings + stats.
+
+A :class:`RunManifest` is the machine-readable receipt of one matching
+run, emitted next to results (CLI ``--manifest-out``).  Per-stage
+timings are computed from the recorded trace as **exclusive (self)
+time** grouped by normalized span name — exclusive times partition the
+root span's wall clock, so the stage seconds sum to the total by
+construction (the acceptance check of ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, _json_safe
+
+#: Manifest schema version, bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+def environment_metadata() -> dict[str, Any]:
+    """Interpreter, platform and library versions for reproducibility."""
+    try:  # numpy is an optional runtime dependency of some kernels
+        import numpy
+
+        numpy_version: str | None = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is present in CI
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }
+
+
+def stage_name(span_name: str) -> str:
+    """Normalize a span name to its stage: ``ems.iteration[3]`` → ``ems.iteration``."""
+    return span_name.split("[", 1)[0]
+
+
+def stage_timings(roots: list[Span]) -> dict[str, dict[str, Any]]:
+    """Exclusive seconds and span counts per stage, over a span forest.
+
+    Because each span's :attr:`~repro.obs.trace.Span.self_time` excludes
+    its children, the returned seconds partition the roots' total
+    duration: ``sum(stage seconds) == sum(root durations)`` up to float
+    rounding.
+    """
+    stages: dict[str, dict[str, Any]] = {}
+    for root in roots:
+        for span in root.walk():
+            entry = stages.setdefault(
+                stage_name(span.name), {"seconds": 0.0, "spans": 0}
+            )
+            entry["seconds"] += span.self_time
+            entry["spans"] += 1
+    return stages
+
+
+@dataclass(slots=True)
+class RunManifest:
+    """The JSON receipt of one run."""
+
+    config: dict[str, Any] = field(default_factory=dict)
+    environment: dict[str, Any] = field(default_factory=environment_metadata)
+    stages: dict[str, dict[str, Any]] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    metrics: dict[str, Any] = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_observer(
+        cls,
+        observer: Any,
+        config: dict[str, Any] | None = None,
+        stats: dict[str, Any] | None = None,
+    ) -> "RunManifest":
+        """Build a manifest from an Observer's trace and metrics."""
+        roots: list[Span] = observer.tracer.roots if observer.tracer else []
+        metrics: MetricsRegistry | None = observer.metrics
+        return cls(
+            config=dict(config or {}),
+            stages=stage_timings(roots),
+            total_seconds=sum(root.duration for root in roots),
+            metrics=metrics.as_dict() if metrics is not None else {},
+            stats=dict(stats or {}),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _json_safe(
+            {
+                "manifest_version": MANIFEST_VERSION,
+                "config": self.config,
+                "environment": self.environment,
+                "total_seconds": self.total_seconds,
+                "stages": self.stages,
+                "metrics": self.metrics,
+                "stats": self.stats,
+            }
+        )
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))

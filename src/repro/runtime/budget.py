@@ -18,11 +18,11 @@ pays one integer test per pair update.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.exceptions import BudgetExhausted
+from repro.obs.clock import default_clock
 
 #: How many pair updates pass between wall-clock reads on the hot path.
 #: A power of two so the test compiles to a mask.
@@ -89,7 +89,7 @@ class BudgetMeter:
     def __init__(self, budget: MatchBudget, clock: Callable[[], float] | None = None):
         self.budget = budget
         self.pair_updates_spent = 0
-        self._clock = clock if clock is not None else time.perf_counter
+        self._clock = clock if clock is not None else default_clock
         self._started = self._clock()
         self._deadline_at = (
             None if budget.deadline is None else self._started + budget.deadline

@@ -1,0 +1,60 @@
+"""Unit tests of the stdlib-logging bridge."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+from repro.obs.logbridge import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def _restore_root_logger():
+    """Leave the shared ``repro`` root logger as we found it."""
+    root = logging.getLogger(ROOT_LOGGER)
+    handlers, level = list(root.handlers), root.level
+    yield
+    root.handlers[:] = handlers
+    root.setLevel(level)
+
+
+class TestGetLogger:
+    def test_bare_suffix_is_namespaced(self):
+        assert get_logger("core.ems").name == "repro.core.ems"
+
+    def test_module_dunder_name_passes_through(self):
+        assert get_logger("repro.core.composite").name == "repro.core.composite"
+        assert get_logger("repro").name == "repro"
+
+    def test_loggers_hang_under_the_root(self):
+        assert get_logger("obs").parent.name == ROOT_LOGGER
+
+
+class TestConfigureLogging:
+    def test_attaches_handler_and_level(self):
+        stream = io.StringIO()
+        root = configure_logging("info", stream=stream)
+        assert root.level == logging.INFO
+        get_logger("core.composite").info("hello %s", "world")
+        output = stream.getvalue()
+        assert "hello world" in output
+        assert "repro.core.composite" in output
+
+    def test_idempotent_no_duplicate_handlers(self):
+        configure_logging("warning", stream=io.StringIO())
+        before = len(logging.getLogger(ROOT_LOGGER).handlers)
+        configure_logging("debug", stream=io.StringIO())
+        assert len(logging.getLogger(ROOT_LOGGER).handlers) == before
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")
+
+    def test_silent_by_default(self):
+        # The library attaches only a NullHandler at import time; logging
+        # below the configured threshold produces no output.
+        stream = io.StringIO()
+        configure_logging("error", stream=stream)
+        get_logger("core.ems").warning("dropped")
+        assert stream.getvalue() == ""

@@ -1,0 +1,86 @@
+"""Unit tests of run manifests: stage partition, environment, round-trip."""
+
+import json
+
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    Observer,
+    RunManifest,
+    Tracer,
+    environment_metadata,
+    stage_timings,
+)
+from repro.obs.manifest import MANIFEST_VERSION, stage_name
+
+
+class TestStageName:
+    def test_indexed_spans_normalize(self):
+        assert stage_name("ems.iteration[3]") == "ems.iteration"
+        assert stage_name("composite.round[0]") == "composite.round"
+        assert stage_name("graph.build") == "graph.build"
+
+
+class TestStageTimings:
+    def test_exclusive_times_partition_the_roots(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("match"):
+            with tracer.span("ems.fixpoint"):
+                with tracer.span("ems.iteration[0]"):
+                    pass
+                with tracer.span("ems.iteration[1]"):
+                    pass
+        stages = stage_timings(tracer.roots)
+        total = sum(root.duration for root in tracer.roots)
+        assert sum(entry["seconds"] for entry in stages.values()) == total
+        assert stages["ems.iteration"]["spans"] == 2
+        assert set(stages) == {"match", "ems.fixpoint", "ems.iteration"}
+
+
+class TestEnvironmentMetadata:
+    def test_reports_interpreter_and_libraries(self):
+        environment = environment_metadata()
+        assert set(environment) == {
+            "python", "implementation", "platform", "machine",
+            "cpu_count", "numpy",
+        }
+        assert environment["implementation"] == "CPython"
+        assert environment["numpy"] is not None  # numpy is installed here
+
+
+class TestRunManifest:
+    def _observer(self) -> Observer:
+        observer = Observer(
+            tracer=Tracer(clock=FakeClock(step=0.5)), metrics=MetricsRegistry()
+        )
+        with observer.span("match"):
+            with observer.span("graph.build"):
+                pass
+        observer.count("ems_fixpoint_total")
+        return observer
+
+    def test_from_observer_collects_everything(self):
+        manifest = RunManifest.from_observer(
+            self._observer(), config={"alpha": 0.5}, stats={"objective": 1.25}
+        )
+        assert manifest.config == {"alpha": 0.5}
+        assert manifest.total_seconds == 1.5  # 3 clock ticks of 0.5s
+        assert sum(
+            entry["seconds"] for entry in manifest.stages.values()
+        ) == manifest.total_seconds
+        assert manifest.metrics["ems_fixpoint_total"]["value"] == 1.0
+        assert manifest.stats == {"objective": 1.25}
+
+    def test_write_is_valid_versioned_json(self, tmp_path):
+        manifest = RunManifest.from_observer(self._observer())
+        path = tmp_path / "manifest.json"
+        manifest.write(path)
+        payload = json.loads(path.read_text())
+        assert payload["manifest_version"] == MANIFEST_VERSION
+        assert payload["environment"]["python"]
+        assert payload["stages"]["match"]["spans"] == 1
+
+    def test_observer_without_sinks_yields_empty_manifest(self):
+        manifest = RunManifest.from_observer(Observer())
+        assert manifest.stages == {} and manifest.metrics == {}
+        assert manifest.total_seconds == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests of the metrics registry and its Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("pair_updates_total")
+        counter.inc()
+        counter.inc(4.0)
+        assert counter.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1.0)
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("not a name")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("round")
+        gauge.set(3)
+        gauge.inc(-1.0)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_end_at_inf(self):
+        histogram = Histogram("lat", buckets=(0.1, 1.0))
+        assert histogram.buckets[-1] == math.inf
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(100.0)
+        assert histogram.bucket_counts == [1, 2, 3]  # cumulative
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(100.55)
+
+    def test_unsorted_buckets_raise(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("lat", buckets=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_fails_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("a")
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2.0)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.as_dict()
+        assert snapshot["c"] == {"kind": "counter", "value": 2.0}
+        assert snapshot["h"]["count"] == 1
+        assert snapshot["h"]["buckets"] == {"1": 1, "+Inf": 1}
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("ems_fixpoint_total", help="completed solves").inc()
+        registry.gauge("composite_round").set(2)
+        registry.histogram("stage_seconds", buckets=(0.5,)).observe(0.1)
+        text = registry.to_prometheus_text()
+        lines = text.splitlines()
+        assert "# HELP ems_fixpoint_total completed solves" in lines
+        assert "# TYPE ems_fixpoint_total counter" in lines
+        assert "ems_fixpoint_total 1" in lines
+        assert "composite_round 2" in lines
+        assert 'stage_seconds_bucket{le="0.5"} 1' in lines
+        assert 'stage_seconds_bucket{le="+Inf"} 1' in lines
+        assert "stage_seconds_sum 0.1" in lines
+        assert "stage_seconds_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus_text() == ""

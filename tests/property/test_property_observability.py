@@ -1,0 +1,91 @@
+"""Property-based tests of the observability subsystem.
+
+Invariants on random small logs: every recorded trace is balanced
+(all spans closed) and properly nested (children lie within their
+parents), the per-stage exclusive times partition the total, and the
+``composite.round[r]`` spans account for the greedy search's share of
+the reported ``wall_time`` — they can never exceed it.
+"""
+
+import random as random_module
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composite import CompositeMatcher
+from repro.core.config import EMSConfig
+from repro.logs.log import EventLog
+from repro.obs import MetricsRegistry, Observer, Tracer, stage_timings
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+#: Tolerance for float accumulation across span arithmetic, seconds.
+EPSILON = 1e-6
+
+
+def random_log(seed: int, alphabet: str = "abcdef") -> EventLog:
+    rng = random_module.Random(seed)
+    traces = []
+    for _ in range(rng.randint(2, 8)):
+        length = rng.randint(1, 6)
+        traces.append([rng.choice(alphabet) for _ in range(length)])
+    return EventLog(traces, name=f"rand-{seed}")
+
+
+def traced_match(seed_first: int, seed_second: int):
+    observer = Observer(tracer=Tracer(), metrics=MetricsRegistry())
+    matcher = CompositeMatcher(
+        EMSConfig(), delta=0.001, min_confidence=0.8, max_run_length=3,
+        observer=observer,
+    )
+    result = matcher.match(
+        random_log(seed_first), random_log(seed_second, alphabet="uvwxyz")
+    )
+    return observer, result
+
+
+@given(seeds, seeds)
+@settings(max_examples=15, deadline=None)
+def test_traces_are_balanced_and_nested(seed_first, seed_second):
+    observer, _ = traced_match(seed_first, seed_second)
+    tracer = observer.tracer
+    assert tracer.open_depth == 0
+    for span in tracer.all_spans():
+        assert span.end is not None, f"unclosed span {span.name!r}"
+        assert span.end >= span.start
+        for child in span.children:
+            assert span.start <= child.start <= child.end <= span.end, (
+                f"child {child.name!r} escapes parent {span.name!r}"
+            )
+
+
+@given(seeds, seeds)
+@settings(max_examples=15, deadline=None)
+def test_stage_times_partition_the_total(seed_first, seed_second):
+    observer, _ = traced_match(seed_first, seed_second)
+    roots = observer.tracer.roots
+    total = sum(root.duration for root in roots)
+    stage_sum = sum(
+        entry["seconds"] for entry in stage_timings(roots).values()
+    )
+    assert abs(stage_sum - total) <= EPSILON + 1e-3 * total
+
+
+@given(seeds, seeds)
+@settings(max_examples=15, deadline=None)
+def test_round_spans_fit_inside_the_wall_time(seed_first, seed_second):
+    observer, result = traced_match(seed_first, seed_second)
+    wall_time = result.runtime.wall_time
+    round_seconds = sum(
+        span.duration
+        for span in observer.tracer.all_spans()
+        if span.name.startswith("composite.round[")
+    )
+    # The rounds are a subset of the run (initial similarity, graph
+    # builds and bookkeeping also take time), so their sum must fit
+    # within the reported wall time — with float tolerance only.
+    assert 0.0 <= round_seconds <= wall_time + EPSILON
+    # And the trace as a whole accounts for the run: no root span can
+    # outlast the wall clock that enclosed it.
+    for root in observer.tracer.roots:
+        assert root.duration <= wall_time + EPSILON

@@ -13,17 +13,19 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "benchmarks") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from bench_core_kernels import FLOORS, compare  # noqa: E402
+from bench_core_kernels import FLOORS, compare, environment_warnings  # noqa: E402
 
 
 def payload(**overrides) -> dict:
     base = {
         "calibration_time": 1.0,
         "scenarios": {},
+        "environment": {"python": "3.11.7", "numpy": "2.4.6"},
         "speedup_exact_20": 5.0,
         "speedup_composite": 4.0,
         "memory_reduction_sparse": 6.0,
         "sparse_time_ratio_20": 0.9,
+        "noop_observer_overhead": 1.0,
     }
     base.update(overrides)
     return base
@@ -68,8 +70,37 @@ class TestFloorKeys:
         ok = payload(
             speedup_exact_20=3.0, speedup_composite=3.0,
             memory_reduction_sparse=4.0, sparse_time_ratio_20=1.2,
+            noop_observer_overhead=1.1,
         )
         assert compare(ok, payload(), 2.0) == []
+
+    def test_noop_overhead_ceiling_violation_fails(self):
+        failures = compare(payload(noop_observer_overhead=1.2), payload(), 2.0)
+        assert len(failures) == 1
+        assert "observer" in failures[0]
+
+
+class TestEnvironmentWarnings:
+    def test_identical_environments_are_silent(self):
+        assert environment_warnings(payload(), payload()) == []
+
+    def test_mismatch_is_warned_per_key(self):
+        current = payload(environment={"python": "3.12.0", "numpy": "2.4.6"})
+        warnings = environment_warnings(current, payload())
+        assert len(warnings) == 1
+        assert "python" in warnings[0]
+        assert "3.12.0" in warnings[0] and "3.11.7" in warnings[0]
+
+    def test_missing_baseline_environment_is_flagged(self):
+        baseline = payload()
+        del baseline["environment"]
+        warnings = environment_warnings(payload(), baseline)
+        assert len(warnings) == 1
+        assert "no environment metadata" in warnings[0]
+
+    def test_warnings_are_not_compare_failures(self):
+        current = payload(environment={"python": "3.12.0"})
+        assert compare(current, payload(), 2.0) == []
 
 
 class TestScenarioComparison:
