@@ -48,6 +48,7 @@ from repro.obs import (
     Tracer,
     environment_metadata,
 )
+from repro.runtime.supervise import RetryPolicy
 from repro.synthesis.corpus import build_scalability_pair
 
 #: The Figure-8 scalability scenario every timing below runs against.
@@ -234,6 +235,22 @@ def _scenarios():
         assert result.accepted_second  # the planted chains must be found
         return result.stats.pair_updates
 
+    def composite_search_supervised():
+        # Same workload as composite_search_incremental, but with the
+        # durable-execution supervision active (an explicit RetryPolicy
+        # routes every candidate through run_supervised).  The pair of
+        # timings pins the wrapper's fault-free overhead
+        # (``retry_overhead`` in the payload, ceiling 1.1x).
+        config = EMSConfig(incremental=True, screening=True)
+        matcher = CompositeMatcher(
+            config, delta=0.001, min_confidence=0.9, max_run_length=3,
+            retry=RetryPolicy(),
+        )
+        result = matcher.match(*composite_logs)
+        assert result.accepted_second
+        assert result.quarantined == ()
+        return result.stats.pair_updates
+
     yield "graph_build_20", graph_build
     yield "ems_exact_20_vectorized", lambda: ems(kernel="vectorized")
     yield "ems_exact_20_reference", lambda: ems(kernel="reference")
@@ -245,6 +262,7 @@ def _scenarios():
     yield "hungarian_50x50", hungarian
     yield "composite_search_cold", lambda: composite_search(False)
     yield "composite_search_incremental", lambda: composite_search(True)
+    yield "composite_search_supervised", composite_search_supervised
 
 
 def _memory_profile() -> dict:
@@ -334,6 +352,12 @@ def run_harness(repeats: int) -> dict:
         scenarios["ems_exact_20_noop_observer"]["min_time"]
         / scenarios["ems_exact_20_vectorized"]["min_time"]
     )
+    # Supervision (retry/quarantine wrapper) on a fault-free serial
+    # composite search must be near-free: same workload, same estimator.
+    retry_overhead = (
+        scenarios["composite_search_supervised"]["min_time"]
+        / scenarios["composite_search_incremental"]["min_time"]
+    )
     return {
         "schema": 2,
         "scenario": SCENARIO,
@@ -348,6 +372,7 @@ def run_harness(repeats: int) -> dict:
         "memory_reduction_sparse": memory_reduction,
         "sparse_time_ratio_20": sparse_ratio,
         "noop_observer_overhead": noop_overhead,
+        "retry_overhead": retry_overhead,
     }
 
 
@@ -367,6 +392,8 @@ FLOORS = (
      "sparse-vs-vectorized wall-clock ratio (20 events)"),
     ("noop_observer_overhead", 1.1, "max",
      "no-op-observer overhead on exact EMS (20 events)"),
+    ("retry_overhead", 1.1, "max",
+     "supervision-wrapper overhead on a fault-free composite search"),
 )
 
 
@@ -538,6 +565,8 @@ def main(argv: list[str] | None = None) -> int:
           f"{payload['sparse_time_ratio_20']:.2f}x")
     print(f"no-op observer overhead (20 events): "
           f"{payload['noop_observer_overhead']:.2f}x")
+    print(f"supervision overhead on the composite search: "
+          f"{payload['retry_overhead']:.2f}x")
     print(f"wrote {arguments.output}")
 
     if arguments.trace_out or arguments.manifest_out:

@@ -8,6 +8,10 @@ Usage::
                                     [--kernel K] [--dtype D]
                                     [--timeout S] [--pair-budget N]
                                     [--no-degrade] [--on-error MODE]
+                                    [--dead-letter-dir DIR]
+                                    [--checkpoint-dir DIR] [--resume]
+                                    [--checkpoint-every N]
+                                    [--max-retries N] [--task-timeout S]
                                     [--trace-out PATH] [--metrics-out PATH]
                                     [--manifest-out PATH] [--log-level LEVEL]
 
@@ -19,12 +23,26 @@ Failure behaviour (see ``docs/robustness.md``):
 
 * exit 0 — a result was produced, possibly degraded within the budget;
 * exit 2 — the inputs could not be read (bad format, missing file, ...);
-* exit 3 — the budget was exhausted and degradation was disabled.
+* exit 3 — the budget was exhausted and degradation was disabled;
+* exit 4 — the worker pool could not be kept alive (unrecoverable
+  environment failure; retrying the invocation may help, fixing the
+  machine will).
 
 ``--timeout``/``--pair-budget`` bound the matching work;
 ``--on-error skip|repair`` makes ingestion fault-tolerant, with the
 dropped/repaired rows accounted in the ``--json`` output and the
-Markdown report.
+Markdown report, and ``--dead-letter-dir`` preserves every rejected
+record (original bytes + error context, content-addressed) for offline
+triage and idempotent re-submission.
+
+Durable execution (composite mode): ``--checkpoint-dir`` snapshots the
+greedy search after accepted rounds (atomically, keyed by a content
+hash of the inputs and configuration), ``--resume`` continues from the
+latest matching snapshot bit-identically, and SIGINT/SIGTERM flush a
+final checkpoint and return the best-so-far result as a ``partial``
+stage instead of dying mid-round.  ``--max-retries``/``--task-timeout``
+tune the worker supervision (retry with backoff, pool respawn, poison-
+candidate quarantine).
 
 Observability (see ``docs/observability.md``): ``--trace-out`` writes a
 Chrome-trace JSON of the run's spans, ``--metrics-out`` a Prometheus
@@ -41,7 +59,12 @@ import sys
 from pathlib import Path
 
 from repro.core.config import EMSConfig
-from repro.exceptions import BudgetExhausted, LogFormatError, ReproError
+from repro.exceptions import (
+    BudgetExhausted,
+    LogFormatError,
+    ReproError,
+    WorkerPoolError,
+)
 from repro.logs.csvio import read_csv
 from repro.logs.log import EventLog
 from repro.logs.xes import read_xes
@@ -54,13 +77,25 @@ from repro.obs import (
     Tracer,
     configure_logging,
 )
-from repro.runtime import DegradationPolicy, IngestionReport, MatchBudget
+from repro.runtime import (
+    CheckpointManager,
+    DeadLetterArchive,
+    DegradationPolicy,
+    FaultPlan,
+    IngestionReport,
+    InterruptGuard,
+    MatchBudget,
+    RetryPolicy,
+)
 from repro.similarity.labels import QGramCosineSimilarity
 
 #: Exit code for unreadable/invalid inputs.
 EXIT_INPUT_ERROR = 2
 #: Exit code for budget exhaustion with the degradation ladder disabled.
 EXIT_BUDGET_EXHAUSTED = 3
+#: Exit code for an unrecoverable worker-pool failure (the pool died
+#: repeatedly before completing any work; see docs/robustness.md).
+EXIT_WORKER_FAILURE = 4
 
 
 def load_log(
@@ -138,6 +173,42 @@ def build_parser() -> argparse.ArgumentParser:
              "drop bad rows (skip), or fix what is fixable (repair)",
     )
     match.add_argument(
+        "--dead-letter-dir", metavar="DIR", default=None,
+        help="archive every record rejected by --on-error skip|repair "
+             "(and whole files that fail to parse) under DIR, content-"
+             "addressed with a JSON error context",
+    )
+    match.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="composite mode: snapshot the greedy search to DIR after "
+             "accepted rounds, keyed by a content hash of inputs + config",
+    )
+    match.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="write a snapshot every N accepted rounds (default: 1)",
+    )
+    match.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest matching snapshot in --checkpoint-dir "
+             "(cold start with a warning if it is missing or corrupt)",
+    )
+    match.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="evaluation attempts per composite candidate before it is "
+             "quarantined (default: 3); also enables supervision of "
+             "serial runs",
+    )
+    match.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-candidate evaluation timeout in worker-pool runs; a "
+             "timed-out worker is killed and the candidate retried",
+    )
+    match.add_argument(
+        "--fault-plan", metavar="PATH", default=None,
+        help="inject deterministic faults from a JSON plan (testing aid; "
+             "see docs/robustness.md)",
+    )
+    match.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="evaluate composite candidates in N worker processes "
              "(composite mode only; budgeted runs stay serial)",
@@ -207,6 +278,19 @@ def _build_observer(arguments: argparse.Namespace) -> Observer:
     )
 
 
+def _archive_rejected_file(archive, path: str, error: Exception) -> None:
+    """Dead-letter a whole input file that failed to parse, if readable."""
+    if archive is None:
+        return
+    try:
+        payload = Path(path).read_bytes()
+    except OSError:
+        return
+    archive.put(
+        payload, {"source": path, "problem": str(error), "mode": "file"}
+    )
+
+
 def run_match(arguments: argparse.Namespace) -> int:
     observer = _build_observer(arguments)
     ingestion_first = IngestionReport(
@@ -215,17 +299,30 @@ def run_match(arguments: argparse.Namespace) -> int:
     ingestion_second = IngestionReport(
         source=arguments.log_second, mode=arguments.on_error
     )
+    archive = None
+    if arguments.dead_letter_dir:
+        archive = DeadLetterArchive(arguments.dead_letter_dir, observer=observer)
+        ingestion_first.archive = archive
+        ingestion_second.archive = archive
     with observer.span("match") as root_span:
         with observer.span("ingest.parse", source=arguments.log_first):
-            log_first = load_log(
-                arguments.log_first, arguments.format, arguments.on_error,
-                ingestion_first,
-            )
+            try:
+                log_first = load_log(
+                    arguments.log_first, arguments.format, arguments.on_error,
+                    ingestion_first,
+                )
+            except LogFormatError as error:
+                _archive_rejected_file(archive, arguments.log_first, error)
+                raise
         with observer.span("ingest.parse", source=arguments.log_second):
-            log_second = load_log(
-                arguments.log_second, arguments.format, arguments.on_error,
-                ingestion_second,
-            )
+            try:
+                log_second = load_log(
+                    arguments.log_second, arguments.format, arguments.on_error,
+                    ingestion_second,
+                )
+            except LogFormatError as error:
+                _archive_rejected_file(archive, arguments.log_second, error)
+                raise
         observer.info(
             "loaded %s (%d traces) and %s (%d traces)",
             arguments.log_first, len(log_first),
@@ -281,20 +378,61 @@ def _execute_match(
     if arguments.workers < 0:
         raise ReproError(f"--workers must be >= 0, got {arguments.workers}")
     if arguments.composite:
+        retry = None
+        if arguments.max_retries is not None:
+            if arguments.max_retries < 1:
+                raise ReproError(
+                    f"--max-retries must be >= 1, got {arguments.max_retries}"
+                )
+            retry = RetryPolicy(max_attempts=arguments.max_retries)
+        faults = None
+        if arguments.fault_plan is not None:
+            try:
+                faults = FaultPlan.from_json(
+                    Path(arguments.fault_plan).read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError, KeyError) as error:
+                raise ReproError(
+                    f"cannot load fault plan {arguments.fault_plan!r}: {error}"
+                ) from None
+        checkpoints = None
+        if arguments.checkpoint_dir is not None:
+            if arguments.checkpoint_every < 1:
+                raise ReproError(
+                    f"--checkpoint-every must be >= 1, got "
+                    f"{arguments.checkpoint_every}"
+                )
+            checkpoints = CheckpointManager(
+                arguments.checkpoint_dir,
+                every=arguments.checkpoint_every,
+                observer=observer,
+                faults=faults,
+            )
+        elif arguments.resume:
+            raise ReproError("--resume requires --checkpoint-dir")
+        interrupt = InterruptGuard()
         matcher = EMSCompositeMatcher(
             config, label_similarity,
             threshold=arguments.threshold, delta=arguments.delta,
             budget=budget, degradation=degradation,
             workers=arguments.workers,
             observer=observer,
+            retry=retry,
+            task_timeout=arguments.task_timeout,
+            faults=faults,
+            checkpoints=checkpoints,
+            resume=arguments.resume,
+            interrupt=interrupt,
         )
+        with interrupt:
+            outcome = matcher.match(log_first, log_second)
     else:
         matcher = EMSMatcher(
             config, label_similarity, threshold=arguments.threshold,
             budget=budget, degradation=degradation,
             observer=observer,
         )
-    outcome = matcher.match(log_first, log_second)
+        outcome = matcher.match(log_first, log_second)
     return outcome, matcher, config
 
 
@@ -368,6 +506,9 @@ def _render_match_output(
             ],
             "diagnostics": dict(outcome.diagnostics),
             "runtime": outcome.runtime.to_dict() if outcome.runtime else None,
+            "quarantined": [
+                record.to_dict() for record in getattr(outcome, "quarantined", ())
+            ],
             "ingestion": {
                 "first": ingestion_first.to_dict(),
                 "second": ingestion_second.to_dict(),
@@ -387,6 +528,13 @@ def _render_match_output(
         print("  (no correspondences above the threshold)")
     if outcome.runtime is not None and outcome.runtime.degraded:
         print(f"  note: {outcome.runtime.describe()}", file=sys.stderr)
+    quarantined = getattr(outcome, "quarantined", ())
+    if quarantined:
+        print(
+            f"  note: {len(quarantined)} candidate(s) quarantined after "
+            f"repeated evaluation failures (see --json for details)",
+            file=sys.stderr,
+        )
     for report in ingestion:
         if not report.clean or report.fallback_cases:
             print(f"  note: {report.describe()}", file=sys.stderr)
@@ -402,6 +550,11 @@ def main(argv: list[str] | None = None) -> int:
     except BudgetExhausted as error:
         print(f"error: {error} (degradation disabled)", file=sys.stderr)
         return EXIT_BUDGET_EXHAUSTED
+    except WorkerPoolError as error:
+        # Must precede the ReproError clause: an unrecoverable pool is an
+        # environment failure, not an input problem.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_WORKER_FAILURE
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_INPUT_ERROR

@@ -32,10 +32,12 @@ pool can be grown for the Figure 14 experiment.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from multiprocessing import resource_tracker, shared_memory
+from typing import Callable
 
 import numpy as np
 
@@ -51,8 +53,22 @@ from repro.logs.log import EventLog
 from repro.logs.stats import activity_occurrence_counts, directly_follows_counts
 from repro.obs import NULL_OBSERVER, Observer, Tracer, get_logger
 from repro.runtime.budget import BudgetMeter, MatchBudget
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    InterruptGuard,
+    SearchSnapshot,
+    search_content_key,
+)
 from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.faults import KIND_INTERRUPT, FaultPlan
 from repro.runtime.report import STAGE_EXACT, STAGE_PARTIAL, RuntimeReport
+from repro.runtime.supervise import (
+    QuarantineRecord,
+    RetryPolicy,
+    SupervisedPool,
+    SupervisionStats,
+    run_supervised,
+)
 from repro.similarity.labels import CompositeAwareSimilarity, LabelSimilarity, OpaqueSimilarity
 
 _logger = get_logger(__name__)
@@ -137,6 +153,12 @@ class CompositeStats:
     pairs_fixed: int = 0
     screen_checks: int = 0
     candidates_screened: int = 0
+    #: Supervision counters (zero on unsupervised runs): evaluations
+    #: re-submitted after a failure, pools torn down and rebuilt, and
+    #: poison candidates set aside so their round could complete.
+    worker_retries: int = 0
+    pool_respawns: int = 0
+    candidates_quarantined: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,6 +180,8 @@ class CompositeMatchResult:
     #: How the run ended (degradation stage, budget spend); always set by
     #: :meth:`CompositeMatcher.match`, ``None`` only for hand-built results.
     runtime: RuntimeReport | None = field(compare=False, default=None)
+    #: Poison candidates the supervisor set aside (empty on clean runs).
+    quarantined: tuple[QuarantineRecord, ...] = field(compare=False, default=())
 
     @property
     def average(self) -> float:
@@ -311,6 +335,25 @@ def _unpack_directional(handle: _SharedDirectional) -> dict[str, SimilarityMatri
         block.close()
 
 
+def _release_shared_block(block: shared_memory.SharedMemory | None) -> None:
+    """Close and unlink a round's segment, tolerating a half-dead state.
+
+    Runs on every exit path of a parallel round — normal completion,
+    budget exhaustion, ``WorkerPoolError`` after a crashed pool — so a
+    pool dying mid-round can no longer leak its ``/dev/shm`` segment.
+    """
+    if block is None:
+        return
+    try:
+        block.close()
+    except (OSError, BufferError):  # pragma: no cover - platform quirk
+        pass
+    try:
+        block.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reclaimed
+        pass
+
+
 def _resolve_directional(
     directional: dict[str, SimilarityMatrix] | _SharedDirectional | None,
 ) -> dict[str, SimilarityMatrix] | None:
@@ -339,6 +382,8 @@ class _RoundContext:
     #: and ship the fragments back for the parent to stitch (observers
     #: themselves never cross the process boundary).
     trace: bool = False
+    #: Chaos script shipped to workers; ``None`` in production runs.
+    faults: FaultPlan | None = None
 
 
 def _evaluate_candidate(
@@ -397,6 +442,8 @@ _WORKER_STATE: tuple[_RoundContext, LabelMatrixCache] | None = None
 
 def _init_worker(context: _RoundContext) -> None:
     global _WORKER_STATE
+    if context.faults is not None:
+        context.faults.fire("worker.init", in_worker=True)
     directional = _resolve_directional(context.directional)
     if directional is not context.directional:
         context = replace(context, directional=directional)
@@ -415,11 +462,16 @@ def _worker_observer(trace: bool) -> Observer:
 
 
 def _pool_evaluate(
-    task: tuple[int, tuple[str, ...], float]
+    task: tuple[int, tuple[str, ...], float, int, int]
 ) -> tuple[int, tuple[str, ...], EMSResult | None, int, list[dict], int]:
     assert _WORKER_STATE is not None, "pool worker used without _init_worker"
     context, label_cache = _WORKER_STATE
-    side_index, run, abort_below = task
+    side_index, run, abort_below, round_id, attempt = task
+    if context.faults is not None:
+        context.faults.fire(
+            "evaluate", in_worker=True,
+            round=round_id, side=side_index, run=run, attempt=attempt,
+        )
     observer = _worker_observer(context.trace)
     with observer.span("candidate.evaluate", side=side_index, run=list(run)):
         outcome, pairs_fixed = _evaluate_candidate(
@@ -446,14 +498,19 @@ def _init_incremental_worker(
     use_bounds: bool,
     sides: tuple[tuple[EventLog, dict[str, frozenset[str]], DependencyGraph], ...],
     trace: bool = False,
+    faults: FaultPlan | None = None,
 ) -> None:
     global _INC_WORKER
+    if faults is not None:
+        faults.fire("worker.init", in_worker=True)
     state = IncrementalSearchState(
         config, base_label, min_edge_frequency, use_unchanged, use_bounds,
         LabelMatrixCache(config.label_cache_entries),
     )
     state.reset(sides)
-    _INC_WORKER = (state, {"applied": 0, "round": None, "trace": trace})
+    _INC_WORKER = (
+        state, {"applied": 0, "round": None, "trace": trace, "faults": faults}
+    )
 
 
 def _incremental_pool_evaluate(
@@ -464,22 +521,32 @@ def _incremental_pool_evaluate(
         int,
         tuple[str, ...],
         float,
+        int,
     ]
 ) -> tuple[int, tuple[str, ...], EMSResult | None, int, bool, list[dict], int]:
     """Evaluate one candidate in a persistent incremental worker.
 
     *task* carries ``(round_id, history, directional, side_index, run,
-    abort_below)`` where *history* lists every merge accepted since pool
-    creation.  The worker replays the suffix it has not applied yet —
-    the per-round delta — then evaluates with warm starts and screening
-    exactly like the serial loop.  *directional* is usually a
-    :class:`_SharedDirectional` handle; the first task of a round copies
-    the matrices out of shared memory, later tasks of the same round hit
-    the ``progress["round"]`` cache and never reattach.
+    abort_below, attempt)`` where *history* lists every merge accepted
+    since pool creation.  The worker replays the suffix it has not
+    applied yet — the per-round delta — then evaluates with warm starts
+    and screening exactly like the serial loop.  *directional* is
+    usually a :class:`_SharedDirectional` handle; the first task of a
+    round copies the matrices out of shared memory, later tasks of the
+    same round hit the ``progress["round"]`` cache and never reattach.
+    Because every task carries the full history, a worker spawned by a
+    supervisor *respawn* mid-match transparently catches up before
+    evaluating — recovery needs no extra protocol.
     """
     assert _INC_WORKER is not None, "pool worker used without _init_incremental_worker"
     state, progress = _INC_WORKER
-    round_id, history, directional, side_index, run, abort_below = task
+    round_id, history, directional, side_index, run, abort_below, attempt = task
+    faults: FaultPlan | None = progress.get("faults")
+    if faults is not None:
+        faults.fire(
+            "evaluate", in_worker=True,
+            round=round_id, side=side_index, run=run, attempt=attempt,
+        )
     while progress["applied"] < len(history):
         accepted_side, accepted_run = history[progress["applied"]]
         state.apply_accepted(accepted_side, accepted_run)
@@ -541,6 +608,30 @@ class CompositeMatcher:
         shared memory is unavailable).  A budgeted run (``budget`` set)
         always evaluates serially: cooperative cancellation needs the one
         shared meter, which worker processes cannot charge.
+    retry:
+        :class:`~repro.runtime.RetryPolicy` for supervised execution.
+        Pool runs are always supervised (respawn on crash, quarantine on
+        poison) under this policy or its defaults; the *serial* path is
+        only supervised when ``retry`` or ``faults`` is explicitly set,
+        so the default serial path stays zero-overhead.
+    task_timeout:
+        Per-candidate wall-clock timeout (seconds) in pool runs; a
+        candidate exceeding it costs a pool respawn and a retry.
+    faults:
+        Deterministic :class:`~repro.runtime.FaultPlan` for chaos tests;
+        shipped to workers through the pool initializers.
+    checkpoints:
+        Optional :class:`~repro.runtime.CheckpointManager`; accepted
+        rounds are snapshotted at its cadence, keyed by the content hash
+        of (log pair, config, knobs).
+    resume:
+        Load a matching checkpoint before searching (cold start when the
+        directory holds none, or the snapshot fails verification).
+    interrupt:
+        Optional :class:`~repro.runtime.InterruptGuard` polled at round
+        boundaries; when tripped, the search flushes a final checkpoint
+        and returns the best-so-far result as a ``partial`` stage with
+        reason ``"interrupted"``.
     """
 
     def __init__(
@@ -558,11 +649,19 @@ class CompositeMatcher:
         degradation: DegradationPolicy | None = None,
         workers: int = 0,
         observer: Observer | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        faults: FaultPlan | None = None,
+        checkpoints: CheckpointManager | None = None,
+        resume: bool = False,
+        interrupt: InterruptGuard | None = None,
     ):
         if delta < 0.0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.config = config if config is not None else EMSConfig()
         self.base_label = (
@@ -578,9 +677,21 @@ class CompositeMatcher:
         self.budget = budget
         self.degradation = degradation if degradation is not None else DegradationPolicy()
         self.workers = workers
+        self.retry = retry
+        self.task_timeout = task_timeout
+        self.faults = faults
+        self.checkpoints = checkpoints
+        self.resume = resume
+        self.interrupt = interrupt
         #: One S^L cache per matching run, shared by every engine built
         #: for it; reset at the start of :meth:`match`.
         self._label_cache: LabelMatrixCache | None = None
+        # Per-match working state, reset by :meth:`match`.
+        self._content_key: str = ""
+        self._supervision = SupervisionStats()
+        self._quarantined: list[QuarantineRecord] = []
+        self._accepted_history: list[tuple[int, tuple[str, ...]]] = []
+        self._interrupted_by: str | None = None
 
     # ------------------------------------------------------------------
     def _engine(self, state_first: _SideState, state_second: _SideState) -> EMSEngine:
@@ -609,6 +720,7 @@ class CompositeMatcher:
             sides=tuple((state.log, state.members, state.graph) for state in states),
             directional=current.directional if self.use_unchanged else None,
             trace=self.observer.tracing,
+            faults=self.faults,
         )
 
     # ------------------------------------------------------------------
@@ -627,6 +739,28 @@ class CompositeMatcher:
         meter = self.budget.start(obs.clock) if self.budget is not None else None
         policy = self.degradation
         self._label_cache = LabelMatrixCache(self.config.label_cache_entries)
+        self._supervision = SupervisionStats()
+        self._quarantined = []
+        self._accepted_history = []
+        self._interrupted_by = None
+        self._content_key = ""
+        snapshot: SearchSnapshot | None = None
+        if self.checkpoints is not None:
+            self._content_key = search_content_key(
+                log_first, log_second,
+                dataclasses.asdict(self.config),
+                {
+                    "delta": self.delta,
+                    "min_confidence": self.min_confidence,
+                    "max_run_length": self.max_run_length,
+                    "max_candidates": self.max_candidates,
+                    "use_unchanged": self.use_unchanged,
+                    "use_bounds": self.use_bounds,
+                    "min_edge_frequency": self.min_edge_frequency,
+                },
+            )
+            if self.resume:
+                snapshot = self.checkpoints.load(self._content_key)
         with obs.span("graph.build", activities=len(log_first.activities())):
             graph_first = self._graph(log_first, {})
         with obs.span("graph.build", activities=len(log_second.activities())):
@@ -662,7 +796,7 @@ class CompositeMatcher:
 
         if stage == STAGE_EXACT:
             try:
-                current = self._search(states, current, stats, meter)
+                current = self._search(states, current, stats, meter, snapshot)
             except BudgetExhausted as error:
                 if not policy.enabled:
                     raise
@@ -673,7 +807,20 @@ class CompositeMatcher:
                 detail = (
                     f"composite search truncated after {stats.rounds} round(s)"
                 )
+            else:
+                if self._interrupted_by is not None:
+                    # The search unwound cleanly at a round boundary (final
+                    # checkpoint already flushed); the matrix is complete.
+                    stage = STAGE_PARTIAL
+                    reason = "interrupted"
+                    detail = (
+                        f"composite search interrupted by "
+                        f"{self._interrupted_by} after {stats.rounds} round(s)"
+                    )
 
+        stats.worker_retries = self._supervision.retries
+        stats.pool_respawns = self._supervision.respawns
+        stats.candidates_quarantined = self._supervision.quarantined
         # stats misses the pair updates of an evaluation aborted by the
         # budget mid-flight; the meter saw every metered update.
         spent = stats.pair_updates if meter is None else meter.pair_updates_spent
@@ -697,6 +844,7 @@ class CompositeMatcher:
             accepted_second=tuple(states[1].accepted),
             stats=stats,
             runtime=runtime,
+            quarantined=tuple(self._quarantined),
         )
 
     def _search(
@@ -705,6 +853,7 @@ class CompositeMatcher:
         current: EMSResult,
         stats: CompositeStats,
         meter: BudgetMeter | None,
+        snapshot: SearchSnapshot | None = None,
     ) -> EMSResult:
         """The greedy merge loop of Algorithm 2; returns the final result.
 
@@ -714,6 +863,12 @@ class CompositeMatcher:
         screening — producing the same trajectory and scores as the cold
         path.  ``config.incremental = False`` (the ``--no-incremental``
         escape hatch) restores the full-rebuild evaluation.
+
+        A *snapshot* (from :class:`~repro.runtime.CheckpointManager`)
+        fast-forwards the loop: its accepted-merge history is replayed
+        through the same merge machinery, its stats are adopted, and the
+        search continues from the round after the one it recorded —
+        bit-identical to never having stopped.
         """
         incremental: IncrementalSearchState | None = None
         if self.config.incremental:
@@ -725,11 +880,25 @@ class CompositeMatcher:
             incremental.reset(
                 tuple((state.log, state.members, state.graph) for state in states)
             )
+        if snapshot is not None:
+            self._restore(snapshot, states, stats, incremental)
+            current = snapshot.current
+            if snapshot.complete:
+                # The checkpointed search had already converged; nothing
+                # left to run, and re-running the final barren round
+                # would skew the counters away from the original run.
+                return current
         obs = self.observer
-        pool: ProcessPoolExecutor | None = None
+        supervised: SupervisedPool | None = None
         pool_history: list[tuple[int, tuple[str, ...]]] = []
+        supervise_serial = self.retry is not None or self.faults is not None
         try:
             while True:
+                interrupted_by = self._interrupt_requested(stats.rounds + 1)
+                if interrupted_by is not None:
+                    self._flush_checkpoint(stats, current, force=True)
+                    self._interrupted_by = interrupted_by
+                    return current
                 if meter is not None:
                     meter.check()
                 stats.rounds += 1
@@ -757,12 +926,14 @@ class CompositeMatcher:
 
                     if self.workers > 1 and meter is None and len(tasks) > 1:
                         if incremental is not None:
-                            if pool is None:
-                                pool = self._start_incremental_pool(states)
+                            if supervised is None:
+                                supervised = self._incremental_supervised_pool(
+                                    states
+                                )
                                 pool_history = []
                             best, best_average = self._round_parallel_incremental(
                                 tasks, current, stats, target, best_average,
-                                pool, tuple(pool_history),
+                                supervised, tuple(pool_history),
                             )
                         else:
                             best, best_average = self._round_parallel(
@@ -770,7 +941,14 @@ class CompositeMatcher:
                             )
                     else:
                         for side_index, run in tasks:
-                            if incremental is not None:
+                            if supervise_serial:
+                                outcome = self._evaluate_serial_supervised(
+                                    incremental, side_index, run, states,
+                                    current, stats,
+                                    abort_below=max(best_average, target),
+                                    meter=meter,
+                                )
+                            elif incremental is not None:
                                 outcome = self._evaluate_incremental(
                                     incremental, side_index, run, stats,
                                     abort_below=max(best_average, target),
@@ -790,6 +968,12 @@ class CompositeMatcher:
 
                     if best is None or best_average - current_average <= self.delta:
                         round_span.attributes["accepted"] = None
+                        # Final snapshot: a finished search resumes
+                        # instantly (replay straight to the last round)
+                        # even when it never accepted a merge.
+                        self._flush_checkpoint(
+                            stats, current, force=True, complete=True
+                        )
                         return current
 
                     side_index, run, outcome = best
@@ -810,10 +994,12 @@ class CompositeMatcher:
                         state.graph = self._graph(merged_log, merged_members)
                     state.accepted.append(run)
                     pool_history.append((side_index, run))
+                    self._accepted_history.append((side_index, run))
                     current = outcome
+                    self._flush_checkpoint(stats, current)
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if supervised is not None:
+                supervised.shutdown()
 
     # ------------------------------------------------------------------
     def _evaluate(
@@ -871,20 +1057,194 @@ class CompositeMatcher:
         stats.pair_updates += evaluation.outcome.pair_updates
         return evaluation.outcome
 
-    def _start_incremental_pool(
-        self, states: tuple[_SideState, _SideState]
-    ) -> ProcessPoolExecutor:
-        """A match-lifetime worker pool seeded with the current side states."""
-        return ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_incremental_worker,
-            initargs=(
-                self.config, self.base_label, self.min_edge_frequency,
-                self.use_unchanged, self.use_bounds,
-                tuple((state.log, state.members, state.graph) for state in states),
-                self.observer.tracing,
-            ),
+    def _evaluate_serial_supervised(
+        self,
+        incremental: IncrementalSearchState | None,
+        side_index: int,
+        run: tuple[str, ...],
+        states: tuple[_SideState, _SideState],
+        current: EMSResult,
+        stats: CompositeStats,
+        abort_below: float,
+        meter: BudgetMeter | None = None,
+    ) -> EMSResult | None:
+        """Serial evaluation under :func:`~repro.runtime.run_supervised`.
+
+        Active only when a retry policy or fault plan was configured, so
+        the default serial path pays nothing.  Transient failures are
+        retried (same candidate, same ``abort_below`` bound — the
+        trajectory stays deterministic); deterministic exceptions
+        quarantine the candidate and the round moves on.
+        """
+        def call(attempt: int) -> EMSResult | None:
+            if self.faults is not None:
+                self.faults.fire(
+                    "evaluate", round=stats.rounds,
+                    side=side_index, run=run, attempt=attempt,
+                )
+            if incremental is not None:
+                return self._evaluate_incremental(
+                    incremental, side_index, run, stats, abort_below, meter
+                )
+            return self._evaluate(
+                side_index, run, states, current, stats, abort_below, meter
+            )
+
+        value, record = run_supervised(
+            call,
+            policy=self.retry if self.retry is not None else RetryPolicy(),
+            describe=lambda: (side_index, run),
+            round=stats.rounds,
+            config_hash=self._content_key,
+            observer=self.observer,
+            stats=self._supervision,
         )
+        if record is not None:
+            self._quarantined.append(record)
+            return None
+        return value
+
+    # ------------------------------------------------------------------
+    # Durability plumbing: restore, interrupts, checkpoints
+    # ------------------------------------------------------------------
+    def _restore(
+        self,
+        snapshot: SearchSnapshot,
+        states: tuple[_SideState, _SideState],
+        stats: CompositeStats,
+        incremental: IncrementalSearchState | None,
+    ) -> None:
+        """Fast-forward *states*/*stats* to a checkpointed round boundary."""
+        history = tuple(
+            (side_index, tuple(run)) for side_index, run in snapshot.history
+        )
+        if incremental is not None:
+            finals = incremental.fast_forward(history)
+            for side_index, (log, members, graph) in enumerate(finals):
+                state = states[side_index]
+                state.log, state.members, state.graph = log, members, graph
+        else:
+            for side_index, run in history:
+                state = states[side_index]
+                merged_log, merged_members = merge_run_in_log(
+                    state.log, run, state.members
+                )
+                state.log = merged_log
+                state.members = merged_members
+                state.graph = self._graph(merged_log, merged_members)
+        for side_index, run in history:
+            states[side_index].accepted.append(run)
+            self._accepted_history.append((side_index, run))
+        # The snapshot's counters already include everything up to its
+        # round — including the initial similarity this run recomputed —
+        # so adopt them wholesale for bit-identical final stats.
+        for spec in dataclasses.fields(CompositeStats):
+            setattr(stats, spec.name, getattr(snapshot.stats, spec.name))
+        self.observer.info(
+            "resumed composite search at round %d (%d accepted merge(s))",
+            snapshot.rounds, len(history),
+        )
+
+    def _interrupt_requested(self, next_round: int) -> str | None:
+        """Who is asking the search to stop before *next_round*, if anyone."""
+        if self.interrupt is not None and self.interrupt.interrupted:
+            return self.interrupt.signal_name or "signal"
+        if self.faults is not None:
+            spec = self.faults.match("search.round", round=next_round)
+            if spec is not None and spec.kind == KIND_INTERRUPT:
+                name = f"fault:search.round[{next_round}]"
+                if self.interrupt is not None:
+                    self.interrupt.trip(name)
+                return name
+        return None
+
+    def _flush_checkpoint(
+        self, stats: CompositeStats, current: EMSResult,
+        force: bool = False, complete: bool = False,
+    ) -> None:
+        """Snapshot the search if a checkpoint is due (or *force*)."""
+        if self.checkpoints is None:
+            return
+        if not force and not self.checkpoints.due(stats.rounds):
+            return
+        snapshot = SearchSnapshot(
+            key=self._content_key,
+            rounds=stats.rounds,
+            history=tuple(self._accepted_history),
+            stats=dataclasses.replace(stats),
+            current=current,
+            complete=complete,
+        )
+        try:
+            self.checkpoints.save(snapshot)
+        except OSError as error:
+            # A full disk must degrade durability, not correctness.
+            _logger.warning("checkpoint write failed: %s", error)
+
+    # ------------------------------------------------------------------
+    # Worker pools
+    # ------------------------------------------------------------------
+    def _incremental_supervised_pool(
+        self, states: tuple[_SideState, _SideState]
+    ) -> SupervisedPool:
+        """A match-lifetime supervised pool seeded with the current states.
+
+        The factory freezes its ``initargs`` now: a supervisor *respawn*
+        later in the match rebuilds workers from these same base states,
+        and the full accepted-run history carried by every task replays
+        them forward — so a respawned worker is indistinguishable from
+        an original one.
+        """
+        workers = self.workers
+        initargs = (
+            self.config, self.base_label, self.min_edge_frequency,
+            self.use_unchanged, self.use_bounds,
+            tuple((state.log, state.members, state.graph) for state in states),
+            self.observer.tracing,
+            self.faults,
+        )
+
+        def factory() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_incremental_worker,
+                initargs=initargs,
+            )
+
+        pool = SupervisedPool(
+            factory,
+            _incremental_pool_evaluate,
+            payload=lambda task, attempt: task + (attempt,),
+            describe=lambda task: (task[3], task[4]),
+            policy=self.retry,
+            task_timeout=self.task_timeout,
+            observer=self.observer,
+            config_hash=self._content_key,
+        )
+        pool.stats = self._supervision
+        return pool
+
+    def _cold_supervised_pool(self, context: _RoundContext) -> SupervisedPool:
+        """A round-lifetime supervised pool for the full-rebuild path."""
+        workers = self.workers
+
+        def factory() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker, initargs=(context,)
+            )
+
+        pool = SupervisedPool(
+            factory,
+            _pool_evaluate,
+            payload=lambda task, attempt: task + (attempt,),
+            describe=lambda task: (task[0], task[1]),
+            policy=self.retry,
+            task_timeout=self.task_timeout,
+            observer=self.observer,
+            config_hash=self._content_key,
+        )
+        pool.stats = self._supervision
+        return pool
 
     def _note_shared_memory_fallback(self) -> None:
         """Surface a shared-memory → pickling degradation (satellite fix).
@@ -910,7 +1270,7 @@ class CompositeMatcher:
         stats: CompositeStats,
         target: float,
         best_average: float,
-        pool: ProcessPoolExecutor,
+        supervised: SupervisedPool,
         history: tuple[tuple[int, tuple[str, ...]], ...],
     ) -> tuple[tuple[int, tuple[str, ...], EMSResult] | None, float]:
         """One round of candidates on the persistent incremental pool.
@@ -921,9 +1281,11 @@ class CompositeMatcher:
         pool re-pickles every round.  The matrices themselves travel
         through one shared-memory block per round (see
         :class:`_SharedDirectional`); each task pickles only the handle.
-        Futures are reduced in submission order, which matches the serial
-        candidate order, so the selected best candidate is the one the
-        serial loop would pick.
+        The supervisor returns wave outcomes in submission order, which
+        matches the serial candidate order, so the selected best
+        candidate is the one the serial loop would pick; quarantined
+        candidates are simply absent from the reduction, exactly as if
+        they had been screened out.
         """
         obs = self.observer
         directional = current.directional if self.use_unchanged else None
@@ -946,18 +1308,21 @@ class CompositeMatcher:
                 for start in range(0, len(tasks), self.workers):
                     wave = tasks[start:start + self.workers]
                     bound = max(best_average, target)
-                    futures = [
-                        pool.submit(
-                            _incremental_pool_evaluate,
-                            (round_id, history, payload, side_index, run, bound),
-                        )
-                        for side_index, run in wave
-                    ]
-                    for future in futures:
+                    outcomes = supervised.run_wave(
+                        [
+                            (round_id, history, payload, side_index, run, bound)
+                            for side_index, run in wave
+                        ],
+                        round=round_id,
+                    )
+                    for entry in outcomes:
+                        if entry.quarantined is not None:
+                            self._quarantined.append(entry.quarantined)
+                            continue
                         (
                             side_index, run, outcome, pairs_fixed, screened,
                             fragments, worker_pid,
-                        ) = future.result()
+                        ) = entry.value
                         if fragments and obs.tracing:
                             obs.tracer.adopt(fragments, tid=worker_pid)
                         if self.config.screening:
@@ -975,11 +1340,11 @@ class CompositeMatcher:
                             best_average = outcome.matrix.average()
                             best = (side_index, run, outcome)
         finally:
-            # Every future above has resolved, so no worker will attach
-            # again; reclaim the round's segment.
-            if block is not None:
-                block.close()
-                block.unlink()
+            # The segment must outlive any mid-round pool respawn (new
+            # workers re-attach to evaluate retried candidates), so it is
+            # only reclaimed here, when the round is over — including on
+            # the WorkerPoolError path, which is what used to leak it.
+            _release_shared_block(block)
         return best, best_average
 
     def _round_parallel(
@@ -1010,7 +1375,9 @@ class CompositeMatcher:
                 context = replace(context, directional=handle)
             else:
                 self._note_shared_memory_fallback()
+        round_id = stats.rounds
         best: tuple[int, tuple[str, ...], EMSResult] | None = None
+        supervised = self._cold_supervised_pool(context)
         try:
             with obs.span(
                 "workers.dispatch",
@@ -1018,21 +1385,25 @@ class CompositeMatcher:
                 tasks=len(tasks),
                 incremental=False,
                 shared_memory=handle is not None,
-            ), ProcessPoolExecutor(
-                max_workers=self.workers, initializer=_init_worker, initargs=(context,)
-            ) as pool:
+            ):
                 for start in range(0, len(tasks), self.workers):
                     wave = tasks[start:start + self.workers]
                     bound = max(best_average, target)
-                    futures = [
-                        pool.submit(_pool_evaluate, (side_index, run, bound))
-                        for side_index, run in wave
-                    ]
-                    for future in futures:
+                    outcomes = supervised.run_wave(
+                        [
+                            (side_index, run, bound, round_id)
+                            for side_index, run in wave
+                        ],
+                        round=round_id,
+                    )
+                    for entry in outcomes:
+                        if entry.quarantined is not None:
+                            self._quarantined.append(entry.quarantined)
+                            continue
                         (
                             side_index, run, outcome, pairs_fixed,
                             fragments, worker_pid,
-                        ) = future.result()
+                        ) = entry.value
                         if fragments and obs.tracing:
                             obs.tracer.adopt(fragments, tid=worker_pid)
                         stats.candidates_evaluated += 1
@@ -1045,10 +1416,9 @@ class CompositeMatcher:
                             best_average = outcome.matrix.average()
                             best = (side_index, run, outcome)
         finally:
-            # The `with` block has joined every worker process — each ran
-            # its initializer (and detached) before exiting — so the
-            # segment can be reclaimed.
-            if block is not None:
-                block.close()
-                block.unlink()
+            # Shut the round's pool down before reclaiming the segment:
+            # workers (including respawned ones) may attach to it right
+            # up until they are joined.
+            supervised.shutdown()
+            _release_shared_block(block)
         return best, best_average

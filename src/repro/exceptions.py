@@ -53,6 +53,43 @@ class BudgetExhausted(ReproError):
         self.pair_updates = pair_updates
 
 
+class WorkerPoolError(MatchingError):
+    """The supervised worker pool could not be kept alive.
+
+    Raised when the pool keeps breaking faster than the
+    :class:`repro.runtime.RetryPolicy` allows respawns — the failure is
+    environmental (every task crashes, the initializer dies, ...) rather
+    than a poison candidate, so retry/quarantine cannot make progress.
+    The CLI maps this to its own exit code (4) so supervisors can tell
+    the unrecoverable case from budget exhaustion (3) and bad input (2).
+
+    ``respawns`` is how many pool restarts were attempted before giving
+    up; ``last_error`` the stringified failure of the final attempt.
+    """
+
+    def __init__(self, message: str, *, respawns: int = 0, last_error: str = ""):
+        super().__init__(message)
+        self.respawns = respawns
+        self.last_error = last_error
+
+
+class SearchInterrupted(MatchingError):
+    """A composite search was cooperatively interrupted (SIGINT/SIGTERM).
+
+    Raised at a round boundary after the final checkpoint was flushed;
+    :meth:`repro.core.composite.CompositeMatcher.match` catches it and
+    returns the best-so-far result as a ``partial`` stage with reason
+    ``"interrupted"``.
+
+    ``signal_name`` names the signal that triggered the interrupt (or a
+    scripted fault-injection site in chaos tests).
+    """
+
+    def __init__(self, message: str, *, signal_name: str = ""):
+        super().__init__(message)
+        self.signal_name = signal_name
+
+
 class SearchBudgetExceeded(MatchingError):
     """A matcher exceeded its configured search budget.
 

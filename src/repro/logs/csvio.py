@@ -25,6 +25,7 @@ every mode and is recorded as ``fallback_cases`` in the report.
 from __future__ import annotations
 
 import csv
+import io
 import os
 from typing import IO, Iterable
 
@@ -104,11 +105,17 @@ def _read_rows(
         ) from None
     timestamp_idx = header.index(TIMESTAMP_COLUMN) if TIMESTAMP_COLUMN in header else None
 
-    def reject(row_number: int, problem: str) -> None:
+    def row_bytes(row: list[str]) -> bytes:
+        """The rejected row re-serialized for the dead-letter archive."""
+        sink = io.StringIO()
+        csv.writer(sink).writerow(row)
+        return sink.getvalue().encode("utf-8")
+
+    def reject(row_number: int, problem: str, row: list[str]) -> None:
         """Apply *on_error* to an unrecoverable row."""
         if on_error == "raise":
             raise LogFormatError(f"row {row_number}: {problem}")
-        report.record_dropped(f"row {row_number}", problem)
+        report.record_dropped(f"row {row_number}", problem, row_bytes(row))
 
     cases: dict[str, list[tuple[float | None, int, Event]]] = {}
     for row_number, row in enumerate(reader, start=2):
@@ -119,13 +126,13 @@ def _read_rows(
             case_id = row[case_idx]
             activity = row[activity_idx]
         except IndexError:
-            reject(row_number, "missing required columns")
+            reject(row_number, "missing required columns", row)
             continue
         if not case_id.strip():
-            reject(row_number, f"empty {CASE_COLUMN!r}")
+            reject(row_number, f"empty {CASE_COLUMN!r}", row)
             continue
         if not activity.strip():
-            reject(row_number, f"empty {ACTIVITY_COLUMN!r}")
+            reject(row_number, f"empty {ACTIVITY_COLUMN!r}", row)
             continue
         timestamp: float | None = None
         if timestamp_idx is not None and timestamp_idx < len(row) and row[timestamp_idx]:
@@ -136,7 +143,9 @@ def _read_rows(
                 if on_error == "raise":
                     raise LogFormatError(f"row {row_number}: {problem}") from None
                 if on_error == "skip":
-                    report.record_dropped(f"row {row_number}", problem)
+                    report.record_dropped(
+                        f"row {row_number}", problem, row_bytes(row)
+                    )
                     continue
                 # repair: keep the event, drop only the unusable timestamp
                 report.record_repaired(

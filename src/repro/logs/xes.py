@@ -230,7 +230,9 @@ def _parse_event(
                 if on_error == "raise":
                     raise LogFormatError(f"{location}: {problem}") from None
                 if on_error == "skip":
-                    report.record_dropped(location, problem)
+                    report.record_dropped(
+                        location, problem, ET.tostring(event_el)
+                    )
                     return None
                 report.record_repaired(location, f"{problem} treated as missing")
                 timestamp = None
@@ -240,6 +242,6 @@ def _parse_event(
         problem = "event without a concept:name activity"
         if on_error == "raise":
             raise LogFormatError(f"{location}: {problem}")
-        report.record_dropped(location, problem)
+        report.record_dropped(location, problem, ET.tostring(event_el))
         return None
     return Event(activity, timestamp, attributes)

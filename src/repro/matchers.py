@@ -31,7 +31,10 @@ from repro.matching.assignment import max_weight_assignment
 from repro.matching.evaluation import Correspondence
 from repro.obs import NULL_OBSERVER, Observer
 from repro.runtime.budget import MatchBudget
+from repro.runtime.checkpoint import CheckpointManager, InterruptGuard
 from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.faults import FaultPlan
+from repro.runtime.supervise import RetryPolicy
 from repro.runtime.report import STAGE_EXACT, RuntimeReport
 from repro.similarity.labels import (
     CompositeAwareSimilarity,
@@ -197,6 +200,12 @@ class EMSCompositeMatcher(EventMatcher):
         degradation: DegradationPolicy | None = None,
         workers: int = 0,
         observer: Observer | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        faults: FaultPlan | None = None,
+        checkpoints: CheckpointManager | None = None,
+        resume: bool = False,
+        interrupt: InterruptGuard | None = None,
     ):
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.matcher = CompositeMatcher(
@@ -213,6 +222,12 @@ class EMSCompositeMatcher(EventMatcher):
             degradation=degradation,
             workers=workers,
             observer=observer,
+            retry=retry,
+            task_timeout=task_timeout,
+            faults=faults,
+            checkpoints=checkpoints,
+            resume=resume,
+            interrupt=interrupt,
         )
         self.threshold = threshold
         self._singleton = EMSMatcher(
@@ -263,6 +278,10 @@ class EMSCompositeMatcher(EventMatcher):
                 "composites_accepted": float(
                     len(result.accepted_first) + len(result.accepted_second)
                 ),
+                "worker_retries": float(stats.worker_retries),
+                "pool_respawns": float(stats.pool_respawns),
+                "candidates_quarantined": float(stats.candidates_quarantined),
             },
             runtime=result.runtime,
+            quarantined=result.quarantined,
         )

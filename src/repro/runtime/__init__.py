@@ -13,13 +13,31 @@ core threads through:
   attached to every :class:`~repro.baselines.common.MatchOutcome`.
 * :class:`IngestionReport` / :class:`RowIssue` — per-row accounting of
   what the fault-tolerant CSV/XES readers dropped or repaired.
+* :class:`RetryPolicy` / :class:`SupervisedPool` — bounded retry with
+  exponential backoff, pool respawn, and poison-candidate quarantine
+  around the composite search's worker pool.
+* :class:`CheckpointManager` / :class:`SearchSnapshot` /
+  :class:`InterruptGuard` — crash-safe, content-keyed checkpoints of the
+  composite search plus cooperative SIGINT/SIGTERM handling.
+* :class:`DeadLetterArchive` — content-addressed archive of ingestion
+  records the readers rejected.
+* :class:`FaultPlan` / :class:`FaultSpec` — the deterministic
+  fault-injection harness exercising all of the above.
 
 See ``docs/robustness.md`` for the full model and the CLI exit codes.
 """
 
-from repro.exceptions import BudgetExhausted
+from repro.exceptions import BudgetExhausted, SearchInterrupted, WorkerPoolError
 from repro.runtime.budget import BudgetMeter, MatchBudget
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    InterruptGuard,
+    SearchSnapshot,
+    search_content_key,
+)
+from repro.runtime.deadletter import DeadLetterArchive
 from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.faults import NO_FAULTS, FaultPlan, FaultSpec, TransientFault
 from repro.runtime.report import (
     STAGE_ESTIMATED,
     STAGE_EXACT,
@@ -28,6 +46,13 @@ from repro.runtime.report import (
     IngestionReport,
     RowIssue,
     RuntimeReport,
+)
+from repro.runtime.supervise import (
+    QuarantineRecord,
+    RetryPolicy,
+    SupervisedPool,
+    SupervisionStats,
+    run_supervised,
 )
 
 __all__ = [
@@ -42,4 +67,20 @@ __all__ = [
     "STAGE_ESTIMATED",
     "STAGE_PARTIAL",
     "STAGES",
+    "RetryPolicy",
+    "SupervisedPool",
+    "SupervisionStats",
+    "QuarantineRecord",
+    "run_supervised",
+    "CheckpointManager",
+    "SearchSnapshot",
+    "InterruptGuard",
+    "search_content_key",
+    "DeadLetterArchive",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientFault",
+    "NO_FAULTS",
+    "SearchInterrupted",
+    "WorkerPoolError",
 ]

@@ -126,6 +126,11 @@ class IngestionReport:
     fallback_cases: list[str] = field(default_factory=list)
     #: Parse-error message when a truncated document was salvaged.
     truncation: str | None = None
+    #: Optional :class:`repro.runtime.deadletter.DeadLetterArchive`;
+    #: when set, readers hand :meth:`record_dropped` the rejected bytes
+    #: and they are preserved there instead of vanishing into a counter.
+    archive: Any = None
+    archived: int = 0
 
     # ------------------------------------------------------------------
     def record_row(self, loaded: bool = True) -> None:
@@ -133,8 +138,21 @@ class IngestionReport:
         if loaded:
             self.events_loaded += 1
 
-    def record_dropped(self, location: str, problem: str) -> None:
+    def record_dropped(
+        self, location: str, problem: str, payload: bytes | None = None
+    ) -> None:
         self.dropped.append(RowIssue(location, problem, "dropped"))
+        if self.archive is not None and payload is not None:
+            self.archive.put(
+                payload,
+                {
+                    "source": self.source,
+                    "location": location,
+                    "problem": problem,
+                    "mode": self.mode,
+                },
+            )
+            self.archived += 1
 
     def record_repaired(self, location: str, problem: str) -> None:
         self.repaired.append(RowIssue(location, problem, "repaired"))
@@ -170,6 +188,7 @@ class IngestionReport:
             "repaired": [issue.describe() for issue in self.repaired],
             "fallback_cases": list(self.fallback_cases),
             "truncation": self.truncation,
+            "archived": self.archived,
             "clean": self.clean,
         }
 
@@ -179,7 +198,8 @@ class IngestionReport:
             return f"{label}: {self.events_loaded} events loaded cleanly"
         bits = [f"{self.events_loaded} events loaded"]
         if self.dropped:
-            bits.append(f"{self.rows_dropped} dropped")
+            dead = f" ({self.archived} dead-lettered)" if self.archived else ""
+            bits.append(f"{self.rows_dropped} dropped{dead}")
         if self.repaired:
             bits.append(f"{self.rows_repaired} repaired")
         if self.fallback_cases:

@@ -1,0 +1,135 @@
+"""Property suite: interrupt + resume == one uninterrupted run.
+
+The durable-execution contract (S3): a composite search interrupted at
+*any* round boundary and resumed from its checkpoint must finish with
+bit-identical correspondences, similarity values, stats counters, and
+runtime-report structure — as if the interruption never happened.  The
+interrupt is injected deterministically through the fault harness
+(``search.round``/``interrupt``), which shares the code path a real
+SIGTERM takes through :class:`~repro.runtime.InterruptGuard`.
+"""
+
+import dataclasses
+import random as random_module
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.composite import CompositeMatcher
+from repro.core.config import EMSConfig
+from repro.logs.log import EventLog
+from repro.runtime import CheckpointManager, FaultPlan, FaultSpec
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+interrupt_rounds = st.integers(min_value=1, max_value=4)
+
+
+def random_log(seed: int, alphabet: str = "abcdef") -> EventLog:
+    rng = random_module.Random(seed)
+    traces = []
+    for _ in range(rng.randint(2, 8)):
+        length = rng.randint(1, 6)
+        traces.append([rng.choice(alphabet) for _ in range(length)])
+    return EventLog(traces, name=f"rand-{seed}")
+
+
+def _matcher(**kwargs) -> CompositeMatcher:
+    defaults = dict(delta=0.0, min_confidence=0.8, max_run_length=3)
+    defaults.update(kwargs)
+    return CompositeMatcher(EMSConfig(), **defaults)
+
+
+def _strip_timing(report_dict):
+    return {k: v for k, v in report_dict.items() if k != "wall_time"}
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, interrupt_round=interrupt_rounds)
+def test_interrupted_then_resumed_equals_uninterrupted(seed, interrupt_round):
+    pair = random_log(seed), random_log(seed + 1, alphabet="uvwxyz")
+    baseline = _matcher().match(*pair)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        plan = FaultPlan(specs=(
+            FaultSpec(site="search.round", kind="interrupt",
+                      round=interrupt_round),
+        ))
+        interrupted = _matcher(
+            checkpoints=CheckpointManager(scratch), faults=plan,
+        ).match(*pair)
+        if baseline.stats.rounds >= interrupt_round:
+            assert interrupted.runtime.stage == "partial"
+            assert interrupted.runtime.reason == "interrupted"
+            assert interrupted.stats.rounds == interrupt_round - 1
+        resumed = _matcher(
+            checkpoints=CheckpointManager(scratch), resume=True,
+        ).match(*pair)
+
+    assert resumed.accepted_first == baseline.accepted_first
+    assert resumed.accepted_second == baseline.accepted_second
+    assert resumed.members_first == baseline.members_first
+    assert resumed.members_second == baseline.members_second
+    np.testing.assert_array_equal(
+        resumed.matrix.values, baseline.matrix.values
+    )
+    assert resumed.matrix.rows == baseline.matrix.rows
+    assert resumed.matrix.cols == baseline.matrix.cols
+    assert dataclasses.asdict(resumed.stats) == dataclasses.asdict(baseline.stats)
+    assert _strip_timing(resumed.runtime.to_dict()) == _strip_timing(
+        baseline.runtime.to_dict()
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, interrupt_round=interrupt_rounds)
+def test_double_interrupt_chain_still_converges(seed, interrupt_round):
+    """Interrupt, resume, interrupt later, resume again — still identical."""
+    pair = random_log(seed), random_log(seed + 1, alphabet="uvwxyz")
+    baseline = _matcher().match(*pair)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        for stop_at in (interrupt_round, interrupt_round + 1):
+            plan = FaultPlan(specs=(
+                FaultSpec(site="search.round", kind="interrupt", round=stop_at),
+            ))
+            _matcher(
+                checkpoints=CheckpointManager(scratch), faults=plan,
+                resume=True,
+            ).match(*pair)
+        final = _matcher(
+            checkpoints=CheckpointManager(scratch), resume=True,
+        ).match(*pair)
+
+    assert final.accepted_first == baseline.accepted_first
+    assert final.accepted_second == baseline.accepted_second
+    np.testing.assert_array_equal(final.matrix.values, baseline.matrix.values)
+    assert dataclasses.asdict(final.stats) == dataclasses.asdict(baseline.stats)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, interrupt_round=interrupt_rounds)
+def test_corrupted_checkpoint_falls_back_to_cold_identical_run(
+    seed, interrupt_round
+):
+    """Bit rot between interrupt and resume: cold start, same answer."""
+    pair = random_log(seed), random_log(seed + 1, alphabet="uvwxyz")
+    baseline = _matcher().match(*pair)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        plan = FaultPlan(specs=(
+            FaultSpec(site="search.round", kind="interrupt",
+                      round=interrupt_round),
+            FaultSpec(site="checkpoint.write", kind="corrupt"),
+        ))
+        _matcher(
+            checkpoints=CheckpointManager(scratch, faults=plan), faults=plan,
+        ).match(*pair)
+        resumed = _matcher(
+            checkpoints=CheckpointManager(scratch), resume=True,
+        ).match(*pair)
+
+    assert resumed.accepted_first == baseline.accepted_first
+    np.testing.assert_array_equal(resumed.matrix.values, baseline.matrix.values)
+    assert dataclasses.asdict(resumed.stats) == dataclasses.asdict(baseline.stats)

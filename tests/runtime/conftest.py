@@ -26,6 +26,37 @@ def adversarial_pair() -> tuple[EventLog, EventLog]:
 
 
 @pytest.fixture()
+def wide_pair() -> tuple[EventLog, EventLog]:
+    """Logs with four always-adjacent runs on one side.
+
+    Every greedy round discovers several candidates, so ``workers > 1``
+    actually engages the supervised pool (fig1 yields a single candidate
+    per round and falls back to the serial path), and with a small delta
+    (0.001) the search accepts four merges over five rounds — enough
+    trajectory for checkpoint/resume and fault-injection tests.
+    """
+    first = EventLog(
+        [
+            ["A1", "A2", "B1", "B2", "C1", "C2", "D1", "D2"],
+            ["B1", "B2", "A1", "A2", "D1", "D2", "C1", "C2"],
+            ["C1", "C2", "D1", "D2", "B1", "B2", "A1", "A2"],
+            ["D1", "D2", "C1", "C2", "A1", "A2", "B1", "B2"],
+        ],
+        name="wide-a",
+    )
+    second = EventLog(
+        [
+            ["A", "B", "C", "D"],
+            ["B", "A", "D", "C"],
+            ["C", "D", "B", "A"],
+            ["D", "C", "A", "B"],
+        ],
+        name="wide-b",
+    )
+    return first, second
+
+
+@pytest.fixture()
 def small_pair() -> tuple[EventLog, EventLog]:
     first = EventLog(
         [["a", "b", "c", "d"]] * 5 + [["a", "c", "b", "d"]] * 3, name="small-a"

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import EXIT_BUDGET_EXHAUSTED, EXIT_INPUT_ERROR, main
+from repro.cli import EXIT_BUDGET_EXHAUSTED, EXIT_INPUT_ERROR, EXIT_WORKER_FAILURE, main
 
 
 def run(capsys, *argv):
@@ -141,6 +141,105 @@ class TestFaultTolerantIngestion:
         )
         assert code == 0
         assert "dropped" in captured.err
+
+
+class TestDurabilityFlags:
+    def test_exit_codes_are_distinct(self):
+        assert len({EXIT_INPUT_ERROR, EXIT_BUDGET_EXHAUSTED,
+                    EXIT_WORKER_FAILURE}) == 3
+
+    def test_resume_requires_checkpoint_dir(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--composite", "--resume",
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "--checkpoint-dir" in captured.err
+
+    def test_checkpoint_every_validated(self, capsys, corpus, tmp_path):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--composite", "--checkpoint-dir", str(tmp_path),
+            "--checkpoint-every", "0",
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "checkpoint-every" in captured.err
+
+    def test_max_retries_validated(self, capsys, corpus):
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--composite", "--max-retries", "0",
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "max-retries" in captured.err
+
+    def test_unreadable_fault_plan_exits_2(self, capsys, corpus, tmp_path):
+        bad_plan = tmp_path / "plan.json"
+        bad_plan.write_text("{not json")
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--composite", "--fault-plan", str(bad_plan),
+        )
+        assert code == EXIT_INPUT_ERROR
+        assert "fault plan" in captured.err
+
+    def test_checkpointed_run_writes_and_resumes(self, capsys, corpus, tmp_path):
+        argv = (
+            "match",
+            str(corpus / "adversarial_a.csv"), str(corpus / "adversarial_b.csv"),
+            "--composite", "--checkpoint-dir", str(tmp_path), "--json",
+        )
+        code, captured = run(capsys, *argv)
+        assert code == 0
+        first = json.loads(captured.out)
+        assert list(tmp_path.glob("ems-*.ckpt"))
+        code, captured = run(capsys, *argv, "--resume")
+        assert code == 0
+        second = json.loads(captured.out)
+        assert second["correspondences"] == first["correspondences"]
+        assert second["objective"] == first["objective"]
+
+
+class TestDeadLetterCLI:
+    def test_skip_mode_archives_dropped_rows(self, capsys, corpus, tmp_path):
+        dead = tmp_path / "dead"
+        code, captured = run(
+            capsys, "match",
+            str(corpus / "garbage_rows.csv"), str(corpus / "garbage_rows.csv"),
+            "--on-error", "skip", "--dead-letter-dir", str(dead), "--json",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["ingestion"]["first"]["archived"] > 0
+        contexts = list(dead.rglob("context.json"))
+        assert contexts
+        document = json.loads(contexts[0].read_text())
+        assert document["occurrences"][0]["mode"] == "skip"
+
+    def test_unparseable_file_archived_whole(self, capsys, corpus, tmp_path):
+        dead = tmp_path / "dead"
+        code, _ = run(
+            capsys, "match",
+            str(corpus / "truncated.xes"), str(corpus / "truncated.xes"),
+            "--dead-letter-dir", str(dead),
+        )
+        assert code == EXIT_INPUT_ERROR
+        payloads = list(dead.rglob("payload.bin"))
+        assert len(payloads) == 1
+        assert payloads[0].read_bytes() == (corpus / "truncated.xes").read_bytes()
+
+    def test_without_flag_nothing_is_archived(self, capsys, corpus, tmp_path):
+        code, _ = run(
+            capsys, "match",
+            str(corpus / "garbage_rows.csv"), str(corpus / "garbage_rows.csv"),
+            "--on-error", "skip",
+        )
+        assert code == 0
+        assert not list(tmp_path.iterdir())
 
 
 class TestMarkdownReport:

@@ -1,0 +1,117 @@
+"""Dead-letter archive: content addressing, idempotence, ingestion wiring."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.logs.csvio import read_csv
+from repro.obs import MetricsRegistry, Observer
+from repro.runtime.deadletter import DeadLetterArchive
+from repro.runtime.report import IngestionReport
+
+
+class TestArchive:
+    def test_put_and_load_round_trip(self, tmp_path):
+        archive = DeadLetterArchive(tmp_path)
+        payload = b"c1,Approve,not-a-timestamp\n"
+        digest = archive.put(payload, {"source": "x.csv", "problem": "bad ts"})
+        assert digest == hashlib.sha256(payload).hexdigest()
+        loaded_payload, context = archive.load(digest)
+        assert loaded_payload == payload
+        assert context["digest"] == digest
+        assert context["occurrences"][0]["problem"] == "bad ts"
+
+    def test_layout_is_content_addressed(self, tmp_path):
+        archive = DeadLetterArchive(tmp_path)
+        digest = archive.put(b"payload", {})
+        path = archive.path_for(digest)
+        assert path == tmp_path / digest[:2] / digest
+        assert (path / "payload.bin").read_bytes() == b"payload"
+        assert json.loads((path / "context.json").read_text())["digest"] == digest
+
+    def test_resubmission_is_idempotent(self, tmp_path):
+        archive = DeadLetterArchive(tmp_path)
+        first = archive.put(b"payload", {"problem": "first sighting"})
+        second = archive.put(b"payload", {"problem": "second sighting"})
+        assert first == second
+        assert list(archive.entries()) == [first]
+        _, context = archive.load(first)
+        problems = [entry["problem"] for entry in context["occurrences"]]
+        assert problems == ["first sighting", "second sighting"]
+
+    def test_entries_sorted_and_countable(self, tmp_path):
+        archive = DeadLetterArchive(tmp_path)
+        digests = {archive.put(bytes([n]), {}) for n in range(5)}
+        assert list(archive.entries()) == sorted(digests)
+        assert archive.archived == 5
+
+    def test_load_verifies_payload_digest(self, tmp_path):
+        archive = DeadLetterArchive(tmp_path)
+        digest = archive.put(b"payload", {})
+        (archive.path_for(digest) / "payload.bin").write_bytes(b"tampered")
+        with pytest.raises(ValueError):
+            archive.load(digest)
+
+    def test_load_unknown_digest_raises_key_error(self, tmp_path):
+        with pytest.raises(KeyError):
+            DeadLetterArchive(tmp_path).load("0" * 64)
+
+    def test_counter_emitted(self, tmp_path):
+        observer = Observer(metrics=MetricsRegistry())
+        archive = DeadLetterArchive(tmp_path, observer=observer)
+        archive.put(b"payload", {})
+        assert "dead_letters_total 1" in observer.metrics.to_prometheus_text()
+
+
+class TestIngestionWiring:
+    CSV = (
+        "case_id,activity,timestamp\n"
+        "c1,Approve,1\n"
+        ",Reject,2\n"            # empty case id: dropped
+        "c1,Settle,whenever\n"   # bad timestamp: dropped in skip mode
+    )
+
+    def _read(self, tmp_path, mode):
+        source = tmp_path / "events.csv"
+        source.write_text(self.CSV)
+        archive = DeadLetterArchive(tmp_path / "dead")
+        report = IngestionReport(source=str(source), mode=mode)
+        report.archive = archive
+        log = read_csv(source, on_error=mode, report=report)
+        return log, report, archive
+
+    def test_skip_mode_archives_original_bytes(self, tmp_path):
+        log, report, archive = self._read(tmp_path, "skip")
+        assert report.rows_dropped == 2
+        assert report.archived == 2
+        payloads = {archive.load(d)[0] for d in archive.entries()}
+        assert b",Reject,2\r\n" in payloads
+        assert b"c1,Settle,whenever\r\n" in payloads
+        contexts = [archive.load(d)[1] for d in archive.entries()]
+        for context in contexts:
+            occurrence = context["occurrences"][0]
+            assert occurrence["mode"] == "skip"
+            assert occurrence["source"].endswith("events.csv")
+            assert occurrence["location"].startswith("row ")
+
+    def test_repair_mode_archives_only_unrecoverable_rows(self, tmp_path):
+        log, report, archive = self._read(tmp_path, "repair")
+        # The bad timestamp is repaired in place; only the empty case id
+        # is unrecoverable and lands in the archive.
+        assert report.rows_repaired == 1
+        assert report.archived == 1
+        payload, _ = archive.load(next(iter(archive.entries())))
+        assert payload == b",Reject,2\r\n"
+
+    def test_report_to_dict_counts_archived(self, tmp_path):
+        _, report, _ = self._read(tmp_path, "skip")
+        assert report.to_dict()["archived"] == 2
+        assert "dead-lettered" in report.describe()
+
+    def test_without_archive_nothing_is_written(self, tmp_path):
+        source = tmp_path / "events.csv"
+        source.write_text(self.CSV)
+        report = IngestionReport(source=str(source), mode="skip")
+        read_csv(source, on_error="skip", report=report)
+        assert report.archived == 0

@@ -1,0 +1,106 @@
+"""Unit tests of the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.runtime.faults import (
+    CRASH_EXIT_STATUS,
+    KIND_CORRUPT,
+    KIND_INTERRUPT,
+    NO_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+)
+
+
+class TestFaultSpec:
+    def test_exact_coordinates_match(self):
+        spec = FaultSpec(site="evaluate", kind="transient", round=2,
+                         side=1, run=("a", "b"), attempts=(1,))
+        assert spec.matches("evaluate", round=2, side=1, run=("a", "b"), attempt=1)
+        assert not spec.matches("evaluate", round=3, side=1, run=("a", "b"), attempt=1)
+        assert not spec.matches("evaluate", round=2, side=0, run=("a", "b"), attempt=1)
+        assert not spec.matches("evaluate", round=2, side=1, run=("a", "c"), attempt=1)
+        assert not spec.matches("evaluate", round=2, side=1, run=("a", "b"), attempt=2)
+        assert not spec.matches("checkpoint.write", round=2)
+
+    def test_none_coordinates_are_wildcards(self):
+        spec = FaultSpec(site="evaluate", kind="transient")
+        assert spec.matches("evaluate", round=7, side=0, run=("x",), attempt=1)
+
+    def test_empty_attempts_is_every_attempt(self):
+        spec = FaultSpec(site="evaluate", kind="transient", attempts=())
+        for attempt in (1, 2, 3, 17):
+            assert spec.matches("evaluate", attempt=attempt)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="evaluate", kind="meltdown")
+
+
+class TestFaultPlan:
+    def test_no_faults_is_falsy_and_never_matches(self):
+        assert not NO_FAULTS
+        assert NO_FAULTS.match("evaluate", round=1) is None
+        assert NO_FAULTS.fire("evaluate", round=1) is None
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="evaluate", kind="interrupt", round=1),
+            FaultSpec(site="evaluate", kind="corrupt", round=1),
+        ))
+        assert plan.match("evaluate", round=1).kind == KIND_INTERRUPT
+
+    def test_transient_fires_anywhere(self):
+        plan = FaultPlan(specs=(FaultSpec(site="evaluate", kind="transient"),))
+        with pytest.raises(TransientFault):
+            plan.fire("evaluate", round=1)
+        with pytest.raises(TransientFault):
+            plan.fire("evaluate", in_worker=True, round=1)
+
+    def test_crash_not_acted_in_parent(self):
+        # A crash spec outside a worker must NOT kill the test process;
+        # the spec is still returned so callers can log it.
+        plan = FaultPlan(specs=(FaultSpec(site="evaluate", kind="crash"),))
+        spec = plan.fire("evaluate", round=1)
+        assert spec.kind == "crash"
+
+    def test_timeout_delay_injected_via_sleep(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="evaluate", kind="timeout", delay=12.5),
+        ))
+        slept = []
+        plan.fire("evaluate", in_worker=True, sleep=slept.append)
+        assert slept == [12.5]
+
+    def test_interrupt_and_corrupt_returned_not_acted(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="search.round", kind="interrupt", round=3),
+            FaultSpec(site="checkpoint.write", kind="corrupt"),
+        ))
+        assert plan.fire("search.round", round=3).kind == KIND_INTERRUPT
+        assert plan.fire("checkpoint.write", round=1).kind == KIND_CORRUPT
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="evaluate", kind="transient", round=2,
+                          side=1, run=("a", "b"), attempts=(1, 2)),
+                FaultSpec(site="worker.init", kind="crash", attempts=()),
+            ),
+            seed=7,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_corruption_is_deterministic_and_real(self):
+        plan = FaultPlan(seed=3)
+        payload = bytes(range(256)) * 8
+        first = plan.corrupt(payload, round=2)
+        second = plan.corrupt(payload, round=2)
+        assert first == second
+        assert first != payload
+        assert plan.corrupt(payload, round=5) != first
+        assert plan.corrupt(b"", round=1) == b""
+
+    def test_crash_exit_status_is_distinctive(self):
+        assert CRASH_EXIT_STATUS not in (0, 1, 2)

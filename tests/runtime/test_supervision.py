@@ -1,0 +1,294 @@
+"""Supervised execution: retry policy, wave supervision, quarantine."""
+
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.core.composite import CompositeMatcher
+from repro.core.config import EMSConfig
+from repro.exceptions import BudgetExhausted, WorkerPoolError
+from repro.runtime.faults import FaultPlan, FaultSpec, TransientFault
+from repro.runtime.supervise import (
+    QuarantineRecord,
+    RetryPolicy,
+    SupervisedPool,
+    run_supervised,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+        assert policy.delay(9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=11)
+        assert policy.delay(2) == policy.delay(2)
+        stretched = policy.delay(2)
+        plain = RetryPolicy(base_delay=0.1).delay(2)
+        assert plain <= stretched <= plain * 1.5
+
+    def test_respawn_limit_exceeds_one_poison_candidate(self):
+        # A single poison candidate may break the pool once per attempt;
+        # the derived limit must not declare the pool dead before the
+        # candidate quarantines.
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.respawn_limit > policy.max_attempts
+        assert RetryPolicy(max_respawns=1).respawn_limit == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestRunSupervised:
+    POLICY = RetryPolicy(max_attempts=3, base_delay=0.01)
+
+    def test_success_passes_value_through(self):
+        value, record = run_supervised(
+            lambda attempt: attempt * 10,
+            policy=self.POLICY, describe=lambda: (0, ("a",)),
+        )
+        assert value == 10
+        assert record is None
+
+    def test_transient_fault_is_retried(self):
+        slept = []
+
+        def call(attempt):
+            if attempt == 1:
+                raise TransientFault("flaky")
+            return "ok"
+
+        value, record = run_supervised(
+            call, policy=self.POLICY, describe=lambda: (0, ("a",)),
+            sleep=slept.append,
+        )
+        assert value == "ok"
+        assert record is None
+        assert slept == [pytest.approx(0.01)]
+
+    def test_exhausted_retries_quarantine_with_provenance(self):
+        def call(attempt):
+            raise TransientFault("always flaky")
+
+        value, record = run_supervised(
+            call, policy=self.POLICY, describe=lambda: (1, ("a", "b")),
+            round=4, config_hash="cafe", sleep=lambda _: None,
+        )
+        assert value is None
+        assert record == QuarantineRecord(
+            side=1, run=("a", "b"), round=4, attempts=3,
+            error_type="TransientFault", error_message="always flaky",
+            config_hash="cafe",
+        )
+        assert "a+b" in record.describe()
+
+    def test_deterministic_error_quarantines_without_retries(self):
+        calls = []
+
+        def call(attempt):
+            calls.append(attempt)
+            raise ValueError("poison")
+
+        value, record = run_supervised(
+            call, policy=self.POLICY, describe=lambda: (0, ("a",)),
+        )
+        assert value is None
+        assert calls == [1]  # no retries burned on deterministic poison
+        assert record.error_type == "ValueError"
+
+    def test_budget_exhaustion_propagates(self):
+        def call(attempt):
+            raise BudgetExhausted("deadline")
+
+        with pytest.raises(BudgetExhausted):
+            run_supervised(
+                call, policy=self.POLICY, describe=lambda: (0, ("a",)),
+            )
+
+
+# ----------------------------------------------------------------------
+# SupervisedPool on a scriptable in-process stand-in executor: behaviors
+# are keyed on (task, attempt) so every failure-handling branch is
+# reachable deterministically and without real child processes.
+# ----------------------------------------------------------------------
+class _FakeFuture:
+    def __init__(self, behavior):
+        self._behavior = behavior
+
+    def done(self):
+        return True
+
+    def cancelled(self):
+        return False
+
+    def result(self, timeout=None):
+        if isinstance(self._behavior, BaseException):
+            raise self._behavior
+        return self._behavior
+
+
+class _FakePool:
+    """Executor double: ``script[(task, attempt)]`` is the value returned
+    (or the exception raised) by that attempt's future; unscripted
+    attempts echo ``(task, attempt)`` back."""
+
+    def __init__(self, script):
+        self._script = script
+
+    def submit(self, fn, payload):
+        task, attempt = payload
+        return _FakeFuture(self._script.get((task, attempt), (task, attempt)))
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def _pool(script, *, policy=None, task_timeout=None):
+    spawned = []
+
+    def factory():
+        spawned.append(object())
+        return _FakePool(script)
+
+    supervised = SupervisedPool(
+        factory,
+        fn=None,
+        payload=lambda task, attempt: (task, attempt),
+        describe=lambda task: (0, (task,)),
+        policy=policy or RetryPolicy(max_attempts=3, base_delay=0.0),
+        task_timeout=task_timeout,
+        sleep=lambda _: None,
+    )
+    return supervised, spawned
+
+
+class TestSupervisedPool:
+    def test_clean_wave_preserves_task_order(self):
+        supervised, _ = _pool({})
+        outcomes = supervised.run_wave(["a", "b", "c"])
+        assert [o.task for o in outcomes] == ["a", "b", "c"]
+        assert [o.value for o in outcomes] == [("a", 1), ("b", 1), ("c", 1)]
+        assert all(o.quarantined is None and o.attempts == 1 for o in outcomes)
+
+    def test_transient_failure_retried_in_isolation(self):
+        supervised, _ = _pool({("b", 1): TransientFault("flaky")})
+        outcomes = supervised.run_wave(["a", "b"])
+        assert outcomes[1].value == ("b", 2)
+        assert outcomes[1].attempts == 2
+        assert supervised.stats.retries == 1
+        assert supervised.stats.quarantined == 0
+
+    def test_deterministic_error_quarantined_in_group_phase(self):
+        supervised, _ = _pool({("b", 1): ValueError("poison")})
+        outcomes = supervised.run_wave(["a", "b", "c"], round=3)
+        assert outcomes[0].value == ("a", 1)
+        assert outcomes[2].value == ("c", 1)
+        record = outcomes[1].quarantined
+        assert record is not None
+        assert (record.side, record.run, record.round) == (0, ("b",), 3)
+        assert record.attempts == 1
+        assert supervised.stats.quarantined == 1
+
+    def test_pool_break_respawns_and_finishes_in_isolation(self):
+        supervised, spawned = _pool({("a", 1): BrokenProcessPool("crash")})
+        outcomes = supervised.run_wave(["a", "b"])
+        # The survivor's completed result is drained, not re-run.
+        assert outcomes[1].value == ("b", 1)
+        assert outcomes[0].value == ("a", 2)
+        assert supervised.stats.respawns == 1
+        assert len(spawned) == 2
+
+    def test_timeout_kills_pool_and_retries(self):
+        supervised, spawned = _pool(
+            {("a", 1): FutureTimeoutError()}, task_timeout=0.5
+        )
+        outcomes = supervised.run_wave(["a"])
+        assert outcomes[0].value == ("a", 2)
+        assert supervised.stats.timeouts == 1
+        assert supervised.stats.respawns == 1
+        assert len(spawned) == 2
+
+    def test_unrecoverable_pool_raises_worker_pool_error(self):
+        script = {
+            ("a", attempt): BrokenProcessPool("crash") for attempt in range(1, 10)
+        }
+        supervised, _ = _pool(
+            script, policy=RetryPolicy(max_attempts=5, base_delay=0.0,
+                                       max_respawns=2),
+        )
+        with pytest.raises(WorkerPoolError) as excinfo:
+            supervised.run_wave(["a"])
+        assert excinfo.value.respawns == 3
+
+    def test_poison_quarantines_before_pool_declared_dead(self):
+        # The derived respawn limit guarantees a lone poison candidate is
+        # quarantined (attempts exhausted) rather than escalated to
+        # WorkerPoolError.
+        script = {
+            ("a", attempt): BrokenProcessPool("crash") for attempt in range(1, 10)
+        }
+        supervised, _ = _pool(
+            script, policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        outcomes = supervised.run_wave(["a"])
+        assert outcomes[0].quarantined is not None
+        assert supervised.stats.quarantined == 1
+
+
+class TestSerialSupervision:
+    """Supervision of the serial composite path via injected faults."""
+
+    KNOBS = dict(delta=0.005, min_confidence=0.9, max_run_length=2)
+    RETRY = RetryPolicy(max_attempts=3, base_delay=0.0)
+
+    def test_transient_fault_retried_to_identical_result(self, fig1_logs):
+        clean = CompositeMatcher(EMSConfig(), **self.KNOBS).match(*fig1_logs)
+        plan = FaultPlan(specs=(
+            FaultSpec(site="evaluate", kind="transient", round=1, attempts=(1,)),
+        ))
+        faulted = CompositeMatcher(
+            EMSConfig(), retry=self.RETRY, faults=plan, **self.KNOBS
+        ).match(*fig1_logs)
+        assert faulted.accepted_first == clean.accepted_first
+        assert faulted.accepted_second == clean.accepted_second
+        np.testing.assert_array_equal(
+            faulted.matrix.values, clean.matrix.values
+        )
+        assert faulted.stats.worker_retries == 1
+        assert faulted.quarantined == ()
+
+    def test_poison_candidate_quarantined_and_round_completes(self, fig1_logs):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="evaluate", kind="transient",
+                      side=0, run=("C", "D"), attempts=()),
+        ))
+        result = CompositeMatcher(
+            EMSConfig(), retry=self.RETRY, faults=plan, **self.KNOBS
+        ).match(*fig1_logs)
+        # The only viable merge was poisoned, so nothing is accepted —
+        # but the search still completes and reports the quarantine.
+        assert result.accepted_first == ()
+        assert len(result.quarantined) == 1
+        record = result.quarantined[0]
+        assert (record.side, record.run) == (0, ("C", "D"))
+        assert record.attempts == self.RETRY.max_attempts
+        assert record.error_type == "TransientFault"
+        assert record.config_hash == ""  # no checkpointing configured
+        assert result.stats.candidates_quarantined == 1
+        assert result.stats.worker_retries == self.RETRY.max_attempts - 1

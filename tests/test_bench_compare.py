@@ -26,6 +26,7 @@ def payload(**overrides) -> dict:
         "memory_reduction_sparse": 6.0,
         "sparse_time_ratio_20": 0.9,
         "noop_observer_overhead": 1.0,
+        "retry_overhead": 1.0,
     }
     base.update(overrides)
     return base
@@ -78,6 +79,11 @@ class TestFloorKeys:
         failures = compare(payload(noop_observer_overhead=1.2), payload(), 2.0)
         assert len(failures) == 1
         assert "observer" in failures[0]
+
+    def test_retry_overhead_ceiling_violation_fails(self):
+        failures = compare(payload(retry_overhead=1.25), payload(), 2.0)
+        assert len(failures) == 1
+        assert "supervision" in failures[0]
 
 
 class TestEnvironmentWarnings:
