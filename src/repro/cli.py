@@ -81,6 +81,7 @@ from repro.runtime import (
     CheckpointManager,
     DeadLetterArchive,
     DegradationPolicy,
+    EvaluationCache,
     FaultPlan,
     IngestionReport,
     InterruptGuard,
@@ -214,11 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(composite mode only; budgeted runs stay serial)",
     )
     match.add_argument(
-        "--kernel", choices=("vectorized", "reference", "sparse"),
+        "--kernel", choices=("vectorized", "reference", "sparse", "compiled"),
         default="vectorized",
         help="fixpoint kernel: vectorized (fast, default), sparse "
-             "(memory-lean CSR gather-scatter for large vocabularies), or "
-             "reference (the per-pair spec loop)",
+             "(memory-lean CSR gather-scatter for large vocabularies), "
+             "compiled (numba-jitted loops; falls back to vectorized with "
+             "a warning when numba is absent), or reference (the per-pair "
+             "spec loop)",
     )
     match.add_argument(
         "--dtype", choices=("float64", "float32"), default="float64",
@@ -230,6 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the incremental composite engine (delta merges, "
              "warm-started fixpoints, estimation screening) and evaluate "
              "every candidate from a cold start",
+    )
+    match.add_argument(
+        "--no-best-first", action="store_true",
+        help="composite mode: evaluate each round's candidates in static "
+             "discovery order instead of best-bound-first with an early "
+             "cutoff (results are identical either way)",
+    )
+    match.add_argument(
+        "--eval-cache-dir", metavar="DIR", default=None,
+        help="composite mode: memoize candidate evaluations in DIR, "
+             "content-keyed, and reuse them on identical reruns "
+             "(digest-verified; corrupt entries degrade to cold "
+             "evaluation)",
     )
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.add_argument(
@@ -361,6 +377,7 @@ def _execute_match(
         dtype=arguments.dtype,
         incremental=not arguments.no_incremental,
         screening=not arguments.no_incremental,
+        best_first=not arguments.no_best_first,
     )
 
     budget = None
@@ -410,6 +427,11 @@ def _execute_match(
             )
         elif arguments.resume:
             raise ReproError("--resume requires --checkpoint-dir")
+        eval_cache = None
+        if arguments.eval_cache_dir is not None:
+            eval_cache = EvaluationCache(
+                arguments.eval_cache_dir, observer=observer
+            )
         interrupt = InterruptGuard()
         matcher = EMSCompositeMatcher(
             config, label_similarity,
@@ -423,6 +445,7 @@ def _execute_match(
             checkpoints=checkpoints,
             resume=arguments.resume,
             interrupt=interrupt,
+            eval_cache=eval_cache,
         )
         with interrupt:
             outcome = matcher.match(log_first, log_second)
@@ -463,6 +486,7 @@ def _write_observability_outputs(
                 "kernel": config.kernel,
                 "dtype": config.dtype,
                 "incremental": config.incremental,
+                "best_first": config.best_first,
                 "composite": arguments.composite,
                 "workers": arguments.workers,
             },

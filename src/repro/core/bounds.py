@@ -24,6 +24,14 @@ import math
 
 import numpy as np
 
+#: Strict-dominance margin used wherever a sound upper bound is compared
+#: against an incumbent average (estimation screening, best-first cutoff).
+#: A candidate is skipped only when ``bound < incumbent - SCREEN_MARGIN``:
+#: bounds within the margin of the incumbent are conservatively evaluated,
+#: so float noise in the bound arithmetic can never skip a candidate the
+#: exact evaluation would have selected.
+SCREEN_MARGIN = 1e-9
+
 
 def pair_upper_bound(value: float, k: int, decay: float, h: float = math.inf) -> float:
     """Upper bound of the limit similarity after ``k`` iterations.

@@ -1,0 +1,181 @@
+"""Optional compiled fixpoint kernel (``EMSConfig(kernel="compiled")``).
+
+The vectorized kernel's per-iteration cost is NumPy dispatch plus the
+materialization of the ``(m, A, B)`` ``weighted`` tensor per degree
+bucket.  When `numba <https://numba.pydata.org>`_ is installed, this
+module JIT-compiles the bucket evaluation into fused machine-code loops:
+the gather, the edge-agreement multiply, the row/column maxima and the
+two directional sums run in one pass per pair with no intermediate
+tensor at all.  Everything around the inner loop — bucket construction,
+Proposition-2 prefix pruning, label blending, budget accounting via
+``_commit_pending`` — is inherited unchanged from
+:class:`~repro.core.ems._VectorizedRun`, so the compiled kernel shares
+the vectorized kernel's exact schedule, ``pair_updates`` totals and
+mid-iteration budget-cut semantics.
+
+numba is strictly optional (the repository's baseline environment does
+not ship it): without it the kernel degrades to the pure-Python
+vectorized implementation, bit-identical by construction, announced by a
+one-time logged warning so a benchmark asking for machine code knows it
+did not get any.  :data:`HAS_NUMBA` tells callers (benchmarks, tests)
+which mode they are in.
+
+Importing this module registers ``"compiled"`` in the kernel registry of
+:mod:`repro.core.ems`; ``EMSEngine`` triggers that import lazily the
+first time a config asks for the kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ems import _KERNELS, _VectorizedRun
+from repro.core.pruning import active_prefix_length
+from repro.obs import get_logger
+
+_logger = get_logger(__name__)
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAS_NUMBA = True
+except ImportError:
+    njit = None
+    HAS_NUMBA = False
+
+#: Set after the one-time fallback warning so a composite search asking
+#: for the compiled kernel thousands of times logs exactly once.
+_FALLBACK_NOTED = False
+
+
+def _note_fallback() -> None:
+    global _FALLBACK_NOTED
+    if not _FALLBACK_NOTED:
+        _logger.warning(
+            "kernel='compiled' requested but numba is not importable; "
+            "falling back to the pure-Python vectorized kernel "
+            "(results are identical, the JIT speedup is not)"
+        )
+        _FALLBACK_NOTED = True
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True)
+    def _bucket_updates(
+        previous: np.ndarray,
+        preds_first: np.ndarray,
+        preds_second: np.ndarray,
+        agreement: np.ndarray,
+        c: float,
+        use_agreement: bool,
+        inverse_first: float,
+        inverse_second: float,
+    ) -> np.ndarray:
+        """Both directional terms of formula (1) for one bucket's pairs.
+
+        Returns ``s_forward * inverse_first + s_backward * inverse_second``
+        per pair — the caller applies ``alpha/2`` and the label blend.
+        Similarities and agreements are non-negative, so the maxima can
+        start from the first element without a sentinel.
+        """
+        m, degree_first = preds_first.shape
+        degree_second = preds_second.shape[1]
+        out = np.empty(m, dtype=previous.dtype)
+        for k in range(m):
+            forward = 0.0
+            for a in range(degree_first):
+                row = preds_first[k, a]
+                best = 0.0
+                for b in range(degree_second):
+                    if use_agreement:
+                        value = agreement[k, a, b] * previous[row, preds_second[k, b]]
+                    else:
+                        value = c * previous[row, preds_second[k, b]]
+                    if value > best:
+                        best = value
+                forward += best
+            backward = 0.0
+            for b in range(degree_second):
+                col = preds_second[k, b]
+                best = 0.0
+                for a in range(degree_first):
+                    if use_agreement:
+                        value = agreement[k, a, b] * previous[preds_first[k, a], col]
+                    else:
+                        value = c * previous[preds_first[k, a], col]
+                    if value > best:
+                        best = value
+                backward += best
+            out[k] = forward * inverse_first + backward * inverse_second
+        return out
+
+
+class _CompiledRun(_VectorizedRun):
+    """The numba-compiled formulation of the bucketed fixpoint.
+
+    Identical to :class:`_VectorizedRun` in everything but the phase-1
+    bucket evaluation, which runs through :func:`_bucket_updates` when
+    numba is available.  Without numba, :meth:`step` delegates to the
+    inherited vectorized implementation — the mandatory pure-Python
+    fallback — after :func:`_note_fallback` logged the degradation once.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not HAS_NUMBA:
+            _note_fallback()
+
+    # ------------------------------------------------------------------
+    def step(self) -> float:
+        if not HAS_NUMBA:
+            return super().step()
+        meter = self._meter
+        if meter is not None:
+            meter.check()
+        self.iterations += 1
+        iteration = self.iterations
+        if self._buckets is None:
+            self._buckets = self._build_buckets()
+        config = self.config
+        half_alpha = config.alpha / 2.0
+        label_weight = 1.0 - config.alpha
+        use_pruning = config.use_pruning
+        previous = self.values.copy()
+        label = self.label_matrix
+        c = float(config.c)
+
+        pending: list[tuple[np.ndarray, np.ndarray]] = []
+        total_active = 0
+        for bucket in self._buckets:
+            if use_pruning:
+                count = active_prefix_length(bucket.levels, iteration)
+                if count == 0:
+                    continue
+                sel = slice(0, count)
+            else:
+                sel = slice(None)
+            rows = bucket.rows[sel]
+            cols = bucket.cols[sel]
+            preds_first = np.ascontiguousarray(bucket.preds_first[sel])
+            preds_second = np.ascontiguousarray(bucket.preds_second[sel])
+            if bucket.agreement is not None:
+                agreement = np.ascontiguousarray(bucket.agreement[sel])
+                use_agreement = True
+            else:
+                agreement = np.empty((0, 0, 0), dtype=previous.dtype)
+                use_agreement = False
+            combined = _bucket_updates(
+                previous, preds_first, preds_second, agreement, c,
+                use_agreement, bucket.inverse_first, bucket.inverse_second,
+            )
+            updated = half_alpha * combined
+            if label_weight:
+                updated = updated + label_weight * label[rows, cols]
+            pending.append((bucket.linear[sel], updated))
+            total_active += len(rows)
+
+        return self._commit_pending(pending, previous, total_active, meter)
+
+
+_KERNELS["compiled"] = _CompiledRun

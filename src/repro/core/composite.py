@@ -41,9 +41,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.bounds import SCREEN_MARGIN
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine, EMSResult, LabelMatrixCache
-from repro.core.incremental import IncrementalSearchState
+from repro.core.incremental import CandidateEvaluation, IncrementalSearchState
 from repro.core.matrix import SimilarityMatrix
 from repro.exceptions import BudgetExhausted
 from repro.graph.dependency import DependencyGraph
@@ -60,6 +61,7 @@ from repro.runtime.checkpoint import (
     search_content_key,
 )
 from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.evalcache import EvaluationCache, candidate_key, discovery_key
 from repro.runtime.faults import KIND_INTERRUPT, FaultPlan
 from repro.runtime.report import STAGE_EXACT, STAGE_PARTIAL, RuntimeReport
 from repro.runtime.supervise import (
@@ -632,6 +634,18 @@ class CompositeMatcher:
         boundaries; when tripped, the search flushes a final checkpoint
         and returns the best-so-far result as a ``partial`` stage with
         reason ``"interrupted"``.
+    eval_cache:
+        Optional :class:`~repro.runtime.EvaluationCache`: candidate
+        evaluations are memoized on disk, content-keyed by (log pair,
+        config, knobs, accepted history, candidate, incumbent bound), and
+        served on the next identical run instead of re-evaluating.
+        Results stay bit-identical — a hit replays the exact stored
+        evaluation, and every load is digest-verified with corruption
+        degrading to a cold evaluation.  In pool rounds, hits are served
+        *before* dispatch, so retry/quarantine supervision only ever sees
+        real (miss) evaluations.  Disabled while a budget meter is active
+        (a served hit charges no meter, which would skew cooperative
+        cancellation).
     """
 
     def __init__(
@@ -655,6 +669,7 @@ class CompositeMatcher:
         checkpoints: CheckpointManager | None = None,
         resume: bool = False,
         interrupt: InterruptGuard | None = None,
+        eval_cache: EvaluationCache | None = None,
     ):
         if delta < 0.0:
             raise ValueError(f"delta must be non-negative, got {delta}")
@@ -683,6 +698,7 @@ class CompositeMatcher:
         self.checkpoints = checkpoints
         self.resume = resume
         self.interrupt = interrupt
+        self.eval_cache = eval_cache
         #: One S^L cache per matching run, shared by every engine built
         #: for it; reset at the start of :meth:`match`.
         self._label_cache: LabelMatrixCache | None = None
@@ -692,6 +708,10 @@ class CompositeMatcher:
         self._quarantined: list[QuarantineRecord] = []
         self._accepted_history: list[tuple[int, tuple[str, ...]]] = []
         self._interrupted_by: str | None = None
+        #: Per-side memo of the last discovery: ``side -> (log, runs)``.
+        #: A side's log object is replaced only when a merge is accepted
+        #: on it, so identity comparison is an exact staleness test.
+        self._discovery_memo: dict[int, tuple[EventLog, list[tuple[str, ...]]]] = {}
 
     # ------------------------------------------------------------------
     def _engine(self, state_first: _SideState, state_second: _SideState) -> EMSEngine:
@@ -744,8 +764,9 @@ class CompositeMatcher:
         self._accepted_history = []
         self._interrupted_by = None
         self._content_key = ""
+        self._discovery_memo = {}
         snapshot: SearchSnapshot | None = None
-        if self.checkpoints is not None:
+        if self.checkpoints is not None or self.eval_cache is not None:
             self._content_key = search_content_key(
                 log_first, log_second,
                 dataclasses.asdict(self.config),
@@ -759,7 +780,7 @@ class CompositeMatcher:
                     "min_edge_frequency": self.min_edge_frequency,
                 },
             )
-            if self.resume:
+            if self.checkpoints is not None and self.resume:
                 snapshot = self.checkpoints.load(self._content_key)
         with obs.span("graph.build", activities=len(log_first.activities())):
             graph_first = self._graph(log_first, {})
@@ -915,12 +936,7 @@ class CompositeMatcher:
 
                     tasks: list[tuple[int, tuple[str, ...]]] = []
                     for side_index in (0, 1):
-                        for run in discover_candidates(
-                            states[side_index].log,
-                            min_confidence=self.min_confidence,
-                            max_run_length=self.max_run_length,
-                            max_candidates=self.max_candidates,
-                        ):
+                        for run in self._discover(states, side_index):
                             tasks.append((side_index, run))
                     round_span.attributes["candidates"] = len(tasks)
 
@@ -940,31 +956,10 @@ class CompositeMatcher:
                                 tasks, states, current, stats, target, best_average
                             )
                     else:
-                        for side_index, run in tasks:
-                            if supervise_serial:
-                                outcome = self._evaluate_serial_supervised(
-                                    incremental, side_index, run, states,
-                                    current, stats,
-                                    abort_below=max(best_average, target),
-                                    meter=meter,
-                                )
-                            elif incremental is not None:
-                                outcome = self._evaluate_incremental(
-                                    incremental, side_index, run, stats,
-                                    abort_below=max(best_average, target),
-                                    meter=meter,
-                                )
-                            else:
-                                outcome = self._evaluate(
-                                    side_index, run, states, current, stats,
-                                    abort_below=max(best_average, target),
-                                    meter=meter,
-                                )
-                            if outcome is None:
-                                continue
-                            if outcome.matrix.average() > best_average:
-                                best_average = outcome.matrix.average()
-                                best = (side_index, run, outcome)
+                        best, best_average = self._round_serial(
+                            tasks, incremental, states, current, stats,
+                            target, best_average, meter, supervise_serial,
+                        )
 
                     if best is None or best_average - current_average <= self.delta:
                         round_span.attributes["accepted"] = None
@@ -1002,6 +997,153 @@ class CompositeMatcher:
                 supervised.shutdown()
 
     # ------------------------------------------------------------------
+    def _discover(
+        self,
+        states: tuple[_SideState, _SideState],
+        side_index: int,
+    ) -> list[tuple[str, ...]]:
+        """One side's candidate runs: memoized, optionally persisted.
+
+        :func:`discover_candidates` is a pure function of the side's
+        current log, so two layers of reuse are exact by construction:
+
+        * **in-memory** — a side whose log did not change since the last
+          round (no merge accepted on it) reuses the previous round's
+          list outright;
+        * **on-disk** — with an evaluation cache attached, the list is
+          persisted under (content key, accepted history, side), so a
+          warm re-run skips the full-log statistics recomputation that
+          dominates once every candidate evaluation is a cache hit.
+        """
+        log = states[side_index].log
+        memo = self._discovery_memo.get(side_index)
+        if memo is not None and memo[0] is log:
+            return memo[1]
+        runs: list[tuple[str, ...]] | None = None
+        key: str | None = None
+        if self.eval_cache is not None:
+            key = discovery_key(
+                self._content_key, tuple(self._accepted_history), side_index
+            )
+            cached = self.eval_cache.load(key)
+            if cached is not None:
+                runs = [tuple(run) for run in cached]
+        if runs is None:
+            runs = discover_candidates(
+                log,
+                min_confidence=self.min_confidence,
+                max_run_length=self.max_run_length,
+                max_candidates=self.max_candidates,
+            )
+            if key is not None:
+                self.eval_cache.store(key, runs)
+        self._discovery_memo[side_index] = (log, runs)
+        return runs
+
+    # ------------------------------------------------------------------
+    def _round_serial(
+        self,
+        tasks: list[tuple[int, tuple[str, ...]]],
+        incremental: IncrementalSearchState | None,
+        states: tuple[_SideState, _SideState],
+        current: EMSResult,
+        stats: CompositeStats,
+        target: float,
+        best_average: float,
+        meter: BudgetMeter | None,
+        supervise_serial: bool,
+    ) -> tuple[tuple[int, tuple[str, ...], EMSResult] | None, float]:
+        """One round of candidates, evaluated in-process.
+
+        With ``config.best_first`` (and the incremental path, no budget
+        meter), candidates are evaluated in descending order of their
+        sound estimation upper bound rather than discovery order, and the
+        round cuts off as soon as the next bound cannot beat the
+        incumbent — the bounds are sorted, so neither can any later one.
+        The selected merge is bit-identical to the static order: the
+        bound is sound (a cut candidate provably loses) and equal-average
+        ties resolve to the lowest original position, which is exactly
+        the candidate the static strict-improvement scan would have kept.
+        """
+        best: tuple[int, tuple[str, ...], EMSResult] | None = None
+        best_position = -1
+        order = list(range(len(tasks)))
+        bounds: list[float] | None = None
+        if (
+            self.config.best_first
+            and incremental is not None
+            and meter is None
+            and len(tasks) > 1
+        ):
+            bounds = []
+            for side_index, run in tasks:
+                stats.screen_checks += 1
+                bounds.append(incremental.candidate_bound(side_index, run))
+            order.sort(key=lambda position: (-bounds[position], position))
+        for rank, position in enumerate(order):
+            side_index, run = tasks[position]
+            if bounds is not None and (
+                bounds[position] < max(best_average, target) - SCREEN_MARGIN
+            ):
+                # Global cutoff: bounds are sorted descending, so every
+                # remaining candidate is provably below the incumbent too.
+                stats.candidates_screened += len(order) - rank
+                break
+            screen_bound = bounds[position] if bounds is not None else None
+            if supervise_serial:
+                outcome = self._evaluate_serial_supervised(
+                    incremental, side_index, run, states, current, stats,
+                    abort_below=max(best_average, target),
+                    meter=meter, screen_bound=screen_bound,
+                )
+            elif incremental is not None:
+                outcome = self._evaluate_incremental(
+                    incremental, side_index, run, stats,
+                    abort_below=max(best_average, target),
+                    meter=meter, screen_bound=screen_bound,
+                )
+            else:
+                outcome = self._evaluate(
+                    side_index, run, states, current, stats,
+                    abort_below=max(best_average, target),
+                    meter=meter,
+                )
+            if outcome is None:
+                continue
+            average = outcome.matrix.average()
+            if average > best_average or (
+                bounds is not None
+                and best is not None
+                and average == best_average
+                and position < best_position
+            ):
+                best_average = average
+                best = (side_index, run, outcome)
+                best_position = position
+        return best, best_average
+
+    # ------------------------------------------------------------------
+    def _cached_evaluation(
+        self,
+        side_index: int,
+        run: tuple[str, ...],
+        abort_below: float,
+    ) -> tuple[str | None, CandidateEvaluation | None]:
+        """``(key, hit)`` from the persistent cache; ``(None, None)`` when off.
+
+        The key covers the search content key (logs, config, knobs), the
+        accepted-merge history that shaped the current side states, the
+        candidate and the incumbent bound — everything the evaluation's
+        result depends on.
+        """
+        if self.eval_cache is None:
+            return None, None
+        key = candidate_key(
+            self._content_key, tuple(self._accepted_history),
+            side_index, run, abort_below,
+        )
+        return key, self.eval_cache.load(key)
+
     def _evaluate(
         self,
         side_index: int,
@@ -1013,11 +1155,28 @@ class CompositeMatcher:
         meter: BudgetMeter | None = None,
     ) -> EMSResult | None:
         """Similarity of the graphs after merging *run* on one side (serial)."""
+        key = hit = None
+        if meter is None:
+            key, hit = self._cached_evaluation(side_index, run, abort_below)
         stats.candidates_evaluated += 1
-        outcome, pairs_fixed = _evaluate_candidate(
-            self._round_context(states, current), side_index, run, abort_below,
-            self._label_cache, meter, observer=self.observer,
-        )
+        if hit is not None:
+            outcome, pairs_fixed = hit.outcome, hit.pairs_fixed
+        else:
+            with self.observer.span(
+                "candidate.evaluate", side=side_index, run=list(run)
+            ):
+                outcome, pairs_fixed = _evaluate_candidate(
+                    self._round_context(states, current), side_index, run,
+                    abort_below, self._label_cache, meter,
+                    observer=self.observer,
+                )
+            if key is not None:
+                self.eval_cache.store(
+                    key,
+                    CandidateEvaluation(
+                        outcome=outcome, pairs_fixed=pairs_fixed, screened=False
+                    ),
+                )
         stats.pairs_fixed += pairs_fixed
         if outcome is None:
             stats.evaluations_aborted += 1
@@ -1033,18 +1192,38 @@ class CompositeMatcher:
         stats: CompositeStats,
         abort_below: float,
         meter: BudgetMeter | None = None,
+        screen_bound: float | None = None,
     ) -> EMSResult | None:
-        """Incremental counterpart of :meth:`_evaluate` (same accounting)."""
+        """Incremental counterpart of :meth:`_evaluate` (same accounting).
+
+        *screen_bound* is the candidate's precomputed bound on the
+        best-first path; its screen check was already counted when the
+        bound was computed, so only the static path counts one here.
+        """
         screening_active = self.config.screening and meter is None
-        if screening_active:
-            stats.screen_checks += 1
-        else:
+        key = hit = None
+        if meter is None:
+            key, hit = self._cached_evaluation(side_index, run, abort_below)
+        if not screening_active:
             # Mirror the cold path: the candidate counts as evaluated even
             # if the budget meter raises mid-fixpoint.  (Screening cannot
             # raise — it is only active without a meter — so with screening
             # on the count can safely wait for the screen verdict.)
             stats.candidates_evaluated += 1
-        evaluation = incremental.evaluate(side_index, run, abort_below, meter)
+        elif screen_bound is None:
+            stats.screen_checks += 1
+        if hit is not None:
+            evaluation = hit
+        else:
+            with self.observer.span(
+                "candidate.evaluate", side=side_index, run=list(run)
+            ):
+                evaluation = incremental.evaluate(
+                    side_index, run, abort_below, meter,
+                    screen_bound=screen_bound,
+                )
+            if key is not None:
+                self.eval_cache.store(key, evaluation)
         if evaluation.screened:
             stats.candidates_screened += 1
             return None
@@ -1067,6 +1246,7 @@ class CompositeMatcher:
         stats: CompositeStats,
         abort_below: float,
         meter: BudgetMeter | None = None,
+        screen_bound: float | None = None,
     ) -> EMSResult | None:
         """Serial evaluation under :func:`~repro.runtime.run_supervised`.
 
@@ -1074,7 +1254,9 @@ class CompositeMatcher:
         the default serial path pays nothing.  Transient failures are
         retried (same candidate, same ``abort_below`` bound — the
         trajectory stays deterministic); deterministic exceptions
-        quarantine the candidate and the round moves on.
+        quarantine the candidate and the round moves on.  Faults fire
+        before any cache lookup, so a poison candidate is quarantined —
+        never silently served from the evaluation cache.
         """
         def call(attempt: int) -> EMSResult | None:
             if self.faults is not None:
@@ -1084,7 +1266,8 @@ class CompositeMatcher:
                 )
             if incremental is not None:
                 return self._evaluate_incremental(
-                    incremental, side_index, run, stats, abort_below, meter
+                    incremental, side_index, run, stats, abort_below, meter,
+                    screen_bound=screen_bound,
                 )
             return self._evaluate(
                 side_index, run, states, current, stats, abort_below, meter
@@ -1263,6 +1446,61 @@ class CompositeMatcher:
             "shared memory was unavailable",
         )
 
+    def _wave_cache_hits(
+        self,
+        wave: list[tuple[int, tuple[str, ...]]],
+        bound: float,
+    ) -> tuple[dict[int, CandidateEvaluation], dict[int, str]]:
+        """Serve a wave's persistent-cache hits before dispatching it.
+
+        Returns ``(hits by wave index, candidate keys of the misses)``;
+        only the misses are submitted to the pool, so supervision
+        (retries, quarantine) never applies to a served hit — and a
+        fully cached wave never touches the pool at all.
+        """
+        hits: dict[int, CandidateEvaluation] = {}
+        keys: dict[int, str] = {}
+        if self.eval_cache is None:
+            return hits, keys
+        history = tuple(self._accepted_history)
+        for index, (side_index, run) in enumerate(wave):
+            key = candidate_key(
+                self._content_key, history, side_index, run, bound
+            )
+            cached = self.eval_cache.load(key)
+            if cached is not None:
+                hits[index] = cached
+            else:
+                keys[index] = key
+        return hits, keys
+
+    def _account_candidate(
+        self,
+        stats: CompositeStats,
+        side_index: int,
+        run: tuple[str, ...],
+        evaluation: CandidateEvaluation,
+        best: tuple[int, tuple[str, ...], EMSResult] | None,
+        best_average: float,
+        count_screen: bool,
+    ) -> tuple[tuple[int, tuple[str, ...], EMSResult] | None, float]:
+        """Fold one wave evaluation — fresh or cached — into the round state."""
+        if count_screen:
+            stats.screen_checks += 1
+        if evaluation.screened:
+            stats.candidates_screened += 1
+            return best, best_average
+        stats.candidates_evaluated += 1
+        stats.pairs_fixed += evaluation.pairs_fixed
+        if evaluation.outcome is None:
+            stats.evaluations_aborted += 1
+            return best, best_average
+        stats.pair_updates += evaluation.outcome.pair_updates
+        average = evaluation.outcome.matrix.average()
+        if average > best_average:
+            return (side_index, run, evaluation.outcome), average
+        return best, best_average
+
     def _round_parallel_incremental(
         self,
         tasks: list[tuple[int, tuple[str, ...]]],
@@ -1308,37 +1546,42 @@ class CompositeMatcher:
                 for start in range(0, len(tasks), self.workers):
                     wave = tasks[start:start + self.workers]
                     bound = max(best_average, target)
+                    hits, miss_keys = self._wave_cache_hits(wave, bound)
+                    pending = [i for i in range(len(wave)) if i not in hits]
                     outcomes = supervised.run_wave(
                         [
-                            (round_id, history, payload, side_index, run, bound)
-                            for side_index, run in wave
+                            (round_id, history, payload, *wave[i], bound)
+                            for i in pending
                         ],
                         round=round_id,
                     )
-                    for entry in outcomes:
-                        if entry.quarantined is not None:
-                            self._quarantined.append(entry.quarantined)
-                            continue
-                        (
-                            side_index, run, outcome, pairs_fixed, screened,
-                            fragments, worker_pid,
-                        ) = entry.value
-                        if fragments and obs.tracing:
-                            obs.tracer.adopt(fragments, tid=worker_pid)
-                        if self.config.screening:
-                            stats.screen_checks += 1
-                        if screened:
-                            stats.candidates_screened += 1
-                            continue
-                        stats.candidates_evaluated += 1
-                        stats.pairs_fixed += pairs_fixed
-                        if outcome is None:
-                            stats.evaluations_aborted += 1
-                            continue
-                        stats.pair_updates += outcome.pair_updates
-                        if outcome.matrix.average() > best_average:
-                            best_average = outcome.matrix.average()
-                            best = (side_index, run, outcome)
+                    by_index = dict(zip(pending, outcomes))
+                    for index in range(len(wave)):
+                        side_index, run = wave[index]
+                        evaluation = hits.get(index)
+                        if evaluation is None:
+                            entry = by_index[index]
+                            if entry.quarantined is not None:
+                                self._quarantined.append(entry.quarantined)
+                                continue
+                            (
+                                side_index, run, outcome, pairs_fixed,
+                                screened, fragments, worker_pid,
+                            ) = entry.value
+                            if fragments and obs.tracing:
+                                obs.tracer.adopt(fragments, tid=worker_pid)
+                            evaluation = CandidateEvaluation(
+                                outcome=outcome, pairs_fixed=pairs_fixed,
+                                screened=screened,
+                            )
+                            key = miss_keys.get(index)
+                            if key is not None:
+                                self.eval_cache.store(key, evaluation)
+                        best, best_average = self._account_candidate(
+                            stats, side_index, run, evaluation,
+                            best, best_average,
+                            count_screen=self.config.screening,
+                        )
         finally:
             # The segment must outlive any mid-round pool respawn (new
             # workers re-attach to evaluate retried candidates), so it is
@@ -1389,32 +1632,41 @@ class CompositeMatcher:
                 for start in range(0, len(tasks), self.workers):
                     wave = tasks[start:start + self.workers]
                     bound = max(best_average, target)
+                    hits, miss_keys = self._wave_cache_hits(wave, bound)
+                    pending = [i for i in range(len(wave)) if i not in hits]
                     outcomes = supervised.run_wave(
                         [
-                            (side_index, run, bound, round_id)
-                            for side_index, run in wave
+                            (*wave[i], bound, round_id)
+                            for i in pending
                         ],
                         round=round_id,
                     )
-                    for entry in outcomes:
-                        if entry.quarantined is not None:
-                            self._quarantined.append(entry.quarantined)
-                            continue
-                        (
-                            side_index, run, outcome, pairs_fixed,
-                            fragments, worker_pid,
-                        ) = entry.value
-                        if fragments and obs.tracing:
-                            obs.tracer.adopt(fragments, tid=worker_pid)
-                        stats.candidates_evaluated += 1
-                        stats.pairs_fixed += pairs_fixed
-                        if outcome is None:
-                            stats.evaluations_aborted += 1
-                            continue
-                        stats.pair_updates += outcome.pair_updates
-                        if outcome.matrix.average() > best_average:
-                            best_average = outcome.matrix.average()
-                            best = (side_index, run, outcome)
+                    by_index = dict(zip(pending, outcomes))
+                    for index in range(len(wave)):
+                        side_index, run = wave[index]
+                        evaluation = hits.get(index)
+                        if evaluation is None:
+                            entry = by_index[index]
+                            if entry.quarantined is not None:
+                                self._quarantined.append(entry.quarantined)
+                                continue
+                            (
+                                side_index, run, outcome, pairs_fixed,
+                                fragments, worker_pid,
+                            ) = entry.value
+                            if fragments and obs.tracing:
+                                obs.tracer.adopt(fragments, tid=worker_pid)
+                            evaluation = CandidateEvaluation(
+                                outcome=outcome, pairs_fixed=pairs_fixed,
+                                screened=False,
+                            )
+                            key = miss_keys.get(index)
+                            if key is not None:
+                                self.eval_cache.store(key, evaluation)
+                        best, best_average = self._account_candidate(
+                            stats, side_index, run, evaluation,
+                            best, best_average, count_screen=False,
+                        )
         finally:
             # Shut the round's pool down before reclaiming the segment:
             # workers (including respawned ones) may attach to it right

@@ -22,9 +22,12 @@ One dataclass gathers every knob the paper exposes:
   populations, ``"sparse"`` evaluates the same iteration as a CSR
   gather–scatter over flat contribution chunks — ``O(chunk)`` working
   memory instead of the vectorized kernel's ``O(Σ m·A·B)`` resident
-  tensors — and ``"reference"`` is the straightforward per-pair loop the
-  other kernels are differentially tested against.  All three produce
-  the same similarities, ``iterations`` and ``pair_updates``.
+  tensors — ``"compiled"`` runs the bucketed iteration through
+  numba-jitted machine-code loops when numba is installed (pure-Python
+  vectorized fallback otherwise, with a one-time logged warning), and
+  ``"reference"`` is the straightforward per-pair loop the other
+  kernels are differentially tested against.  All of them produce the
+  same similarities, ``iterations`` and ``pair_updates``.
 * ``dtype`` — floating-point width of the similarity computation.
   ``"float64"`` (default) is exact against the reference kernel;
   ``"float32"`` halves the memory of every value/agreement buffer at a
@@ -40,7 +43,7 @@ from typing import Literal
 import numpy as np
 
 Direction = Literal["forward", "backward", "both"]
-Kernel = Literal["vectorized", "reference", "sparse"]
+Kernel = Literal["vectorized", "reference", "sparse", "compiled"]
 Dtype = Literal["float64", "float32"]
 
 #: The NumPy dtypes backing :attr:`EMSConfig.dtype`.
@@ -69,7 +72,9 @@ class EMSConfig:
     #: Which fixpoint implementation evaluates formula (1); see module
     #: docstring.  Results are identical — "reference" exists for
     #: differential testing and as a readable spec of the computation,
-    #: "sparse" trades a little arithmetic for O(chunk) working memory.
+    #: "sparse" trades a little arithmetic for O(chunk) working memory,
+    #: "compiled" runs the bucketed loops through numba when available
+    #: (vectorized fallback otherwise).
     kernel: Kernel = "vectorized"
     #: Floating-point width of the similarity computation ("float64" or
     #: "float32"); see module docstring.
@@ -90,6 +95,19 @@ class EMSConfig:
     #: budget accounting matches the unscreened path.  Only consulted on
     #: the incremental path.
     screening: bool = True
+    #: Best-first candidate scheduling in the serial composite search:
+    #: each round's candidates are ordered by their sound estimation
+    #: upper bound (:func:`repro.core.bounds.estimation_screen_bound`,
+    #: highest first) and the round cuts off globally once the best
+    #: confirmed average dominates every remaining bound.  The selected
+    #: merges and final scores are bit-identical to the static
+    #: round-robin order — the bound is sound and ties resolve to the
+    #: round-robin winner — only the evaluation order and the number of
+    #: full evaluations change.  Disabled while a budget meter is active
+    #: (same reason as ``screening``) and on worker-pool rounds (wave
+    #: order is the determinism contract there); ``--no-best-first``
+    #: restores the static order everywhere.
+    best_first: bool = True
     #: LRU entry cap of the shared :class:`~repro.core.ems.LabelMatrixCache`
     #: (``None`` = unbounded).  Each entry is one whole label matrix plus
     #: headroom for 128 scalar cells.
@@ -114,9 +132,10 @@ class EMSConfig:
             raise ValueError(
                 f"estimation_iterations must be >= 0 or None, got {self.estimation_iterations}"
             )
-        if self.kernel not in ("vectorized", "reference", "sparse"):
+        if self.kernel not in ("vectorized", "reference", "sparse", "compiled"):
             raise ValueError(
-                f"kernel must be vectorized/reference/sparse, got {self.kernel!r}"
+                f"kernel must be vectorized/reference/sparse/compiled, "
+                f"got {self.kernel!r}"
             )
         if self.dtype not in _DTYPES:
             raise ValueError(

@@ -132,9 +132,18 @@ class LabelMatrixCache:
     matrix cached by an earlier run sharing the same cache.  The scalar
     cell cache stays dtype-free — cells hold the exact Python-float label
     values and are narrowed on assignment into each matrix.
+
+    The cache keeps its own lifetime totals — :attr:`hits`,
+    :attr:`misses` and :attr:`evictions` (whole matrices evicted) — which
+    :class:`EMSEngine` exports through the metrics registry as
+    ``label_cache_hits_total`` / ``label_cache_misses_total`` /
+    ``label_cache_evictions_total``.
     """
 
-    __slots__ = ("_matrices", "_cells", "_max_entries", "_max_cells")
+    __slots__ = (
+        "_matrices", "_cells", "_max_entries", "_max_cells",
+        "hits", "misses", "evictions",
+    )
 
     def __init__(self, max_entries: int | None = None) -> None:
         if max_entries is not None and max_entries < 1:
@@ -145,6 +154,9 @@ class LabelMatrixCache:
         self._cells: dict[tuple[str, str], float] = {}
         self._max_entries = max_entries
         self._max_cells = None if max_entries is None else max_entries * _CELLS_PER_ENTRY
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         """Number of cached whole matrices."""
@@ -168,9 +180,11 @@ class LabelMatrixCache:
         matrices = self._matrices
         cached = matrices.get(key)
         if cached is not None:
+            self.hits += 1
             if self._max_entries is not None:
                 matrices[key] = matrices.pop(key)  # LRU touch
             return cached
+        self.misses += 1
         cells = self._cells
         cached = np.empty((len(rows), len(cols)), dtype=dtype)
         for i, first in enumerate(rows):
@@ -185,6 +199,7 @@ class LabelMatrixCache:
         if self._max_entries is not None:
             while len(matrices) > self._max_entries:
                 matrices.pop(next(iter(matrices)))
+                self.evictions += 1
             while len(cells) > self._max_cells:
                 cells.pop(next(iter(cells)))
         return cached
@@ -937,6 +952,9 @@ class _SparseRun(_DirectionalRun):
 
 
 #: Kernel registry: EMSConfig.kernel -> directional-run implementation.
+#: ``"compiled"`` is registered lazily by :mod:`repro.core.compiled` the
+#: first time a config asks for it (that module imports this one, so the
+#: import must run from here, never the other way around).
 _KERNELS: dict[str, type[_DirectionalRun]] = {
     "reference": _DirectionalRun,
     "vectorized": _VectorizedRun,
@@ -955,7 +973,12 @@ def _make_run(
     fixed_pairs: FixedPairs = None,
     meter: BudgetMeter | None = None,
 ) -> _DirectionalRun:
-    return _KERNELS[config.kernel](first, second, config, label_matrix, fixed_pairs, meter)
+    kernel = _KERNELS.get(config.kernel)
+    if kernel is None:
+        from repro.core import compiled  # noqa: F401  (registers "compiled")
+
+        kernel = _KERNELS[config.kernel]
+    return kernel(first, second, config, label_matrix, fixed_pairs, meter)
 
 
 class EMSEngine:
@@ -1003,15 +1026,22 @@ class EMSEngine:
         if isinstance(self.label_similarity, OpaqueSimilarity) or self.config.alpha == 1.0:
             return np.zeros((len(first.nodes), len(second.nodes)), dtype=dtype)
         if self.label_cache is not None:
+            cache = self.label_cache
             if self.observer.metrics is not None:
-                key = (first.nodes, second.nodes, np.dtype(dtype).str)
-                hit = key in self.label_cache._matrices
-                self.observer.count(
-                    "label_cache_hits_total" if hit else "label_cache_misses_total"
+                hits, misses, evictions = cache.hits, cache.misses, cache.evictions
+                matrix = cache.matrix(
+                    first.nodes, second.nodes, self.label_similarity, dtype
                 )
-            return self.label_cache.matrix(
-                first.nodes, second.nodes, self.label_similarity, dtype
-            )
+                if cache.hits > hits:
+                    self.observer.count("label_cache_hits_total", cache.hits - hits)
+                if cache.misses > misses:
+                    self.observer.count("label_cache_misses_total", cache.misses - misses)
+                if cache.evictions > evictions:
+                    self.observer.count(
+                        "label_cache_evictions_total", cache.evictions - evictions
+                    )
+                return matrix
+            return cache.matrix(first.nodes, second.nodes, self.label_similarity, dtype)
         label = np.zeros((len(first.nodes), len(second.nodes)), dtype=dtype)
         for i, node_first in enumerate(first.nodes):
             for j, node_second in enumerate(second.nodes):

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bounds import estimation_screen_bound
+from repro.core.bounds import SCREEN_MARGIN, estimation_screen_bound
 from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine, EMSResult, LabelMatrixCache, WarmStart, edge_agreement
 from repro.core.estimation import estimation_coefficients
@@ -62,8 +62,9 @@ from repro.similarity.labels import CompositeAwareSimilarity, LabelSimilarity, O
 
 #: Slack subtracted from the incumbent bound before rejecting a candidate,
 #: so borderline floating-point ties always fall through to the exact
-#: evaluation instead of risking a trajectory divergence.
-_SCREEN_MARGIN = 1e-9
+#: evaluation instead of risking a trajectory divergence.  Shared with the
+#: best-first cutoff as :data:`repro.core.bounds.SCREEN_MARGIN`.
+_SCREEN_MARGIN = SCREEN_MARGIN
 
 
 @dataclass(slots=True)
@@ -126,6 +127,11 @@ class IncrementalSearchState:
         #: Per (direction, side): the parent matrix as a raw array, built
         #: lazily once per round and sliced into candidate warm starts.
         self._warm_values: dict[str, np.ndarray] = {}
+        #: Deltas computed by :meth:`candidate_bound` this round, consumed
+        #: by the matching :meth:`evaluate` call so best-first scheduling
+        #: never runs ``merge_counts`` twice for one candidate.  Keyed by
+        #: ``(side_index, run)``; flushed whenever the side states move.
+        self._delta_memo: dict[tuple[int, tuple[str, ...]], MergeDelta] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -146,6 +152,7 @@ class IncrementalSearchState:
         ]
         self._directional = None
         self._warm_values = {}
+        self._delta_memo = {}
 
     def begin_round(self, directional: dict[str, SimilarityMatrix] | None) -> None:
         """Start a greedy round; *directional* feeds this round's warm starts."""
@@ -155,6 +162,7 @@ class IncrementalSearchState:
             if self._directional
             else {}
         )
+        self._delta_memo = {}
 
     def side(self, side_index: int) -> _IncrementalSide:
         return self._sides[side_index]
@@ -162,25 +170,54 @@ class IncrementalSearchState:
     # ------------------------------------------------------------------
     # Candidate evaluation
     # ------------------------------------------------------------------
+    def candidate_bound(self, side_index: int, run: tuple[str, ...]) -> float:
+        """The sound estimation upper bound of one candidate, graph-free.
+
+        Best-first scheduling calls this for every candidate of a round
+        before any full evaluation.  The ``merge_counts`` delta it
+        computes is memoized for the follow-up :meth:`evaluate` call on
+        the same candidate, so the priority pass adds only the (cheap)
+        bound arithmetic over the static order's cost.
+        """
+        side = self._sides[side_index]
+        other = self._sides[1 - side_index]
+        key = (side_index, run)
+        delta = self._delta_memo.get(key)
+        if delta is None:
+            delta = merge_counts(side.counts, side.index, run)
+            self._delta_memo[key] = delta
+        return self._screen_bound(delta, other.graph)
+
     def evaluate(
         self,
         side_index: int,
         run: tuple[str, ...],
         abort_below: float,
         meter: BudgetMeter | None = None,
+        screen_bound: float | None = None,
     ) -> CandidateEvaluation:
         """Score merging *run* on one side, incrementally.
 
         Mirrors ``_evaluate_candidate`` step for step — same graphs, same
         fixed pairs, same engine calls — so results are interchangeable
-        with the cold path.
+        with the cold path.  *screen_bound* short-circuits the screening
+        recomputation when the caller already holds this candidate's
+        :meth:`candidate_bound` (the best-first path); the comparison
+        against *abort_below* is still performed here so screening
+        semantics are identical either way.
         """
         side = self._sides[side_index]
         other = self._sides[1 - side_index]
-        delta = merge_counts(side.counts, side.index, run)
+        delta = self._delta_memo.pop((side_index, run), None)
+        if delta is None:
+            delta = merge_counts(side.counts, side.index, run)
 
         if self.config.screening and meter is None:
-            bound = self._screen_bound(delta, other.graph)
+            bound = (
+                screen_bound
+                if screen_bound is not None
+                else self._screen_bound(delta, other.graph)
+            )
             if bound < abort_below - _SCREEN_MARGIN:
                 self.observer.count("composite_candidates_screened_total")
                 return CandidateEvaluation(
@@ -226,6 +263,7 @@ class IncrementalSearchState:
         self, side_index: int, run: tuple[str, ...]
     ) -> tuple[EventLog, dict[str, frozenset[str]], DependencyGraph]:
         """Advance one side past an accepted merge; returns its new state."""
+        self._delta_memo = {}
         side = self._sides[side_index]
         delta = merge_counts(side.counts, side.index, run)
         members = merged_member_map(sorted(delta.counts.activity), run, side.members)

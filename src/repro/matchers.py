@@ -33,6 +33,7 @@ from repro.obs import NULL_OBSERVER, Observer
 from repro.runtime.budget import MatchBudget
 from repro.runtime.checkpoint import CheckpointManager, InterruptGuard
 from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.evalcache import EvaluationCache
 from repro.runtime.faults import FaultPlan
 from repro.runtime.supervise import RetryPolicy
 from repro.runtime.report import STAGE_EXACT, RuntimeReport
@@ -206,6 +207,7 @@ class EMSCompositeMatcher(EventMatcher):
         checkpoints: CheckpointManager | None = None,
         resume: bool = False,
         interrupt: InterruptGuard | None = None,
+        eval_cache: EvaluationCache | None = None,
     ):
         self.observer = observer if observer is not None else NULL_OBSERVER
         self.matcher = CompositeMatcher(
@@ -228,6 +230,7 @@ class EMSCompositeMatcher(EventMatcher):
             checkpoints=checkpoints,
             resume=resume,
             interrupt=interrupt,
+            eval_cache=eval_cache,
         )
         self.threshold = threshold
         self._singleton = EMSMatcher(

@@ -21,6 +21,9 @@ core threads through:
   composite search plus cooperative SIGINT/SIGTERM handling.
 * :class:`DeadLetterArchive` — content-addressed archive of ingestion
   records the readers rejected.
+* :class:`EvaluationCache` — cross-run persistent, content-addressed
+  cache of composite candidate evaluations (digest-verified loads,
+  atomic writes, LRU size bound).
 * :class:`FaultPlan` / :class:`FaultSpec` — the deterministic
   fault-injection harness exercising all of the above.
 
@@ -37,6 +40,7 @@ from repro.runtime.checkpoint import (
 )
 from repro.runtime.deadletter import DeadLetterArchive
 from repro.runtime.degrade import DegradationPolicy
+from repro.runtime.evalcache import EvaluationCache
 from repro.runtime.faults import NO_FAULTS, FaultPlan, FaultSpec, TransientFault
 from repro.runtime.report import (
     STAGE_ESTIMATED,
@@ -77,6 +81,7 @@ __all__ = [
     "InterruptGuard",
     "search_content_key",
     "DeadLetterArchive",
+    "EvaluationCache",
     "FaultPlan",
     "FaultSpec",
     "TransientFault",

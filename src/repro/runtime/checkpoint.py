@@ -52,6 +52,57 @@ _logger = get_logger(__name__)
 _MAGIC = b"EMSCKPT1"
 
 
+def atomic_write(directory: Path, target: Path, data: bytes) -> Path:
+    """Write *data* to *target* atomically (tempfile, fsync, ``os.replace``).
+
+    A crash at any point leaves either the old file or the new one, never
+    a torn mix; the temporary is unlinked on failure.  Shared by the
+    checkpoint store and the persistent evaluation cache
+    (:mod:`repro.runtime.evalcache`).
+    """
+    handle = tempfile.NamedTemporaryFile(
+        dir=directory, prefix=target.name + ".", suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def verified_payload(
+    raw: bytes, magic: bytes, key: str
+) -> tuple[bytes | None, str | None]:
+    """Split and verify a ``<magic> <key> <sha256>\\n<payload>`` file.
+
+    Returns ``(payload, None)`` when the magic matches, the stored key
+    equals *key* and the payload's SHA-256 equals the header digest;
+    ``(None, reason)`` otherwise.  Never raises on malformed input —
+    every parse failure becomes a reason string, so callers can uniformly
+    degrade to a cold path with a logged warning.
+    """
+    try:
+        header, _, payload = raw.partition(b"\n")
+        stored_magic, stored_key, digest = header.split(b" ")
+        if stored_magic != magic:
+            return None, f"unrecognized format {stored_magic!r}"
+        if stored_key.decode() != key:
+            return None, "entry belongs to a different (log pair, config)"
+        if hashlib.sha256(payload).hexdigest() != digest.decode():
+            return None, "payload digest mismatch (corrupt or torn write)"
+        return payload, None
+    except Exception as error:
+        return None, f"unreadable entry ({error})"
+
+
 def search_content_key(
     log_first: Iterable,
     log_second: Iterable,
@@ -186,23 +237,7 @@ class CheckpointManager:
             (_MAGIC, snapshot.key.encode(), digest.encode())
         ) + b"\n"
         target = self.path_for(snapshot.key)
-        handle = tempfile.NamedTemporaryFile(
-            dir=self.directory, prefix=target.name + ".", suffix=".tmp",
-            delete=False,
-        )
-        try:
-            with handle:
-                handle.write(header)
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, target)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        atomic_write(self.directory, target, header + payload)
         self.writes += 1
         self.observer.count(
             "checkpoint_writes_total",
@@ -227,25 +262,15 @@ class CheckpointManager:
             raw = path.read_bytes()
         except FileNotFoundError:
             return None
-        reason = None
         snapshot = None
-        try:
-            header, _, payload = raw.partition(b"\n")
-            magic, stored_key, digest = header.split(b" ")
-            if magic != _MAGIC:
-                reason = f"unrecognized checkpoint format {magic!r}"
-            elif stored_key.decode() != key:
-                reason = "checkpoint belongs to a different (log pair, config)"
-            elif hashlib.sha256(payload).hexdigest() != digest.decode():
-                reason = "payload digest mismatch (corrupt or torn write)"
-            else:
-                snapshot = SearchSnapshot.from_payload(
-                    pickle.loads(payload)
-                )
+        payload, reason = verified_payload(raw, _MAGIC, key)
+        if payload is not None:
+            try:
+                snapshot = SearchSnapshot.from_payload(pickle.loads(payload))
                 if snapshot.key != key:
                     snapshot, reason = None, "embedded key mismatch"
-        except Exception as error:
-            snapshot, reason = None, f"unreadable checkpoint ({error})"
+            except Exception as error:
+                snapshot, reason = None, f"unreadable checkpoint ({error})"
         if snapshot is None:
             self.observer.count(
                 "checkpoint_corrupt_total",

@@ -1,0 +1,225 @@
+"""Cross-run persistent cache of composite candidate evaluations.
+
+A composite search spends nearly all of its time in candidate
+evaluation, and repeated or near-repeated workloads — re-running a
+matching after a config tweak elsewhere, nightly jobs over slowly
+drifting logs, a resumed experiment — re-evaluate candidates whose
+inputs have not changed at all.  This module memoizes
+:class:`~repro.core.incremental.CandidateEvaluation` results on disk,
+content-addressed so a hit is *provably* the same computation:
+
+* the **base key** is :func:`~repro.runtime.checkpoint.search_content_key`
+  over the two logs' traces, every :class:`~repro.core.config.EMSConfig`
+  field (kernel and dtype included) and the matcher knobs — the exact
+  compatibility key the checkpoint store uses;
+* the **candidate key** (:func:`candidate_key`) extends it with the
+  accepted-merge history so far, the candidate's ``(side, run)`` and the
+  ``abort_below`` incumbent it was evaluated against.  Keying on
+  ``abort_below`` keeps cached verdicts replay-exact: a Bd-aborted or
+  screened outcome is only ever reused against the same incumbent that
+  produced it, and identical reruns regenerate identical incumbent
+  sequences, so a second run over unchanged inputs hits on every
+  candidate.
+
+Durability mirrors the checkpoint store byte for byte: entries are
+written via the shared :func:`~repro.runtime.checkpoint.atomic_write`
+(tempfile, fsync, ``os.replace``) under an ``EMSEVAL1 <key> <sha256>``
+header, and every load re-verifies the digest through
+:func:`~repro.runtime.checkpoint.verified_payload`.  A corrupt,
+truncated or version-mismatched file degrades to a cold evaluation with
+a logged warning — never a crash, never a silently wrong result.  The
+directory is LRU-bounded by file mtime (hits touch their entry), and
+hit/miss/corrupt/eviction counters flow through the metrics registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro.obs import NULL_OBSERVER, Observer, get_logger
+from repro.runtime.checkpoint import atomic_write, verified_payload
+
+_logger = get_logger(__name__)
+
+#: Format magic; bump when the payload schema changes so stale cache
+#: entries are rejected as incompatible rather than misread.
+_MAGIC = b"EMSEVAL1"
+
+
+def candidate_key(
+    base_key: str,
+    history: tuple[tuple[int, tuple[str, ...]], ...],
+    side_index: int,
+    run: tuple[str, ...],
+    abort_below: float,
+) -> str:
+    """Content key of one candidate evaluation.
+
+    *base_key* is the search-level :func:`search_content_key`; the rest
+    pins the exact evaluation state: the accepted merges that shaped the
+    side graphs, the candidate itself, and the incumbent threshold the
+    evaluation raced against (see module docstring for why the threshold
+    belongs in the key).  ``repr(abort_below)`` round-trips the float
+    exactly, so equal incumbents — and only equal incumbents — share a
+    key.
+    """
+    digest = hashlib.sha256(base_key.encode())
+    digest.update(b"\x00")
+    digest.update(
+        json.dumps(
+            [list(history), side_index, list(run), repr(abort_below)],
+            separators=(",", ":"),
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+def discovery_key(
+    base_key: str,
+    history: tuple[tuple[int, tuple[str, ...]], ...],
+    side_index: int,
+) -> str:
+    """Content key of one side's candidate-discovery result.
+
+    Candidate discovery is a pure function of a side's current log,
+    which is fully determined by the original inputs (*base_key* covers
+    the logs and every knob, discovery thresholds included) and the
+    accepted-merge *history*.  Caching it alongside the evaluations lets
+    a warm re-run skip the per-round statistics recomputation — the
+    dominant cost once every evaluation is a hit.  The ``"discovery"``
+    tag keeps these keys disjoint from :func:`candidate_key` digests.
+    """
+    digest = hashlib.sha256(base_key.encode())
+    digest.update(b"\x00discovery\x00")
+    digest.update(
+        json.dumps([list(history), side_index], separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()
+
+
+class EvaluationCache:
+    """Owns one directory of content-keyed candidate evaluations.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live (created on first write).  One file per key:
+        ``eval-<key32>.pkl`` — 32 hex digits of the full SHA-256, plenty
+        within one directory, with the full key inside the file still
+        guarding against collisions.
+    max_entries:
+        LRU bound on the number of entries (by file mtime; loads touch
+        their entry).  ``None`` disables eviction.
+    observer:
+        Metric sink for ``eval_cache_hits_total`` and friends.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        max_entries: int | None = 4096,
+        observer: Observer | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.directory = Path(directory)
+        self.max_entries = max_entries
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"eval-{key[:32]}.pkl"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str):
+        """The cached evaluation for *key*, or ``None`` for a miss.
+
+        Every failure mode — missing file, foreign magic, key mismatch,
+        digest mismatch, unpicklable payload — is a logged miss followed
+        by cold evaluation; corruption is never fatal and a corrupt
+        entry is removed so it cannot keep tripping future runs.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except (FileNotFoundError, OSError):
+            self.misses += 1
+            self.observer.count(
+                "eval_cache_misses_total",
+                help="candidate evaluations not found in the persistent cache",
+            )
+            return None
+        value = None
+        payload, reason = verified_payload(raw, _MAGIC, key)
+        if payload is not None:
+            try:
+                value = pickle.loads(payload)
+            except Exception as error:
+                value, reason = None, f"unreadable payload ({error})"
+        if value is None:
+            self.misses += 1
+            self.observer.count(
+                "eval_cache_corrupt_total",
+                help="cache entries rejected at load time (cold evaluation)",
+            )
+            self.observer.count("eval_cache_misses_total")
+            _logger.warning(
+                "ignoring evaluation-cache entry %s: %s; evaluating cold",
+                path, reason,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        self.observer.count(
+            "eval_cache_hits_total",
+            help="candidate evaluations served from the persistent cache",
+        )
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        return value
+
+    # ------------------------------------------------------------------
+    def store(self, key: str, value) -> Path:
+        """Atomically persist *value* under *key*; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        header = b" ".join((_MAGIC, key.encode(), digest.encode())) + b"\n"
+        target = atomic_write(self.directory, self.path_for(key), header + payload)
+        self._evict()
+        return target
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        try:
+            entries = [
+                (path.stat().st_mtime, path)
+                for path in self.directory.glob("eval-*.pkl")
+            ]
+        except OSError:  # pragma: no cover - directory vanished underneath us
+            return
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.observer.count(
+                "eval_cache_evictions_total",
+                help="cache entries dropped by the LRU size bound",
+            )

@@ -281,7 +281,13 @@ class SupervisedPool:
         come back as quarantine records — but :class:`WorkerPoolError`
         propagates when the pool itself cannot be kept alive, and
         :class:`~repro.exceptions.BudgetExhausted` passes through.
+
+        An empty wave is a no-op that never touches (or spawns) the
+        pool — the composite search serves persistent-cache hits before
+        dispatch, so a fully cached wave must cost nothing.
         """
+        if not tasks:
+            return []
         outcomes = {index: WaveOutcome(task) for index, task in enumerate(tasks)}
         attempts = {index: 0 for index in range(len(tasks))}
         done: set[int] = set()

@@ -1,0 +1,118 @@
+"""The optional compiled fixpoint kernel and its mandatory fallback.
+
+``EMSConfig(kernel="compiled")`` must be usable on every machine: with
+numba installed it runs the njit-compiled bucket loop, without it the
+kernel transparently falls back to the vectorized implementation (with
+one logged warning per process).  Either way the results are pinned to
+the reference kernel by the same differential bar as the other kernels —
+exact equality for the fallback, 1e-12 against the reference when the
+JIT path is live.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import compiled
+from repro.core.compiled import HAS_NUMBA, _CompiledRun
+from repro.core.config import EMSConfig
+from repro.core.ems import _KERNELS, EMSEngine
+from repro.similarity.labels import QGramCosineSimilarity
+
+from tests.core.test_kernel_equivalence import (
+    assert_equivalent,
+    graphs_for,
+)
+
+
+@pytest.fixture(scope="module")
+def graphs_10():
+    return graphs_for(10, seed=3)
+
+
+def run_kernel(kernel, graphs, config_kwargs=None, label=None):
+    engine = EMSEngine(EMSConfig(kernel=kernel, **(config_kwargs or {})), label)
+    return engine.similarity(*graphs)
+
+
+class TestRegistration:
+    def test_config_accepts_compiled(self):
+        assert EMSConfig(kernel="compiled").kernel == "compiled"
+
+    def test_registered_lazily(self, graphs_10):
+        # Importing repro.core.compiled (directly or via the engine's
+        # lazy lookup) self-registers the kernel.
+        assert _KERNELS["compiled"] is _CompiledRun
+        result = run_kernel("compiled", graphs_10)
+        assert result.converged
+
+
+class TestFallback:
+    def test_bit_identical_to_vectorized(self, graphs_10):
+        if HAS_NUMBA:
+            pytest.skip("numba installed; the fallback path is inactive")
+        vec = run_kernel("vectorized", graphs_10)
+        comp = run_kernel("compiled", graphs_10)
+        assert comp.iterations == vec.iterations
+        assert comp.pair_updates == vec.pair_updates
+        assert np.array_equal(comp.matrix.values, vec.matrix.values)
+        for name, matrix in comp.directional.items():
+            assert np.array_equal(matrix.values, vec.directional[name].values)
+
+    @pytest.mark.parametrize("config_kwargs", [
+        {"use_pruning": False},
+        {"direction": "forward"},
+        {"estimation_iterations": 1},
+        {"alpha": 0.5},
+    ])
+    def test_fallback_across_configs(self, graphs_10, config_kwargs):
+        if HAS_NUMBA:
+            pytest.skip("numba installed; the fallback path is inactive")
+        label = (
+            QGramCosineSimilarity() if config_kwargs.get("alpha") else None
+        )
+        vec = run_kernel("vectorized", graphs_10, config_kwargs, label)
+        comp = run_kernel("compiled", graphs_10, config_kwargs, label)
+        assert comp.iterations == vec.iterations
+        assert np.array_equal(comp.matrix.values, vec.matrix.values)
+
+    def test_fallback_warns_once_per_process(self, graphs_10, caplog):
+        if HAS_NUMBA:
+            pytest.skip("numba installed; the fallback path is inactive")
+        compiled._FALLBACK_NOTED = False
+        with caplog.at_level(logging.WARNING, logger=compiled.__name__):
+            run_kernel("compiled", graphs_10)
+            run_kernel("compiled", graphs_10)
+        fallback_warnings = [
+            r for r in caplog.records if "falling back" in r.message
+        ]
+        assert len(fallback_warnings) == 1
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestCompiledDifferential:
+    """Differential pinning of the live JIT path (runs only with numba)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_against_reference(self, seed):
+        graphs = graphs_for(8 + 2 * seed, seed=seed)
+        comp = run_kernel("compiled", graphs)
+        ref = run_kernel("reference", graphs)
+        assert_equivalent(comp, ref)
+
+    @pytest.mark.parametrize("config_kwargs", [
+        {"use_pruning": False},
+        {"use_edge_weights": False},
+        {"direction": "forward"},
+        {"direction": "backward"},
+        {"alpha": 0.5},
+        {"estimation_iterations": 2},
+    ])
+    def test_config_matrix_against_reference(self, graphs_10, config_kwargs):
+        label = (
+            QGramCosineSimilarity() if config_kwargs.get("alpha") else None
+        )
+        comp = run_kernel("compiled", graphs_10, config_kwargs, label)
+        ref = run_kernel("reference", graphs_10, config_kwargs, label)
+        assert_equivalent(comp, ref)

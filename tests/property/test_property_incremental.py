@@ -32,7 +32,16 @@ def random_log(seed: int, alphabet: str = "abcdef") -> EventLog:
 
 
 def matcher(incremental: bool, screening: bool = False, **kwargs) -> CompositeMatcher:
-    config = EMSConfig(incremental=incremental, screening=screening)
+    # best_first is pinned off: this suite asserts *exact* stat parity
+    # (pair_updates, evaluations_aborted) between warm and cold, which
+    # only holds when both scan candidates in the same static order.
+    # The cold path has no bounds and always runs statically; best-first
+    # reordering on the warm side changes the Bd-abort incumbent
+    # trajectory (same selection, different counters) and has its own
+    # differential suite in test_property_best_first.py.
+    config = EMSConfig(
+        incremental=incremental, screening=screening, best_first=False
+    )
     defaults = dict(delta=0.0, min_confidence=0.8, max_run_length=3)
     defaults.update(kwargs)
     return CompositeMatcher(config, **defaults)

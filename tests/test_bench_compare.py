@@ -27,6 +27,8 @@ def payload(**overrides) -> dict:
         "sparse_time_ratio_20": 0.9,
         "noop_observer_overhead": 1.0,
         "retry_overhead": 1.0,
+        "warm_cache_speedup": 7.0,
+        "compiled_time_ratio_20": 1.0,
     }
     base.update(overrides)
     return base
@@ -71,9 +73,22 @@ class TestFloorKeys:
         ok = payload(
             speedup_exact_20=3.0, speedup_composite=3.0,
             memory_reduction_sparse=4.0, sparse_time_ratio_20=1.2,
-            noop_observer_overhead=1.1,
+            noop_observer_overhead=1.1, warm_cache_speedup=5.0,
+            compiled_time_ratio_20=1.2,
         )
         assert compare(ok, payload(), 2.0) == []
+
+    def test_warm_cache_floor_violation_fails(self):
+        failures = compare(payload(warm_cache_speedup=4.2), payload(), 2.0)
+        assert len(failures) == 1
+        assert "warm" in failures[0]
+
+    def test_skipped_null_floor_passes(self):
+        # compiled_time_ratio_20 is null when numba is absent: the key is
+        # present (not silently dropped) but out of scope on this machine.
+        current = payload(compiled_time_ratio_20=None)
+        assert compare(current, payload(), 2.0) == []
+        assert compare(current, payload(compiled_time_ratio_20=None), 2.0) == []
 
     def test_noop_overhead_ceiling_violation_fails(self):
         failures = compare(payload(noop_observer_overhead=1.2), payload(), 2.0)
@@ -135,6 +150,10 @@ class TestCommittedBaseline:
         )
         for key, bound, sense, _ in FLOORS:
             assert key in committed, key
+            if committed[key] is None:
+                # Skipped on the baseline machine (numba not installed);
+                # the matching scenario must record why.
+                continue
             if sense == "min":
                 assert committed[key] >= bound, key
             else:
