@@ -12,8 +12,14 @@ Usage::
                                     [--checkpoint-dir DIR] [--resume]
                                     [--checkpoint-every N]
                                     [--max-retries N] [--task-timeout S]
+                                    [--shard-traces N] [--parallel-ingest N]
+                                    [--store PATH]
                                     [--trace-out PATH] [--metrics-out PATH]
                                     [--manifest-out PATH] [--log-level LEVEL]
+    python -m repro stats LOG [--format xes|csv] [--on-error MODE]
+                              [--shard-traces N] [--parallel-ingest N]
+                              [--store PATH] [--top N] [--json]
+                              [--metrics-out PATH] [--log-level LEVEL]
 
 Reads the two logs (XES or CSV, auto-detected from the extension by
 default), runs EMS matching, and prints the found correspondences with
@@ -49,6 +55,17 @@ Chrome-trace JSON of the run's spans, ``--metrics-out`` a Prometheus
 text exposition, ``--manifest-out`` a run-manifest JSON (config +
 environment + per-stage timings), and ``--log-level`` enables library
 logging to stderr.
+
+Scale (see ``docs/scale.md``): ``--shard-traces N`` ingests each log
+out-of-core in blocks of N traces (peak memory O(shard), not O(log)),
+``--parallel-ingest N`` counts the blocks in N supervised worker
+processes, and ``--store PATH`` memoizes counts and dependency graphs
+in a persistent SQLite store so repeated (or appended-to) logs skip
+parsing and counting entirely.  These flags select a statistics-backed
+singleton matching that never materializes the logs, so they are
+incompatible with ``--composite`` and ``--report``; results are
+bit-identical to the in-memory path.  ``stats`` runs the same ingestion
+pipeline without matching and prints the log's Definition-1 statistics.
 """
 
 from __future__ import annotations
@@ -89,6 +106,7 @@ from repro.runtime import (
     RetryPolicy,
 )
 from repro.similarity.labels import QGramCosineSimilarity
+from repro.store import DEFAULT_BLOCK_TRACES, LogStore, ingest_graph, ingest_statistics
 
 #: Exit code for unreadable/invalid inputs.
 EXIT_INPUT_ERROR = 2
@@ -247,6 +265,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(digest-verified; corrupt entries degrade to cold "
              "evaluation)",
     )
+    match.add_argument(
+        "--shard-traces", type=int, default=None, metavar="N",
+        help="ingest out-of-core in blocks of N traces (peak memory "
+             "O(shard)); selects the statistics-backed singleton matching",
+    )
+    match.add_argument(
+        "--parallel-ingest", type=int, default=None, metavar="N",
+        help="count ingestion shards in N supervised worker processes "
+             "(implies --shard-traces' pipeline; default block size when "
+             "--shard-traces is not given)",
+    )
+    match.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persistent SQLite log store: memoize content-addressed "
+             "counts and dependency graphs so repeated or appended-to "
+             "logs skip parsing and counting (digest-verified; corruption "
+             "degrades to a cold parse)",
+    )
     match.add_argument("--json", action="store_true", help="machine-readable output")
     match.add_argument(
         "--report", metavar="PATH", default=None,
@@ -272,6 +308,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable library logging to stderr at this level",
     )
+
+    stats = commands.add_parser(
+        "stats", help="compute a log's Definition-1 statistics (no matching)"
+    )
+    stats.add_argument("log", help="event log (.xes or .csv)")
+    stats.add_argument("--format", choices=("auto", "xes", "csv"), default="auto")
+    stats.add_argument(
+        "--on-error", choices=("raise", "skip", "repair"), default="raise",
+        help="ingestion fault mode (same semantics as match)",
+    )
+    stats.add_argument(
+        "--shard-traces", type=int, default=None, metavar="N",
+        help="ingest out-of-core in blocks of N traces",
+    )
+    stats.add_argument(
+        "--parallel-ingest", type=int, default=None, metavar="N",
+        help="count ingestion shards in N supervised worker processes",
+    )
+    stats.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persistent SQLite log store (see match --store)",
+    )
+    stats.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="activities/pairs shown in the text output (default: 10)",
+    )
+    stats.add_argument("--json", action="store_true", help="machine-readable output")
+    stats.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's metrics in Prometheus text exposition format",
+    )
+    stats.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="enable library logging to stderr at this level",
+    )
+    stats.set_defaults(trace_out=None, manifest_out=None)
     return parser
 
 
@@ -307,8 +381,18 @@ def _archive_rejected_file(archive, path: str, error: Exception) -> None:
     )
 
 
+def _wants_scale_pipeline(arguments: argparse.Namespace) -> bool:
+    return (
+        arguments.shard_traces is not None
+        or arguments.parallel_ingest is not None
+        or arguments.store is not None
+    )
+
+
 def run_match(arguments: argparse.Namespace) -> int:
     observer = _build_observer(arguments)
+    if _wants_scale_pipeline(arguments):
+        return _run_match_scaled(arguments, observer)
     ingestion_first = IngestionReport(
         source=arguments.log_first, mode=arguments.on_error
     )
@@ -360,12 +444,190 @@ def run_match(arguments: argparse.Namespace) -> int:
     )
 
 
-def _execute_match(
-    arguments: argparse.Namespace,
-    observer: Observer,
-    log_first: EventLog,
-    log_second: EventLog,
-):
+def _scale_options(
+    arguments: argparse.Namespace, observer: Observer
+) -> tuple[int | None, int, LogStore | None]:
+    """Validated (shard_traces, workers, store) of the scale flags."""
+    shard_traces = arguments.shard_traces
+    if shard_traces is not None and shard_traces < 1:
+        raise ReproError(f"--shard-traces must be >= 1, got {shard_traces}")
+    workers = (
+        arguments.parallel_ingest if arguments.parallel_ingest is not None else 0
+    )
+    if workers < 0:
+        raise ReproError(f"--parallel-ingest must be >= 0, got {workers}")
+    if workers > 1 and shard_traces is None:
+        shard_traces = DEFAULT_BLOCK_TRACES  # parallel counting needs blocks
+    store = (
+        LogStore(arguments.store, observer=observer) if arguments.store else None
+    )
+    return shard_traces, workers, store
+
+
+def _run_match_scaled(arguments: argparse.Namespace, observer: Observer) -> int:
+    """Statistics-backed matching: ingest out-of-core, match the graphs.
+
+    The logs are never materialized — each input is reduced to
+    Definition-1 statistics by the :mod:`repro.store` pipeline (sharded,
+    parallel, and/or store-served per the flags) and the singleton
+    matching runs on the derived dependency graphs, bit-identical to the
+    in-memory path.
+    """
+    if arguments.composite:
+        raise ReproError(
+            "--shard-traces/--parallel-ingest/--store select the "
+            "statistics-backed pipeline, which is singleton-only; "
+            "composite matching needs the full traces"
+        )
+    if arguments.report:
+        raise ReproError(
+            "--report renders the parsed logs; it cannot be combined with "
+            "the out-of-core --shard-traces/--parallel-ingest/--store path"
+        )
+    shard_traces, workers, store = _scale_options(arguments, observer)
+    retry = None
+    if arguments.max_retries is not None:
+        if arguments.max_retries < 1:
+            raise ReproError(
+                f"--max-retries must be >= 1, got {arguments.max_retries}"
+            )
+        retry = RetryPolicy(max_attempts=arguments.max_retries)
+    config, label_similarity, budget, degradation = _match_setup(arguments)
+
+    ingestion_first = IngestionReport(
+        source=arguments.log_first, mode=arguments.on_error
+    )
+    ingestion_second = IngestionReport(
+        source=arguments.log_second, mode=arguments.on_error
+    )
+    archive = None
+    if arguments.dead_letter_dir:
+        archive = DeadLetterArchive(arguments.dead_letter_dir, observer=observer)
+        ingestion_first.archive = archive
+        ingestion_second.archive = archive
+
+    graphs = []
+    results = []
+    with observer.span("match") as root_span:
+        for path, report in (
+            (arguments.log_first, ingestion_first),
+            (arguments.log_second, ingestion_second),
+        ):
+            with observer.span("ingest.pipeline", source=path):
+                try:
+                    graph, result = ingest_graph(
+                        path, arguments.format, arguments.on_error, report,
+                        shard_traces=shard_traces, workers=workers,
+                        store=store, policy=retry,
+                        task_timeout=arguments.task_timeout,
+                        observer=observer,
+                    )
+                except LogFormatError as error:
+                    _archive_rejected_file(archive, path, error)
+                    raise
+            graphs.append(graph)
+            results.append(result)
+            observer.info(
+                "ingested %s via %s (%d traces, %d shards)",
+                path, result.mode, result.statistics.trace_count, result.shards,
+            )
+        matcher = EMSMatcher(
+            config, label_similarity, threshold=arguments.threshold,
+            budget=budget, degradation=degradation, observer=observer,
+        )
+        outcome = matcher.match_graphs(graphs[0], graphs[1])
+        root_span.attributes["objective"] = outcome.objective
+        root_span.attributes["correspondences"] = len(outcome.correspondences)
+    if store is not None:
+        store.close()
+    _write_observability_outputs(arguments, observer, config, outcome)
+    names = (
+        _NamedInput(results[0].log_name, results[0]),
+        _NamedInput(results[1].log_name, results[1]),
+    )
+    return _render_match_output(
+        arguments, outcome, matcher,
+        names[0], names[1], ingestion_first, ingestion_second,
+    )
+
+
+class _NamedInput:
+    """Stand-in for an :class:`EventLog` in output rendering.
+
+    The scaled path never builds logs; rendering only needs a name (and
+    the ingest provenance for the JSON payload).
+    """
+
+    __slots__ = ("name", "ingest")
+
+    def __init__(self, name: str, ingest):
+        self.name = name
+        self.ingest = ingest
+
+
+def run_stats(arguments: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: ingest one log, print its statistics."""
+    observer = _build_observer(arguments)
+    if arguments.top < 0:
+        raise ReproError(f"--top must be >= 0, got {arguments.top}")
+    shard_traces, workers, store = _scale_options(arguments, observer)
+    report = IngestionReport(source=arguments.log, mode=arguments.on_error)
+    with observer.span("stats", source=arguments.log):
+        result = ingest_statistics(
+            arguments.log, arguments.format, arguments.on_error, report,
+            shard_traces=shard_traces, workers=workers, store=store,
+            observer=observer,
+        )
+    if store is not None:
+        store.close()
+    if arguments.metrics_out:
+        Path(arguments.metrics_out).write_text(
+            observer.metrics.to_prometheus_text()
+        )
+    statistics = result.statistics
+    if arguments.json:
+        payload = {
+            "log": result.log_name,
+            "mode": result.mode,
+            "shards": result.shards,
+            "trace_count": statistics.trace_count,
+            "activities": len(statistics.activity_frequencies),
+            "pairs": len(statistics.pair_frequencies),
+            "activity_frequencies": dict(
+                sorted(statistics.activity_frequencies.items())
+            ),
+            "pair_frequencies": {
+                f"{source}->{target}": freq
+                for (source, target), freq in sorted(
+                    statistics.pair_frequencies.items()
+                )
+            },
+            "ingestion": report.to_dict(),
+        }
+        json.dump(payload, sys.stdout, indent=2, ensure_ascii=False)
+        print()
+        return 0
+    print(
+        f"{result.log_name}: {statistics.trace_count} traces, "
+        f"{len(statistics.activity_frequencies)} activities, "
+        f"{len(statistics.pair_frequencies)} dependency pairs "
+        f"[{result.mode}"
+        + (f", {result.shards} shards]" if result.shards else "]")
+    )
+    ranked = sorted(
+        statistics.activity_frequencies.items(), key=lambda item: (-item[1], item[0])
+    )
+    for activity, freq in ranked[: arguments.top]:
+        print(f"  {activity}: {freq:.3f}")
+    if len(ranked) > arguments.top:
+        print(f"  ... and {len(ranked) - arguments.top} more")
+    if not report.clean or report.fallback_cases:
+        print(f"  note: {report.describe()}", file=sys.stderr)
+    return 0
+
+
+def _match_setup(arguments: argparse.Namespace):
+    """The config, label similarity, budget and degradation of a run."""
     label_similarity = QGramCosineSimilarity() if arguments.labels else None
     alpha = arguments.alpha
     if alpha is None:
@@ -391,6 +653,16 @@ def _execute_match(
     degradation = (
         DegradationPolicy.none() if arguments.no_degrade else DegradationPolicy()
     )
+    return config, label_similarity, budget, degradation
+
+
+def _execute_match(
+    arguments: argparse.Namespace,
+    observer: Observer,
+    log_first: EventLog,
+    log_second: EventLog,
+):
+    config, label_similarity, budget, degradation = _match_setup(arguments)
 
     if arguments.workers < 0:
         raise ReproError(f"--workers must be >= 0, got {arguments.workers}")
@@ -570,6 +842,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if arguments.command == "match":
             return run_match(arguments)
+        if arguments.command == "stats":
+            return run_stats(arguments)
         raise SystemExit(f"unknown command {arguments.command!r}")
     except BudgetExhausted as error:
         print(f"error: {error} (degradation disabled)", file=sys.stderr)

@@ -99,5 +99,32 @@ class SearchBudgetExceeded(MatchingError):
     """
 
 
+class ShardIngestionError(ReproError):
+    """A sharded ingestion could not count every shard.
+
+    Statistics are sums over *all* traces, so a shard that keeps failing
+    cannot be quarantined-and-skipped the way a poison composite
+    candidate can — dropping it would silently bias every frequency.
+    The sharded pipeline therefore converts a quarantined shard into
+    this error (carrying the shard's provenance) instead of returning
+    partial counts: a loud failure, never a wrong answer.
+    """
+
+    def __init__(self, message: str, *, shard: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts
+
+
+class StoreError(ReproError):
+    """The persistent log store could not complete a request.
+
+    Raised only for caller errors (an invalid path, an unwritable
+    directory at construction time); *corruption* of an existing store
+    never raises — it degrades to a logged cold path (see
+    :mod:`repro.store.logstore`).
+    """
+
+
 class SynthesisError(ReproError):
     """A synthetic workload could not be generated as requested."""

@@ -11,7 +11,7 @@ can be refreshed incrementally without retaining the raw log.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.exceptions import EventLogError
 from repro.logs.events import Trace
@@ -33,32 +33,96 @@ class OnlineStatistics:
     def trace_count(self) -> int:
         return self._trace_count
 
-    def add_trace(self, trace: Trace | Iterable[str]) -> None:
-        """Ingest one completed trace."""
-        if not isinstance(trace, Trace):
-            trace = Trace(trace)
-        if len(trace) == 0:
+    @property
+    def activity_counts(self) -> Counter[str]:
+        """Raw per-activity trace counts (treat as read-only)."""
+        return self._activity_counts
+
+    @property
+    def pair_counts(self) -> Counter[tuple[str, str]]:
+        """Raw per-pair trace counts (treat as read-only)."""
+        return self._pair_counts
+
+    def add_sequence(self, activities: Sequence[str]) -> None:
+        """Ingest one completed trace given only its activity sequence.
+
+        The counter updates are exactly those of :meth:`add_trace` — the
+        sharded ingestion pipeline uses this to count spilled trace
+        blocks without rebuilding :class:`~repro.logs.events.Event`
+        objects, and the differential suites hold the two entry points
+        to identical statistics.
+        """
+        sequence = tuple(activities)
+        if not sequence:
             raise EventLogError("empty traces carry no information")
-        if RESERVED_ACTIVITY in trace.distinct_activities():
+        distinct = frozenset(sequence)
+        if RESERVED_ACTIVITY in distinct:
             raise EventLogError(
                 f"activity name {RESERVED_ACTIVITY!r} is reserved"
             )
         self._trace_count += 1
-        self._activity_counts.update(trace.distinct_activities())
-        self._pair_counts.update(set(trace.pairs()))
+        self._activity_counts.update(distinct)
+        self._pair_counts.update(set(zip(sequence, sequence[1:])))
+
+    def add_trace(self, trace: Trace | Iterable[str]) -> None:
+        """Ingest one completed trace."""
+        if isinstance(trace, Trace):
+            self.add_sequence(trace.activities)
+        else:
+            self.add_sequence(tuple(trace))
 
     def add_log(self, log: EventLog) -> None:
         """Ingest every trace of *log*."""
         for trace in log:
             self.add_trace(trace)
 
+    def seed_counts(
+        self,
+        trace_count: int,
+        activity_counts: Counter[str] | dict[str, int],
+        pair_counts: Counter[tuple[str, str]] | dict[tuple[str, str], int],
+    ) -> None:
+        """Install previously computed raw counts (store restore path).
+
+        The accumulator must be empty; the caller vouches that the counts
+        came from a real trace population (the persistent
+        :class:`~repro.store.LogStore` digest-verifies them on load).
+        """
+        if self._trace_count:
+            raise EventLogError("cannot seed a non-empty accumulator")
+        if trace_count < 0:
+            raise EventLogError(f"trace_count must be >= 0, got {trace_count}")
+        self._trace_count = trace_count
+        self._activity_counts = Counter(activity_counts)
+        self._pair_counts = Counter(
+            {tuple(pair): count for pair, count in dict(pair_counts).items()}
+        )
+
     def merge(self, other: "OnlineStatistics") -> "OnlineStatistics":
-        """Combine two accumulators (e.g. from parallel shards)."""
+        """Combine two accumulators (e.g. from parallel shards).
+
+        Pure: both inputs are left untouched.  An N-way reduce through
+        this method allocates fresh counters at every step; use
+        :meth:`merge_into` when folding many shards into one accumulator.
+        """
         merged = OnlineStatistics()
         merged._trace_count = self._trace_count + other._trace_count
         merged._activity_counts = self._activity_counts + other._activity_counts
         merged._pair_counts = self._pair_counts + other._pair_counts
         return merged
+
+    def merge_into(self, other: "OnlineStatistics") -> None:
+        """Fold this accumulator's counts into *other*, in place.
+
+        The destructive counterpart of :meth:`merge`: ``other`` absorbs
+        ``self`` without allocating fresh counters, so an N-shard reduce
+        is O(touched keys) per shard instead of O(N · vocabulary)
+        allocations.  ``self`` is left untouched; after the call
+        ``other`` equals ``other.merge(self)`` key for key.
+        """
+        other._trace_count += self._trace_count
+        other._activity_counts.update(self._activity_counts)
+        other._pair_counts.update(self._pair_counts)
 
     def snapshot(self) -> LogStatistics:
         """The statistics of everything ingested so far."""

@@ -8,12 +8,17 @@ mining tools — logs written here load in ProM/pm4py and vice versa for
 logs using only these elements.
 
 :func:`read_xes` supports the same ``on_error="raise"|"skip"|"repair"``
-fault modes as the CSV reader.  In the non-raising modes a *truncated*
-document (the classic failure of an interrupted export) is salvaged with
-an incremental parser: every trace completed before the break is loaded,
-and the truncation is recorded in the
-:class:`~repro.runtime.IngestionReport`.  Event-level faults (missing
-``concept:name``, malformed timestamps) are dropped or repaired per mode.
+fault modes as the CSV reader.  Parsing is streaming end to end: the
+document is walked with :func:`xml.etree.ElementTree.iterparse` and each
+``<trace>`` element is released as soon as it has been converted, so
+memory is O(largest trace), not O(document).  Expat defers end-of-input
+errors until the stream is exhausted, which makes truncation salvage
+(the classic failure of an interrupted export) fall out of the same
+single pass: every trace completed before the break has already been
+yielded when the parse error surfaces, and in the non-raising modes the
+truncation is recorded in the :class:`~repro.runtime.IngestionReport`
+instead of raised.  Event-level faults (missing ``concept:name``,
+malformed timestamps) are dropped or repaired per mode.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from __future__ import annotations
 import os
 import xml.etree.ElementTree as ET
 from datetime import datetime, timezone
-from typing import IO
+from typing import IO, Callable, Iterator
 
 from repro.exceptions import LogFormatError
 from repro.logs.events import Event, Trace
@@ -84,6 +89,93 @@ def _local(tag_name: str) -> str:
     return tag_name.rsplit("}", 1)[-1]
 
 
+def iter_xes_traces(
+    source: str | os.PathLike[str] | IO[bytes],
+    on_error: str = "raise",
+    report: IngestionReport | None = None,
+    name_sink: Callable[[str], None] | None = None,
+) -> Iterator[Trace]:
+    """Stream the traces of an XES document one at a time.
+
+    The out-of-core entry point: traces are yielded as their ``</trace>``
+    closes and the consumed subtree is cleared from the in-progress tree,
+    so memory stays O(largest trace) no matter how large the document is.
+    *name_sink* (if given) receives each ``concept:name`` value found at
+    log level — the last call carries the log's name, exactly the value
+    the batch reader would have used.
+
+    Fault modes match :func:`read_xes`: under ``on_error="raise"`` a
+    malformed document aborts with a :class:`LogFormatError`; otherwise
+    every trace completed before the defect is yielded and the break is
+    recorded as a truncation in *report*.  A root element other than
+    ``<log>`` always raises.
+    """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
+    if report is None:
+        report = IngestionReport(mode=on_error)
+    if isinstance(source, (str, os.PathLike)) and not report.source:
+        report.source = os.fspath(source)
+    return _iter_traces(source, on_error, report, name_sink)
+
+
+def _iter_traces(
+    source: str | os.PathLike[str] | IO[bytes],
+    on_error: str,
+    report: IngestionReport,
+    name_sink: Callable[[str], None] | None,
+) -> Iterator[Trace]:
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "rb") as handle:
+            yield from _iter_stream(handle, on_error, report, name_sink)
+    else:
+        yield from _iter_stream(source, on_error, report, name_sink)
+
+
+def _iter_stream(
+    handle: IO[bytes],
+    on_error: str,
+    report: IngestionReport,
+    name_sink: Callable[[str], None] | None,
+) -> Iterator[Trace]:
+    root: ET.Element | None = None
+    depth = 0
+    trace_index = 0
+    try:
+        for kind, element in ET.iterparse(handle, events=("start", "end")):
+            if kind == "start":
+                if root is None:
+                    root = element
+                    if _local(element.tag) != "log":  # tolerate a default namespace
+                        raise LogFormatError(
+                            f"expected a <log> root element, found <{element.tag}>"
+                        )
+                depth += 1
+                continue
+            depth -= 1
+            if depth != 1:
+                continue  # only direct children of <log>
+            tag = _local(element.tag)
+            if tag == "trace":
+                trace = _parse_trace(element, trace_index, on_error, report)
+                trace_index += 1
+                if trace is not None:
+                    yield trace
+            elif tag == "string" and element.get("key") == _CONCEPT_NAME:
+                if name_sink is not None:
+                    name_sink(element.get("value", "log"))
+            # Release the consumed subtree: this is what bounds memory.
+            assert root is not None
+            root.clear()
+    except ET.ParseError as exc:
+        # Expat defers end-of-input errors until the stream runs dry, so
+        # every trace that closed before the defect was already yielded —
+        # the salvage semantics fall out of the single streaming pass.
+        if on_error == "raise":
+            raise LogFormatError(f"malformed XES document: {exc}") from exc
+        report.record_truncation(str(exc))
+
+
 def read_xes(
     source: str | os.PathLike[str] | IO[bytes],
     on_error: str = "raise",
@@ -95,87 +187,13 @@ def read_xes(
     :class:`~repro.runtime.IngestionReport` to receive the accounting of
     dropped/repaired events and of a salvaged truncation.
     """
-    if on_error not in ON_ERROR_MODES:
-        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
-    if report is None:
-        report = IngestionReport(mode=on_error)
-    if isinstance(source, (str, os.PathLike)) and not report.source:
-        report.source = os.fspath(source)
-    try:
-        tree = ET.parse(source)
-    except ET.ParseError as exc:
-        if on_error == "raise":
-            raise LogFormatError(f"malformed XES document: {exc}") from exc
-        return _salvage_xes(source, exc, on_error, report)
-    root = tree.getroot()
-    tag = _local(root.tag)  # tolerate a default namespace
-    if tag != "log":
-        raise LogFormatError(f"expected a <log> root element, found <{root.tag}>")
+    log = EventLog(name="log")
 
-    log_name = "log"
-    for child in root:
-        if _local(child.tag) == "string" and child.get("key") == _CONCEPT_NAME:
-            log_name = child.get("value", "log")
-    log = EventLog(name=log_name)
-    for trace_index, trace_el in enumerate(root):
-        if _local(trace_el.tag) != "trace":
-            continue
-        trace = _parse_trace(trace_el, trace_index, on_error, report)
-        if trace is not None:
-            log.append(trace)
-    return log
+    def name_sink(value: str) -> None:
+        log.name = value
 
-
-def _salvage_xes(
-    source: str | os.PathLike[str] | IO[bytes],
-    error: ET.ParseError,
-    on_error: str,
-    report: IngestionReport,
-) -> EventLog:
-    """Recover every complete trace of a malformed/truncated document.
-
-    Feeds the raw bytes to an incremental pull parser and keeps each
-    ``<trace>`` element that closed before the parse error; the error
-    itself is recorded as a truncation in the report.
-    """
-    if isinstance(source, (str, os.PathLike)):
-        with open(source, "rb") as handle:
-            data = handle.read()
-    else:
-        source.seek(0)
-        data = source.read()
-
-    parser = ET.XMLPullParser(events=("start", "end"))
-    log_name = "log"
-    traces: list[ET.Element] = []
-    depth = 0
-    try:
-        parser.feed(data)
-        for kind, element in parser.read_events():
-            if kind == "start":
-                depth += 1
-                continue
-            depth -= 1
-            if depth != 1:
-                continue  # only direct children of <log>
-            if _local(element.tag) == "trace":
-                traces.append(element)
-            elif (
-                _local(element.tag) == "string"
-                and element.get("key") == _CONCEPT_NAME
-            ):
-                log_name = element.get("value", "log")
-    except ET.ParseError as exc:
-        # Everything parsed before the break has already been yielded.
-        report.record_truncation(str(exc))
-    else:
-        report.record_truncation(str(error))
-
-    log = EventLog(name=log_name)
-    for trace_index, trace_el in enumerate(traces):
-        trace = _parse_trace(trace_el, trace_index, on_error, report)
-        if trace is not None:
-            log.append(trace)
+    for trace in iter_xes_traces(source, on_error, report, name_sink):
+        log.append(trace)
     return log
 
 

@@ -27,6 +27,7 @@ from repro.core.config import EMSConfig
 from repro.core.ems import EMSEngine
 from repro.graph.dependency import DependencyGraph
 from repro.logs.log import EventLog
+from repro.logs.stats import LogStatistics
 from repro.matching.assignment import max_weight_assignment
 from repro.matching.evaluation import Correspondence
 from repro.obs import NULL_OBSERVER, Observer
@@ -116,6 +117,44 @@ class EMSMatcher(EventMatcher):
         )
         return pairs_to_outcome(evaluation, members_first, members_second, runtime)
 
+    def match_statistics(
+        self, stats_first: LogStatistics, stats_second: LogStatistics,
+        name_first: str = "log_first", name_second: str = "log_second",
+    ) -> MatchOutcome:
+        """Match from precomputed :class:`LogStatistics`, logs unseen.
+
+        The out-of-core entry point: the sharded/store-backed ingestion
+        pipeline (:mod:`repro.store`) reduces each input to statistics
+        without ever materializing an :class:`EventLog`, and this method
+        completes the matching from there.  Statistics determine the
+        dependency graphs exactly (Definition 1), so the outcome is
+        bit-identical to :meth:`match` on the equivalent logs.
+        """
+        obs = self.observer
+        with obs.span("graph.build", activities=len(stats_first.activity_frequencies)):
+            graph_first = DependencyGraph.from_statistics(
+                stats_first, name=name_first,
+                min_frequency=self.min_edge_frequency,
+            )
+        with obs.span("graph.build", activities=len(stats_second.activity_frequencies)):
+            graph_second = DependencyGraph.from_statistics(
+                stats_second, name=name_second,
+                min_frequency=self.min_edge_frequency,
+            )
+        return self.match_graphs(graph_first, graph_second)
+
+    def match_graphs(
+        self, graph_first: DependencyGraph, graph_second: DependencyGraph
+    ) -> MatchOutcome:
+        """Match two already-built dependency graphs (1:1 events)."""
+        members_first = {node: frozenset({node}) for node in graph_first.nodes}
+        members_second = {node: frozenset({node}) for node in graph_second.nodes}
+        evaluation, runtime = self._evaluate_graphs(
+            graph_first, graph_second, members_first, members_second,
+            started=self.observer.clock(),
+        )
+        return pairs_to_outcome(evaluation, members_first, members_second, runtime)
+
     def _evaluate_with_runtime(
         self,
         log_first: EventLog,
@@ -133,6 +172,21 @@ class EMSMatcher(EventMatcher):
             graph_second = DependencyGraph.from_log(
                 log_second, min_frequency=self.min_edge_frequency, members=members_second
             )
+        return self._evaluate_graphs(
+            graph_first, graph_second, members_first, members_second,
+            started=started,
+        )
+
+    def _evaluate_graphs(
+        self,
+        graph_first: DependencyGraph,
+        graph_second: DependencyGraph,
+        members_first: Mapping[str, frozenset[str]],
+        members_second: Mapping[str, frozenset[str]],
+        *,
+        started: float,
+    ) -> tuple[Evaluation, RuntimeReport]:
+        obs = self.observer
         label: LabelSimilarity = self.label_similarity
         if not isinstance(label, OpaqueSimilarity) and self.config.alpha < 1.0:
             label = CompositeAwareSimilarity(

@@ -1,0 +1,56 @@
+"""Sharded, out-of-core ingestion and the persistent log store.
+
+The scale layer of the pipeline (see ``docs/scale.md``): streaming
+trace ingestion with spill-to-disk blocks
+(:mod:`~repro.store.blocks`, :mod:`~repro.store.sharding`), parallel
+per-shard statistics over the supervised worker pool, and a SQLite
+:class:`LogStore` that memoizes content-addressed counts and dependency
+graphs across runs (:mod:`~repro.store.logstore`).
+:func:`ingest_statistics` / :func:`ingest_graph`
+(:mod:`~repro.store.pipeline`) tie the routes together and always yield
+results bit-identical to the batch path.
+"""
+
+from repro.store.blocks import (
+    DEFAULT_BLOCK_TRACES,
+    TraceBlockWriter,
+    iter_block,
+)
+from repro.store.logstore import (
+    LogStore,
+    case_digest,
+    counts_content_key,
+    file_digest,
+    graph_content_key,
+    ingest_key,
+)
+from repro.store.pipeline import IngestResult, ingest_graph, ingest_statistics
+from repro.store.sharding import (
+    DEFAULT_PARTITIONS,
+    partition_csv,
+    resolve_format,
+    shard_statistics,
+    spill_blocks,
+    stream_traces,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_TRACES",
+    "DEFAULT_PARTITIONS",
+    "IngestResult",
+    "LogStore",
+    "TraceBlockWriter",
+    "case_digest",
+    "counts_content_key",
+    "file_digest",
+    "graph_content_key",
+    "ingest_graph",
+    "ingest_key",
+    "ingest_statistics",
+    "iter_block",
+    "partition_csv",
+    "resolve_format",
+    "shard_statistics",
+    "spill_blocks",
+    "stream_traces",
+]

@@ -1,0 +1,426 @@
+"""Persistent, content-addressed store of log-derived results (SQLite).
+
+Parsing and counting dominate the cost of re-matching a log that has not
+changed — and production logs are re-matched constantly (nightly jobs,
+config sweeps, appended extracts).  The :class:`LogStore` memoizes the
+two derived artifacts the pipeline needs, keyed so a hit is *provably*
+the same computation:
+
+* **raw counts** (trace count, per-activity and per-pair trace counts,
+  plus compact per-case digests) under
+  :func:`counts_content_key` — a SHA-256 over the input file's content
+  digest and the parse mode.  Counts, not frequencies, are stored: exact
+  integers merge losslessly with an appended tail, while floats do not.
+* **dependency graphs** under :func:`graph_content_key`, which extends
+  the counts key with the graph parameters (``min_frequency``), so a
+  Figure-7 sweep over thresholds shares one counts row.
+
+An ``ingests`` table additionally remembers, per source path, how many
+bytes were ingested and their prefix digest — the *append fast path*:
+when a CSV grows, the stored counts are reused and only the tail is
+parsed, provided the old prefix is byte-identical and the tail's cases
+are disjoint from the stored case-digest set (otherwise the store falls
+back to a cold full parse; correctness is never traded for the
+shortcut).
+
+Durability follows the evalcache/checkpoint playbook: every row embeds
+the SHA-256 of its payload and is re-verified on load — a torn or
+bit-flipped row is deleted, counted (``store_corrupt_total``) and
+answered with a miss; a database SQLite itself rejects is renamed aside
+and recreated empty.  Corruption therefore always degrades to a logged
+cold path, never a wrong answer and never a crash.  Tables are
+LRU-bounded by a ``last_used`` column (hits touch their row), with
+evictions counted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import StoreError
+from repro.graph.dependency import DependencyGraph
+from repro.obs import NULL_OBSERVER, Observer, get_logger
+
+_logger = get_logger(__name__)
+
+#: Bump when the row payload schema changes: a version-mismatched store
+#: is renamed aside and rebuilt rather than misread.
+_SCHEMA_VERSION = 1
+
+_TABLES = ("counts", "graphs")
+
+
+def file_digest(path: str | os.PathLike[str], limit: int | None = None) -> str:
+    """SHA-256 of a file's first *limit* bytes (all of them when ``None``).
+
+    Streams in 1 MiB chunks, so hashing never materializes the file —
+    the whole point of the out-of-core pipeline.
+    """
+    digest = hashlib.sha256()
+    remaining = limit
+    with open(path, "rb") as handle:
+        while True:
+            size = 1 << 20 if remaining is None else min(1 << 20, remaining)
+            if size == 0:
+                break
+            chunk = handle.read(size)
+            if not chunk:
+                break
+            digest.update(chunk)
+            if remaining is not None:
+                remaining -= len(chunk)
+    return digest.hexdigest()
+
+
+def case_digest(case_id: str | None) -> bytes:
+    """Compact (8-byte) digest of one case id for disjointness checks."""
+    data = b"\x00" if case_id is None else case_id.encode("utf-8")
+    return hashlib.blake2b(data, digest_size=8).digest()
+
+
+def counts_content_key(content_digest: str, fmt: str, on_error: str) -> str:
+    """Content key of one (file content, format, parse mode) ingestion."""
+    return hashlib.sha256(
+        json.dumps([content_digest, fmt, on_error], separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def graph_content_key(counts_key: str, min_frequency: float) -> str:
+    """Content key of a dependency graph derived from stored counts.
+
+    ``repr(min_frequency)`` round-trips the float exactly, so equal
+    thresholds — and only equal thresholds — share a graph row.
+    """
+    return hashlib.sha256(
+        json.dumps([counts_key, repr(min_frequency)], separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def ingest_key(source: str | os.PathLike[str], fmt: str, on_error: str) -> str:
+    """Key of the per-path append bookkeeping row."""
+    resolved = os.fspath(Path(source).resolve())
+    return hashlib.sha256(
+        json.dumps([resolved, fmt, on_error], separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+class LogStore:
+    """One SQLite database of content-keyed counts, graphs and ingests.
+
+    Parameters
+    ----------
+    path:
+        The database file (created, with parents, on first use).
+    max_entries:
+        LRU bound per table (``counts`` and ``graphs`` each); ``None``
+        disables eviction.  The ``ingests`` table is one small row per
+        source path and is not bounded.
+    observer:
+        Metric sink for ``store_{hits,misses,evictions,corrupt}_total``
+        and the ``store.{get,put}`` spans.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        max_entries: int | None = 1024,
+        observer: Observer | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise StoreError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.path = Path(path)
+        self.max_entries = max_entries
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.hits = 0
+        self.misses = 0
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise StoreError(f"cannot create store directory: {error}") from error
+        self._connection: sqlite3.Connection | None = None
+        self._connect()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle and corruption quarantine
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        try:
+            connection = sqlite3.connect(self.path)
+            version = connection.execute("PRAGMA user_version").fetchone()[0]
+            if version not in (0, _SCHEMA_VERSION):
+                connection.close()
+                self._set_aside(f"schema version {version} is not {_SCHEMA_VERSION}")
+                connection = sqlite3.connect(self.path)
+            connection.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+            for table in _TABLES:
+                connection.execute(
+                    f"CREATE TABLE IF NOT EXISTS {table} ("
+                    "  key TEXT PRIMARY KEY,"
+                    "  payload BLOB NOT NULL,"
+                    "  digest TEXT NOT NULL,"
+                    "  created REAL NOT NULL,"
+                    "  last_used REAL NOT NULL"
+                    ")"
+                )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS ingests ("
+                "  key TEXT PRIMARY KEY,"
+                "  byte_count INTEGER NOT NULL,"
+                "  prefix_digest TEXT NOT NULL,"
+                "  header TEXT NOT NULL,"
+                "  counts_key TEXT NOT NULL"
+                ")"
+            )
+            connection.commit()
+        except sqlite3.DatabaseError as error:
+            # Not a SQLite file at all, or damaged beyond opening: set it
+            # aside and start empty — a cold store, not a crash.
+            self._set_aside(str(error))
+            connection = sqlite3.connect(self.path)
+            connection.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+            for table in _TABLES:
+                connection.execute(
+                    f"CREATE TABLE IF NOT EXISTS {table} ("
+                    "  key TEXT PRIMARY KEY, payload BLOB NOT NULL,"
+                    "  digest TEXT NOT NULL, created REAL NOT NULL,"
+                    "  last_used REAL NOT NULL)"
+                )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS ingests ("
+                "  key TEXT PRIMARY KEY, byte_count INTEGER NOT NULL,"
+                "  prefix_digest TEXT NOT NULL, header TEXT NOT NULL,"
+                "  counts_key TEXT NOT NULL)"
+            )
+            connection.commit()
+        self._connection = connection
+
+    def _set_aside(self, reason: str) -> None:
+        """Rename an unusable database out of the way (best effort)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = None
+        aside = self.path.with_name(self.path.name + ".corrupt")
+        _logger.warning(
+            "log store %s is unusable (%s); renaming to %s and starting cold",
+            self.path, reason, aside,
+        )
+        self.observer.count(
+            "store_corrupt_total",
+            help="store rows or databases rejected at load time (cold path)",
+        )
+        try:
+            os.replace(self.path, aside)
+        except OSError:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def _execute(self, *args) -> sqlite3.Cursor | None:
+        """Run one statement; database-level corruption degrades to None."""
+        if self._connection is None:
+            self._connect()
+        try:
+            assert self._connection is not None
+            return self._connection.execute(*args)
+        except sqlite3.DatabaseError as error:
+            self._set_aside(str(error))
+            self._connect()
+            return None
+
+    def _commit(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.commit()
+            except sqlite3.DatabaseError as error:
+                self._set_aside(str(error))
+                self._connect()
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    # ------------------------------------------------------------------
+    # Generic verified rows
+    # ------------------------------------------------------------------
+    def _miss(self) -> None:
+        self.misses += 1
+        self.observer.count(
+            "store_misses_total",
+            help="log-store lookups that fell through to a cold computation",
+        )
+
+    def _hit(self) -> None:
+        self.hits += 1
+        self.observer.count(
+            "store_hits_total",
+            help="log-store lookups served from persisted results",
+        )
+
+    def _get(self, table: str, key: str) -> Any | None:
+        with self.observer.span("store.get", table=table):
+            cursor = self._execute(
+                f"SELECT payload, digest FROM {table} WHERE key = ?", (key,)
+            )
+            row = cursor.fetchone() if cursor is not None else None
+            if row is None:
+                self._miss()
+                return None
+            payload, digest = row
+            value = None
+            reason = None
+            if hashlib.sha256(payload).hexdigest() != digest:
+                reason = "payload digest mismatch (corrupt or torn row)"
+            else:
+                try:
+                    value = pickle.loads(payload)
+                except Exception as error:
+                    reason = f"unreadable payload ({error})"
+            if value is None:
+                _logger.warning(
+                    "ignoring store row %s/%s...: %s; computing cold",
+                    table, key[:12], reason,
+                )
+                self.observer.count(
+                    "store_corrupt_total",
+                    help="store rows or databases rejected at load time (cold path)",
+                )
+                self._execute(f"DELETE FROM {table} WHERE key = ?", (key,))
+                self._commit()
+                self._miss()
+                return None
+            self._execute(
+                f"UPDATE {table} SET last_used = ? WHERE key = ?",
+                (time.time(), key),
+            )
+            self._commit()
+            self._hit()
+            return value
+
+    def _put(self, table: str, key: str, value: Any) -> None:
+        with self.observer.span("store.put", table=table):
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).hexdigest()
+            now = time.time()
+            self._execute(
+                f"INSERT OR REPLACE INTO {table} "
+                "(key, payload, digest, created, last_used) VALUES (?, ?, ?, ?, ?)",
+                (key, payload, digest, now, now),
+            )
+            self._evict(table)
+            self._commit()
+
+    def _evict(self, table: str) -> None:
+        if self.max_entries is None:
+            return
+        cursor = self._execute(f"SELECT COUNT(*) FROM {table}")
+        if cursor is None:
+            return
+        excess = cursor.fetchone()[0] - self.max_entries
+        if excess <= 0:
+            return
+        self._execute(
+            f"DELETE FROM {table} WHERE key IN ("
+            f"  SELECT key FROM {table} ORDER BY last_used ASC LIMIT ?"
+            ")",
+            (excess,),
+        )
+        self.observer.count(
+            "store_evictions_total",
+            amount=float(excess),
+            help="store rows dropped by the LRU size bound",
+        )
+
+    # ------------------------------------------------------------------
+    # Typed accessors
+    # ------------------------------------------------------------------
+    def get_counts(self, key: str) -> dict[str, Any] | None:
+        """The stored raw-count record for *key*, or ``None``.
+
+        The record is the dict :meth:`put_counts` stored: ``trace_count``,
+        ``activity_counts``, ``pair_counts``, ``case_digests`` and
+        ``log_name``.  A malformed record (wrong type, missing fields) is
+        treated exactly like a corrupt row.
+        """
+        value = self._get("counts", key)
+        if value is None:
+            return None
+        required = {"trace_count", "activity_counts", "pair_counts",
+                    "case_digests", "log_name"}
+        if not isinstance(value, dict) or not required.issubset(value):
+            _logger.warning(
+                "store counts row %s... has an unexpected shape; computing cold",
+                key[:12],
+            )
+            self.observer.count("store_corrupt_total")
+            self._execute("DELETE FROM counts WHERE key = ?", (key,))
+            self._commit()
+            return None
+        return value
+
+    def put_counts(self, key: str, record: dict[str, Any]) -> None:
+        self._put("counts", key, record)
+
+    def get_graph(self, key: str) -> DependencyGraph | None:
+        value = self._get("graphs", key)
+        if value is None:
+            return None
+        if not isinstance(value, DependencyGraph):
+            _logger.warning(
+                "store graph row %s... has an unexpected shape; computing cold",
+                key[:12],
+            )
+            self.observer.count("store_corrupt_total")
+            self._execute("DELETE FROM graphs WHERE key = ?", (key,))
+            self._commit()
+            return None
+        return value
+
+    def put_graph(self, key: str, graph: DependencyGraph) -> None:
+        self._put("graphs", key, graph)
+
+    # ------------------------------------------------------------------
+    # Append bookkeeping
+    # ------------------------------------------------------------------
+    def get_ingest(self, key: str) -> dict[str, Any] | None:
+        cursor = self._execute(
+            "SELECT byte_count, prefix_digest, header, counts_key "
+            "FROM ingests WHERE key = ?",
+            (key,),
+        )
+        row = cursor.fetchone() if cursor is not None else None
+        if row is None:
+            return None
+        return {
+            "byte_count": row[0],
+            "prefix_digest": row[1],
+            "header": row[2],
+            "counts_key": row[3],
+        }
+
+    def put_ingest(
+        self,
+        key: str,
+        byte_count: int,
+        prefix_digest: str,
+        header: str,
+        counts_key: str,
+    ) -> None:
+        self._execute(
+            "INSERT OR REPLACE INTO ingests "
+            "(key, byte_count, prefix_digest, header, counts_key) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (key, byte_count, prefix_digest, header, counts_key),
+        )
+        self._commit()

@@ -1,0 +1,351 @@
+"""Ingestion orchestration: store lookup → append → sharded → streamed.
+
+:func:`ingest_statistics` is the out-of-core front door.  For one input
+file it produces the exact :class:`~repro.logs.stats.LogStatistics` the
+batch path (``read_csv``/``read_xes`` + ``compute_statistics``) would,
+choosing the cheapest sound route:
+
+1. **store hit** — the file's content digest matches a persisted counts
+   row: no parsing, no counting;
+2. **append fast path** (CSV, with a store) — the file grew but its old
+   prefix is byte-identical to what was ingested before: only the tail
+   is parsed, and its counts are merged into the stored ones.  Sound
+   only when the tail's cases are disjoint from the stored case-digest
+   set — otherwise a case's rows would be split across two parses — so
+   any overlap falls back to a cold full parse;
+3. **sharded** (``shard_traces`` set) — the trace stream is spilled into
+   bounded blocks and counted per block, optionally across the
+   supervised worker pool; peak memory is O(shard);
+4. **streamed** — the trace stream feeds one accumulator directly;
+   still never materializes an :class:`~repro.logs.log.EventLog`.
+
+Every route ends in the same integer counts, so the emitted statistics
+(and any graph built from them) are bit-identical across routes — the
+property the differential and Hypothesis suites pin.
+
+The result records which route ran (``mode``) so callers — the CLI, the
+benchmarks — can assert they exercised the path they meant to.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.graph.dependency import DependencyGraph
+from repro.logs.csvio import _read_rows
+from repro.logs.stats import LogStatistics
+from repro.logs.streaming import OnlineStatistics
+from repro.obs import NULL_OBSERVER, Observer, get_logger
+from repro.runtime.report import IngestionReport
+from repro.runtime.supervise import RetryPolicy
+from repro.store.logstore import (
+    LogStore,
+    case_digest,
+    counts_content_key,
+    file_digest,
+    graph_content_key,
+    ingest_key,
+)
+from repro.store.sharding import (
+    resolve_format,
+    shard_statistics,
+    spill_blocks,
+    stream_traces,
+)
+
+_logger = get_logger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class IngestResult:
+    """What one ingestion produced and how.
+
+    ``mode`` is ``"store"`` (counts served entirely from the store),
+    ``"store-append"`` (stored prefix counts + freshly parsed tail),
+    ``"sharded"`` (spilled blocks, per-shard counting) or ``"streamed"``
+    (single-pass accumulation).  ``shards`` is the number of blocks
+    counted (0 unless sharded); ``counts_key`` the store key used, when
+    a store was attached.
+    """
+
+    statistics: LogStatistics
+    log_name: str
+    mode: str
+    shards: int = 0
+    counts_key: str | None = None
+
+
+class _NameSink:
+    __slots__ = ("value",)
+
+    def __init__(self, default: str):
+        self.value = default
+
+    def __call__(self, value: str) -> None:
+        self.value = value
+
+
+def _counts_record(
+    stats: OnlineStatistics, digests: frozenset[bytes], log_name: str
+) -> dict[str, Any]:
+    return {
+        "trace_count": stats.trace_count,
+        "activity_counts": dict(stats.activity_counts),
+        "pair_counts": dict(stats.pair_counts),
+        "case_digests": digests,
+        "log_name": log_name,
+    }
+
+
+def _seed_from_record(record: dict[str, Any]) -> OnlineStatistics:
+    stats = OnlineStatistics()
+    stats.seed_counts(
+        record["trace_count"], record["activity_counts"], record["pair_counts"]
+    )
+    return stats
+
+
+def _digesting(
+    traces: Iterator[tuple[str | None, tuple[str, ...]]],
+    sink: set[bytes],
+) -> Iterator[tuple[str | None, tuple[str, ...]]]:
+    for case_id, activities in traces:
+        sink.add(case_digest(case_id))
+        yield case_id, activities
+
+
+def _csv_header(path: str | os.PathLike[str]) -> str | None:
+    """The raw first line (terminator included), or ``None`` when the
+    file does not end in a newline — an append could then continue the
+    final row mid-field, so the append bookkeeping is skipped."""
+    with open(path, "rb") as handle:
+        header = handle.readline()
+        if not header.endswith(b"\n"):
+            return None
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) != b"\n":
+            return None
+    try:
+        return header.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+def ingest_statistics(
+    source: str | os.PathLike[str],
+    fmt: str = "auto",
+    on_error: str = "raise",
+    report: IngestionReport | None = None,
+    *,
+    shard_traces: int | None = None,
+    workers: int = 0,
+    store: LogStore | None = None,
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    observer: Observer | None = None,
+) -> IngestResult:
+    """Statistics of the log at *source*, by the cheapest sound route.
+
+    See the module docstring for route selection.  ``shard_traces`` is
+    the traces-per-block bound of the sharded route; ``workers > 1``
+    fans block counting across the supervised pool.  Note that a
+    store-served result skips parsing entirely, so *report* then
+    reflects only what was actually parsed (nothing on a full hit, the
+    tail on an append).
+    """
+    observer = observer if observer is not None else NULL_OBSERVER
+    fmt = resolve_format(source, fmt)
+    if report is None:
+        report = IngestionReport(mode=on_error)
+    if not report.source:
+        report.source = os.fspath(source)
+
+    counts_key: str | None = None
+    if store is not None:
+        content = file_digest(source)
+        counts_key = counts_content_key(content, fmt, on_error)
+        record = store.get_counts(counts_key)
+        if record is not None:
+            stats = _seed_from_record(record)
+            return IngestResult(
+                statistics=stats.snapshot(),
+                log_name=record["log_name"],
+                mode="store",
+                counts_key=counts_key,
+            )
+        appended = None
+        if fmt == "csv":
+            appended = _try_append(
+                source, on_error, report, store, counts_key, content, observer
+            )
+        if appended is not None:
+            return appended
+
+    digests: set[bytes] = set()
+    name_sink = _NameSink(Path(source).stem)
+    mode = "streamed"
+    shards = 0
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-") as scratch:
+        scratch_dir = Path(scratch)
+        traces = stream_traces(
+            source, fmt, on_error, report,
+            spill_dir=scratch_dir / "partitions",
+            name_sink=name_sink,
+        )
+        if store is not None:
+            traces = _digesting(traces, digests)
+        if shard_traces is not None:
+            if shard_traces < 1:
+                raise ValueError(f"shard_traces must be >= 1, got {shard_traces}")
+            with observer.span("ingest.spill", source=os.fspath(source)):
+                blocks = spill_blocks(
+                    traces, scratch_dir / "blocks", block_traces=shard_traces
+                )
+            shards = len(blocks)
+            stats = shard_statistics(
+                blocks, workers=workers, policy=policy,
+                task_timeout=task_timeout, observer=observer,
+            )
+            mode = "sharded"
+        else:
+            stats = OnlineStatistics()
+            with observer.span("ingest.stream", source=os.fspath(source)):
+                for _, activities in traces:
+                    stats.add_sequence(activities)
+
+    if store is not None and counts_key is not None:
+        store.put_counts(
+            counts_key, _counts_record(stats, frozenset(digests), name_sink.value)
+        )
+        if fmt == "csv":
+            header = _csv_header(source)
+            if header is not None:
+                store.put_ingest(
+                    ingest_key(source, fmt, on_error),
+                    os.path.getsize(source),
+                    content,
+                    header,
+                    counts_key,
+                )
+    return IngestResult(
+        statistics=stats.snapshot(),
+        log_name=name_sink.value,
+        mode=mode,
+        shards=shards,
+        counts_key=counts_key,
+    )
+
+
+def _try_append(
+    source: str | os.PathLike[str],
+    on_error: str,
+    report: IngestionReport,
+    store: LogStore,
+    counts_key: str,
+    content: str,
+    observer: Observer,
+) -> IngestResult | None:
+    """The CSV append fast path, or ``None`` when it cannot apply.
+
+    Every check errs toward the cold path: a shrunk or rewritten
+    prefix, a prior row whose counts were evicted, a tail that is not
+    valid UTF-8, or tail cases overlapping the stored case set all
+    return ``None`` — the caller then parses everything from scratch.
+    """
+    key = ingest_key(source, "csv", on_error)
+    prior = store.get_ingest(key)
+    if prior is None:
+        return None
+    size = os.path.getsize(source)
+    if size <= prior["byte_count"]:
+        return None
+    if file_digest(source, limit=prior["byte_count"]) != prior["prefix_digest"]:
+        return None
+    record = store.get_counts(prior["counts_key"])
+    if record is None:
+        return None
+    with open(source, "rb") as handle:
+        handle.seek(prior["byte_count"])
+        tail_bytes = handle.read()
+    try:
+        tail_text = tail_bytes.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+    with observer.span("ingest.append", source=os.fspath(source)):
+        tail_log = _read_rows(
+            io.StringIO(prior["header"] + tail_text),
+            Path(source).stem, on_error, report,
+        )
+        stored_digests: frozenset[bytes] = record["case_digests"]
+        tail_digests = {case_digest(trace.case_id) for trace in tail_log}
+        if tail_digests & stored_digests:
+            _logger.info(
+                "append fast path for %s declined: tail cases overlap the "
+                "stored prefix; re-parsing in full", os.fspath(source),
+            )
+            return None
+        tail_stats = OnlineStatistics()
+        tail_stats.add_log(tail_log)
+        total = _seed_from_record(record)
+        tail_stats.merge_into(total)
+
+    store.put_counts(
+        counts_key,
+        _counts_record(
+            total, stored_digests | tail_digests, record["log_name"]
+        ),
+    )
+    store.put_ingest(key, size, content, prior["header"], counts_key)
+    return IngestResult(
+        statistics=total.snapshot(),
+        log_name=record["log_name"],
+        mode="store-append",
+        counts_key=counts_key,
+    )
+
+
+def ingest_graph(
+    source: str | os.PathLike[str],
+    fmt: str = "auto",
+    on_error: str = "raise",
+    report: IngestionReport | None = None,
+    *,
+    min_frequency: float = 0.0,
+    shard_traces: int | None = None,
+    workers: int = 0,
+    store: LogStore | None = None,
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    observer: Observer | None = None,
+) -> tuple[DependencyGraph, IngestResult]:
+    """The dependency graph of the log at *source*, store-accelerated.
+
+    Statistics come from :func:`ingest_statistics`; the derived graph is
+    additionally memoized per ``min_frequency`` in the store's graph
+    table, so repeated matchings skip even the graph construction.
+    """
+    observer = observer if observer is not None else NULL_OBSERVER
+    result = ingest_statistics(
+        source, fmt, on_error, report,
+        shard_traces=shard_traces, workers=workers, store=store,
+        policy=policy, task_timeout=task_timeout, observer=observer,
+    )
+    graph_key = None
+    if store is not None and result.counts_key is not None:
+        graph_key = graph_content_key(result.counts_key, min_frequency)
+        graph = store.get_graph(graph_key)
+        if graph is not None:
+            return graph, result
+    with observer.span("graph.build", source=os.fspath(source)):
+        graph = DependencyGraph.from_statistics(
+            result.statistics, name=result.log_name, min_frequency=min_frequency
+        )
+    if store is not None and graph_key is not None:
+        store.put_graph(graph_key, graph)
+    return graph, result

@@ -70,6 +70,72 @@ class TestMerge:
         assert first.trace_count == 1
         assert second.trace_count == 1
 
+    def test_merge_into_equals_pure_merge(self, fig1_logs):
+        log = fig1_logs[0]
+        traces = list(log)
+        shards = [traces[:2], traces[2:5], traces[5:]]
+        pure = OnlineStatistics()
+        folded = OnlineStatistics()
+        for shard in shards:
+            accumulator = OnlineStatistics()
+            for trace in shard:
+                accumulator.add_trace(trace)
+            pure = pure.merge(accumulator)
+            accumulator.merge_into(folded)
+        assert folded.snapshot() == pure.snapshot()
+        assert folded.snapshot() == compute_statistics(log)
+
+    def test_merge_into_leaves_source_untouched(self):
+        source = OnlineStatistics()
+        source.add_trace(["a", "b"])
+        target = OnlineStatistics()
+        target.add_trace(["b", "c"])
+        source.merge_into(target)
+        assert source.trace_count == 1
+        assert dict(source.activity_counts) == {"a": 1, "b": 1}
+        assert target.trace_count == 2
+
+
+class TestSequencesAndSeeding:
+    def test_add_sequence_matches_add_trace(self, fig1_logs):
+        log = fig1_logs[0]
+        by_trace = OnlineStatistics()
+        by_sequence = OnlineStatistics()
+        for trace in log:
+            by_trace.add_trace(trace)
+            by_sequence.add_sequence(trace.activities)
+        assert by_sequence.snapshot() == by_trace.snapshot()
+
+    def test_add_sequence_counts_repeats_once_per_trace(self):
+        online = OnlineStatistics()
+        online.add_sequence(["a", "a", "b", "a"])
+        assert dict(online.activity_counts) == {"a": 1, "b": 1}
+        assert dict(online.pair_counts) == {("a", "a"): 1, ("a", "b"): 1, ("b", "a"): 1}
+
+    def test_add_sequence_validates(self):
+        with pytest.raises(EventLogError):
+            OnlineStatistics().add_sequence([])
+        with pytest.raises(EventLogError):
+            OnlineStatistics().add_sequence([RESERVED_ACTIVITY])
+
+    def test_seed_counts_round_trips(self, fig1_logs):
+        log = fig1_logs[0]
+        original = OnlineStatistics()
+        original.add_log(log)
+        restored = OnlineStatistics()
+        restored.seed_counts(
+            original.trace_count,
+            dict(original.activity_counts),
+            dict(original.pair_counts),
+        )
+        assert restored.snapshot() == original.snapshot()
+
+    def test_seed_counts_requires_empty_accumulator(self):
+        online = OnlineStatistics()
+        online.add_trace(["a"])
+        with pytest.raises(EventLogError):
+            online.seed_counts(1, {"a": 1}, {})
+
 
 class TestGraphRefresh:
     def test_snapshot_builds_identical_graph(self, fig1_logs):

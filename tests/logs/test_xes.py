@@ -7,7 +7,8 @@ import pytest
 from repro.exceptions import LogFormatError
 from repro.logs.events import Event, Trace
 from repro.logs.log import EventLog
-from repro.logs.xes import read_xes, write_xes
+from repro.logs.xes import iter_xes_traces, read_xes, write_xes
+from repro.runtime.report import IngestionReport
 
 
 def roundtrip(log: EventLog) -> EventLog:
@@ -78,3 +79,121 @@ class TestErrors:
         )
         with pytest.raises(LogFormatError):
             read_xes(io.BytesIO(document))
+
+
+def trace_xml(case_id: str, activities: tuple[str, ...]) -> bytes:
+    events = b"".join(
+        b'<event><string key="concept:name" value="%s"/></event>'
+        % activity.encode()
+        for activity in activities
+    )
+    return (
+        b'<trace><string key="concept:name" value="%s"/>%s</trace>'
+        % (case_id.encode(), events)
+    )
+
+
+class TestStreamingIterator:
+    """The iterparse-based reader streams: O(trace) memory, lazy yields."""
+
+    def test_traces_yielded_before_document_ends(self):
+        document = (
+            b"<log>"
+            + trace_xml("c0", ("a", "b"))
+            + trace_xml("c1", ("b", "c"))
+            + b"</log>"
+        )
+        iterator = iter_xes_traces(io.BytesIO(document))
+        first = next(iterator)
+        assert first.case_id == "c0"
+        assert first.activities == ("a", "b")
+        assert [t.case_id for t in iterator] == ["c1"]
+
+    def test_name_sink_receives_log_name(self):
+        document = (
+            b'<log><string key="concept:name" value="tickets"/>'
+            + trace_xml("c0", ("a",))
+            + b"</log>"
+        )
+        names = []
+        traces = list(iter_xes_traces(io.BytesIO(document), name_sink=names.append))
+        assert names == ["tickets"]
+        assert len(traces) == 1
+
+    def test_parse_memory_stays_bounded(self):
+        """Regression for the whole-tree ``ET.parse`` reader: peak parse
+        memory must track the largest trace, not the document."""
+        import tracemalloc
+
+        def document(traces: int) -> bytes:
+            body = b"".join(
+                trace_xml(f"c{i}", ("alpha", "beta", "gamma", "delta"))
+                for i in range(traces)
+            )
+            return b"<log>" + body + b"</log>"
+
+        def peak(data: bytes) -> int:
+            buffer = io.BytesIO(data)
+            tracemalloc.start()
+            log = read_xes(buffer)
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            assert len(log) > 0
+            return peak_bytes
+
+        small = peak(document(50))
+        large = peak(document(2000))
+        # 40x more traces; a whole-tree parse would scale peak memory
+        # ~40x.  The EventLog itself grows linearly, so just require the
+        # per-trace parse overhead to have vanished from the profile.
+        assert large < small * 40
+
+
+class TestRepairStreamingRegression:
+    """Pin ``on_error="repair"`` semantics across the streaming rewrite:
+    truncation salvage, in-place event repair, and exact accounting."""
+
+    TRUNCATED = (
+        b'<log><string key="concept:name" value="ops"/>'
+        b'<trace><string key="concept:name" value="done-1"/>'
+        b'<event><string key="concept:name" value="start"/></event>'
+        b'<event><string key="concept:name" value="finish"/>'
+        b'<date key="time:timestamp" value="not-a-date"/></event>'
+        b"</trace>"
+        b'<trace><string key="concept:name" value="cut-off"/>'
+        b'<event><string key="concept:name" value="start"/></event>'
+        # export breaks mid-trace: no </trace>, no </log>
+    )
+
+    def test_repair_salvages_and_repairs_in_one_pass(self):
+        report = IngestionReport(mode="repair")
+        log = read_xes(io.BytesIO(self.TRUNCATED), on_error="repair", report=report)
+        # The closed trace survives; the trace cut mid-export does not.
+        assert [t.case_id for t in log] == ["done-1"]
+        assert log.name == "ops"
+        # The bad timestamp was repaired (kept, timestamp dropped)...
+        assert log.traces[0].activities == ("start", "finish")
+        assert log.traces[0][1].timestamp is None
+        # ...and every ledger entry is pinned.
+        assert report.truncation is not None
+        assert report.rows_repaired == 1
+        assert report.rows_dropped == 0
+        assert report.events_loaded == 2
+        assert report.rows_seen == report.events_loaded + report.rows_dropped
+        assert not report.clean
+
+    def test_raise_mode_aborts_at_first_defect(self):
+        # Streaming parses traces as they close, so the event-level fault
+        # in the first trace aborts before the truncation is even seen.
+        with pytest.raises(LogFormatError, match="invalid timestamp"):
+            read_xes(io.BytesIO(self.TRUNCATED), on_error="raise")
+
+    def test_raise_mode_reports_truncation_as_malformed(self):
+        # Without event-level faults, the truncation itself is the abort.
+        clean_cut = (
+            b"<log>"
+            + trace_xml("done-1", ("start", "finish"))
+            + b'<trace><event><string key="concept:name" value="start"/></event>'
+        )
+        with pytest.raises(LogFormatError, match="malformed"):
+            read_xes(io.BytesIO(clean_cut), on_error="raise")

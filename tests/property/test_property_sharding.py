@@ -1,0 +1,132 @@
+"""Property suite: any shard partition reproduces the monolithic answer.
+
+The load-bearing invariant of the out-of-core pipeline (PR 8): however a
+log's traces are cut into shards — equal blocks, single-trace shards,
+more shards than traces — the merged statistics and any graph built from
+them are *bit-identical* to the monolithic computation.  Definition-1
+statistics are integer sums over traces, and the final division by the
+(identical) trace count is partition-insensitive.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+from repro.logs.stats import compute_statistics
+from repro.logs.streaming import OnlineStatistics
+from repro.store.blocks import TraceBlockWriter
+from repro.store.sharding import shard_statistics
+
+activity = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=8,
+)
+trace_strategy = st.lists(activity, min_size=1, max_size=8)
+log_strategy = st.lists(trace_strategy, min_size=1, max_size=12)
+
+
+def monolithic(traces):
+    return compute_statistics(EventLog(traces, name="prop"))
+
+
+def spill(tmp_path, traces, block_traces):
+    writer = TraceBlockWriter(tmp_path / "blocks", block_traces=block_traces)
+    for index, activities in enumerate(traces):
+        writer.add(f"case-{index}", activities)
+    return writer.finish()
+
+
+@given(log_strategy, st.integers(min_value=1, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_any_block_size_matches_monolithic(tmp_path_factory, traces, block_traces):
+    """Every block size — including 1 (single-trace shards) and sizes
+    exceeding the trace count (shards > traces degenerates to one block,
+    and a requested shard count larger than the log is harmless)."""
+    tmp_path = tmp_path_factory.mktemp("shards")
+    blocks = spill(tmp_path, traces, block_traces)
+    assert shard_statistics(blocks).snapshot() == monolithic(traces)
+
+
+@given(log_strategy)
+@settings(max_examples=40, deadline=None)
+def test_single_trace_shards_match_monolithic(tmp_path_factory, traces):
+    tmp_path = tmp_path_factory.mktemp("shards")
+    blocks = spill(tmp_path, traces, block_traces=1)
+    assert len(blocks) == len(traces)
+    assert shard_statistics(blocks).snapshot() == monolithic(traces)
+
+
+@given(
+    st.lists(
+        st.tuples(trace_strategy, st.integers(min_value=0, max_value=5)),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_arbitrary_partition_graph_bit_identical(assigned):
+    """Any assignment of traces to shards — uneven, empty shards, all in
+    one — folded with ``merge_into`` rebuilds the monolithic graph with
+    bit-equal edge frequencies."""
+    shards = [OnlineStatistics() for _ in range(6)]
+    for trace, shard in assigned:
+        shards[shard].add_trace(trace)
+    total = OnlineStatistics()
+    for shard in shards:
+        if shard.trace_count:
+            shard.merge_into(total)
+    traces = [trace for trace, _ in assigned]
+    batch = monolithic(traces)
+    assert total.snapshot() == batch
+    from_shards = DependencyGraph.from_statistics(total.snapshot(), name="prop")
+    from_batch = DependencyGraph.from_log(EventLog(traces, name="prop"))
+    assert from_shards.nodes == from_batch.nodes
+    assert from_shards.real_edges == from_batch.real_edges
+
+
+@given(
+    st.lists(
+        st.tuples(trace_strategy, st.integers(min_value=0, max_value=3)),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_into_equals_pure_merge(assigned):
+    """The in-place fold and the pure merge are the same function."""
+    pure_shards = [OnlineStatistics() for _ in range(4)]
+    fold_shards = [OnlineStatistics() for _ in range(4)]
+    for trace, shard in assigned:
+        pure_shards[shard].add_trace(trace)
+        fold_shards[shard].add_trace(trace)
+    pure = OnlineStatistics()
+    for shard in pure_shards:
+        pure = pure.merge(shard)
+    folded = OnlineStatistics()
+    for shard in fold_shards:
+        shard.merge_into(folded)
+    assert folded.snapshot() == pure.snapshot()
+    assert folded.snapshot() == monolithic([trace for trace, _ in assigned])
+
+
+@given(log_strategy, st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_seeded_counts_continue_exactly(traces, split):
+    """Seeding an accumulator from stored integer counts and adding the
+    remaining traces equals ingesting everything fresh — the append fast
+    path's soundness, minus the I/O."""
+    cut = min(split, len(traces))
+    prefix = OnlineStatistics()
+    for trace in traces[:cut]:
+        prefix.add_trace(trace)
+    resumed = OnlineStatistics()
+    resumed.seed_counts(
+        prefix.trace_count,
+        dict(prefix.activity_counts),
+        dict(prefix.pair_counts),
+    )
+    for trace in traces[cut:]:
+        resumed.add_trace(trace)
+    assert resumed.snapshot() == monolithic(traces)

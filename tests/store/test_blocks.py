@@ -1,0 +1,88 @@
+"""Spill-block format: bounded writes, faithful round-trips, loud corruption."""
+
+import json
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.store.blocks import TraceBlockWriter, iter_block
+
+
+def spill(tmp_path, traces, block_traces=3):
+    writer = TraceBlockWriter(tmp_path / "blocks", block_traces=block_traces)
+    for case_id, activities in traces:
+        writer.add(case_id, activities)
+    return writer.finish()
+
+
+class TestWriter:
+    def test_round_trip(self, tmp_path):
+        traces = [("c0", ("a", "b")), (None, ("b",)), ("c2", ("c", "a", "c"))]
+        paths = spill(tmp_path, traces, block_traces=2)
+        restored = [pair for path in paths for pair in iter_block(path)]
+        assert restored == [("c0", ("a", "b")), (None, ("b",)), ("c2", ("c", "a", "c"))]
+
+    def test_block_size_bounds_each_file(self, tmp_path):
+        traces = [(f"c{i}", ("a",)) for i in range(10)]
+        paths = spill(tmp_path, traces, block_traces=4)
+        assert len(paths) == 3  # 4 + 4 + 2
+        sizes = [sum(1 for _ in iter_block(path)) for path in paths]
+        assert sizes == [4, 4, 2]
+
+    def test_empty_stream_spills_nothing(self, tmp_path):
+        assert spill(tmp_path, []) == []
+
+    def test_finish_is_idempotent(self, tmp_path):
+        writer = TraceBlockWriter(tmp_path / "blocks", block_traces=2)
+        writer.add("c0", ("a",))
+        assert writer.finish() == writer.finish()
+
+    def test_add_after_finish_rejected(self, tmp_path):
+        writer = TraceBlockWriter(tmp_path / "blocks")
+        writer.finish()
+        with pytest.raises(ValueError):
+            writer.add("c0", ("a",))
+
+    def test_invalid_block_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceBlockWriter(tmp_path, block_traces=0)
+
+    def test_unicode_survives(self, tmp_path):
+        traces = [("fall-7", ("Prüfung", "支付", "ütf"))]
+        (path,) = spill(tmp_path, traces)
+        assert list(iter_block(path)) == [("fall-7", ("Prüfung", "支付", "ütf"))]
+
+
+class TestCorruption:
+    """A damaged block must fail the shard loudly — partial counts would
+    silently bias every statistic downstream."""
+
+    def test_torn_line_raises(self, tmp_path):
+        (path,) = spill(tmp_path, [("c0", ("a",)), ("c1", ("b",))])
+        data = path.read_text()
+        path.write_text(data[:-4])  # tear the final record mid-line
+        with pytest.raises(LogFormatError, match="corrupt trace block"):
+            list(iter_block(path))
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "block-000000.jsonl"
+        path.write_text(json.dumps({"not": "a trace"}) + "\n")
+        with pytest.raises(LogFormatError, match="corrupt trace block"):
+            list(iter_block(path))
+
+    def test_non_string_activities_raise(self, tmp_path):
+        path = tmp_path / "block-000000.jsonl"
+        path.write_text('["c0", ["a", 3]]\n')
+        with pytest.raises(LogFormatError, match="list of strings"):
+            list(iter_block(path))
+
+    def test_non_string_case_id_raises(self, tmp_path):
+        path = tmp_path / "block-000000.jsonl"
+        path.write_text('[42, ["a"]]\n')
+        with pytest.raises(LogFormatError, match="case id"):
+            list(iter_block(path))
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "block-000000.jsonl"
+        path.write_text('["c0", ["a"]]\n\n["c1", ["b"]]\n')
+        assert len(list(iter_block(path))) == 2

@@ -1,0 +1,209 @@
+"""LogStore durability: verified rows, corruption quarantine, LRU bound."""
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+from repro.obs import MetricsRegistry, Observer
+from repro.store.logstore import (
+    LogStore,
+    case_digest,
+    counts_content_key,
+    file_digest,
+    graph_content_key,
+    ingest_key,
+)
+
+
+def record(trace_count=3, name="demo"):
+    return {
+        "trace_count": trace_count,
+        "activity_counts": {"a": trace_count},
+        "pair_counts": {("a", "b"): 1},
+        "case_digests": [case_digest("c0")],
+        "log_name": name,
+    }
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = LogStore(tmp_path / "store.db")
+    yield store
+    store.close()
+
+
+class TestKeys:
+    def test_file_digest_streams_and_limits(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"abcdef")
+        assert file_digest(path) == file_digest(path)
+        assert file_digest(path, limit=3) != file_digest(path)
+        prefix = tmp_path / "prefix.bin"
+        prefix.write_bytes(b"abc")
+        assert file_digest(path, limit=3) == file_digest(prefix)
+
+    def test_case_digest_distinguishes_none_from_strings(self):
+        assert case_digest(None) != case_digest("")
+        assert case_digest("c0") != case_digest("c1")
+        assert len(case_digest("c0")) == 8
+
+    def test_counts_key_sensitive_to_every_input(self):
+        base = counts_content_key("d", "csv", "raise")
+        assert counts_content_key("e", "csv", "raise") != base
+        assert counts_content_key("d", "xes", "raise") != base
+        assert counts_content_key("d", "csv", "repair") != base
+
+    def test_graph_key_sensitive_to_threshold(self):
+        assert graph_content_key("k", 0.0) != graph_content_key("k", 0.5)
+        assert graph_content_key("k", 0.5) == graph_content_key("k", 0.5)
+
+    def test_ingest_key_resolves_path(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("case_id,activity,timestamp\n")
+        dotted = tmp_path / "sub" / ".." / "log.csv"
+        assert ingest_key(path, "csv", "raise") == ingest_key(dotted, "csv", "raise")
+
+
+class TestRoundTrips:
+    def test_counts_round_trip_and_counters(self, store):
+        key = counts_content_key("digest", "csv", "raise")
+        assert store.get_counts(key) is None
+        store.put_counts(key, record())
+        value = store.get_counts(key)
+        assert value["trace_count"] == 3
+        assert value["pair_counts"] == {("a", "b"): 1}
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_graph_round_trip(self, store):
+        graph = DependencyGraph.from_log(EventLog([["a", "b"], ["a", "c"]], name="g"))
+        key = graph_content_key("counts", 0.0)
+        assert store.get_graph(key) is None
+        store.put_graph(key, graph)
+        restored = store.get_graph(key)
+        assert restored.nodes == graph.nodes
+        assert restored.real_edges == graph.real_edges
+
+    def test_ingest_round_trip(self, store, tmp_path):
+        key = ingest_key(tmp_path / "log.csv", "csv", "raise")
+        assert store.get_ingest(key) is None
+        store.put_ingest(key, 120, "prefix", "case_id,activity,timestamp\n", "ck")
+        row = store.get_ingest(key)
+        assert row == {
+            "byte_count": 120,
+            "prefix_digest": "prefix",
+            "header": "case_id,activity,timestamp\n",
+            "counts_key": "ck",
+        }
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "store.db"
+        first = LogStore(path)
+        first.put_counts("k", record())
+        first.close()
+        second = LogStore(path)
+        assert second.get_counts("k")["trace_count"] == 3
+        second.close()
+
+
+class TestCorruption:
+    def test_bitflipped_row_is_deleted_and_missed(self, store, tmp_path):
+        registry = MetricsRegistry()
+        store.observer = Observer(metrics=registry)
+        store.put_counts("k", record())
+        connection = sqlite3.connect(store.path)
+        connection.execute(
+            "UPDATE counts SET payload = X'deadbeef' WHERE key = 'k'"
+        )
+        connection.commit()
+        connection.close()
+        assert store.get_counts("k") is None
+        text = registry.to_prometheus_text()
+        assert "store_corrupt_total 1" in text
+        assert "store_misses_total 1" in text
+        # The bad row is gone for good, not re-verified on every lookup.
+        cursor = store._execute("SELECT COUNT(*) FROM counts")
+        assert cursor.fetchone()[0] == 0
+
+    def test_wrong_shape_counts_treated_as_corrupt(self, store):
+        store._put("counts", "k", {"trace_count": 1})  # missing required keys
+        assert store.get_counts("k") is None
+        assert store.get_counts("k") is None  # deleted, plain miss now
+
+    def test_wrong_type_graph_treated_as_corrupt(self, store):
+        store._put("graphs", "k", {"not": "a graph"})
+        assert store.get_graph("k") is None
+
+    def test_garbage_database_set_aside_and_recreated(self, tmp_path):
+        path = tmp_path / "store.db"
+        path.write_bytes(b"this is not a sqlite database at all\x00\x01")
+        store = LogStore(path)
+        try:
+            assert store.get_counts("k") is None
+            store.put_counts("k", record())
+            assert store.get_counts("k")["trace_count"] == 3
+            assert path.with_name("store.db.corrupt").exists()
+        finally:
+            store.close()
+
+    def test_schema_version_mismatch_rebuilds(self, tmp_path):
+        path = tmp_path / "store.db"
+        connection = sqlite3.connect(path)
+        connection.execute("PRAGMA user_version = 99")
+        connection.execute("CREATE TABLE counts (key TEXT PRIMARY KEY)")
+        connection.commit()
+        connection.close()
+        store = LogStore(path)
+        try:
+            assert store.get_counts("k") is None
+            store.put_counts("k", record())
+            assert store.get_counts("k") is not None
+        finally:
+            store.close()
+
+
+class TestEviction:
+    def test_lru_bound_drops_oldest(self, tmp_path):
+        registry = MetricsRegistry()
+        store = LogStore(
+            tmp_path / "store.db", max_entries=3,
+            observer=Observer(metrics=registry),
+        )
+        try:
+            for i in range(3):
+                store.put_counts(f"k{i}", record(trace_count=i + 1))
+            store.get_counts("k0")  # touch: k0 becomes most recent
+            store.put_counts("k3", record(trace_count=9))
+            assert store.get_counts("k0") is not None
+            assert store.get_counts("k1") is None  # the true LRU victim
+            assert store.get_counts("k3") is not None
+            assert "store_evictions_total 1" in registry.to_prometheus_text()
+        finally:
+            store.close()
+
+    def test_unbounded_store_keeps_everything(self, tmp_path):
+        store = LogStore(tmp_path / "store.db", max_entries=None)
+        try:
+            for i in range(20):
+                store.put_counts(f"k{i}", record())
+            assert all(store.get_counts(f"k{i}") for i in range(20))
+        finally:
+            store.close()
+
+    def test_invalid_max_entries_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="max_entries"):
+            LogStore(tmp_path / "store.db", max_entries=0)
+
+    def test_tables_evict_independently(self, tmp_path):
+        store = LogStore(tmp_path / "store.db", max_entries=2)
+        try:
+            graph = DependencyGraph.from_log(EventLog([["a", "b"]], name="g"))
+            for i in range(2):
+                store.put_counts(f"c{i}", record())
+                store.put_graph(f"g{i}", graph)
+            assert all(store.get_counts(f"c{i}") for i in range(2))
+            assert all(store.get_graph(f"g{i}") for i in range(2))
+        finally:
+            store.close()

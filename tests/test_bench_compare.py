@@ -29,6 +29,8 @@ def payload(**overrides) -> dict:
         "retry_overhead": 1.0,
         "warm_cache_speedup": 7.0,
         "compiled_time_ratio_20": 1.0,
+        "ingest_sharded_memory": 0.2,
+        "stats_store_warm": 20.0,
     }
     base.update(overrides)
     return base
@@ -75,6 +77,7 @@ class TestFloorKeys:
             memory_reduction_sparse=4.0, sparse_time_ratio_20=1.2,
             noop_observer_overhead=1.1, warm_cache_speedup=5.0,
             compiled_time_ratio_20=1.2,
+            ingest_sharded_memory=0.25, stats_store_warm=5.0,
         )
         assert compare(ok, payload(), 2.0) == []
 
@@ -99,6 +102,16 @@ class TestFloorKeys:
         failures = compare(payload(retry_overhead=1.25), payload(), 2.0)
         assert len(failures) == 1
         assert "supervision" in failures[0]
+
+    def test_ingest_memory_ceiling_violation_fails(self):
+        failures = compare(payload(ingest_sharded_memory=0.4), payload(), 2.0)
+        assert len(failures) == 1
+        assert "ingestion" in failures[0]
+
+    def test_store_warm_floor_violation_fails(self):
+        failures = compare(payload(stats_store_warm=3.0), payload(), 2.0)
+        assert len(failures) == 1
+        assert "store" in failures[0]
 
 
 class TestEnvironmentWarnings:

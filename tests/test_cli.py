@@ -157,3 +157,119 @@ class TestMatchCommand:
         content = report_path.read_text(encoding="utf-8")
         assert content.startswith("# Event matching report")
         assert "## Correspondences" in content
+
+
+class TestScaledMatch:
+    """``--shard-traces`` / ``--parallel-ingest`` / ``--store`` route the
+    match through the out-of-core pipeline — same answer, graph-only."""
+
+    def baseline(self, log_paths, capsys):
+        assert main(["match", *log_paths, "--json"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def normalize(self, payload):
+        return (
+            payload["objective"],
+            sorted(
+                (tuple(e["left"]), tuple(e["right"]))
+                for e in payload["correspondences"]
+            ),
+        )
+
+    def test_sharded_match_matches_in_memory(self, log_paths, capsys):
+        reference = self.baseline(log_paths, capsys)
+        assert main(["match", *log_paths, "--shard-traces", "2", "--json"]) == 0
+        scaled = json.loads(capsys.readouterr().out)
+        assert self.normalize(scaled) == self.normalize(reference)
+
+    def test_parallel_ingest_matches_in_memory(self, log_paths, capsys):
+        reference = self.baseline(log_paths, capsys)
+        assert main(
+            ["match", *log_paths, "--parallel-ingest", "2", "--json"]
+        ) == 0
+        scaled = json.loads(capsys.readouterr().out)
+        assert self.normalize(scaled) == self.normalize(reference)
+
+    def test_store_warm_run_matches_cold(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["match", *log_paths, "--store", str(store), "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert store.exists()
+        assert main(["match", *log_paths, "--store", str(store), "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert self.normalize(warm) == self.normalize(cold)
+
+    def test_composite_incompatible_with_scale_flags(self, log_paths, capsys):
+        code = main(["match", *log_paths, "--composite", "--shard-traces", "2"])
+        assert code == 2
+        assert "composite" in capsys.readouterr().err
+
+    def test_report_incompatible_with_scale_flags(self, log_paths, tmp_path, capsys):
+        code = main(
+            ["match", *log_paths, "--shard-traces", "2",
+             "--report", str(tmp_path / "r.md")]
+        )
+        assert code == 2
+
+    def test_invalid_shard_traces_rejected(self, log_paths, capsys):
+        assert main(["match", *log_paths, "--shard-traces", "0"]) == 2
+
+    def test_scaled_metrics_exported(self, log_paths, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        store = tmp_path / "store.db"
+        assert main(
+            ["match", *log_paths, "--shard-traces", "2",
+             "--store", str(store), "--metrics-out", str(metrics)]
+        ) == 0
+        text = metrics.read_text()
+        assert "ingest_shards_total" in text
+        assert "store_misses_total" in text
+
+
+class TestStatsCommand:
+    def test_text_output(self, log_paths, capsys):
+        assert main(["stats", log_paths[0]]) == 0
+        out = capsys.readouterr().out
+        assert "6 activities" in out
+        assert "[streamed]" in out
+
+    def test_json_output(self, log_paths, capsys):
+        assert main(["stats", log_paths[0], "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "streamed"
+        assert payload["activities"] == 6
+        assert set(payload["activity_frequencies"]) == set("ABCDEF")
+        assert payload["ingestion"]["clean"] is True
+
+    def test_sharded_stats_match_streamed(self, log_paths, capsys):
+        assert main(["stats", log_paths[0], "--json"]) == 0
+        streamed = json.loads(capsys.readouterr().out)
+        assert main(
+            ["stats", log_paths[0], "--shard-traces", "2", "--json"]
+        ) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["mode"] == "sharded"
+        assert sharded["shards"] > 1
+        assert sharded["activity_frequencies"] == streamed["activity_frequencies"]
+        assert sharded["pair_frequencies"] == streamed["pair_frequencies"]
+
+    def test_store_round_trip(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["stats", log_paths[0], "--store", str(store), "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["mode"] == "streamed"
+        assert main(["stats", log_paths[0], "--store", str(store), "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["mode"] == "store"
+        assert warm["activity_frequencies"] == cold["activity_frequencies"]
+
+    def test_top_limits_text_listing(self, log_paths, capsys):
+        assert main(["stats", log_paths[0], "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "... and 4 more" in out
+
+    def test_negative_top_rejected(self, log_paths, capsys):
+        assert main(["stats", log_paths[0], "--top", "-1"]) == 2
+
+    def test_missing_file_is_input_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.xes")]) == 2
