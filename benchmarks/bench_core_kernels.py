@@ -53,9 +53,16 @@ from repro.obs import (
     Tracer,
     environment_metadata,
 )
+from repro.matchers import EMSMatcher
 from repro.runtime.evalcache import EvaluationCache
 from repro.runtime.supervise import RetryPolicy
-from repro.store import LogStore, ingest_statistics
+from repro.store import (
+    LogStore,
+    MatchStore,
+    ingest_graph,
+    ingest_statistics,
+    match_stored,
+)
 from repro.synthesis.corpus import build_scalability_pair
 
 #: The Figure-8 scalability scenario every timing below runs against.
@@ -90,6 +97,19 @@ MEMORY_SCENARIO = {"activities": 300, "seed": 21, "traces_per_log": 40}
 #: serves the counts from SQLite without parsing, >= 5x faster than the
 #: cold parse+count.
 INGEST_SCENARIO = {"cases": 4000, "events_per_case": 8, "activities": 12, "seed": 17}
+
+#: The out-of-core matching scenario (PR 9): a CSV log pair large enough
+#: that the cold end-to-end match (parse both, build both graphs, run
+#: the EMS fixpoint, assign) dwarfs a match-store hit, which costs two
+#: content digests, one verified matrix row, and the assignment.
+#: ``match_store_warm`` in :func:`compare` holds the warm path >= 10x
+#: faster; ``match_store_partial`` times the append-grown pair that
+#: warm-starts the fixpoint from the previous matrix, and
+#: ``sql_pair_counts`` pins SQL-window-function aggregation of the
+#: stored trace rows bit-identical to Python counting.
+MATCH_STORE_SCENARIO = {
+    "cases": 1500, "events_per_case": 8, "activities": 24, "seed": 29,
+}
 
 
 def build_composite_pair(
@@ -374,6 +394,80 @@ def _scenarios():
         assert result.statistics.trace_count == INGEST_SCENARIO["cases"]
         return None
 
+    match_dir = Path(tempfile.mkdtemp(prefix="bench_match_"))
+    atexit.register(shutil.rmtree, match_dir, ignore_errors=True)
+    match_a = match_dir / "a.csv"
+    match_b = match_dir / "b.csv"
+    write_ingest_csv(match_a, **MATCH_STORE_SCENARIO)
+    write_ingest_csv(
+        match_b, **{**MATCH_STORE_SCENARIO, "seed": MATCH_STORE_SCENARIO["seed"] + 1}
+    )
+
+    def match_scaled_cold():
+        # The cold end-to-end pipeline match: parse both files, build
+        # both dependency graphs, run the fixpoint, assign.  This is the
+        # numerator of the ``match_store_warm`` floor.
+        graph_first, _ = ingest_graph(match_a)
+        graph_second, _ = ingest_graph(match_b)
+        EMSMatcher().match_graphs(graph_first, graph_second)
+        return None
+
+    warm_match_store = MatchStore(match_dir / "match.db")
+    _, seed_provenance = match_stored(
+        match_a, match_b, matcher=EMSMatcher(), store=warm_match_store
+    )
+    assert seed_provenance["match_mode"] == "computed"
+
+    def match_store_warm():
+        # Full hit: two content digests, one digest-verified matrix row,
+        # assignment.  No parse, no graphs, no fixpoint.
+        _, provenance = match_stored(
+            match_a, match_b, matcher=EMSMatcher(), store=warm_match_store
+        )
+        assert provenance["match_mode"] == "store", provenance
+        return None
+
+    # The partial scenario needs a file that *grew in place* after its
+    # pair was matched: seed a pristine store on the short file, then
+    # append every trace again under fresh case ids.  The duplication
+    # doubles every count and the trace total alike, so relative
+    # frequencies are bit-identical and the dirty-pair frontier is
+    # empty — the partial hit re-runs (almost) nothing.
+    match_p = match_dir / "p.csv"
+    write_ingest_csv(
+        match_p, **{**MATCH_STORE_SCENARIO, "seed": MATCH_STORE_SCENARIO["seed"] + 2}
+    )
+    partial_base = match_dir / "partial.db"
+    seed_store = MatchStore(partial_base)
+    _, seed_provenance = match_stored(
+        match_p, match_b, matcher=EMSMatcher(), store=seed_store
+    )
+    assert seed_provenance["match_mode"] == "computed"
+    seed_store.close()
+    tail = match_p.read_text(encoding="utf-8").splitlines()[1:]
+    with open(match_p, "a", encoding="utf-8") as handle:
+        for line in tail:
+            handle.write("grown-" + line + "\n")
+
+    def match_store_partial():
+        # Each repeat restores the pristine pre-growth store, so every
+        # timed call takes the append fast path + warm-started fixpoint
+        # (the first partial run persists the new pair's matrix, which
+        # would turn later repeats into full hits).
+        scratch = match_dir / "partial_run.db"
+        for suffix in ("", "-wal", "-shm"):
+            Path(str(scratch) + suffix).unlink(missing_ok=True)
+        shutil.copy(partial_base, scratch)
+        store = MatchStore(scratch)
+        try:
+            _, provenance = match_stored(
+                match_p, match_b, matcher=EMSMatcher(), store=store
+            )
+            assert provenance["match_mode"] == "store-partial", provenance
+        finally:
+            store.close()
+        return None
+
     yield "graph_build_20", graph_build
     yield "ems_exact_20_vectorized", lambda: ems(kernel="vectorized")
     yield "ems_exact_20_reference", lambda: ems(kernel="reference")
@@ -390,6 +484,9 @@ def _scenarios():
     yield "composite_search_supervised", composite_search_supervised
     yield "stats_ingest_cold", stats_ingest_cold
     yield "stats_ingest_store_warm", stats_ingest_store_warm
+    yield "match_scaled_cold", match_scaled_cold
+    yield "match_store_warm", match_store_warm
+    yield "match_store_partial", match_store_partial
 
 
 def _memory_profile() -> dict:
@@ -475,6 +572,33 @@ def _ingest_memory_profile() -> dict:
     }
 
 
+def _sql_parity() -> float:
+    """1.0 iff SQL-aggregated statistics equal Python counting, else 0.0.
+
+    Ingests the :data:`INGEST_SCENARIO` CSV into a fresh
+    :class:`MatchStore` (recording per-trace rows), then aggregates the
+    Definition-1 counts entirely inside SQLite — ``COUNT(DISTINCT
+    trace_id)`` per activity and the ``LEAD`` window function for pairs —
+    and compares against the in-memory accumulator.  The ``1.0`` floor
+    on ``sql_pair_counts`` makes any divergence a gate failure.
+    """
+    scratch = Path(tempfile.mkdtemp(prefix="bench_sql_parity_"))
+    atexit.register(shutil.rmtree, scratch, ignore_errors=True)
+    csv_path = scratch / "events.csv"
+    write_ingest_csv(csv_path, **INGEST_SCENARIO)
+    cold = ingest_statistics(csv_path)
+    store = MatchStore(scratch / "parity.db")
+    try:
+        stored = ingest_statistics(csv_path, store=store)
+        assert stored.counts_key is not None
+        sql_stats = store.sql_statistics(stored.counts_key)
+        if sql_stats is None:
+            return 0.0
+        return 1.0 if sql_stats.snapshot() == cold.statistics else 0.0
+    finally:
+        store.close()
+
+
 def run_harness(repeats: int) -> dict:
     """Time every scenario; return the BENCH_core.json payload."""
     calibration = _calibration_time()
@@ -554,6 +678,16 @@ def run_harness(repeats: int) -> dict:
         scenarios["stats_ingest_cold"]["mean_time"]
         / scenarios["stats_ingest_store_warm"]["mean_time"]
     )
+    # Warm match store vs the cold end-to-end pipeline match (>= 10x
+    # floor): a full hit skips parse, graph build and the EMS fixpoint —
+    # two content digests, one verified matrix row, and the assignment.
+    match_store_warm = (
+        scenarios["match_scaled_cold"]["mean_time"]
+        / scenarios["match_store_warm"]["mean_time"]
+    )
+    # SQL push-down parity (1.0 floor): window-function aggregation of
+    # the stored trace rows must be bit-identical to Python counting.
+    sql_pair_counts = _sql_parity()
     # Null when numba is absent: the compiled scenario is skipped rather
     # than silently re-measuring the vectorized fallback, and compare()
     # treats the null as out of scope instead of a floor violation.
@@ -575,8 +709,11 @@ def run_harness(repeats: int) -> dict:
         "scenarios": scenarios,
         "memory": memory,
         "ingest_memory": ingest_memory,
+        "match_scenario": MATCH_STORE_SCENARIO,
         "ingest_sharded_memory": ingest_sharded_memory,
         "stats_store_warm": stats_store_warm,
+        "match_store_warm": match_store_warm,
+        "sql_pair_counts": sql_pair_counts,
         "speedup_exact_20": speedup,
         "speedup_composite": speedup_composite,
         "memory_reduction_sparse": memory_reduction,
@@ -617,6 +754,10 @@ FLOORS = (
      "sharded-vs-monolithic ingestion peak-memory ratio"),
     ("stats_store_warm", 5.0, "min",
      "warm-log-store-vs-cold parse+count speedup"),
+    ("match_store_warm", 10.0, "min",
+     "warm-match-store-vs-cold end-to-end match speedup"),
+    ("sql_pair_counts", 1.0, "min",
+     "SQL-window-function pair-count parity with Python counting"),
 )
 
 
@@ -821,6 +962,10 @@ def main(argv: list[str] | None = None) -> int:
           f"({payload['ingest_sharded_memory']:.2f}x of monolithic)")
     print(f"warm-log-store speedup over the cold parse+count: "
           f"{payload['stats_store_warm']:.2f}x")
+    print(f"warm-match-store speedup over the cold end-to-end match: "
+          f"{payload['match_store_warm']:.2f}x")
+    print(f"SQL pair-count parity with Python counting: "
+          f"{payload['sql_pair_counts']:.1f}")
     compiled_ratio = payload["compiled_time_ratio_20"]
     if compiled_ratio is None:
         print("compiled/vectorized time ratio (20 events): skipped "

@@ -18,8 +18,9 @@ Usage::
                                     [--manifest-out PATH] [--log-level LEVEL]
     python -m repro stats LOG [--format xes|csv] [--on-error MODE]
                               [--shard-traces N] [--parallel-ingest N]
-                              [--store PATH] [--top N] [--json]
-                              [--metrics-out PATH] [--log-level LEVEL]
+                              [--store PATH] [--from-store] [--top N]
+                              [--json] [--metrics-out PATH]
+                              [--log-level LEVEL]
 
 Reads the two logs (XES or CSV, auto-detected from the extension by
 default), runs EMS matching, and prints the found correspondences with
@@ -59,13 +60,19 @@ logging to stderr.
 Scale (see ``docs/scale.md``): ``--shard-traces N`` ingests each log
 out-of-core in blocks of N traces (peak memory O(shard), not O(log)),
 ``--parallel-ingest N`` counts the blocks in N supervised worker
-processes, and ``--store PATH`` memoizes counts and dependency graphs
-in a persistent SQLite store so repeated (or appended-to) logs skip
-parsing and counting entirely.  These flags select a statistics-backed
+processes, and ``--store PATH`` opens a persistent SQLite match store:
+counts, dependency graphs, per-trace rows (aggregated by SQL window
+functions) and finished similarity matrices are all memoized, so a
+repeated log pair skips parse, graph build *and* the EMS fixpoint
+(``"match_mode": "store"`` in the JSON output), and a pair with one
+appended-to side warm-starts the fixpoint from the stored matrix
+(``"store-partial"``).  These flags select a statistics-backed
 singleton matching that never materializes the logs, so they are
 incompatible with ``--composite`` and ``--report``; results are
 bit-identical to the in-memory path.  ``stats`` runs the same ingestion
-pipeline without matching and prints the log's Definition-1 statistics.
+pipeline without matching and prints the log's Definition-1 statistics;
+``stats --from-store`` answers from the store's trace rows alone,
+without reading the file.
 """
 
 from __future__ import annotations
@@ -106,7 +113,16 @@ from repro.runtime import (
     RetryPolicy,
 )
 from repro.similarity.labels import QGramCosineSimilarity
-from repro.store import DEFAULT_BLOCK_TRACES, LogStore, ingest_graph, ingest_statistics
+from repro.store import (
+    DEFAULT_BLOCK_TRACES,
+    IngestResult,
+    MatchStore,
+    ingest_graph,
+    ingest_key,
+    ingest_statistics,
+    match_stored,
+    resolve_format,
+)
 
 #: Exit code for unreadable/invalid inputs.
 EXIT_INPUT_ERROR = 2
@@ -331,6 +347,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent SQLite log store (see match --store)",
     )
     stats.add_argument(
+        "--from-store", action="store_true",
+        help="aggregate statistics from the store's trace rows with SQL "
+             "window functions, without reading the log file (requires "
+             "--store and a prior ingest of the same path)",
+    )
+    stats.add_argument(
         "--top", type=int, default=10, metavar="N",
         help="activities/pairs shown in the text output (default: 10)",
     )
@@ -446,7 +468,7 @@ def run_match(arguments: argparse.Namespace) -> int:
 
 def _scale_options(
     arguments: argparse.Namespace, observer: Observer
-) -> tuple[int | None, int, LogStore | None]:
+) -> tuple[int | None, int, MatchStore | None]:
     """Validated (shard_traces, workers, store) of the scale flags."""
     shard_traces = arguments.shard_traces
     if shard_traces is not None and shard_traces < 1:
@@ -459,7 +481,7 @@ def _scale_options(
     if workers > 1 and shard_traces is None:
         shard_traces = DEFAULT_BLOCK_TRACES  # parallel counting needs blocks
     store = (
-        LogStore(arguments.store, observer=observer) if arguments.store else None
+        MatchStore(arguments.store, observer=observer) if arguments.store else None
     )
     return shard_traces, workers, store
 
@@ -506,63 +528,129 @@ def _run_match_scaled(arguments: argparse.Namespace, observer: Observer) -> int:
         ingestion_first.archive = archive
         ingestion_second.archive = archive
 
-    graphs = []
-    results = []
+    scale: dict | None = None
     with observer.span("match") as root_span:
-        for path, report in (
-            (arguments.log_first, ingestion_first),
-            (arguments.log_second, ingestion_second),
-        ):
-            with observer.span("ingest.pipeline", source=path):
-                try:
-                    graph, result = ingest_graph(
-                        path, arguments.format, arguments.on_error, report,
-                        shard_traces=shard_traces, workers=workers,
-                        store=store, policy=retry,
-                        task_timeout=arguments.task_timeout,
-                        observer=observer,
-                    )
-                except LogFormatError as error:
-                    _archive_rejected_file(archive, path, error)
-                    raise
-            graphs.append(graph)
-            results.append(result)
-            observer.info(
-                "ingested %s via %s (%d traces, %d shards)",
-                path, result.mode, result.statistics.trace_count, result.shards,
-            )
         matcher = EMSMatcher(
             config, label_similarity, threshold=arguments.threshold,
             budget=budget, degradation=degradation, observer=observer,
         )
-        outcome = matcher.match_graphs(graphs[0], graphs[1])
+        if store is not None:
+            # The warm end-to-end path: full hit serves the stored
+            # matrix, a grown side warm-starts the fixpoint, a miss
+            # computes and persists for next time.
+            try:
+                outcome, provenance = match_stored(
+                    arguments.log_first, arguments.log_second,
+                    arguments.format, arguments.on_error,
+                    matcher=matcher, store=store,
+                    reports=(ingestion_first, ingestion_second),
+                    shard_traces=shard_traces, workers=workers,
+                    policy=retry, task_timeout=arguments.task_timeout,
+                    observer=observer,
+                )
+            except LogFormatError as error:
+                _archive_rejected_file(
+                    archive,
+                    getattr(error, "source", arguments.log_first),
+                    error,
+                )
+                raise
+            names = provenance["log_names"]
+            scale = {
+                "match_mode": provenance["match_mode"],
+                "matrix_key": provenance["matrix_key"],
+                "ingest_modes": list(provenance["ingest_modes"]),
+                "pairs_warm": provenance["pairs_warm"],
+            }
+            observer.info(
+                "match via %s (ingest: %s)",
+                provenance["match_mode"], "/".join(provenance["ingest_modes"]),
+            )
+        else:
+            graphs = []
+            results = []
+            for path, report in (
+                (arguments.log_first, ingestion_first),
+                (arguments.log_second, ingestion_second),
+            ):
+                with observer.span("ingest.pipeline", source=path):
+                    try:
+                        graph, result = ingest_graph(
+                            path, arguments.format, arguments.on_error, report,
+                            shard_traces=shard_traces, workers=workers,
+                            store=store, policy=retry,
+                            task_timeout=arguments.task_timeout,
+                            observer=observer,
+                        )
+                    except LogFormatError as error:
+                        _archive_rejected_file(archive, path, error)
+                        raise
+                graphs.append(graph)
+                results.append(result)
+                observer.info(
+                    "ingested %s via %s (%d traces, %d shards)",
+                    path, result.mode, result.statistics.trace_count,
+                    result.shards,
+                )
+            outcome = matcher.match_graphs(graphs[0], graphs[1])
+            names = (results[0].log_name, results[1].log_name)
         root_span.attributes["objective"] = outcome.objective
         root_span.attributes["correspondences"] = len(outcome.correspondences)
     if store is not None:
         store.close()
     _write_observability_outputs(arguments, observer, config, outcome)
-    names = (
-        _NamedInput(results[0].log_name, results[0]),
-        _NamedInput(results[1].log_name, results[1]),
-    )
     return _render_match_output(
         arguments, outcome, matcher,
-        names[0], names[1], ingestion_first, ingestion_second,
+        _NamedInput(names[0]), _NamedInput(names[1]),
+        ingestion_first, ingestion_second,
+        scale=scale,
     )
 
 
 class _NamedInput:
     """Stand-in for an :class:`EventLog` in output rendering.
 
-    The scaled path never builds logs; rendering only needs a name (and
-    the ingest provenance for the JSON payload).
+    The scaled path never builds logs; rendering only needs a name.
     """
 
-    __slots__ = ("name", "ingest")
+    __slots__ = ("name",)
 
-    def __init__(self, name: str, ingest):
+    def __init__(self, name: str):
         self.name = name
-        self.ingest = ingest
+
+
+def _stats_from_store(
+    arguments: argparse.Namespace, store: MatchStore
+) -> IngestResult:
+    """``stats --from-store``: SQL aggregation only, the file untouched.
+
+    The path is resolved to its stored counts through the ingests table
+    (path-keyed, so no content digest — the file need not even exist any
+    more), and the Definition-1 counts are aggregated by SQLite window
+    functions over the stored trace rows.
+    """
+    fmt = resolve_format(arguments.log, arguments.format)
+    prior = store.get_ingest(ingest_key(arguments.log, fmt, arguments.on_error))
+    counts_key = prior["counts_key"] if prior is not None else None
+    statistics = (
+        store.sql_statistics(counts_key) if counts_key is not None else None
+    )
+    if statistics is None:
+        raise ReproError(
+            f"no stored trace rows for {arguments.log!r} in "
+            f"{arguments.store!r}; ingest it first (stats --store without "
+            f"--from-store)"
+        )
+    record = store.get_counts(counts_key)
+    log_name = (
+        record["log_name"] if record is not None else Path(arguments.log).stem
+    )
+    return IngestResult(
+        statistics=statistics.snapshot(),
+        log_name=log_name,
+        mode="store-sql",
+        counts_key=counts_key,
+    )
 
 
 def run_stats(arguments: argparse.Namespace) -> int:
@@ -572,14 +660,23 @@ def run_stats(arguments: argparse.Namespace) -> int:
         raise ReproError(f"--top must be >= 0, got {arguments.top}")
     shard_traces, workers, store = _scale_options(arguments, observer)
     report = IngestionReport(source=arguments.log, mode=arguments.on_error)
-    with observer.span("stats", source=arguments.log):
-        result = ingest_statistics(
-            arguments.log, arguments.format, arguments.on_error, report,
-            shard_traces=shard_traces, workers=workers, store=store,
-            observer=observer,
-        )
-    if store is not None:
-        store.close()
+    if arguments.from_store:
+        if store is None:
+            raise ReproError("--from-store requires --store PATH")
+        try:
+            with observer.span("stats", source=arguments.log):
+                result = _stats_from_store(arguments, store)
+        finally:
+            store.close()
+    else:
+        with observer.span("stats", source=arguments.log):
+            result = ingest_statistics(
+                arguments.log, arguments.format, arguments.on_error, report,
+                shard_traces=shard_traces, workers=workers, store=store,
+                observer=observer,
+            )
+        if store is not None:
+            store.close()
     if arguments.metrics_out:
         Path(arguments.metrics_out).write_text(
             observer.metrics.to_prometheus_text()
@@ -780,6 +877,7 @@ def _render_match_output(
     log_second: EventLog,
     ingestion_first: IngestionReport,
     ingestion_second: IngestionReport,
+    scale: dict | None = None,
 ) -> int:
     ingestion = (ingestion_first, ingestion_second)
     if arguments.report:
@@ -810,12 +908,16 @@ def _render_match_output(
                 "second": ingestion_second.to_dict(),
             },
         }
+        if scale is not None:
+            payload["scale"] = scale
         json.dump(payload, sys.stdout, indent=2, ensure_ascii=False)
         print()
         return 0
 
     print(f"{matcher.name}: {log_first.name} <-> {log_second.name} "
           f"(average similarity {outcome.objective:.3f})")
+    if scale is not None and scale["match_mode"] != "computed":
+        print(f"  [match store: {scale['match_mode']}]")
     for correspondence in sorted(outcome.correspondences, key=lambda c: min(c.left)):
         marker = "  [m:n]" if correspondence.is_composite() else ""
         print(f"  {' + '.join(sorted(correspondence.left))} <-> "

@@ -102,6 +102,50 @@ class EMSResult:
     def average(self) -> float:
         return self.matrix.average()
 
+    @classmethod
+    def from_directional(
+        cls,
+        rows: tuple[str, ...],
+        cols: tuple[str, ...],
+        directional_values: dict[str, np.ndarray],
+        *,
+        iterations: int,
+        pair_updates: int,
+        converged: bool,
+        estimated: bool,
+    ) -> "EMSResult":
+        """Rebuild a result from per-direction value arrays.
+
+        The match store persists only the directional arrays (at the dtype
+        the fixpoint ran at) and reconstructs the combined matrix here with
+        :func:`combine_directional` — the *same* reduction ``_result`` uses
+        after a live run, so a restored result is bit-identical to the one
+        that was stored.
+        """
+        combined = combine_directional(list(directional_values.values()))
+        return cls(
+            matrix=SimilarityMatrix(rows, cols, combined),
+            iterations=iterations,
+            pair_updates=pair_updates,
+            converged=converged,
+            estimated=estimated,
+            directional={
+                name: SimilarityMatrix(rows, cols, values)
+                for name, values in directional_values.items()
+            },
+        )
+
+
+def combine_directional(values: list[np.ndarray]) -> np.ndarray:
+    """Combine per-direction similarity arrays into the final matrix.
+
+    A plain mean over directions, factored out so the live fixpoint
+    (:meth:`EMSEngine._result`) and the match-store restore path share one
+    reduction: bit-identity of a served matrix reduces to bit-identity of
+    the stored directional arrays.
+    """
+    return np.mean(values, axis=0)
+
 
 #: Cell-cache headroom per matrix entry of a bounded LabelMatrixCache —
 #: roughly one mid-sized matrix's worth of scalar cells per cached matrix.
@@ -1124,7 +1168,7 @@ class EMSEngine:
 
     def _result(self, first: DependencyGraph, second: DependencyGraph,
                 runs: list[_DirectionalRun]) -> EMSResult:
-        combined = np.mean([run.real_values() for run in runs], axis=0)
+        combined = combine_directional([run.real_values() for run in runs])
         matrix = SimilarityMatrix(first.nodes, second.nodes, combined)
         directional: dict[str, SimilarityMatrix] = {}
         names = (

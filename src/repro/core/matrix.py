@@ -9,9 +9,11 @@ artificially and do not actually exist in event logs".
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
+
+from repro.exceptions import MatrixLabelMismatch
 
 
 class SimilarityMatrix:
@@ -81,13 +83,35 @@ class SimilarityMatrix:
         return self._cols[j], float(self._values[i, j])
 
     def combine(self, other: "SimilarityMatrix", weight: float = 0.5) -> "SimilarityMatrix":
-        """Weighted average with *other* (labels must match)."""
-        if self._rows != other._rows or self._cols != other._cols:
-            raise ValueError("cannot combine matrices with different labels")
+        """Weighted average with *other*.
+
+        The two matrices must cover the same row and column *label sets*
+        (:class:`~repro.exceptions.MatrixLabelMismatch` otherwise — a
+        positional average of unrelated vocabularies is never meaningful).
+        Matching sets in a different *order* are aligned by label before
+        averaging, so the result is label-correct regardless of ordering.
+        """
+        for axis, mine, theirs in (("rows", self._rows, other._rows),
+                                   ("cols", self._cols, other._cols)):
+            if set(mine) != set(theirs):
+                only_self = tuple(sorted(set(mine) - set(theirs)))
+                only_other = tuple(sorted(set(theirs) - set(mine)))
+                raise MatrixLabelMismatch(
+                    f"cannot combine matrices with different {axis} label sets "
+                    f"(only in self: {only_self!r}; only in other: {only_other!r})",
+                    axis=axis,
+                    only_self=only_self,
+                    only_other=only_other,
+                )
         if not 0.0 <= weight <= 1.0:
             raise ValueError(f"weight must be in [0, 1], got {weight}")
+        values = other._values
+        if self._rows != other._rows or self._cols != other._cols:
+            row_order = [other._row_index[label] for label in self._rows]
+            col_order = [other._col_index[label] for label in self._cols]
+            values = values[np.ix_(row_order, col_order)]
         return SimilarityMatrix(
-            self._rows, self._cols, weight * self._values + (1 - weight) * other._values
+            self._rows, self._cols, weight * self._values + (1 - weight) * values
         )
 
     def transposed(self) -> "SimilarityMatrix":
@@ -96,6 +120,29 @@ class SimilarityMatrix:
     def to_dict(self) -> dict[tuple[str, str], float]:
         """A plain ``{(row, col): similarity}`` dictionary."""
         return {(row, col): value for row, col, value in self.pairs()}
+
+    def to_record(self, dtype: np.dtype | type | str | None = None) -> dict[str, Any]:
+        """A picklable record of this matrix, optionally narrowed to *dtype*.
+
+        The store keeps directional matrices at the dtype the fixpoint ran
+        at (``EMSConfig.np_dtype``).  Values produced by a float32 run are
+        held here as float64 that round-trips float32 exactly, so narrowing
+        on write and widening on read is lossless — and restoring through
+        :meth:`from_record` reproduces the original matrix bit-for-bit.
+        """
+        values = self._values if dtype is None else self._values.astype(dtype)
+        return {
+            "rows": self._rows,
+            "cols": self._cols,
+            "values": values,
+            "dtype": str(values.dtype),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "SimilarityMatrix":
+        """Rebuild a matrix from a :meth:`to_record` payload."""
+        values = np.asarray(record["values"], dtype=np.dtype(record["dtype"]))
+        return cls(tuple(record["rows"]), tuple(record["cols"]), values)
 
     def __repr__(self) -> str:
         return f"SimilarityMatrix({len(self._rows)} x {len(self._cols)})"

@@ -29,6 +29,34 @@ class MatchingError(ReproError):
     """A matching computation could not be carried out."""
 
 
+class MatrixLabelMismatch(MatchingError, ValueError):
+    """Two similarity matrices cover different node vocabularies.
+
+    Raised by :meth:`repro.core.matrix.SimilarityMatrix.combine` when the
+    row or column *label sets* of the operands differ — averaging such
+    matrices positionally would silently mix similarities of unrelated
+    node pairs.  ``axis`` names the offending dimension (``"rows"`` or
+    ``"cols"``); ``only_self`` / ``only_other`` carry the labels present
+    on one side but not the other, for actionable error messages.
+
+    Also a :class:`ValueError`: mismatched operands were always a value
+    problem, and callers predating the typed exception catch it as one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        axis: str = "rows",
+        only_self: tuple[str, ...] = (),
+        only_other: tuple[str, ...] = (),
+    ):
+        super().__init__(message)
+        self.axis = axis
+        self.only_self = only_self
+        self.only_other = only_other
+
+
 class BudgetExhausted(ReproError):
     """A matching run hit its :class:`repro.runtime.MatchBudget`.
 

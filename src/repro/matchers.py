@@ -24,7 +24,7 @@ from repro.baselines.common import (
 )
 from repro.core.composite import CompositeMatcher
 from repro.core.config import EMSConfig
-from repro.core.ems import EMSEngine
+from repro.core.ems import EMSEngine, EMSResult, WarmStart
 from repro.graph.dependency import DependencyGraph
 from repro.logs.log import EventLog
 from repro.logs.stats import LogStatistics
@@ -144,14 +144,64 @@ class EMSMatcher(EventMatcher):
         return self.match_graphs(graph_first, graph_second)
 
     def match_graphs(
-        self, graph_first: DependencyGraph, graph_second: DependencyGraph
+        self,
+        graph_first: DependencyGraph,
+        graph_second: DependencyGraph,
+        *,
+        fixed_forward: "WarmStart | None" = None,
+        fixed_backward: "WarmStart | None" = None,
     ) -> MatchOutcome:
-        """Match two already-built dependency graphs (1:1 events)."""
+        """Match two already-built dependency graphs (1:1 events).
+
+        ``fixed_forward`` / ``fixed_backward`` optionally warm-start the
+        directional fixpoints from carried values (Proposition 4); the
+        match store's partial-hit path uses this to re-iterate only the
+        pairs an appended tail could have changed.
+        """
+        outcome, _, _ = self.match_graphs_detailed(
+            graph_first, graph_second,
+            fixed_forward=fixed_forward, fixed_backward=fixed_backward,
+        )
+        return outcome
+
+    def match_graphs_detailed(
+        self,
+        graph_first: DependencyGraph,
+        graph_second: DependencyGraph,
+        *,
+        fixed_forward: "WarmStart | None" = None,
+        fixed_backward: "WarmStart | None" = None,
+    ) -> tuple[MatchOutcome, EMSResult, RuntimeReport]:
+        """Like :meth:`match_graphs`, but also expose the raw result.
+
+        The match store needs the :class:`EMSResult` (directional
+        matrices, convergence flags) to decide whether the computation is
+        persistable, and the :class:`RuntimeReport` to gate on the stage.
+        """
         members_first = {node: frozenset({node}) for node in graph_first.nodes}
         members_second = {node: frozenset({node}) for node in graph_second.nodes}
-        evaluation, runtime = self._evaluate_graphs(
+        evaluation, runtime, result = self._evaluate_graphs(
             graph_first, graph_second, members_first, members_second,
             started=self.observer.clock(),
+            fixed_forward=fixed_forward, fixed_backward=fixed_backward,
+        )
+        outcome = pairs_to_outcome(evaluation, members_first, members_second, runtime)
+        return outcome, result, runtime
+
+    def outcome_from_result(self, result: EMSResult) -> MatchOutcome:
+        """Complete a match from an already-computed :class:`EMSResult`.
+
+        The store-hit path: the similarity matrix was persisted by an
+        earlier run, so only the assignment and threshold filtering run —
+        the exact tail of :meth:`match_graphs`, on the exact same values,
+        producing a bit-identical outcome without graphs or fixpoint.
+        ``iterations`` / ``pair_updates`` report the stored computation.
+        """
+        matrix = result.matrix
+        members_first = {node: frozenset({node}) for node in matrix.rows}
+        members_second = {node: frozenset({node}) for node in matrix.cols}
+        evaluation, runtime = self._finish(
+            result, STAGE_EXACT, None, self.observer.clock()
         )
         return pairs_to_outcome(evaluation, members_first, members_second, runtime)
 
@@ -172,10 +222,11 @@ class EMSMatcher(EventMatcher):
             graph_second = DependencyGraph.from_log(
                 log_second, min_frequency=self.min_edge_frequency, members=members_second
             )
-        return self._evaluate_graphs(
+        evaluation, runtime, _ = self._evaluate_graphs(
             graph_first, graph_second, members_first, members_second,
             started=started,
         )
+        return evaluation, runtime
 
     def _evaluate_graphs(
         self,
@@ -185,7 +236,9 @@ class EMSMatcher(EventMatcher):
         members_second: Mapping[str, frozenset[str]],
         *,
         started: float,
-    ) -> tuple[Evaluation, RuntimeReport]:
+        fixed_forward: "WarmStart | None" = None,
+        fixed_backward: "WarmStart | None" = None,
+    ) -> tuple[Evaluation, RuntimeReport, EMSResult]:
         obs = self.observer
         label: LabelSimilarity = self.label_similarity
         if not isinstance(label, OpaqueSimilarity) and self.config.alpha < 1.0:
@@ -194,12 +247,34 @@ class EMSMatcher(EventMatcher):
             )
         engine = EMSEngine(self.config, label, observer=obs)
         if self.budget is None:
-            result = engine.similarity(graph_first, graph_second)
+            result = engine.similarity(
+                graph_first, graph_second,
+                fixed_forward=fixed_forward, fixed_backward=fixed_backward,
+            )
             stage, reason = STAGE_EXACT, None
         else:
             result, stage, reason = engine.similarity_resilient(
-                graph_first, graph_second, self.budget.start(obs.clock), self.degradation
+                graph_first, graph_second, self.budget.start(obs.clock), self.degradation,
+                fixed_forward=fixed_forward, fixed_backward=fixed_backward,
             )
+        evaluation, runtime = self._finish(result, stage, reason, started)
+        return evaluation, runtime, result
+
+    def _finish(
+        self,
+        result: EMSResult,
+        stage: str,
+        reason: str | None,
+        started: float,
+    ) -> tuple[Evaluation, RuntimeReport]:
+        """Assignment + threshold filtering: the shared match tail.
+
+        Both the live fixpoint path and the store-served path end here,
+        so a served matrix goes through the exact operations a computed
+        one does — bit-identity of the outcome reduces to bit-identity of
+        the matrix.
+        """
+        obs = self.observer
         matrix = result.matrix
         values = matrix.values
         with obs.span("match.assign", rows=len(matrix.rows), cols=len(matrix.cols)):

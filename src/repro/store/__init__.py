@@ -9,6 +9,13 @@ graphs across runs (:mod:`~repro.store.logstore`).
 :func:`ingest_statistics` / :func:`ingest_graph`
 (:mod:`~repro.store.pipeline`) tie the routes together and always yield
 results bit-identical to the batch path.
+
+On top of the log store sits the :class:`MatchStore`
+(:mod:`~repro.store.matchstore`): persisted similarity matrices keyed by
+content digests of both logs plus the matcher configuration, stored
+per-trace event rows for SQL count push-down, and
+:func:`match_stored` — the warm end-to-end match path that serves a
+repeated pair straight from the store and warm-starts a grown one.
 """
 
 from repro.store.blocks import (
@@ -24,7 +31,18 @@ from repro.store.logstore import (
     graph_content_key,
     ingest_key,
 )
-from repro.store.pipeline import IngestResult, ingest_graph, ingest_statistics
+from repro.store.matchstore import (
+    MatchStore,
+    matrix_content_key,
+    matrix_record,
+    restore_result,
+)
+from repro.store.pipeline import (
+    IngestResult,
+    ingest_graph,
+    ingest_statistics,
+    match_stored,
+)
 from repro.store.sharding import (
     DEFAULT_PARTITIONS,
     partition_csv,
@@ -39,6 +57,7 @@ __all__ = [
     "DEFAULT_PARTITIONS",
     "IngestResult",
     "LogStore",
+    "MatchStore",
     "TraceBlockWriter",
     "case_digest",
     "counts_content_key",
@@ -48,7 +67,11 @@ __all__ = [
     "ingest_key",
     "ingest_statistics",
     "iter_block",
+    "match_stored",
+    "matrix_content_key",
+    "matrix_record",
     "partition_csv",
+    "restore_result",
     "resolve_format",
     "shard_statistics",
     "spill_blocks",

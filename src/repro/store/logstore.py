@@ -51,10 +51,20 @@ from repro.obs import NULL_OBSERVER, Observer, get_logger
 _logger = get_logger(__name__)
 
 #: Bump when the row payload schema changes: a version-mismatched store
-#: is renamed aside and rebuilt rather than misread.
+#: is renamed aside and rebuilt rather than misread.  New *tables* are
+#: additive (``CREATE TABLE IF NOT EXISTS``) and do not bump the version,
+#: so a store written before a table existed keeps serving its old rows.
 _SCHEMA_VERSION = 1
 
-_TABLES = ("counts", "graphs")
+#: How often a statement blocked by another writer is retried before the
+#: operation degrades to a miss (on top of SQLite's own busy timeout).
+_LOCK_RETRIES = 5
+_LOCK_RETRY_WAIT = 0.05
+
+
+def _is_lock_error(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
 
 
 def file_digest(path: str | os.PathLike[str], limit: int | None = None) -> str:
@@ -127,6 +137,11 @@ class LogStore:
         and the ``store.{get,put}`` spans.
     """
 
+    #: Generic digest-verified LRU tables.  Subclasses extend this tuple
+    #: (and override :meth:`_create_extra_tables` for non-generic ones);
+    #: the schema builder and the eviction machinery follow it.
+    generic_tables: tuple[str, ...] = ("counts", "graphs")
+
     def __init__(
         self,
         path: str | os.PathLike[str],
@@ -153,53 +168,63 @@ class LogStore:
     def _connect(self) -> None:
         try:
             connection = sqlite3.connect(self.path)
+            self._configure(connection)
             version = connection.execute("PRAGMA user_version").fetchone()[0]
             if version not in (0, _SCHEMA_VERSION):
                 connection.close()
                 self._set_aside(f"schema version {version} is not {_SCHEMA_VERSION}")
                 connection = sqlite3.connect(self.path)
-            connection.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
-            for table in _TABLES:
-                connection.execute(
-                    f"CREATE TABLE IF NOT EXISTS {table} ("
-                    "  key TEXT PRIMARY KEY,"
-                    "  payload BLOB NOT NULL,"
-                    "  digest TEXT NOT NULL,"
-                    "  created REAL NOT NULL,"
-                    "  last_used REAL NOT NULL"
-                    ")"
-                )
-            connection.execute(
-                "CREATE TABLE IF NOT EXISTS ingests ("
-                "  key TEXT PRIMARY KEY,"
-                "  byte_count INTEGER NOT NULL,"
-                "  prefix_digest TEXT NOT NULL,"
-                "  header TEXT NOT NULL,"
-                "  counts_key TEXT NOT NULL"
-                ")"
-            )
-            connection.commit()
+                self._configure(connection)
+            self._create_schema(connection)
         except sqlite3.DatabaseError as error:
             # Not a SQLite file at all, or damaged beyond opening: set it
             # aside and start empty — a cold store, not a crash.
             self._set_aside(str(error))
             connection = sqlite3.connect(self.path)
-            connection.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
-            for table in _TABLES:
-                connection.execute(
-                    f"CREATE TABLE IF NOT EXISTS {table} ("
-                    "  key TEXT PRIMARY KEY, payload BLOB NOT NULL,"
-                    "  digest TEXT NOT NULL, created REAL NOT NULL,"
-                    "  last_used REAL NOT NULL)"
-                )
-            connection.execute(
-                "CREATE TABLE IF NOT EXISTS ingests ("
-                "  key TEXT PRIMARY KEY, byte_count INTEGER NOT NULL,"
-                "  prefix_digest TEXT NOT NULL, header TEXT NOT NULL,"
-                "  counts_key TEXT NOT NULL)"
-            )
-            connection.commit()
+            self._configure(connection)
+            self._create_schema(connection)
         self._connection = connection
+
+    @staticmethod
+    def _configure(connection: sqlite3.Connection) -> None:
+        """Concurrency pragmas: let two processes share one store.
+
+        WAL journaling allows a reader during a write, and the busy
+        timeout makes a second writer wait instead of failing instantly;
+        a statement that still times out is retried a few times in
+        :meth:`_execute` and then degrades to a miss — never a crash,
+        never a set-aside of a database another process is using.
+        """
+        connection.execute("PRAGMA busy_timeout = 5000")
+        connection.execute("PRAGMA journal_mode = WAL")
+
+    def _create_schema(self, connection: sqlite3.Connection) -> None:
+        """Create every table this store class needs (idempotent)."""
+        connection.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+        for table in self.generic_tables:
+            connection.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} ("
+                "  key TEXT PRIMARY KEY,"
+                "  payload BLOB NOT NULL,"
+                "  digest TEXT NOT NULL,"
+                "  created REAL NOT NULL,"
+                "  last_used REAL NOT NULL"
+                ")"
+            )
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS ingests ("
+            "  key TEXT PRIMARY KEY,"
+            "  byte_count INTEGER NOT NULL,"
+            "  prefix_digest TEXT NOT NULL,"
+            "  header TEXT NOT NULL,"
+            "  counts_key TEXT NOT NULL"
+            ")"
+        )
+        self._create_extra_tables(connection)
+        connection.commit()
+
+    def _create_extra_tables(self, connection: sqlite3.Connection) -> None:
+        """Hook for subclasses with tables outside the generic shape."""
 
     def _set_aside(self, reason: str) -> None:
         """Rename an unusable database out of the way (best effort)."""
@@ -225,26 +250,68 @@ class LogStore:
                 os.unlink(self.path)
             except OSError:
                 pass
+        # A recreated database must not inherit the old WAL sidecars.
+        for suffix in ("-wal", "-shm"):
+            try:
+                os.unlink(os.fspath(self.path) + suffix)
+            except OSError:
+                pass
 
     def _execute(self, *args) -> sqlite3.Cursor | None:
-        """Run one statement; database-level corruption degrades to None."""
+        """Run one statement; database-level corruption degrades to None.
+
+        A database held by a concurrent writer is *not* corruption: the
+        statement is retried (on top of SQLite's busy timeout) and, if the
+        lock persists, degrades to ``None`` — a miss — without touching
+        the other process's data.
+        """
         if self._connection is None:
             self._connect()
-        try:
-            assert self._connection is not None
-            return self._connection.execute(*args)
-        except sqlite3.DatabaseError as error:
-            self._set_aside(str(error))
-            self._connect()
-            return None
-
-    def _commit(self) -> None:
-        if self._connection is not None:
+        for _ in range(_LOCK_RETRIES):
             try:
-                self._connection.commit()
+                assert self._connection is not None
+                return self._connection.execute(*args)
+            except sqlite3.OperationalError as error:
+                if not _is_lock_error(error):
+                    self._set_aside(str(error))
+                    self._connect()
+                    return None
+                time.sleep(_LOCK_RETRY_WAIT)
             except sqlite3.DatabaseError as error:
                 self._set_aside(str(error))
                 self._connect()
+                return None
+        _logger.warning(
+            "log store %s is locked by another process; degrading to a miss",
+            self.path,
+        )
+        return None
+
+    def _commit(self) -> None:
+        if self._connection is None:
+            return
+        for _ in range(_LOCK_RETRIES):
+            try:
+                self._connection.commit()
+                return
+            except sqlite3.OperationalError as error:
+                if not _is_lock_error(error):
+                    self._set_aside(str(error))
+                    self._connect()
+                    return
+                time.sleep(_LOCK_RETRY_WAIT)
+            except sqlite3.DatabaseError as error:
+                self._set_aside(str(error))
+                self._connect()
+                return
+        _logger.warning(
+            "log store %s commit blocked by another process; rolling back",
+            self.path,
+        )
+        try:
+            self._connection.rollback()
+        except sqlite3.Error:
+            pass
 
     def close(self) -> None:
         if self._connection is not None:
@@ -267,6 +334,9 @@ class LogStore:
             "store_hits_total",
             help="log-store lookups served from persisted results",
         )
+
+    def _row_rejected(self, table: str) -> None:
+        """Hook for subclasses that keep per-table corruption counters."""
 
     def _get(self, table: str, key: str) -> Any | None:
         with self.observer.span("store.get", table=table):
@@ -296,6 +366,7 @@ class LogStore:
                     "store_corrupt_total",
                     help="store rows or databases rejected at load time (cold path)",
                 )
+                self._row_rejected(table)
                 self._execute(f"DELETE FROM {table} WHERE key = ?", (key,))
                 self._commit()
                 self._miss()
@@ -330,17 +401,23 @@ class LogStore:
         excess = cursor.fetchone()[0] - self.max_entries
         if excess <= 0:
             return
-        self._execute(
-            f"DELETE FROM {table} WHERE key IN ("
-            f"  SELECT key FROM {table} ORDER BY last_used ASC LIMIT ?"
-            ")",
-            (excess,),
+        cursor = self._execute(
+            f"SELECT key FROM {table} ORDER BY last_used ASC LIMIT ?", (excess,)
         )
+        keys = [row[0] for row in cursor.fetchall()] if cursor is not None else []
+        if not keys:
+            return
+        marks = ",".join("?" for _ in keys)
+        self._execute(f"DELETE FROM {table} WHERE key IN ({marks})", keys)
         self.observer.count(
             "store_evictions_total",
-            amount=float(excess),
+            amount=float(len(keys)),
             help="store rows dropped by the LRU size bound",
         )
+        self._on_evicted(table, keys)
+
+    def _on_evicted(self, table: str, keys: list[str]) -> None:
+        """Hook: rows of *table* were LRU-evicted (cascade cleanup)."""
 
     # ------------------------------------------------------------------
     # Typed accessors

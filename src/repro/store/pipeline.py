@@ -34,12 +34,18 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
+import numpy as np
+
+from repro.core.ems import WarmStart
+from repro.exceptions import LogFormatError
 from repro.graph.dependency import DependencyGraph
+from repro.graph.reachability import real_ancestors, real_descendants
 from repro.logs.csvio import _read_rows
 from repro.logs.stats import LogStatistics
 from repro.logs.streaming import OnlineStatistics
+from repro.logs.xes import iter_xes_traces
 from repro.obs import NULL_OBSERVER, Observer, get_logger
 from repro.runtime.report import IngestionReport
 from repro.runtime.supervise import RetryPolicy
@@ -51,12 +57,22 @@ from repro.store.logstore import (
     graph_content_key,
     ingest_key,
 )
+from repro.store.matchstore import (
+    MatchStore,
+    matrix_content_key,
+    matrix_record,
+    restore_result,
+)
 from repro.store.sharding import (
     resolve_format,
     shard_statistics,
     spill_blocks,
     stream_traces,
 )
+
+if TYPE_CHECKING:
+    from repro.baselines.common import MatchOutcome
+    from repro.matchers import EMSMatcher
 
 _logger = get_logger(__name__)
 
@@ -78,6 +94,10 @@ class IngestResult:
     mode: str
     shards: int = 0
     counts_key: str | None = None
+    #: On the append fast path, the counts key the file had *before* it
+    #: grew — the match store looks up the previous pair's similarity
+    #: matrix under it to warm-start the fixpoint (a partial hit).
+    previous_counts_key: str | None = None
 
 
 class _NameSink:
@@ -117,6 +137,85 @@ def _digesting(
     for case_id, activities in traces:
         sink.add(case_digest(case_id))
         yield case_id, activities
+
+
+#: Event rows are staged into the match store in batches of this size.
+_ROW_BATCH = 4096
+
+
+def _recording_rows(
+    traces: Iterator[tuple[str | None, tuple[str, ...]]],
+    store: "MatchStore",
+    key: str,
+    start: int = 0,
+) -> Iterator[tuple[str | None, tuple[str, ...]]]:
+    """Tee the trace stream into the store's ``events`` table.
+
+    Rows are staged (not committed) while streaming; the caller's final
+    ``put_counts`` commits them atomically with the counts row, so a
+    crash mid-stream never leaves partial rows behind a valid-looking
+    counts key.
+    """
+    batch: list[tuple[str, int, int, str]] = []
+    index = start
+    for case_id, activities in traces:
+        for pos, activity in enumerate(activities):
+            batch.append((key, index, pos, activity))
+        index += 1
+        if len(batch) >= _ROW_BATCH:
+            store.insert_event_rows(batch)
+            batch.clear()
+        yield case_id, activities
+    if batch:
+        store.insert_event_rows(batch)
+
+
+def _xes_append_offset(path: str | os.PathLike[str]) -> int | None:
+    """Byte offset of the final ``</log`` closing tag, or ``None``.
+
+    An XES file "grows" by rewriting its closing tag further down — the
+    stable prefix ends where ``</log>`` began.  Only the unprefixed
+    closing tag is recognized (namespace-prefixed documents get no
+    bookkeeping and simply never take the fast path).
+    """
+    size = os.path.getsize(path)
+    window = min(size, 1 << 16)
+    with open(path, "rb") as handle:
+        handle.seek(size - window)
+        tail = handle.read(window)
+    found = tail.rfind(b"</log")
+    if found < 0:
+        return None
+    return size - window + found
+
+
+def _parse_xes_tail(
+    tail_bytes: bytes, on_error: str, report: IngestionReport
+) -> list[tuple[str | None, tuple[str, ...]]] | None:
+    """Parse the appended region of a grown XES file, or ``None``.
+
+    The tail (everything from the old ``</log>`` offset on: the new
+    traces, the relocated closing tag, any trailing whitespace) is
+    wrapped in a synthetic ``<log>`` root and streamed through the
+    ordinary reader.  A tail the wrapper cannot parse returns ``None`` —
+    the cold path re-parses the whole file and reports any genuine
+    defect with full context.
+    """
+    try:
+        return [
+            (trace.case_id, trace.activities)
+            for trace in iter_xes_traces(
+                io.BytesIO(b"<log>" + tail_bytes), on_error, report
+            )
+        ]
+    except LogFormatError:
+        return None
+
+
+def _ends_in_newline(path: str | os.PathLike[str]) -> bool:
+    with open(path, "rb") as handle:
+        handle.seek(-1, os.SEEK_END)
+        return handle.read(1) == b"\n"
 
 
 def _csv_header(path: str | os.PathLike[str]) -> str | None:
@@ -171,7 +270,19 @@ def ingest_statistics(
         counts_key = counts_content_key(content, fmt, on_error)
         record = store.get_counts(counts_key)
         if record is not None:
-            stats = _seed_from_record(record)
+            # Leg 2 of the match store: for a MatchStore the per-trace
+            # event rows are aggregated by SQL window functions inside
+            # SQLite (verified against the counts row's trace count), so
+            # no per-trace Python structure is ever touched.  A plain
+            # LogStore — or missing/corrupt rows — seeds from the
+            # aggregated counts blob instead; both are bit-identical.
+            stats = None
+            if isinstance(store, MatchStore):
+                stats = store.sql_statistics(
+                    counts_key, expected_traces=record["trace_count"]
+                )
+            if stats is None:
+                stats = _seed_from_record(record)
             return IngestResult(
                 statistics=stats.snapshot(),
                 log_name=record["log_name"],
@@ -179,9 +290,9 @@ def ingest_statistics(
                 counts_key=counts_key,
             )
         appended = None
-        if fmt == "csv":
+        if fmt in ("csv", "xes"):
             appended = _try_append(
-                source, on_error, report, store, counts_key, content, observer
+                source, fmt, on_error, report, store, counts_key, content, observer
             )
         if appended is not None:
             return appended
@@ -190,6 +301,7 @@ def ingest_statistics(
     name_sink = _NameSink(Path(source).stem)
     mode = "streamed"
     shards = 0
+    recording = isinstance(store, MatchStore) and counts_key is not None
     with tempfile.TemporaryDirectory(prefix="repro-ingest-") as scratch:
         scratch_dir = Path(scratch)
         traces = stream_traces(
@@ -199,24 +311,37 @@ def ingest_statistics(
         )
         if store is not None:
             traces = _digesting(traces, digests)
-        if shard_traces is not None:
-            if shard_traces < 1:
-                raise ValueError(f"shard_traces must be >= 1, got {shard_traces}")
-            with observer.span("ingest.spill", source=os.fspath(source)):
-                blocks = spill_blocks(
-                    traces, scratch_dir / "blocks", block_traces=shard_traces
+        if recording:
+            assert isinstance(store, MatchStore) and counts_key is not None
+            store.delete_trace_rows(counts_key)
+            traces = _recording_rows(traces, store, counts_key)
+        try:
+            if shard_traces is not None:
+                if shard_traces < 1:
+                    raise ValueError(f"shard_traces must be >= 1, got {shard_traces}")
+                with observer.span("ingest.spill", source=os.fspath(source)):
+                    blocks = spill_blocks(
+                        traces, scratch_dir / "blocks", block_traces=shard_traces
+                    )
+                shards = len(blocks)
+                stats = shard_statistics(
+                    blocks, workers=workers, policy=policy,
+                    task_timeout=task_timeout, observer=observer,
                 )
-            shards = len(blocks)
-            stats = shard_statistics(
-                blocks, workers=workers, policy=policy,
-                task_timeout=task_timeout, observer=observer,
-            )
-            mode = "sharded"
-        else:
-            stats = OnlineStatistics()
-            with observer.span("ingest.stream", source=os.fspath(source)):
-                for _, activities in traces:
-                    stats.add_sequence(activities)
+                mode = "sharded"
+            else:
+                stats = OnlineStatistics()
+                with observer.span("ingest.stream", source=os.fspath(source)):
+                    for _, activities in traces:
+                        stats.add_sequence(activities)
+        except BaseException:
+            # Drop any staged trace rows: a half-streamed ingest must not
+            # leave rows that a later SQL aggregation could mistake for a
+            # complete log.
+            if recording:
+                assert isinstance(store, MatchStore)
+                store.rollback()
+            raise
 
     if store is not None and counts_key is not None:
         store.put_counts(
@@ -232,6 +357,16 @@ def ingest_statistics(
                     header,
                     counts_key,
                 )
+        elif fmt == "xes":
+            offset = _xes_append_offset(source)
+            if offset is not None and offset > 0:
+                store.put_ingest(
+                    ingest_key(source, fmt, on_error),
+                    offset,
+                    file_digest(source, limit=offset),
+                    "",
+                    counts_key,
+                )
     return IngestResult(
         statistics=stats.snapshot(),
         log_name=name_sink.value,
@@ -243,6 +378,7 @@ def ingest_statistics(
 
 def _try_append(
     source: str | os.PathLike[str],
+    fmt: str,
     on_error: str,
     report: IngestionReport,
     store: LogStore,
@@ -250,20 +386,32 @@ def _try_append(
     content: str,
     observer: Observer,
 ) -> IngestResult | None:
-    """The CSV append fast path, or ``None`` when it cannot apply.
+    """The append fast path (CSV and XES), or ``None`` when inapplicable.
 
     Every check errs toward the cold path: a shrunk or rewritten
-    prefix, a prior row whose counts were evicted, a tail that is not
-    valid UTF-8, or tail cases overlapping the stored case set all
-    return ``None`` — the caller then parses everything from scratch.
+    prefix, a prior row whose counts were evicted, a tail that cannot be
+    parsed in isolation, or tail cases overlapping the stored case set
+    all return ``None`` — the caller then parses everything from scratch.
+
+    For CSV the stable prefix is the whole previously ingested file; for
+    XES it ends at the old ``</log>`` offset (appending to XES rewrites
+    the closing tag further down), and the tail is parsed by wrapping it
+    in a synthetic ``<log>`` root.
     """
-    key = ingest_key(source, "csv", on_error)
+    key = ingest_key(source, fmt, on_error)
     prior = store.get_ingest(key)
     if prior is None:
         return None
     size = os.path.getsize(source)
-    if size <= prior["byte_count"]:
-        return None
+    if fmt == "csv":
+        if size <= prior["byte_count"]:
+            return None
+        new_byte_count = size
+    else:
+        offset = _xes_append_offset(source)
+        if offset is None or offset < prior["byte_count"]:
+            return None
+        new_byte_count = offset
     if file_digest(source, limit=prior["byte_count"]) != prior["prefix_digest"]:
         return None
     record = store.get_counts(prior["counts_key"])
@@ -272,18 +420,27 @@ def _try_append(
     with open(source, "rb") as handle:
         handle.seek(prior["byte_count"])
         tail_bytes = handle.read()
-    try:
-        tail_text = tail_bytes.decode("utf-8")
-    except UnicodeDecodeError:
-        return None
 
     with observer.span("ingest.append", source=os.fspath(source)):
-        tail_log = _read_rows(
-            io.StringIO(prior["header"] + tail_text),
-            Path(source).stem, on_error, report,
-        )
+        if fmt == "csv":
+            try:
+                tail_text = tail_bytes.decode("utf-8")
+            except UnicodeDecodeError:
+                return None
+            tail_log = _read_rows(
+                io.StringIO(prior["header"] + tail_text),
+                Path(source).stem, on_error, report,
+            )
+            tail_traces = [
+                (trace.case_id, trace.activities) for trace in tail_log
+            ]
+        else:
+            parsed = _parse_xes_tail(tail_bytes, on_error, report)
+            if parsed is None:
+                return None
+            tail_traces = parsed
         stored_digests: frozenset[bytes] = record["case_digests"]
-        tail_digests = {case_digest(trace.case_id) for trace in tail_log}
+        tail_digests = {case_digest(case_id) for case_id, _ in tail_traces}
         if tail_digests & stored_digests:
             _logger.info(
                 "append fast path for %s declined: tail cases overlap the "
@@ -291,23 +448,67 @@ def _try_append(
             )
             return None
         tail_stats = OnlineStatistics()
-        tail_stats.add_log(tail_log)
+        for _, activities in tail_traces:
+            tail_stats.add_sequence(activities)
         total = _seed_from_record(record)
         tail_stats.merge_into(total)
 
+    if isinstance(store, MatchStore):
+        _extend_trace_rows(
+            store, prior["counts_key"], counts_key,
+            record["trace_count"], tail_traces,
+        )
     store.put_counts(
         counts_key,
         _counts_record(
             total, stored_digests | tail_digests, record["log_name"]
         ),
     )
-    store.put_ingest(key, size, content, prior["header"], counts_key)
+    # Refresh the bookkeeping for the *next* append — unless the grown
+    # CSV no longer ends in a newline (a future append could then
+    # continue the torn final row mid-field, and the prefix digest would
+    # not catch it; the stale row stays and the case-overlap gate forces
+    # the next ingest cold).
+    if fmt == "xes":
+        store.put_ingest(
+            key, new_byte_count,
+            file_digest(source, limit=new_byte_count), "", counts_key,
+        )
+    elif _ends_in_newline(source):
+        store.put_ingest(key, new_byte_count, content, prior["header"], counts_key)
     return IngestResult(
         statistics=total.snapshot(),
         log_name=record["log_name"],
         mode="store-append",
         counts_key=counts_key,
+        previous_counts_key=prior["counts_key"],
     )
+
+
+def _extend_trace_rows(
+    store: MatchStore,
+    old_key: str,
+    new_key: str,
+    stored_traces: int,
+    tail_traces: list[tuple[str | None, tuple[str, ...]]],
+) -> None:
+    """Carry stored trace rows across an append (staged, not committed).
+
+    Only sound when the old key's rows are complete (their trace count
+    matches the digest-verified counts row); otherwise any rows under
+    either key are dropped and SQL push-down simply has nothing for this
+    log until the next cold ingest.
+    """
+    if store.stored_trace_count(old_key) == stored_traces:
+        store.rekey_trace_rows(old_key, new_key)
+        rows: list[tuple[str, int, int, str]] = []
+        for index, (_, activities) in enumerate(tail_traces, start=stored_traces):
+            for pos, activity in enumerate(activities):
+                rows.append((new_key, index, pos, activity))
+        store.insert_event_rows(rows)
+    else:
+        store.delete_trace_rows(old_key)
+        store.delete_trace_rows(new_key)
 
 
 def ingest_graph(
@@ -349,3 +550,290 @@ def ingest_graph(
     if store is not None and graph_key is not None:
         store.put_graph(graph_key, graph)
     return graph, result
+
+
+# ----------------------------------------------------------------------
+# Warm end-to-end matching
+# ----------------------------------------------------------------------
+def match_stored(
+    source_first: str | os.PathLike[str],
+    source_second: str | os.PathLike[str],
+    fmt: str = "auto",
+    on_error: str = "raise",
+    *,
+    matcher: "EMSMatcher",
+    store: MatchStore,
+    reports: tuple[IngestionReport | None, IngestionReport | None] = (None, None),
+    shard_traces: int | None = None,
+    workers: int = 0,
+    policy: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    label_key: str = "opaque",
+    observer: Observer | None = None,
+) -> tuple["MatchOutcome", dict[str, Any]]:
+    """Match two log files through the match store, warmest route first.
+
+    Route selection, every step bit-identical to a cold in-memory match:
+
+    1. **full hit** — both files' content digests and the matcher's
+       configuration key to a stored similarity matrix: the restored
+       matrix goes straight to assignment; no parse, no graphs, no
+       fixpoint (``match_mode="store"``);
+    2. **partial hit** — the pair misses but one (or both) sides grew
+       via the append fast path and the *previous* pair's matrix is
+       stored: the fixpoint is warm-started from it, re-iterating only
+       pairs whose Proposition-4 dependency closure the appended tail
+       could have changed (``match_mode="store-partial"``);
+    3. **computed** — a cold fixpoint; the finished matrix is persisted
+       for next time when it is exact, converged and unbudgeted
+       (``match_mode="computed"``).
+
+    Budgeted matchers bypass the matrix store entirely (the evalcache
+    precedent: budget accounting must reflect real work), but still use
+    the counts/graph stores underneath.
+
+    Returns ``(outcome, provenance)`` — provenance carries
+    ``match_mode``, the matrix key, per-side ingest modes and log names.
+    """
+    observer = observer if observer is not None else NULL_OBSERVER
+    config = matcher.config
+    min_frequency = matcher.min_edge_frequency
+    usable = matcher.budget is None
+
+    fmt_first = resolve_format(source_first, fmt)
+    fmt_second = resolve_format(source_second, fmt)
+    ck_first = counts_content_key(file_digest(source_first), fmt_first, on_error)
+    ck_second = counts_content_key(file_digest(source_second), fmt_second, on_error)
+    mkey = matrix_content_key(ck_first, ck_second, min_frequency, config, label_key)
+
+    if usable:
+        with observer.span("match.store.lookup", key=mkey[:12]):
+            record = store.get_matrix(mkey)
+        if record is not None:
+            outcome = matcher.outcome_from_result(restore_result(record))
+            names = record["log_names"]
+            return outcome, {
+                "match_mode": "store",
+                "matrix_key": mkey,
+                "ingest_modes": ("store", "store"),
+                "log_names": (str(names[0]), str(names[1])),
+                "pairs_warm": 0,
+            }
+
+    sides = []
+    for source, side_fmt, report in (
+        (source_first, fmt_first, reports[0]),
+        (source_second, fmt_second, reports[1]),
+    ):
+        try:
+            sides.append(ingest_graph(
+                source, side_fmt, on_error, report,
+                min_frequency=min_frequency, shard_traces=shard_traces,
+                workers=workers, store=store, policy=policy,
+                task_timeout=task_timeout, observer=observer,
+            ))
+        except LogFormatError as error:
+            # Tag the failing side so callers can dead-letter the right
+            # file — both sides are ingested inside this one call.
+            error.source = os.fspath(source)  # type: ignore[attr-defined]
+            raise
+    (graph_first, res_first), (graph_second, res_second) = sides
+
+    fixed: dict[str, WarmStart] = {}
+    # Partial warm starts are only sound when each pair's final value is
+    # determined by its own dependency closure: Proposition-2 pruning
+    # freezes every pair at its level, independent of global stopping.
+    # Without pruning (or with the closed-form estimation) the global
+    # iteration count couples all pairs, so fall back to a cold fixpoint.
+    if (
+        usable
+        and config.use_pruning
+        and config.estimation_iterations is None
+        and (res_first.previous_counts_key or res_second.previous_counts_key)
+    ):
+        fixed = _stored_warm_starts(
+            store, (graph_first, graph_second), (res_first, res_second),
+            min_frequency, config, label_key, observer,
+        )
+
+    outcome, result, runtime = matcher.match_graphs_detailed(
+        graph_first, graph_second,
+        fixed_forward=fixed.get("forward"),
+        fixed_backward=fixed.get("backward"),
+    )
+    if (
+        usable
+        and runtime.stage == "exact"
+        and result.converged
+        and not result.estimated
+        and result.directional
+    ):
+        store.put_matrix(
+            mkey,
+            matrix_record(result, config, (res_first.log_name, res_second.log_name)),
+        )
+    return outcome, {
+        "match_mode": "store-partial" if fixed else "computed",
+        "matrix_key": mkey,
+        "ingest_modes": (res_first.mode, res_second.mode),
+        "log_names": (res_first.log_name, res_second.log_name),
+        "pairs_warm": sum(w.pairs_fixed for w in fixed.values()),
+    }
+
+
+def _stored_warm_starts(
+    store: MatchStore,
+    graphs: tuple[DependencyGraph, DependencyGraph],
+    results: tuple[IngestResult, IngestResult],
+    min_frequency: float,
+    config: Any,
+    label_key: str,
+    observer: Observer,
+) -> dict[str, WarmStart]:
+    """Warm starts from the previous pair's stored matrix, or ``{}``.
+
+    Every bail-out path returns ``{}`` — a cold fixpoint, never a wrong
+    answer.
+    """
+    prev_first = results[0].previous_counts_key or results[0].counts_key
+    prev_second = results[1].previous_counts_key or results[1].counts_key
+    if prev_first is None or prev_second is None:
+        return {}
+    old_key = matrix_content_key(
+        prev_first, prev_second, min_frequency, config, label_key
+    )
+    with observer.span("match.store.lookup", key=old_key[:12]):
+        record = store.get_matrix(old_key)
+    if record is None:
+        return {}
+
+    changed: list[set[str]] = []
+    for side, (graph, result, prev_key, labels) in enumerate(
+        (
+            (graphs[0], results[0], prev_first, tuple(record["rows"])),
+            (graphs[1], results[1], prev_second, tuple(record["cols"])),
+        )
+    ):
+        if result.previous_counts_key is None:
+            # This side did not grow: the stored matrix was computed on
+            # this very graph — provided the stored grid matches it.
+            if labels != graph.nodes:
+                return {}
+            changed.append(set())
+            continue
+        old_graph = _stored_graph(store, prev_key, min_frequency)
+        if old_graph is None or labels != old_graph.nodes:
+            return {}
+        changed.append(_changed_nodes(old_graph, graph))
+
+    directional = record["directional"]
+    warm: dict[str, WarmStart] = {}
+    for name in (
+        ("forward", "backward") if config.direction == "both"
+        else (config.direction,)
+    ):
+        stored = directional.get(name)
+        if stored is None:
+            return {}
+        if name == "forward":
+            dirty_first = _dirty_mask(
+                graphs[0], changed[0], real_descendants)
+            dirty_second = _dirty_mask(
+                graphs[1], changed[1], real_descendants)
+        else:
+            dirty_first = _dirty_mask(graphs[0], changed[0], real_ancestors)
+            dirty_second = _dirty_mask(graphs[1], changed[1], real_ancestors)
+        values = _mapped_values(
+            stored["values"],
+            tuple(record["rows"]), tuple(record["cols"]),
+            graphs[0].nodes, graphs[1].nodes,
+            config.np_dtype,
+        )
+        warm[name] = WarmStart(
+            values=values,
+            dirty=dirty_first[:, None] | dirty_second[None, :],
+        )
+    return warm
+
+
+def _stored_graph(
+    store: MatchStore, counts_key: str, min_frequency: float
+) -> DependencyGraph | None:
+    """The dependency graph of a *previous* stored ingest, if recoverable."""
+    graph = store.get_graph(graph_content_key(counts_key, min_frequency))
+    if graph is not None:
+        return graph
+    record = store.get_counts(counts_key)
+    if record is None:
+        return None
+    stats = _seed_from_record(record)
+    return DependencyGraph.from_statistics(
+        stats.snapshot(), name=record["log_name"], min_frequency=min_frequency
+    )
+
+
+def _changed_nodes(old: DependencyGraph, new: DependencyGraph) -> set[str]:
+    """Nodes of *new* whose local structure differs from *old*.
+
+    A node is changed when it is new, its frequency moved, or any
+    incident real edge appeared, disappeared or changed weight.
+    Artificial edges carry the node's own frequency on both ends, so the
+    frequency check covers them.  A node *removed* by the append (its
+    frequency fell below ``min_frequency``) marks its old neighbours
+    through the edge differences.
+    """
+    old_nodes, new_nodes = set(old.nodes), set(new.nodes)
+    changed = new_nodes - old_nodes
+    for node in old_nodes & new_nodes:
+        if old.frequency(node) != new.frequency(node):
+            changed.add(node)
+    old_edges, new_edges = old.real_edges, new.real_edges
+    for edge in set(old_edges).symmetric_difference(new_edges):
+        changed.update(edge)
+    for edge in set(old_edges) & set(new_edges):
+        if old_edges[edge] != new_edges[edge]:
+            changed.update(edge)
+    return changed & new_nodes
+
+
+def _dirty_mask(graph: DependencyGraph, changed: set[str], closure) -> np.ndarray:
+    """Boolean dirty flags over ``graph.nodes``: changed plus closure.
+
+    *closure* is ``real_descendants`` for the forward direction (a
+    pair's value depends on its predecessors, so changes flow downstream)
+    and ``real_ancestors`` for the backward one (which runs on reversed
+    graphs).
+    """
+    if changed:
+        dirty = set(changed) | closure(graph, changed)
+    else:
+        dirty = set()
+    return np.array([node in dirty for node in graph.nodes], dtype=bool)
+
+
+def _mapped_values(
+    stored: np.ndarray,
+    old_rows: tuple[str, ...],
+    old_cols: tuple[str, ...],
+    new_rows: tuple[str, ...],
+    new_cols: tuple[str, ...],
+    dtype: Any,
+) -> np.ndarray:
+    """Stored similarity values re-indexed onto the new node grids.
+
+    Pairs without a stored value (a node the append introduced) are left
+    at zero — they are necessarily dirty and re-iterate from scratch.
+    """
+    values = np.zeros((len(new_rows), len(new_cols)), dtype=dtype)
+    row_pos = {node: i for i, node in enumerate(old_rows)}
+    col_pos = {node: j for j, node in enumerate(old_cols)}
+    rows_new = [i for i, node in enumerate(new_rows) if node in row_pos]
+    rows_old = [row_pos[node] for node in new_rows if node in row_pos]
+    cols_new = [j for j, node in enumerate(new_cols) if node in col_pos]
+    cols_old = [col_pos[node] for node in new_cols if node in col_pos]
+    if rows_new and cols_new:
+        values[np.ix_(rows_new, cols_new)] = stored[
+            np.ix_(rows_old, cols_old)
+        ].astype(dtype)
+    return values
+

@@ -207,3 +207,53 @@ class TestEviction:
             assert all(store.get_graph(f"g{i}") for i in range(2))
         finally:
             store.close()
+
+
+def _hammer_store(path, worker_id, rounds, barrier):
+    """Child-process body: interleaved writes/reads on one shared key."""
+    store = LogStore(path, max_entries=None)
+    try:
+        barrier.wait(timeout=30)
+        for i in range(rounds):
+            store.put_counts("shared", record(trace_count=worker_id + 1))
+            store.get_counts("shared")
+            store.put_counts(f"w{worker_id}-{i}", record())
+    finally:
+        store.close()
+
+
+class TestConcurrentAccess:
+    def test_two_writers_never_corrupt_the_database(self, tmp_path):
+        # WAL mode + busy-timeout + the lock-retry loop in _execute:
+        # concurrent writers serialize on the SQLite lock instead of
+        # tripping the corruption quarantine (a transient "database is
+        # locked" must NEVER set a shared database aside).
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        path = tmp_path / "store.db"
+        LogStore(path).close()  # create the schema up front
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(
+                target=_hammer_store, args=(path, worker_id, 25, barrier)
+            )
+            for worker_id in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        # No set-aside happened and every row is intact.
+        assert not path.with_name("store.db.corrupt").exists()
+        store = LogStore(path)
+        try:
+            shared = store.get_counts("shared")
+            assert shared is not None
+            assert shared["trace_count"] in (1, 2)  # one writer's value
+            for worker_id in range(2):
+                for i in range(25):
+                    assert store.get_counts(f"w{worker_id}-{i}") is not None
+        finally:
+            store.close()

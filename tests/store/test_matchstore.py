@@ -1,0 +1,301 @@
+"""MatchStore: matrix persistence, SQL push-down, corruption contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.core.ems import EMSEngine
+from repro.graph.dependency import DependencyGraph
+from repro.logs.log import EventLog
+from repro.logs.stats import compute_statistics
+from repro.obs import MetricsRegistry, Observer
+from repro.store.matchstore import (
+    MatchStore,
+    matrix_content_key,
+    matrix_record,
+    restore_result,
+)
+
+
+def make_logs():
+    first = EventLog(
+        [["a", "b", "c"], ["a", "c"], ["a", "b", "b", "c"]], name="first"
+    )
+    second = EventLog(
+        [["x", "y", "z"], ["x", "z"], ["x", "y", "z", "z"]], name="second"
+    )
+    return first, second
+
+
+def make_result(config=None):
+    first, second = make_logs()
+    graphs = (DependencyGraph.from_log(first), DependencyGraph.from_log(second))
+    return EMSEngine(config or EMSConfig()).similarity(*graphs)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = MatchStore(tmp_path / "match.db")
+    yield store
+    store.close()
+
+
+class TestMatrixKey:
+    def test_deterministic(self):
+        config = EMSConfig()
+        assert matrix_content_key("c1", "c2", 0.0, config) == matrix_content_key(
+            "c1", "c2", 0.0, config
+        )
+
+    def test_sensitive_to_each_input(self):
+        config = EMSConfig()
+        base = matrix_content_key("c1", "c2", 0.0, config)
+        assert matrix_content_key("cX", "c2", 0.0, config) != base
+        assert matrix_content_key("c1", "cX", 0.0, config) != base
+        assert matrix_content_key("c1", "c2", 0.2, config) != base
+        assert matrix_content_key("c1", "c2", 0.0, config, "labels") != base
+
+    def test_order_of_logs_matters(self):
+        config = EMSConfig()
+        assert matrix_content_key("c1", "c2", 0.0, config) != matrix_content_key(
+            "c2", "c1", 0.0, config
+        )
+
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            {"alpha": 0.7},
+            {"c": 0.5},
+            {"epsilon": 1e-6},
+            {"max_iterations": 7},
+            {"direction": "forward"},
+            {"use_pruning": False},
+            {"estimation_iterations": 3},
+            {"kernel": "sparse"},
+            {"dtype": "float32"},
+        ],
+    )
+    def test_sensitive_to_config_knobs(self, knob):
+        base = matrix_content_key("c1", "c2", 0.0, EMSConfig())
+        assert matrix_content_key("c1", "c2", 0.0, EMSConfig(**knob)) != base
+
+    def test_threshold_free_knobs_do_not_key(self):
+        # incremental/screening/best_first only steer the composite
+        # search, never the similarity values — same key.
+        base = matrix_content_key("c1", "c2", 0.0, EMSConfig())
+        assert matrix_content_key(
+            "c1", "c2", 0.0, EMSConfig(incremental=False, screening=False)
+        ) == base
+
+
+class TestMatrixRoundTrip:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_bitwise_round_trip(self, store, dtype):
+        config = EMSConfig(dtype=dtype)
+        result = make_result(config)
+        record = matrix_record(result, config, ("first", "second"))
+        store.put_matrix("k", record)
+        loaded = store.get_matrix("k")
+        assert loaded is not None
+        restored = restore_result(loaded)
+        assert restored.matrix.rows == result.matrix.rows
+        assert restored.matrix.cols == result.matrix.cols
+        np.testing.assert_array_equal(
+            restored.matrix.values, result.matrix.values
+        )
+        for name, matrix in result.directional.items():
+            np.testing.assert_array_equal(
+                restored.directional[name].values, matrix.values
+            )
+        assert restored.iterations == result.iterations
+        assert restored.converged == result.converged
+
+    def test_float32_storage_is_compact(self, store):
+        config32 = EMSConfig(dtype="float32")
+        record = matrix_record(make_result(config32), config32, ("a", "b"))
+        for sub in record["directional"].values():
+            assert sub["values"].dtype == np.float32
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        store = MatchStore(
+            tmp_path / "match.db", observer=Observer(metrics=registry)
+        )
+        try:
+            assert store.get_matrix("absent") is None
+            config = EMSConfig()
+            store.put_matrix(
+                "k", matrix_record(make_result(), config, ("a", "b"))
+            )
+            assert store.get_matrix("k") is not None
+            text = registry.to_prometheus_text()
+            assert "match_store_misses_total 1" in text
+            assert "match_store_hits_total 1" in text
+        finally:
+            store.close()
+
+
+class TestCorruptMatrixDegrades:
+    def put_valid(self, store, key="k"):
+        config = EMSConfig()
+        store.put_matrix(key, matrix_record(make_result(), config, ("a", "b")))
+
+    def test_malformed_record_is_a_counted_miss(self, tmp_path):
+        registry = MetricsRegistry()
+        store = MatchStore(
+            tmp_path / "match.db", observer=Observer(metrics=registry)
+        )
+        try:
+            store.put_matrix("k", {"not": "a matrix record"})
+            assert store.get_matrix("k") is None
+            text = registry.to_prometheus_text()
+            assert "match_store_corrupt_total 1" in text
+            assert "match_store_misses_total 1" in text
+            # The poisoned row is gone: the next lookup is a plain miss.
+            assert store.get_matrix("k") is None
+        finally:
+            store.close()
+
+    def test_wrong_shape_directional_rejected(self, store):
+        self.put_valid(store)
+        record = store.get_matrix("k")
+        record["directional"] = {
+            name: {**sub, "values": sub["values"][:1]}
+            for name, sub in record["directional"].items()
+        }
+        store.put_matrix("bad", record)
+        assert store.get_matrix("bad") is None
+
+    def test_flipped_bit_fails_row_digest(self, tmp_path):
+        # Reuses the logstore per-row sha256: corrupt payload bytes are
+        # rejected before deserialization even starts — and counted in
+        # the matrix quartet, not only the generic store counter.
+        registry = MetricsRegistry()
+        store = MatchStore(
+            tmp_path / "match.db", observer=Observer(metrics=registry)
+        )
+        try:
+            self.put_valid(store)
+            connection = store._connection
+            payload = connection.execute(
+                "SELECT payload FROM matrices WHERE key = 'k'"
+            ).fetchone()[0]
+            connection.execute(
+                "UPDATE matrices SET payload = ? WHERE key = 'k'",
+                (payload[:-1] + bytes([payload[-1] ^ 0xFF]),),
+            )
+            connection.commit()
+            assert store.get_matrix("k") is None
+            assert "match_store_corrupt_total 1" in registry.to_prometheus_text()
+        finally:
+            store.close()
+
+
+class TestSqlStatistics:
+    def insert_log(self, store, key, log):
+        rows = [
+            (key, index, pos, activity)
+            for index, trace in enumerate(log)
+            for pos, activity in enumerate(trace.activities)
+        ]
+        store.insert_event_rows(rows)
+        store._commit()
+
+    def test_parity_with_python_counting(self, store):
+        first, _ = make_logs()
+        self.insert_log(store, "k", first)
+        stats = store.sql_statistics("k")
+        assert stats is not None
+        assert stats.snapshot() == compute_statistics(first)
+
+    def test_distinct_per_trace_semantics(self, store):
+        # "b b" repeats inside one trace: Definition 1 counts traces
+        # containing the activity/pair, not occurrences.
+        log = EventLog([["a", "b", "b"], ["a"]], name="dup")
+        self.insert_log(store, "k", log)
+        stats = store.sql_statistics("k")
+        assert stats.activity_counts["b"] == 1
+        assert stats.pair_counts[("a", "b")] == 1
+        assert stats.pair_counts[("b", "b")] == 1
+
+    def test_no_rows_is_none(self, store):
+        assert store.sql_statistics("absent") is None
+
+    def test_trace_count_mismatch_drops_rows(self, tmp_path):
+        registry = MetricsRegistry()
+        store = MatchStore(
+            tmp_path / "match.db", observer=Observer(metrics=registry)
+        )
+        try:
+            first, _ = make_logs()
+            self.insert_log(store, "k", first)
+            assert store.sql_statistics("k", expected_traces=99) is None
+            assert "store_corrupt_total 1" in registry.to_prometheus_text()
+            assert store.stored_trace_count("k") == 0  # rows were dropped
+        finally:
+            store.close()
+
+    def test_rekey_moves_rows(self, store):
+        first, _ = make_logs()
+        self.insert_log(store, "old", first)
+        store.rekey_trace_rows("old", "new")
+        store._commit()
+        assert store.stored_trace_count("old") == 0
+        assert store.sql_statistics("new").snapshot() == compute_statistics(first)
+
+
+class TestEvictionCascade:
+    def counts_record(self, i):
+        return {
+            "trace_count": 1,
+            "activity_counts": {"a": 1},
+            "pair_counts": {},
+            "case_digests": [],
+            "log_name": f"log-{i}",
+        }
+
+    def test_counts_eviction_drops_trace_rows(self, tmp_path):
+        store = MatchStore(tmp_path / "match.db", max_entries=2)
+        try:
+            for i in range(2):
+                store.put_counts(f"k{i}", self.counts_record(i))
+                store.insert_event_rows([(f"k{i}", 0, 0, "a")])
+                store._commit()
+            store.put_counts("k2", self.counts_record(2))
+            assert store.get_counts("k0") is None  # evicted
+            assert store.stored_trace_count("k0") == 0  # rows cascaded
+            assert store.stored_trace_count("k1") == 1
+        finally:
+            store.close()
+
+    def test_matrix_eviction_counts_separately(self, tmp_path):
+        registry = MetricsRegistry()
+        store = MatchStore(
+            tmp_path / "match.db", max_entries=1,
+            observer=Observer(metrics=registry),
+        )
+        try:
+            config = EMSConfig()
+            record = matrix_record(make_result(), config, ("a", "b"))
+            store.put_matrix("m0", record)
+            store.put_matrix("m1", record)
+            assert store.get_matrix("m0") is None
+            assert "match_store_evictions_total 1" in registry.to_prometheus_text()
+        finally:
+            store.close()
+
+
+class TestInteroperability:
+    def test_logstore_database_opens_as_matchstore(self, tmp_path):
+        from repro.store.logstore import LogStore
+
+        path = tmp_path / "store.db"
+        plain = LogStore(path)
+        plain.put_counts("k", TestEvictionCascade().counts_record(0))
+        plain.close()
+        upgraded = MatchStore(path)
+        try:
+            assert upgraded.get_counts("k") is not None
+            assert upgraded.get_matrix("m") is None  # table created lazily
+        finally:
+            upgraded.close()

@@ -218,3 +218,90 @@ class TestIngestGraph:
         assert graph_warm.real_edges == graph_cold.real_edges
         _, other = ingest_graph(csv_log, min_frequency=0.9, store=store)
         assert other.mode == "store"  # counts hit; graph was built fresh
+
+
+class TestXesAppendFastPath:
+    @pytest.fixture()
+    def xes_log(self, csv_log, tmp_path):
+        log = read_csv(csv_log, name="handover")
+        path = tmp_path / "handover.xes"
+        write_xes(log, path)
+        return path
+
+    def grow_xes(self, path, traces):
+        """Insert new <trace> elements before </log>, prefix untouched."""
+        data = path.read_bytes()
+        offset = data.rfind(b"</log>")
+        assert offset > 0
+        chunk = b""
+        for case_id, activities in traces:
+            chunk += (
+                f'  <trace><string key="concept:name" value="{case_id}"/>'
+            ).encode()
+            for activity in activities:
+                chunk += (
+                    f'<event><string key="concept:name" '
+                    f'value="{activity}"/></event>'
+                ).encode()
+            chunk += b"</trace>\n"
+        path.write_bytes(data[:offset] + chunk + data[offset:])
+
+    def test_disjoint_append_merges_tail(self, xes_log, store):
+        ingest_statistics(xes_log, store=store)
+        self.grow_xes(
+            xes_log,
+            [("case-new-1", ["act-0", "act-1"]), ("case-new-2", ["act-2"])],
+        )
+        result = ingest_statistics(xes_log, store=store)
+        assert result.mode == "store-append"
+        assert result.statistics == batch(xes_log)
+
+    def test_append_report_covers_only_tail(self, xes_log, store):
+        ingest_statistics(xes_log, store=store)
+        self.grow_xes(xes_log, [("case-new-1", ["act-0"])])
+        report = IngestionReport(mode="raise")
+        result = ingest_statistics(xes_log, store=store, report=report)
+        assert result.mode == "store-append"
+        assert report.events_loaded == 1
+
+    def test_overlapping_case_falls_back_cold(self, xes_log, store):
+        ingest_statistics(xes_log, store=store)
+        self.grow_xes(xes_log, [("case-0", ["act-5"])])  # a stored case
+        result = ingest_statistics(xes_log, store=store)
+        assert result.mode in ("streamed", "sharded")
+        assert result.statistics == batch(xes_log)
+
+    def test_append_then_hit(self, xes_log, store):
+        ingest_statistics(xes_log, store=store)
+        self.grow_xes(xes_log, [("case-new-1", ["act-0"])])
+        appended = ingest_statistics(xes_log, store=store)
+        assert appended.mode == "store-append"
+        again = ingest_statistics(xes_log, store=store)
+        assert again.mode == "store"
+        assert again.statistics == appended.statistics
+
+    def test_repeated_appends_stack(self, xes_log, store):
+        ingest_statistics(xes_log, store=store)
+        for generation in range(3):
+            self.grow_xes(xes_log, [(f"case-gen-{generation}", ["act-1"])])
+            result = ingest_statistics(xes_log, store=store)
+            assert result.mode == "store-append"
+            assert result.statistics == batch(xes_log)
+
+    def test_changed_prefix_invalidates(self, xes_log, store):
+        ingest_statistics(xes_log, store=store)
+        data = xes_log.read_bytes()
+        # Rewrite an existing activity in place: same size, new bytes —
+        # the prefix digest must force a cold parse.
+        xes_log.write_bytes(data.replace(b'value="act-0"', b'value="act-9"', 1))
+        result = ingest_statistics(xes_log, store=store)
+        assert result.mode in ("streamed", "sharded")
+        assert result.statistics == batch(xes_log)
+
+    def test_append_records_previous_counts_key(self, xes_log, store):
+        first = ingest_statistics(xes_log, store=store)
+        self.grow_xes(xes_log, [("case-new-1", ["act-0"])])
+        result = ingest_statistics(xes_log, store=store)
+        assert result.mode == "store-append"
+        assert result.previous_counts_key == first.counts_key
+        assert result.counts_key != first.counts_key

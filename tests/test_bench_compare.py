@@ -31,6 +31,8 @@ def payload(**overrides) -> dict:
         "compiled_time_ratio_20": 1.0,
         "ingest_sharded_memory": 0.2,
         "stats_store_warm": 20.0,
+        "match_store_warm": 50.0,
+        "sql_pair_counts": 1.0,
     }
     base.update(overrides)
     return base
@@ -78,6 +80,7 @@ class TestFloorKeys:
             noop_observer_overhead=1.1, warm_cache_speedup=5.0,
             compiled_time_ratio_20=1.2,
             ingest_sharded_memory=0.25, stats_store_warm=5.0,
+            match_store_warm=10.0, sql_pair_counts=1.0,
         )
         assert compare(ok, payload(), 2.0) == []
 
@@ -112,6 +115,18 @@ class TestFloorKeys:
         failures = compare(payload(stats_store_warm=3.0), payload(), 2.0)
         assert len(failures) == 1
         assert "store" in failures[0]
+
+    def test_match_store_warm_floor_violation_fails(self):
+        failures = compare(payload(match_store_warm=7.0), payload(), 2.0)
+        assert len(failures) == 1
+        assert "match" in failures[0]
+
+    def test_sql_parity_bit_violation_fails(self):
+        # A parity bit, not a speedup: anything below exactly 1.0 means
+        # the SQL aggregation disagreed with the Python accumulator.
+        failures = compare(payload(sql_pair_counts=0.0), payload(), 2.0)
+        assert len(failures) == 1
+        assert "SQL" in failures[0]
 
 
 class TestEnvironmentWarnings:

@@ -273,3 +273,101 @@ class TestStatsCommand:
 
     def test_missing_file_is_input_error(self, tmp_path, capsys):
         assert main(["stats", str(tmp_path / "absent.xes")]) == 2
+
+
+class TestMatchStoreCLI:
+    """The warm ``match --store`` path and its JSON provenance."""
+
+    def csv_paths(self, tmp_path):
+        log_first, log_second, _ = figure1_logs()
+        path_first = tmp_path / "first.csv"
+        path_second = tmp_path / "second.csv"
+        write_csv(log_first, path_first)
+        write_csv(log_second, path_second)
+        return str(path_first), str(path_second)
+
+    def test_match_mode_provenance(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["match", *log_paths, "--store", str(store), "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["scale"]["match_mode"] == "computed"
+        assert main(["match", *log_paths, "--store", str(store), "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["scale"]["match_mode"] == "store"
+        assert warm["scale"]["matrix_key"] == cold["scale"]["matrix_key"]
+        assert warm["objective"] == cold["objective"]
+
+    def test_store_hit_noted_in_text_output(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["match", *log_paths, "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["match", *log_paths, "--store", str(store)]) == 0
+        assert "[match store: store]" in capsys.readouterr().out
+
+    def test_partial_hit_after_append(self, tmp_path, capsys):
+        paths = self.csv_paths(tmp_path)
+        store = tmp_path / "store.db"
+        assert main(["match", *paths, "--store", str(store), "--json"]) == 0
+        capsys.readouterr()
+        with open(paths[0], "a") as handle:
+            handle.write("case-new-1,A,99.0\ncase-new-1,B,100.0\n")
+        assert main(["match", *paths, "--store", str(store), "--json"]) == 0
+        grown = json.loads(capsys.readouterr().out)
+        assert grown["scale"]["match_mode"] == "store-partial"
+        assert grown["scale"]["ingest_modes"][0] == "store-append"
+        # Bit-identical to matching the grown pair without any store.
+        assert main(["match", *paths, "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert grown["objective"] == reference["objective"]
+        assert grown["correspondences"] == reference["correspondences"]
+
+    def test_match_store_metrics_exported(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        metrics = tmp_path / "metrics.prom"
+        assert main(["match", *log_paths, "--store", str(store)]) == 0
+        assert main(
+            ["match", *log_paths, "--store", str(store),
+             "--metrics-out", str(metrics)]
+        ) == 0
+        assert "match_store_hits_total 1" in metrics.read_text()
+
+
+class TestStatsFromStore:
+    def test_round_trip_matches_ingested(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["stats", log_paths[0], "--store", str(store), "--json"]) == 0
+        ingested = json.loads(capsys.readouterr().out)
+        assert main(
+            ["stats", log_paths[0], "--store", str(store),
+             "--from-store", "--json"]
+        ) == 0
+        served = json.loads(capsys.readouterr().out)
+        assert served["mode"] == "store-sql"
+        assert served["trace_count"] == ingested["trace_count"]
+        assert served["activity_frequencies"] == ingested["activity_frequencies"]
+        assert served["pair_frequencies"] == ingested["pair_frequencies"]
+
+    def test_answers_without_the_file(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["stats", log_paths[0], "--store", str(store)]) == 0
+        capsys.readouterr()
+        import os
+
+        os.unlink(log_paths[0])  # the file is gone; the store still answers
+        assert main(
+            ["stats", log_paths[0], "--store", str(store), "--from-store"]
+        ) == 0
+        assert "[store-sql]" in capsys.readouterr().out
+
+    def test_requires_store_flag(self, log_paths, capsys):
+        assert main(["stats", log_paths[0], "--from-store"]) == 2
+        assert "--from-store requires --store" in capsys.readouterr().err
+
+    def test_unknown_path_is_an_input_error(self, log_paths, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["stats", log_paths[0], "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["stats", log_paths[1], "--store", str(store), "--from-store"]
+        ) == 2
+        assert "no stored trace rows" in capsys.readouterr().err
