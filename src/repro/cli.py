@@ -21,6 +21,10 @@ Usage::
                               [--store PATH] [--from-store] [--top N]
                               [--json] [--metrics-out PATH]
                               [--log-level LEVEL]
+    python -m repro serve --store-dir DIR [--host H] [--port N]
+                          [--workers N] [--watch-dir DIR]
+                          [--max-attempts N] [--poll-interval S]
+                          [--log-level LEVEL]
 
 Reads the two logs (XES or CSV, auto-detected from the extension by
 default), runs EMS matching, and prints the found correspondences with
@@ -73,6 +77,11 @@ bit-identical to the in-memory path.  ``stats`` runs the same ingestion
 pipeline without matching and prints the log's Definition-1 statistics;
 ``stats --from-store`` answers from the store's trace rows alone,
 without reading the file.
+
+Serving (see ``docs/service.md``): ``serve`` runs the long-lived
+matching daemon — a persistent job queue with content-hash dedup, a
+thread scheduler with checkpoint-backed crash recovery, a watch-folder
+ingester, and a JSON/REST API with Prometheus ``/metrics``.
 """
 
 from __future__ import annotations
@@ -368,6 +377,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable library logging to stderr at this level",
     )
     stats.set_defaults(trace_out=None, manifest_out=None)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived matching daemon (HTTP + watch folder)",
+    )
+    serve.add_argument(
+        "--store-dir", required=True, metavar="DIR",
+        help="the daemon's durable root: job queue, match store, "
+             "checkpoints, dead letters and the service.json ready file",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="address to bind the HTTP API to (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port for the HTTP API; 0 (the default) picks an "
+             "ephemeral port, recorded in DIR/service.json",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="scheduler threads executing jobs concurrently (default: 1)",
+    )
+    serve.add_argument(
+        "--watch-dir", metavar="DIR", default=None,
+        help="also ingest job-spec JSON files dropped into DIR",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts before a transiently failing job is declared "
+             "dead and dead-lettered (default: 3)",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.1, metavar="SECONDS",
+        help="idle scheduler/watcher polling interval (default: 0.1)",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="enable library logging to stderr at this level",
+    )
     return parser
 
 
@@ -723,6 +774,36 @@ def run_stats(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(arguments: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the matching daemon until a signal."""
+    from repro.service import MatchingService
+
+    if arguments.log_level is not None:
+        configure_logging(arguments.log_level)
+    if arguments.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {arguments.workers}")
+    if arguments.max_attempts < 1:
+        raise ReproError(
+            f"--max-attempts must be >= 1, got {arguments.max_attempts}"
+        )
+    service = MatchingService(
+        arguments.store_dir,
+        host=arguments.host,
+        port=arguments.port,
+        workers=arguments.workers,
+        watch_dir=arguments.watch_dir,
+        max_attempts=arguments.max_attempts,
+        poll_interval=arguments.poll_interval,
+    )
+    print(
+        f"repro service listening on {service.host}:{service.port} "
+        f"(store: {arguments.store_dir})",
+        flush=True,
+    )
+    service.run_until_signal()
+    return 0
+
+
 def _match_setup(arguments: argparse.Namespace):
     """The config, label similarity, budget and degradation of a run."""
     label_similarity = QGramCosineSimilarity() if arguments.labels else None
@@ -946,6 +1027,8 @@ def main(argv: list[str] | None = None) -> int:
             return run_match(arguments)
         if arguments.command == "stats":
             return run_stats(arguments)
+        if arguments.command == "serve":
+            return run_serve(arguments)
         raise SystemExit(f"unknown command {arguments.command!r}")
     except BudgetExhausted as error:
         print(f"error: {error} (degradation disabled)", file=sys.stderr)

@@ -156,3 +156,25 @@ class StoreError(ReproError):
 
 class SynthesisError(ReproError):
     """A synthetic workload could not be generated as requested."""
+
+
+class ServiceError(ReproError):
+    """The matching service could not complete a request.
+
+    Raised for daemon-level problems (an unusable store directory, a
+    port that cannot be bound); per-job failures never raise out of the
+    scheduler — they move the job to ``failed``/``dead`` and archive it.
+    """
+
+
+class JobSpecError(ServiceError):
+    """A submitted job specification is invalid.
+
+    Carries the machine-readable ``problem`` so the HTTP layer can
+    answer 400 with a useful body and the dead-letter context records
+    what exactly was wrong with the submission.
+    """
+
+    def __init__(self, message: str, *, field: str = ""):
+        super().__init__(message)
+        self.field = field

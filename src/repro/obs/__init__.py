@@ -10,6 +10,7 @@ from repro.obs.clock import Clock, FakeClock, default_clock
 from repro.obs.logbridge import configure_logging, get_logger
 from repro.obs.manifest import RunManifest, environment_metadata, stage_timings
 from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
@@ -27,6 +28,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_OBSERVER",
     "Observer",
+    "PROMETHEUS_CONTENT_TYPE",
     "RunManifest",
     "Span",
     "TraceError",

@@ -15,7 +15,11 @@ are sufficient and cost two dict lookups per event.
 
 :meth:`MetricsRegistry.to_prometheus_text` renders the classic text
 exposition format (``# HELP`` / ``# TYPE`` / samples) accepted by the
-Prometheus ecosystem, node-exporter textfile collectors included.
+Prometheus ecosystem, node-exporter textfile collectors included.  HTTP
+endpoints serving it must send :data:`PROMETHEUS_CONTENT_TYPE` — the
+version parameter is how scrapers pick the text parser — and the
+exposition itself always ends in a newline, which the format requires
+of the final line.
 """
 
 from __future__ import annotations
@@ -23,6 +27,11 @@ from __future__ import annotations
 import math
 import re
 from typing import Any, Iterator
+
+#: The Content-Type a ``/metrics`` endpoint must serve for the classic
+#: text exposition format (``version=0.0.4``); without it, strict
+#: scrapers refuse the payload as an unknown format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
@@ -176,11 +185,19 @@ class MetricsRegistry:
         return snapshot
 
     def to_prometheus_text(self) -> str:
-        """The classic Prometheus text exposition of every metric."""
+        """The classic Prometheus text exposition of every metric.
+
+        The output is always newline-terminated — the format requires a
+        line feed after the final sample, and scrapers reject a payload
+        whose last line is torn — and ``# HELP`` text is escaped per the
+        exposition rules (backslash and newline), so free-form help
+        strings can never break the line-oriented parse.  Serve it with
+        :data:`PROMETHEUS_CONTENT_TYPE`.
+        """
         lines: list[str] = []
         for metric in self:
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for bound, count in zip(metric.buckets, metric.bucket_counts):
@@ -191,7 +208,11 @@ class MetricsRegistry:
                 lines.append(f"{metric.name}_count {metric.count}")
             else:
                 lines.append(f"{metric.name} {_format_value(metric.value)}")
-        return "\n".join(lines) + "\n" if lines else ""
+        return "\n".join(lines) + "\n"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _bucket_label(bound: float) -> str:

@@ -1,0 +1,45 @@
+"""Matching-as-a-service: the long-running ``repro serve`` daemon.
+
+One :class:`MatchingService` owns a store directory and serves matching
+jobs continuously — submitted over HTTP (``POST /jobs``) or by dropping
+spec files into a watch folder — through a persistent SQLite job queue
+with content-hash dedup, checkpoint-backed crash recovery, and a
+JSON/REST + Prometheus ``/metrics`` API.  See ``docs/service.md``.
+"""
+
+from repro.exceptions import JobSpecError, ServiceError
+from repro.service.jobs import (
+    STATE_DEAD,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATES,
+    job_content_key,
+    job_id_from_key,
+    validate_spec,
+)
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.scheduler import JobScheduler
+from repro.service.server import READY_FILE, MatchingService
+from repro.service.watcher import FolderWatcher
+
+__all__ = [
+    "FolderWatcher",
+    "JobQueue",
+    "JobRecord",
+    "JobScheduler",
+    "JobSpecError",
+    "MatchingService",
+    "READY_FILE",
+    "STATES",
+    "STATE_DEAD",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "ServiceError",
+    "job_content_key",
+    "job_id_from_key",
+    "validate_spec",
+]

@@ -1,0 +1,309 @@
+"""Async job scheduler: worker threads draining the persistent queue.
+
+Each worker thread loops claim -> run -> settle.  Running a job mirrors
+the CLI paths exactly — the singleton route goes through
+:func:`repro.store.pipeline.match_stored` (warm matrix reuse), the
+composite route through :class:`repro.matchers.EMSCompositeMatcher`
+with the daemon's checkpoint directory — so a job's result is
+bit-identical to the same invocation on the command line.
+
+Settlement policy (see ``docs/service.md``):
+
+* a :class:`~repro.exceptions.ReproError` is a *deterministic input
+  problem*: the job moves to ``failed`` and its spec is dead-lettered
+  with provenance — retrying the same bytes cannot succeed;
+* any other exception is treated as transient: the job is re-queued
+  until its attempt budget runs out, then moves to ``dead`` (poison
+  job) and is dead-lettered;
+* an *interrupted* partial result (daemon shutdown, or the scripted
+  ``search.round``/``interrupt`` fault) leaves the job ``running`` on
+  purpose: :meth:`~repro.service.queue.JobQueue.recover` re-queues it at
+  the next startup and the re-run resumes from the flushed checkpoint.
+
+A job's inline fault plan is armed only on its **first** attempt —
+faults exist to test the recovery path, and recovery must see the run
+behave normally.  Fault plans are excluded from the checkpoint content
+key, so the resumed attempt finds the interrupted attempt's snapshot.
+
+Threads never share a :class:`~repro.store.matchstore.MatchStore`
+object: each worker owns one handle on the shared database file (the
+WAL discipline coordinates them), because the store's event-row staging
+spans multiple calls during an ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import EMSConfig
+from repro.exceptions import ReproError
+from repro.matchers import EMSCompositeMatcher, EMSMatcher
+from repro.obs import NULL_OBSERVER, Observer, get_logger
+from repro.runtime import (
+    CheckpointManager,
+    DeadLetterArchive,
+    DegradationPolicy,
+    FaultPlan,
+    InterruptGuard,
+    MatchBudget,
+)
+from repro.service.queue import JobQueue, JobRecord
+from repro.similarity.labels import QGramCosineSimilarity
+from repro.store import MatchStore, match_stored
+
+_logger = get_logger(__name__)
+
+
+def build_matcher_inputs(spec: dict[str, Any]):
+    """(config, label_similarity, budget, degradation) of one job spec.
+
+    Must mirror ``repro.cli._match_setup`` knob for knob — the service's
+    acceptance bar is a result bitwise-identical to the CLI path.
+    """
+    label_similarity = QGramCosineSimilarity() if spec["labels"] else None
+    alpha = spec["alpha"]
+    if alpha is None:
+        alpha = 0.5 if spec["labels"] else 1.0
+    config = EMSConfig(
+        alpha=alpha,
+        estimation_iterations=spec["estimate"],
+    )
+    budget = None
+    if spec["timeout"] is not None or spec["pair_budget"] is not None:
+        budget = MatchBudget(
+            deadline=spec["timeout"], max_pair_updates=spec["pair_budget"]
+        )
+    return config, label_similarity, budget, DegradationPolicy()
+
+
+class JobScheduler:
+    """N worker threads executing jobs from a :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store_dir: str | Path,
+        archive: DeadLetterArchive,
+        observer: Observer | None = None,
+        workers: int = 1,
+        max_attempts: int = 3,
+        poll_interval: float = 0.1,
+    ):
+        if workers < 1:
+            raise ValueError(f"scheduler workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.queue = queue
+        self.store_dir = Path(store_dir)
+        self.archive = archive
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._threads: list[threading.Thread] = []
+        #: Inert interrupt guards of the jobs currently running, tripped
+        #: together at shutdown so every in-flight search unwinds through
+        #: its checkpoint flush.
+        self._active_guards: dict[str, InterruptGuard] = {}
+        self._guards_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-scheduler-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Trip every in-flight job, then join the worker threads.
+
+        Interrupted composite jobs flush a final checkpoint and stay
+        ``running`` in the queue; the next startup resumes them.
+        """
+        self._stop.set()
+        self._wake.set()
+        with self._guards_lock:
+            for guard in self._active_guards.values():
+                guard.trip("shutdown")
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def notify(self) -> None:
+        """Wake a sleeping worker (a job was just submitted)."""
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        store: MatchStore | None = None
+        try:
+            while not self._stop.is_set():
+                job = self.queue.claim()
+                if job is None:
+                    self._wake.wait(timeout=self.poll_interval)
+                    self._wake.clear()
+                    continue
+                if store is None:
+                    store = MatchStore(
+                        self.store_dir / "match.db", observer=self.observer
+                    )
+                self._run_job(job, store)
+        finally:
+            if store is not None:
+                store.close()
+
+    def _run_job(self, job: JobRecord, store: MatchStore) -> None:
+        started = time.monotonic()
+        guard = InterruptGuard(signals=())
+        with self._guards_lock:
+            self._active_guards[job.id] = guard
+        try:
+            with self.observer.span(
+                "service.job", id=job.id, attempt=job.attempts
+            ):
+                result, interrupted = self._execute(job, store, guard)
+            if interrupted:
+                # Parked as `running`: recover() re-queues it at the
+                # next startup and the re-run resumes the checkpoint.
+                _logger.warning(
+                    "job %s interrupted mid-run; parked for restart resume",
+                    job.id,
+                )
+                return
+            self.queue.finish(job.id, result)
+            self.observer.observe(
+                "job_latency_seconds",
+                time.monotonic() - started,
+                help="wall-clock seconds from claim to settled result",
+            )
+        except ReproError as error:
+            self._settle_failed(job, error, terminal=True)
+        except Exception as error:  # noqa: BLE001 - routed to the queue
+            self._settle_failed(job, error, terminal=False)
+        finally:
+            with self._guards_lock:
+                self._active_guards.pop(job.id, None)
+
+    def _settle_failed(
+        self, job: JobRecord, error: BaseException, *, terminal: bool
+    ) -> None:
+        message = f"{type(error).__name__}: {error}"
+        if terminal:
+            _logger.warning("job %s failed on bad input: %s", job.id, message)
+            self.queue.fail(job.id, message)
+            self._dead_letter(job, message, "input-error")
+        elif job.attempts >= self.max_attempts:
+            _logger.warning(
+                "job %s dead after %d attempt(s): %s",
+                job.id, job.attempts, message,
+            )
+            self.queue.bury(job.id, message)
+            self._dead_letter(job, message, "poison")
+        else:
+            _logger.warning(
+                "job %s attempt %d failed transiently (%s); re-queued",
+                job.id, job.attempts, message,
+            )
+            self.queue.requeue(job.id, message)
+            self.notify()
+
+    def _dead_letter(self, job: JobRecord, message: str, reason: str) -> None:
+        self.archive.put(
+            json.dumps(job.spec, sort_keys=True, indent=2).encode(),
+            {
+                "source": f"job:{job.id}",
+                "problem": message,
+                "mode": reason,
+                "attempts": job.attempts,
+                "submitted_via": job.source,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, job: JobRecord, store: MatchStore, guard: InterruptGuard
+    ) -> tuple[dict[str, Any], bool]:
+        """Run one job; returns (result payload, interrupted flag)."""
+        spec = job.spec
+        config, label_similarity, budget, degradation = build_matcher_inputs(spec)
+        if spec["composite"]:
+            outcome, provenance = self._execute_composite(
+                job, config, label_similarity, budget, degradation, guard
+            )
+        else:
+            matcher = EMSMatcher(
+                config, label_similarity, threshold=spec["threshold"],
+                budget=budget, degradation=degradation, observer=self.observer,
+            )
+            outcome, stored = match_stored(
+                spec["log_first"], spec["log_second"],
+                spec["format"], spec["on_error"],
+                matcher=matcher, store=store, observer=self.observer,
+            )
+            provenance = {
+                "match_mode": stored["match_mode"],
+                "log_names": list(stored["log_names"]),
+            }
+        runtime = outcome.runtime
+        interrupted = (
+            runtime is not None
+            and runtime.stage == "partial"
+            and runtime.reason == "interrupted"
+        )
+        result = {
+            "objective": outcome.objective,
+            "correspondences": [
+                {"left": sorted(c.left), "right": sorted(c.right)}
+                for c in outcome.correspondences
+            ],
+            "diagnostics": dict(outcome.diagnostics),
+            "runtime": runtime.to_dict() if runtime is not None else None,
+            "provenance": provenance,
+        }
+        return result, interrupted
+
+    def _execute_composite(
+        self, job, config, label_similarity, budget, degradation, guard
+    ):
+        from repro.cli import load_log
+
+        spec = job.spec
+        faults = None
+        if spec["fault_plan"] is not None and job.attempts <= 1:
+            faults = FaultPlan.from_json(json.dumps(spec["fault_plan"]))
+        checkpoints = CheckpointManager(
+            self.store_dir / "checkpoints",
+            observer=self.observer,
+            faults=faults,
+        )
+        with self.observer.span("service.ingest", source=spec["log_first"]):
+            log_first = load_log(
+                spec["log_first"], spec["format"], spec["on_error"]
+            )
+        with self.observer.span("service.ingest", source=spec["log_second"]):
+            log_second = load_log(
+                spec["log_second"], spec["format"], spec["on_error"]
+            )
+        matcher = EMSCompositeMatcher(
+            config, label_similarity,
+            threshold=spec["threshold"], delta=spec["delta"],
+            budget=budget, degradation=degradation,
+            workers=spec["workers"], observer=self.observer,
+            faults=faults, checkpoints=checkpoints,
+            resume=True,  # cold start when no snapshot matches
+            interrupt=guard,
+        )
+        outcome = matcher.match(log_first, log_second)
+        return outcome, {
+            "match_mode": "composite",
+            "log_names": [log_first.name, log_second.name],
+        }

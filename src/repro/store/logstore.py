@@ -31,6 +31,19 @@ and recreated empty.  Corruption therefore always degrades to a logged
 cold path, never a wrong answer and never a crash.  Tables are
 LRU-bounded by a ``last_used`` column (hits touch their row), with
 evictions counted.
+
+Concurrency: *processes* sharing one store file coordinate through WAL
+journaling plus the busy-timeout/lock-retry discipline in
+:meth:`LogStore._execute`.  *Threads* sharing one store **object** (the
+``repro serve`` daemon answers from a thread pool, not forks) are safe
+too: the connection is opened with ``check_same_thread=False`` and every
+public operation holds an internal re-entrant lock for its whole
+read-verify-touch-commit sequence, so one thread can never commit — or
+roll back — another thread's half-staged transaction.  The one pattern
+that spans *multiple* calls on purpose, the
+:class:`~repro.store.matchstore.MatchStore` event-row staging during an
+ingest, still wants one store object per thread (as the daemon's
+scheduler threads do); everything else can share freely.
 """
 
 from __future__ import annotations
@@ -40,6 +53,7 @@ import json
 import os
 import pickle
 import sqlite3
+import threading
 import time
 from pathlib import Path
 from typing import Any
@@ -159,6 +173,10 @@ class LogStore:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         except OSError as error:
             raise StoreError(f"cannot create store directory: {error}") from error
+        #: Serializes whole operations (not just statements) across
+        #: threads sharing this object; re-entrant so compound methods
+        #: can call the locked primitives they are built from.
+        self._lock = threading.RLock()
         self._connection: sqlite3.Connection | None = None
         self._connect()
 
@@ -167,7 +185,11 @@ class LogStore:
     # ------------------------------------------------------------------
     def _connect(self) -> None:
         try:
-            connection = sqlite3.connect(self.path)
+            # ``check_same_thread=False``: the daemon constructs a store
+            # in one thread and serves from others; cross-thread *use* is
+            # serialized by ``self._lock``, which is what the flag's
+            # default check exists to force.
+            connection = sqlite3.connect(self.path, check_same_thread=False)
             self._configure(connection)
             version = connection.execute("PRAGMA user_version").fetchone()[0]
             if version not in (0, _SCHEMA_VERSION):
@@ -265,58 +287,61 @@ class LogStore:
         lock persists, degrades to ``None`` — a miss — without touching
         the other process's data.
         """
-        if self._connection is None:
-            self._connect()
-        for _ in range(_LOCK_RETRIES):
-            try:
-                assert self._connection is not None
-                return self._connection.execute(*args)
-            except sqlite3.OperationalError as error:
-                if not _is_lock_error(error):
+        with self._lock:
+            if self._connection is None:
+                self._connect()
+            for _ in range(_LOCK_RETRIES):
+                try:
+                    assert self._connection is not None
+                    return self._connection.execute(*args)
+                except sqlite3.OperationalError as error:
+                    if not _is_lock_error(error):
+                        self._set_aside(str(error))
+                        self._connect()
+                        return None
+                    time.sleep(_LOCK_RETRY_WAIT)
+                except sqlite3.DatabaseError as error:
                     self._set_aside(str(error))
                     self._connect()
                     return None
-                time.sleep(_LOCK_RETRY_WAIT)
-            except sqlite3.DatabaseError as error:
-                self._set_aside(str(error))
-                self._connect()
-                return None
-        _logger.warning(
-            "log store %s is locked by another process; degrading to a miss",
-            self.path,
-        )
-        return None
+            _logger.warning(
+                "log store %s is locked by another process; degrading to a miss",
+                self.path,
+            )
+            return None
 
     def _commit(self) -> None:
-        if self._connection is None:
-            return
-        for _ in range(_LOCK_RETRIES):
-            try:
-                self._connection.commit()
+        with self._lock:
+            if self._connection is None:
                 return
-            except sqlite3.OperationalError as error:
-                if not _is_lock_error(error):
+            for _ in range(_LOCK_RETRIES):
+                try:
+                    self._connection.commit()
+                    return
+                except sqlite3.OperationalError as error:
+                    if not _is_lock_error(error):
+                        self._set_aside(str(error))
+                        self._connect()
+                        return
+                    time.sleep(_LOCK_RETRY_WAIT)
+                except sqlite3.DatabaseError as error:
                     self._set_aside(str(error))
                     self._connect()
                     return
-                time.sleep(_LOCK_RETRY_WAIT)
-            except sqlite3.DatabaseError as error:
-                self._set_aside(str(error))
-                self._connect()
-                return
-        _logger.warning(
-            "log store %s commit blocked by another process; rolling back",
-            self.path,
-        )
-        try:
-            self._connection.rollback()
-        except sqlite3.Error:
-            pass
+            _logger.warning(
+                "log store %s commit blocked by another process; rolling back",
+                self.path,
+            )
+            try:
+                self._connection.rollback()
+            except sqlite3.Error:
+                pass
 
     def close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
 
     # ------------------------------------------------------------------
     # Generic verified rows
@@ -339,7 +364,10 @@ class LogStore:
         """Hook for subclasses that keep per-table corruption counters."""
 
     def _get(self, table: str, key: str) -> Any | None:
-        with self.observer.span("store.get", table=table):
+        # The lock spans the whole select-verify-touch-commit sequence:
+        # a second thread must not commit between our SELECT and our
+        # last_used UPDATE, or interleave a conflicting write.
+        with self._lock, self.observer.span("store.get", table=table):
             cursor = self._execute(
                 f"SELECT payload, digest FROM {table} WHERE key = ?", (key,)
             )
@@ -380,7 +408,7 @@ class LogStore:
             return value
 
     def _put(self, table: str, key: str, value: Any) -> None:
-        with self.observer.span("store.put", table=table):
+        with self._lock, self.observer.span("store.put", table=table):
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             digest = hashlib.sha256(payload).hexdigest()
             now = time.time()
@@ -430,6 +458,10 @@ class LogStore:
         ``log_name``.  A malformed record (wrong type, missing fields) is
         treated exactly like a corrupt row.
         """
+        with self._lock:
+            return self._get_counts_locked(key)
+
+    def _get_counts_locked(self, key: str) -> dict[str, Any] | None:
         value = self._get("counts", key)
         if value is None:
             return None
@@ -450,6 +482,10 @@ class LogStore:
         self._put("counts", key, record)
 
     def get_graph(self, key: str) -> DependencyGraph | None:
+        with self._lock:
+            return self._get_graph_locked(key)
+
+    def _get_graph_locked(self, key: str) -> DependencyGraph | None:
         value = self._get("graphs", key)
         if value is None:
             return None
@@ -471,6 +507,10 @@ class LogStore:
     # Append bookkeeping
     # ------------------------------------------------------------------
     def get_ingest(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            return self._get_ingest_locked(key)
+
+    def _get_ingest_locked(self, key: str) -> dict[str, Any] | None:
         cursor = self._execute(
             "SELECT byte_count, prefix_digest, header, counts_key "
             "FROM ingests WHERE key = ?",
@@ -494,10 +534,11 @@ class LogStore:
         header: str,
         counts_key: str,
     ) -> None:
-        self._execute(
-            "INSERT OR REPLACE INTO ingests "
-            "(key, byte_count, prefix_digest, header, counts_key) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (key, byte_count, prefix_digest, header, counts_key),
-        )
-        self._commit()
+        with self._lock:
+            self._execute(
+                "INSERT OR REPLACE INTO ingests "
+                "(key, byte_count, prefix_digest, header, counts_key) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (key, byte_count, prefix_digest, header, counts_key),
+            )
+            self._commit()

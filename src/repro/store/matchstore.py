@@ -201,6 +201,10 @@ class MatchStore(LogStore):
         label grid) is treated exactly like a corrupt row: deleted,
         counted, answered as a miss.
         """
+        with self._lock:
+            return self._get_matrix_locked(key)
+
+    def _get_matrix_locked(self, key: str) -> dict[str, Any] | None:
         value = self._get("matrices", key)
         if value is None:
             self._match_miss()
@@ -260,45 +264,50 @@ class MatchStore(LogStore):
         counts row (``put_counts``), so a crash mid-stream never leaves
         partial rows behind a completed-looking key.
         """
-        if self._connection is None:
-            self._connect()
-        try:
-            assert self._connection is not None
-            self._connection.executemany(
-                "INSERT INTO events (key, trace_id, pos, activity) "
-                "VALUES (?, ?, ?, ?)",
-                rows,
-            )
-        except sqlite3.DatabaseError as error:
-            _logger.warning(
-                "could not stage trace rows (%s); SQL push-down disabled "
-                "for this ingest", error,
-            )
+        with self._lock:
+            if self._connection is None:
+                self._connect()
+            try:
+                assert self._connection is not None
+                self._connection.executemany(
+                    "INSERT INTO events (key, trace_id, pos, activity) "
+                    "VALUES (?, ?, ?, ?)",
+                    rows,
+                )
+            except sqlite3.DatabaseError as error:
+                _logger.warning(
+                    "could not stage trace rows (%s); SQL push-down disabled "
+                    "for this ingest", error,
+                )
 
     def delete_trace_rows(self, key: str) -> None:
         self._execute("DELETE FROM events WHERE key = ?", (key,))
 
     def rekey_trace_rows(self, old_key: str, new_key: str) -> None:
         """Move stored trace rows to a new counts key (append fast path)."""
-        self._execute("DELETE FROM events WHERE key = ?", (new_key,))
-        self._execute(
-            "UPDATE events SET key = ? WHERE key = ?", (new_key, old_key)
-        )
+        with self._lock:
+            self._execute("DELETE FROM events WHERE key = ?", (new_key,))
+            self._execute(
+                "UPDATE events SET key = ? WHERE key = ?", (new_key, old_key)
+            )
 
     def rollback(self) -> None:
         """Discard staged-but-uncommitted work (failed ingest cleanup)."""
-        if self._connection is not None:
-            try:
-                self._connection.rollback()
-            except sqlite3.Error:
-                pass
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.rollback()
+                except sqlite3.Error:
+                    pass
 
     def stored_trace_count(self, key: str) -> int:
-        cursor = self._execute(
-            "SELECT COUNT(DISTINCT trace_id) FROM events WHERE key = ?", (key,)
-        )
-        row = cursor.fetchone() if cursor is not None else None
-        return int(row[0]) if row else 0
+        with self._lock:
+            cursor = self._execute(
+                "SELECT COUNT(DISTINCT trace_id) FROM events WHERE key = ?",
+                (key,),
+            )
+            row = cursor.fetchone() if cursor is not None else None
+            return int(row[0]) if row else 0
 
     def sql_statistics(
         self, key: str, expected_traces: int | None = None
@@ -318,7 +327,7 @@ class MatchStore(LogStore):
         corrupt: deleted, counted, answered ``None`` — a cold parse,
         never a wrong answer.
         """
-        with self.observer.span("store.sql", table="events"):
+        with self._lock, self.observer.span("store.sql", table="events"):
             trace_count = self.stored_trace_count(key)
             if trace_count == 0:
                 return None

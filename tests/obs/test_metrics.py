@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 
 class TestCounter:
@@ -85,5 +91,22 @@ class TestRegistry:
         assert "stage_seconds_count 1" in lines
         assert text.endswith("\n")
 
-    def test_empty_registry_renders_empty(self):
-        assert MetricsRegistry().to_prometheus_text() == ""
+    def test_empty_registry_is_still_newline_terminated(self):
+        # The exposition format requires the final line to end in a line
+        # feed; strict scrapers reject a torn last line, so even the
+        # empty exposition carries the terminator.
+        assert MetricsRegistry().to_prometheus_text() == "\n"
+
+    def test_exposition_always_ends_in_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_completed_total").inc()
+        assert registry.to_prometheus_text().endswith("\n")
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="line one\nline \\two").inc()
+        text = registry.to_prometheus_text()
+        assert "# HELP c line one\\nline \\\\two" in text.splitlines()
+
+    def test_content_type_names_the_text_format_version(self):
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,72 @@
+"""Shared fixtures for the matching-service suite."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+
+def write_csv(path, traces):
+    """Serialize traces (lists of activities) as a minimal CSV log."""
+    lines = ["case_id,activity"]
+    for index, trace in enumerate(traces):
+        lines.extend(f"{index},{activity}" for activity in trace)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture()
+def csv_pair(tmp_path):
+    """A small singleton pair on disk (distinct vocabularies)."""
+    first = write_csv(
+        tmp_path / "orders.csv",
+        [["start", "check", "ship"]] * 2 + [["start", "ship", "check"]],
+    )
+    second = write_csv(
+        tmp_path / "fulfilment.csv",
+        [["begin", "verify", "send"]] * 2 + [["begin", "send", "verify"]],
+    )
+    return first, second
+
+
+@pytest.fixture()
+def wide_csv_pair(tmp_path):
+    """The wide composite pair (4 merges over 5 rounds) as CSV files."""
+    first = write_csv(
+        tmp_path / "wide_a.csv",
+        [
+            ["A1", "A2", "B1", "B2", "C1", "C2", "D1", "D2"],
+            ["B1", "B2", "A1", "A2", "D1", "D2", "C1", "C2"],
+            ["C1", "C2", "D1", "D2", "B1", "B2", "A1", "A2"],
+            ["D1", "D2", "C1", "C2", "A1", "A2", "B1", "B2"],
+        ],
+    )
+    second = write_csv(
+        tmp_path / "wide_b.csv",
+        [
+            ["A", "B", "C", "D"],
+            ["B", "A", "D", "C"],
+            ["C", "D", "B", "A"],
+            ["D", "C", "A", "B"],
+        ],
+    )
+    return first, second
+
+
+def http(method, url, body=None):
+    """One HTTP round trip; returns (status, decoded JSON or text)."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            payload = response.read().decode()
+            content_type = response.headers.get("Content-Type", "")
+            status = response.status
+    except urllib.error.HTTPError as error:
+        payload = error.read().decode()
+        content_type = error.headers.get("Content-Type", "")
+        status = error.code
+    if content_type.startswith("application/json"):
+        return status, json.loads(payload)
+    return status, payload

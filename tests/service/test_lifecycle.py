@@ -1,0 +1,139 @@
+"""End-to-end daemon lifecycle: submit, poll, fetch, dedup, bit-equality.
+
+The acceptance bar of the serving arc: a job submitted over HTTP must
+produce the *same bits* as the equivalent direct
+:func:`repro.store.pipeline.match_stored` call, and resubmitting the
+identical pair must answer with the existing job instead of recomputing.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import EMSConfig
+from repro.matchers import EMSMatcher
+from repro.service import MatchingService
+from repro.store import MatchStore, match_stored
+
+from .conftest import http
+
+
+@pytest.fixture()
+def service(tmp_path):
+    service = MatchingService(tmp_path / "store", workers=2)
+    service.start()
+    yield service
+    service.stop()
+
+
+def poll_until_done(base, job_id, timeout=60):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, document = http("GET", f"{base}/jobs/{job_id}")
+        assert status == 200
+        if document["state"] == "done":
+            return document
+        assert document["state"] in ("queued", "running"), (
+            f"job ended {document['state']}: {document['error']}"
+        )
+        time.sleep(0.05)
+    raise AssertionError("job never completed")
+
+
+def test_submit_poll_result_bitwise_equal_and_deduped(
+    service, tmp_path, csv_pair
+):
+    base = f"http://{service.host}:{service.port}"
+    spec = {
+        "log_first": str(csv_pair[0]),
+        "log_second": str(csv_pair[1]),
+        "threshold": 0.1,
+    }
+
+    status, submitted = http("POST", f"{base}/jobs", spec)
+    assert status == 201
+    assert submitted["deduped"] is False
+    job_id = submitted["id"]
+
+    poll_until_done(base, job_id)
+    status, document = http("GET", f"{base}/jobs/{job_id}/result")
+    assert status == 200
+    result = document["result"]
+
+    # The same pair through the library path, in a separate store so the
+    # daemon's persisted matrix cannot mask a divergence.
+    store = MatchStore(tmp_path / "direct.db")
+    try:
+        outcome, _ = match_stored(
+            str(csv_pair[0]), str(csv_pair[1]),
+            matcher=EMSMatcher(EMSConfig(alpha=1.0), threshold=0.1),
+            store=store,
+        )
+    finally:
+        store.close()
+    assert result["objective"] == outcome.objective  # bitwise, not approx
+    expected = sorted(
+        [{"left": sorted(c.left), "right": sorted(c.right)}
+         for c in outcome.correspondences],
+        key=str,
+    )
+    assert sorted(result["correspondences"], key=str) == expected
+
+    # Idempotent resubmission: same content, same job, no new work.
+    status, again = http("POST", f"{base}/jobs", spec)
+    assert status == 200
+    assert again["id"] == job_id
+    assert again["deduped"] is True
+    assert again["state"] == "done"
+
+    # The lifecycle counters tell the same story on /metrics.
+    status, text = http("GET", f"{base}/metrics")
+    assert status == 200
+    lines = text.splitlines()
+    assert "jobs_submitted_total 1" in lines
+    assert "jobs_completed_total 1" in lines
+    assert "jobs_deduped_total 1" in lines
+
+
+def test_same_bytes_under_a_different_path_dedup(service, tmp_path, csv_pair):
+    base = f"http://{service.host}:{service.port}"
+    copy = tmp_path / "copy.csv"
+    copy.write_bytes(csv_pair[0].read_bytes())
+    spec = {"log_first": str(csv_pair[0]), "log_second": str(csv_pair[1])}
+    status, first = http("POST", f"{base}/jobs", spec)
+    assert status == 201
+    status, second = http(
+        "POST", f"{base}/jobs",
+        {"log_first": str(copy), "log_second": str(csv_pair[1])},
+    )
+    assert status == 200
+    assert second["id"] == first["id"]
+
+
+def test_input_error_job_fails_terminally(service, tmp_path):
+    base = f"http://{service.host}:{service.port}"
+    bad = tmp_path / "bad.csv"
+    bad.write_text("wrong,header\n1,x\n")
+    good = tmp_path / "good.csv"
+    good.write_text("case_id,activity\n1,a\n1,b\n")
+    status, submitted = http(
+        "POST", f"{base}/jobs",
+        {"log_first": str(bad), "log_second": str(good)},
+    )
+    assert status == 201
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        _, document = http("GET", f"{base}/jobs/{submitted['id']}")
+        if document["state"] not in ("queued", "running"):
+            break
+        time.sleep(0.05)
+    assert document["state"] == "failed"  # not retried, not dead
+    assert document["attempts"] == 1
+    assert "LogFormatError" in document["error"]
+    # ... and the poisoned spec is inspectable in the dead letters.
+    _, letters = http("GET", f"{base}/deadletters")
+    assert any(
+        occurrence["mode"] == "input-error"
+        for entry in letters["deadletters"]
+        for occurrence in entry["occurrences"]
+    )

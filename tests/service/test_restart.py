@@ -1,0 +1,144 @@
+"""Kill-and-restart: SIGTERM mid-job, restart, checkpoint resume.
+
+Drives the real daemon as a subprocess (``python -m repro serve``).  The
+in-flight composite job is interrupted deterministically by an inline
+fault plan (the scripted equivalent of a SIGTERM landing at a round
+boundary) so it flushes a checkpoint and parks as ``running``; the
+daemon then receives a real SIGTERM.  A second daemon life over the same
+store directory must re-queue the job, resume it from the snapshot, and
+finish with a result bit-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import EMSConfig
+from repro.matchers import EMSCompositeMatcher
+from repro.service import READY_FILE
+
+from .conftest import http
+
+
+def start_daemon(store_dir):
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store-dir", str(store_dir),
+         "--poll-interval", "0.05"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    ready = Path(store_dir) / READY_FILE
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon died on startup: {process.stderr.read().decode()}"
+            )
+        if ready.exists():
+            try:
+                document = json.loads(ready.read_text())
+            except ValueError:  # torn read, retry
+                continue
+            if document.get("pid") == process.pid:
+                return process, f"http://{document['host']}:{document['port']}"
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("daemon never wrote its ready file")
+
+
+def stop_daemon(process, sig=signal.SIGTERM, timeout=60):
+    process.send_signal(sig)
+    try:
+        process.wait(timeout=timeout)
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+
+def test_sigterm_mid_job_resumes_from_checkpoint(tmp_path, wide_csv_pair):
+    store_dir = tmp_path / "store"
+    spec = {
+        "log_first": str(wide_csv_pair[0]),
+        "log_second": str(wide_csv_pair[1]),
+        "composite": True,
+        "delta": 0.001,
+        # Interrupt at the round-2 boundary of attempt 1 — exactly what
+        # a SIGTERM landing mid-search does, made deterministic.
+        "fault_plan": {
+            "specs": [{"site": "search.round", "kind": "interrupt", "round": 2}]
+        },
+    }
+
+    # Life 1: submit, let the fault trip the job mid-run.
+    process, base = start_daemon(store_dir)
+    try:
+        status, submitted = http("POST", f"{base}/jobs", spec)
+        assert status == 201
+        job_id = submitted["id"]
+        # The interrupted job parks as `running` (never done/failed).
+        deadline = time.time() + 60
+        parked = None
+        while time.time() < deadline:
+            status, parked = http("GET", f"{base}/jobs/{job_id}")
+            assert parked["state"] in ("queued", "running"), (
+                f"job ended {parked['state']} in life 1: {parked['error']}"
+            )
+            if parked["state"] == "running" and parked["attempts"] == 1:
+                checkpoints = list((store_dir / "checkpoints").glob("*"))
+                if checkpoints:  # the final flush happened
+                    break
+            time.sleep(0.05)
+        assert parked is not None and parked["state"] == "running"
+        assert list((store_dir / "checkpoints").iterdir()), (
+            "no checkpoint was flushed before the interrupt"
+        )
+    finally:
+        stop_daemon(process)  # the real SIGTERM
+
+    # Between lives the job table still says `running`: the daemon went
+    # down with work in flight, which is the whole point.
+    # Life 2: recovery re-queues it; the resumed attempt completes.
+    process, base = start_daemon(store_dir)
+    try:
+        deadline = time.time() + 120
+        document = None
+        while time.time() < deadline:
+            status, document = http("GET", f"{base}/jobs/{job_id}")
+            assert status == 200
+            if document["state"] in ("done", "failed", "dead"):
+                break
+            time.sleep(0.1)
+        assert document is not None and document["state"] == "done", (
+            f"job did not resume: {document}"
+        )
+        assert document["attempts"] == 2  # one per daemon life
+        status, result_document = http("GET", f"{base}/jobs/{job_id}/result")
+        assert status == 200
+        result = result_document["result"]
+    finally:
+        stop_daemon(process)
+
+    # Bit-identical to an uninterrupted in-process run.
+    from repro.cli import load_log
+
+    outcome = EMSCompositeMatcher(EMSConfig(alpha=1.0), delta=0.001).match(
+        load_log(str(wide_csv_pair[0])), load_log(str(wide_csv_pair[1]))
+    )
+    assert result["objective"] == outcome.objective
+    expected = sorted(
+        [{"left": sorted(c.left), "right": sorted(c.right)}
+         for c in outcome.correspondences],
+        key=str,
+    )
+    assert sorted(result["correspondences"], key=str) == expected
+    assert result["runtime"]["stage"] == "exact"

@@ -257,3 +257,84 @@ class TestConcurrentAccess:
                     assert store.get_counts(f"w{worker_id}-{i}") is not None
         finally:
             store.close()
+
+    def test_threads_sharing_one_store_object(self, tmp_path):
+        # The serve daemon answers from a thread pool sharing one store
+        # object: check_same_thread=False plus the internal RLock must
+        # keep whole get/put sequences atomic across threads.
+        import threading
+
+        path = tmp_path / "store.db"
+        store = LogStore(path, max_entries=None)
+        barrier = threading.Barrier(4)
+        failures: list[BaseException] = []
+
+        def hammer(worker_id):
+            try:
+                barrier.wait(timeout=30)
+                for i in range(25):
+                    store.put_counts("shared", record(trace_count=worker_id + 1))
+                    assert store.get_counts("shared") is not None
+                    store.put_counts(f"t{worker_id}-{i}", record())
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker_id,))
+            for worker_id in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert not failures
+        assert not path.with_name("store.db.corrupt").exists()
+        try:
+            shared = store.get_counts("shared")
+            assert shared is not None
+            assert shared["trace_count"] in (1, 2, 3, 4)
+            for worker_id in range(4):
+                for i in range(25):
+                    assert store.get_counts(f"t{worker_id}-{i}") is not None
+        finally:
+            store.close()
+
+    def test_threads_with_per_thread_stores_on_one_path(self, tmp_path):
+        # The two-process hammer, re-run with threads and one store
+        # object per thread: WAL + busy-timeout + lock-retry serialize
+        # the writers exactly as they do across processes.
+        import threading
+
+        path = tmp_path / "store.db"
+        LogStore(path).close()  # create the schema up front
+        barrier = threading.Barrier(2)
+        failures: list[BaseException] = []
+
+        def hammer(worker_id):
+            try:
+                _hammer_store(path, worker_id, 25, barrier)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker_id,))
+            for worker_id in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert not failures
+        assert not path.with_name("store.db.corrupt").exists()
+        store = LogStore(path)
+        try:
+            shared = store.get_counts("shared")
+            assert shared is not None
+            assert shared["trace_count"] in (1, 2)
+            for worker_id in range(2):
+                for i in range(25):
+                    assert store.get_counts(f"w{worker_id}-{i}") is not None
+        finally:
+            store.close()

@@ -33,6 +33,7 @@ def payload(**overrides) -> dict:
         "stats_store_warm": 20.0,
         "match_store_warm": 50.0,
         "sql_pair_counts": 1.0,
+        "service_warm_speedup": 25.0,
     }
     base.update(overrides)
     return base
@@ -81,6 +82,7 @@ class TestFloorKeys:
             compiled_time_ratio_20=1.2,
             ingest_sharded_memory=0.25, stats_store_warm=5.0,
             match_store_warm=10.0, sql_pair_counts=1.0,
+            service_warm_speedup=2.0,
         )
         assert compare(ok, payload(), 2.0) == []
 
@@ -120,6 +122,11 @@ class TestFloorKeys:
         failures = compare(payload(match_store_warm=7.0), payload(), 2.0)
         assert len(failures) == 1
         assert "match" in failures[0]
+
+    def test_service_warm_floor_violation_fails(self):
+        failures = compare(payload(service_warm_speedup=1.5), payload(), 2.0)
+        assert len(failures) == 1
+        assert "daemon" in failures[0]
 
     def test_sql_parity_bit_violation_fails(self):
         # A parity bit, not a speedup: anything below exactly 1.0 means
